@@ -1,0 +1,451 @@
+//! Byzantine attack library for `dp-byz-sgd`.
+//!
+//! The paper evaluates two state-of-the-art attacks (§5.1), both of the form
+//! *every Byzantine worker submits the same* `g_t + ν·a_t`, where `g_t`
+//! approximates the true gradient:
+//!
+//! * [`LittleIsEnough`] (Baruch et al. 2019) — `a_t = −σ_t`, the negated
+//!   coordinate-wise standard deviation of the honest gradient
+//!   distribution; default `ν = 1.5` (the paper's setting).
+//! * [`FallOfEmpires`] (Xie et al. 2019) — submits `(1 − ν)·g_t`
+//!   (`a_t = −g_t`); default `ν = 1.1` (i.e. `ν′ = 0.1` in the original
+//!   paper's notation).
+//!
+//! Baselines [`SignFlip`], [`RandomNoise`], [`Zero`] and [`LargeNorm`] are
+//! included for sweeps.
+//!
+//! Attackers are *omniscient colluders*: they observe the gradients the
+//! honest workers submit in the current round (the strongest standard
+//! threat model, matching the paper's experiments). Under DP those
+//! observations are the *noisy* submissions — an attacker cannot see
+//! through another worker's local randomizer; the
+//! [`AttackContext::pre_noise_gradients`] field (ablation) optionally
+//! exposes the pre-noise gradients instead.
+//!
+//! # Example
+//!
+//! ```
+//! use dpbyz_attacks::{Attack, AttackContext, LittleIsEnough};
+//! use dpbyz_tensor::{Prng, Vector};
+//!
+//! let honest = vec![
+//!     Vector::from(vec![1.0, 0.0]),
+//!     Vector::from(vec![1.2, 0.1]),
+//!     Vector::from(vec![0.8, -0.1]),
+//! ];
+//! let ctx = AttackContext::new(&honest, 0);
+//! let forged = LittleIsEnough::default().forge(&ctx, &mut Prng::seed_from_u64(0));
+//! assert_eq!(forged.dim(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod inversion;
+
+use dpbyz_tensor::{stats, Prng, Vector};
+
+/// Everything a colluding Byzantine coalition can see in one round.
+#[derive(Debug)]
+pub struct AttackContext<'a> {
+    /// Gradients submitted by the honest workers this round (post-noise
+    /// when DP is on — what actually crosses the network).
+    pub honest_gradients: &'a [Vector],
+    /// Pre-noise honest gradients, for the (unrealistic) ablation where
+    /// the attacker sees through the local randomizers. `None` in the
+    /// realistic default.
+    pub pre_noise_gradients: Option<&'a [Vector]>,
+    /// Training step `t`.
+    pub step: usize,
+}
+
+impl<'a> AttackContext<'a> {
+    /// A realistic context: the coalition observes the submitted gradients.
+    pub fn new(honest_gradients: &'a [Vector], step: usize) -> Self {
+        AttackContext {
+            honest_gradients,
+            pre_noise_gradients: None,
+            step,
+        }
+    }
+
+    /// The gradients the attack statistics are computed from (pre-noise if
+    /// exposed, submitted otherwise).
+    pub fn observed(&self) -> &'a [Vector] {
+        self.pre_noise_gradients.unwrap_or(self.honest_gradients)
+    }
+
+    /// Coordinate-wise mean of the observed honest gradients — the
+    /// coalition's estimate `g_t` of the true gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no honest gradients are visible.
+    pub fn honest_mean(&self) -> Vector {
+        Vector::mean(self.observed()).expect("attack requires visible honest gradients")
+    }
+
+    /// Coordinate-wise std `σ_t` of the observed honest gradients
+    /// (zero vector when only one honest gradient is visible).
+    pub fn honest_std(&self) -> Vector {
+        let obs = self.observed();
+        if obs.len() < 2 {
+            return Vector::zeros(obs.first().map_or(0, Vector::dim));
+        }
+        stats::coordinate_std(obs).expect("validated input")
+    }
+}
+
+/// A Byzantine attack: forges the single gradient that every Byzantine
+/// worker submits this round.
+pub trait Attack: Send + Sync {
+    /// Attack name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Forges the Byzantine gradient for this round.
+    fn forge(&self, ctx: &AttackContext<'_>, rng: &mut Prng) -> Vector;
+}
+
+/// "A Little Is Enough" (Baruch et al. 2019): submit
+/// `mean(honest) − ν·std(honest)` — small coordinated shifts hiding inside
+/// the honest variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LittleIsEnough {
+    /// Shift factor ν (paper default 1.5).
+    pub nu: f64,
+}
+
+impl LittleIsEnough {
+    /// Creates the attack with an explicit ν.
+    pub fn new(nu: f64) -> Self {
+        LittleIsEnough { nu }
+    }
+}
+
+impl Default for LittleIsEnough {
+    /// The paper's setting: ν = 1.5.
+    fn default() -> Self {
+        LittleIsEnough { nu: 1.5 }
+    }
+}
+
+impl Attack for LittleIsEnough {
+    fn name(&self) -> &'static str {
+        "alie"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        let mut g = ctx.honest_mean();
+        g.axpy(-self.nu, &ctx.honest_std());
+        g
+    }
+}
+
+/// "Fall of Empires" (Xie et al. 2019): submit `(1 − ν)·mean(honest)` —
+/// inner-product manipulation; `ν > 1` reverses the descent direction
+/// slightly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FallOfEmpires {
+    /// Scale factor ν (paper default 1.1, i.e. ν′ = 0.1).
+    pub nu: f64,
+}
+
+impl FallOfEmpires {
+    /// Creates the attack with an explicit ν.
+    pub fn new(nu: f64) -> Self {
+        FallOfEmpires { nu }
+    }
+}
+
+impl Default for FallOfEmpires {
+    /// The paper's setting: ν = 1.1.
+    fn default() -> Self {
+        FallOfEmpires { nu: 1.1 }
+    }
+}
+
+impl Attack for FallOfEmpires {
+    fn name(&self) -> &'static str {
+        "foe"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        ctx.honest_mean().scaled(1.0 - self.nu)
+    }
+}
+
+/// Submits the negated honest mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignFlip;
+
+impl Attack for SignFlip {
+    fn name(&self) -> &'static str {
+        "sign-flip"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        -&ctx.honest_mean()
+    }
+}
+
+/// Submits pure Gaussian noise `N(0, std²·I)` — an *erroneous* rather than
+/// malicious gradient (e.g. a corrupted worker).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomNoise {
+    /// Per-coordinate standard deviation.
+    pub std: f64,
+}
+
+impl RandomNoise {
+    /// Creates the attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative.
+    pub fn new(std: f64) -> Self {
+        assert!(std >= 0.0, "std must be non-negative");
+        RandomNoise { std }
+    }
+}
+
+impl Attack for RandomNoise {
+    fn name(&self) -> &'static str {
+        "random-noise"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, rng: &mut Prng) -> Vector {
+        let dim = ctx
+            .observed()
+            .first()
+            .map_or(0, Vector::dim);
+        rng.normal_vector(dim, self.std)
+    }
+}
+
+/// Submits the zero vector (a silently failing worker; the paper's server
+/// also substitutes 0 for non-received gradients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Zero;
+
+impl Attack for Zero {
+    fn name(&self) -> &'static str {
+        "zero"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        Vector::zeros(ctx.observed().first().map_or(0, Vector::dim))
+    }
+}
+
+/// Mimic: every Byzantine worker replays the submission of one fixed
+/// honest worker (Karimireddy et al. 2022). Statistically legal — the
+/// forged gradient *is* an honest gradient — but it collapses the
+/// diversity of the submitted set, over-weighting one worker's data and
+/// starving the rest. Robust rules cannot reject it (it sits inside the
+/// honest cluster by construction); the damage shows up as bias on
+/// heterogeneous data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mimic {
+    /// Index (into the visible honest gradients) of the worker to copy.
+    pub target: usize,
+}
+
+impl Mimic {
+    /// Creates the attack copying the honest worker at `target`.
+    pub fn new(target: usize) -> Self {
+        Mimic { target }
+    }
+}
+
+impl Attack for Mimic {
+    fn name(&self) -> &'static str {
+        "mimic"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        let obs = ctx.observed();
+        assert!(!obs.is_empty(), "mimic requires visible honest gradients");
+        obs[self.target % obs.len()].clone()
+    }
+}
+
+/// Submits the honest mean blown up by a large factor — the naive attack
+/// every robust GAR defeats trivially (a sanity baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LargeNorm {
+    /// Multiplier applied to the honest mean.
+    pub scale: f64,
+}
+
+impl LargeNorm {
+    /// Creates the attack.
+    pub fn new(scale: f64) -> Self {
+        LargeNorm { scale }
+    }
+}
+
+impl Default for LargeNorm {
+    fn default() -> Self {
+        LargeNorm { scale: 1e6 }
+    }
+}
+
+impl Attack for LargeNorm {
+    fn name(&self) -> &'static str {
+        "large-norm"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        ctx.honest_mean().scaled(self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest() -> Vec<Vector> {
+        vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![2.0, 0.0]),
+            Vector::from(vec![3.0, 0.0]),
+        ]
+    }
+
+    #[test]
+    fn context_mean_and_std() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 7);
+        assert_eq!(ctx.honest_mean().as_slice(), &[2.0, 0.0]);
+        assert_eq!(ctx.honest_std().as_slice(), &[1.0, 0.0]);
+        assert_eq!(ctx.step, 7);
+    }
+
+    #[test]
+    fn context_single_gradient_std_is_zero() {
+        let h = vec![Vector::from(vec![5.0])];
+        let ctx = AttackContext::new(&h, 0);
+        assert_eq!(ctx.honest_std().as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn pre_noise_overrides_observed() {
+        let noisy = vec![Vector::from(vec![100.0])];
+        let clean = vec![Vector::from(vec![1.0])];
+        let mut ctx = AttackContext::new(&noisy, 0);
+        assert_eq!(ctx.honest_mean()[0], 100.0);
+        ctx.pre_noise_gradients = Some(&clean);
+        assert_eq!(ctx.honest_mean()[0], 1.0);
+    }
+
+    #[test]
+    fn alie_shifts_mean_by_nu_std() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = LittleIsEnough::default().forge(&ctx, &mut rng);
+        // mean − 1.5·std = [2 − 1.5, 0] = [0.5, 0].
+        assert!(forged.approx_eq(&Vector::from(vec![0.5, 0.0]), 1e-12));
+        assert_eq!(LittleIsEnough::default().nu, 1.5);
+    }
+
+    #[test]
+    fn alie_hides_within_variance() {
+        // The forged gradient stays within ~2σ of the honest mean — the
+        // point of the attack is to be indistinguishable from an honest
+        // straggler.
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = LittleIsEnough::default().forge(&ctx, &mut rng);
+        let dist = forged.l2_distance(&ctx.honest_mean());
+        let spread = ctx.honest_std().l2_norm();
+        assert!(dist <= 2.0 * spread);
+    }
+
+    #[test]
+    fn foe_scales_mean_negative() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = FallOfEmpires::default().forge(&ctx, &mut rng);
+        // (1 − 1.1)·[2, 0] = [−0.2, 0].
+        assert!(forged.approx_eq(&Vector::from(vec![-0.2, 0.0]), 1e-12));
+    }
+
+    #[test]
+    fn foe_nu_one_submits_zero() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = FallOfEmpires::new(1.0).forge(&ctx, &mut rng);
+        assert_eq!(forged.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sign_flip_negates() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = SignFlip.forge(&ctx, &mut rng);
+        assert_eq!(forged.as_slice(), &[-2.0, 0.0]);
+    }
+
+    #[test]
+    fn random_noise_has_right_shape_and_seeding() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let a = RandomNoise::new(1.0).forge(&ctx, &mut Prng::seed_from_u64(1));
+        let b = RandomNoise::new(1.0).forge(&ctx, &mut Prng::seed_from_u64(1));
+        assert_eq!(a, b);
+        assert_eq!(a.dim(), 2);
+    }
+
+    #[test]
+    fn zero_and_large_norm() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        assert_eq!(Zero.forge(&ctx, &mut rng).as_slice(), &[0.0, 0.0]);
+        let big = LargeNorm::default().forge(&ctx, &mut rng);
+        assert!(big.l2_norm() > 1e5);
+    }
+
+    #[test]
+    fn mimic_replays_target_worker() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        assert_eq!(Mimic::new(1).forge(&ctx, &mut rng), h[1]);
+        // Out-of-range targets wrap.
+        assert_eq!(Mimic::new(4).forge(&ctx, &mut rng), h[1]);
+    }
+
+    #[test]
+    fn mimic_is_inside_honest_hull() {
+        // The defining property: the forged gradient IS an honest one, so
+        // no filter keyed on outlyingness can reject it.
+        let h = honest();
+        let ctx = AttackContext::new(&h, 3);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = Mimic::default().forge(&ctx, &mut rng);
+        assert!(h.contains(&forged));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(LittleIsEnough::default()),
+            Box::new(FallOfEmpires::default()),
+            Box::new(SignFlip),
+            Box::new(RandomNoise::new(1.0)),
+            Box::new(Zero),
+            Box::new(LargeNorm::default()),
+            Box::new(Mimic::default()),
+        ];
+        let mut names: Vec<&str> = attacks.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,50 @@
+//! Noise-injection throughput: Gaussian vs Laplace across model sizes,
+//! plus gradient clipping and privacy accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbyz_dp::accountant::RdpAccountant;
+use dpbyz_dp::{GaussianMechanism, LaplaceMechanism, Mechanism, PrivacyBudget};
+use dpbyz_tensor::{Prng, Vector};
+use std::hint::black_box;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let budget = PrivacyBudget::new(0.2, 1e-6).unwrap();
+    for dim in [69usize, 10_000, 100_000] {
+        let mut group = c.benchmark_group(format!("noise_injection_d{dim}"));
+        let gradient = Vector::filled(dim, 0.001);
+        let gaussian = GaussianMechanism::for_clipped_gradients(budget, 0.01, 50).unwrap();
+        let laplace = LaplaceMechanism::for_clipped_gradients(0.2, 0.01, 50, dim).unwrap();
+        group.bench_function("gaussian", |b| {
+            let mut rng = Prng::seed_from_u64(1);
+            b.iter(|| gaussian.perturb(black_box(&gradient), &mut rng))
+        });
+        group.bench_function("laplace", |b| {
+            let mut rng = Prng::seed_from_u64(1);
+            b.iter(|| laplace.perturb(black_box(&gradient), &mut rng))
+        });
+        group.finish();
+    }
+}
+
+fn bench_clipping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_clipping");
+    for dim in [69usize, 100_000] {
+        let mut rng = Prng::seed_from_u64(2);
+        let g = rng.normal_vector(dim, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &g, |b, g| {
+            b.iter(|| black_box(g).clipped_l2(0.01))
+        });
+    }
+    group.finish();
+}
+
+fn bench_accounting(c: &mut Criterion) {
+    c.bench_function("rdp_epsilon_conversion", |b| {
+        let mut acc = RdpAccountant::new(2.0).unwrap();
+        acc.step_many(1000);
+        b.iter(|| black_box(&acc).epsilon(1e-6))
+    });
+}
+
+criterion_group!(benches, bench_mechanisms, bench_clipping, bench_accounting);
+criterion_main!(benches);

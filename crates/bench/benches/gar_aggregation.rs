@@ -1,0 +1,63 @@
+//! Aggregation-rule throughput: every GAR across worker counts and model
+//! sizes. MDA's exact subset search is the expensive one — this bench
+//! documents where the greedy fallback takes over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbyz_gars::{all_gars, Gar, Mda};
+use dpbyz_tensor::{Prng, Vector};
+use std::hint::black_box;
+
+fn gradients(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = Prng::seed_from_u64(seed);
+    (0..n).map(|_| rng.normal_vector(dim, 1.0)).collect()
+}
+
+fn bench_all_gars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gar_aggregation_n11_d69");
+    let grads = gradients(11, 69, 1);
+    for gar in all_gars() {
+        let f = match gar.name() {
+            "average" => 0,
+            "krum" | "multi-krum" => 4,
+            "bulyan" => 2,
+            _ => 5,
+        };
+        group.bench_function(gar.name(), |b| {
+            b.iter(|| gar.aggregate(black_box(&grads), f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimension_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mda_dimension_scaling");
+    for dim in [69usize, 1_000, 10_000] {
+        let grads = gradients(11, dim, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &grads, |b, g| {
+            b.iter(|| Mda::new().aggregate(black_box(g), 5).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mda_worker_scaling");
+    // n = 11 uses exact enumeration; n = 41 falls back to the greedy
+    // 2-approximation (C(41,21) is astronomical).
+    for n in [11usize, 21, 41] {
+        let f = (n - 1) / 2;
+        let grads = gradients(n, 69, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &grads, |b, g| {
+            b.iter(|| Mda::new().aggregate(black_box(g), f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_gars,
+    bench_dimension_scaling,
+    bench_worker_scaling
+);
+criterion_main!(benches);

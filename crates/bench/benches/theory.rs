@@ -1,0 +1,34 @@
+//! Theory-calculator throughput: Table 1 condition evaluation and the VN
+//! estimators — these run inside sweep loops, so they should be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpbyz_core::theory::{table1, vn};
+use dpbyz_dp::PrivacyBudget;
+use dpbyz_gars::vn as gars_vn;
+use dpbyz_tensor::{Prng, Vector};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let budget = PrivacyBudget::new(0.2, 1e-6).unwrap();
+    c.bench_function("table1_full_table", |b| {
+        b.iter(|| table1::table(black_box(11), 5, 25_600_000, 50, budget))
+    });
+}
+
+fn bench_vn_theory(c: &mut Criterion) {
+    let budget = PrivacyBudget::new(0.2, 1e-6).unwrap();
+    c.bench_function("eq8_noisy_vn_ratio", |b| {
+        b.iter(|| vn::noisy_vn_ratio(black_box(0.01), 0.01, budget, 0.01, 50, 69))
+    });
+}
+
+fn bench_vn_empirical(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(1);
+    let grads: Vec<Vector> = (0..11).map(|_| rng.normal_vector(69, 0.1)).collect();
+    c.bench_function("empirical_vn_estimate_n11_d69", |b| {
+        b.iter(|| gars_vn::estimate(black_box(&grads)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_vn_theory, bench_vn_empirical);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end distributed-step throughput: the paper's Fig. 2 protocol
+//! (n = 11, d = 69, MDA + ALIE) per configuration, and the batch-size
+//! extremes of Figs. 3 and 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbyz_core::pipeline::{Experiment, FigureConfig};
+use dpbyz_core::AttackKind;
+use std::hint::black_box;
+
+fn run_steps(batch: usize, eps: Option<f64>, attack: Option<AttackKind>, steps: u32) {
+    let exp = Experiment::paper_figure(FigureConfig {
+        batch_size: batch,
+        epsilon: eps,
+        attack,
+        steps,
+        dataset_size: 1200,
+        ..FigureConfig::default()
+    })
+    .unwrap();
+    black_box(exp.run(1).unwrap());
+}
+
+fn bench_configurations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_20steps_b50");
+    group.sample_size(10);
+    group.bench_function("clean", |b| b.iter(|| run_steps(50, None, None, 20)));
+    group.bench_function("dp", |b| b.iter(|| run_steps(50, Some(0.2), None, 20)));
+    group.bench_function("mda_alie", |b| {
+        b.iter(|| run_steps(50, None, Some(AttackKind::PAPER_ALIE), 20))
+    });
+    group.bench_function("dp_mda_alie", |b| {
+        b.iter(|| run_steps(50, Some(0.2), Some(AttackKind::PAPER_ALIE), 20))
+    });
+    group.finish();
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_20steps_batch_scaling");
+    group.sample_size(10);
+    for batch in [10usize, 50, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| run_steps(batch, Some(0.2), Some(AttackKind::PAPER_ALIE), 20))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configurations, bench_batch_sizes);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! The paper's §7 future-work directions, measured.
+//!
+//! 1. **Exponential gradient averaging** (server-side EMA) under DP+ALIE —
+//!    does variance reduction claw back any of the lost robustness?
+//! 2. **Dynamic sampling** (growing batches) under DP+ALIE.
+//! 3. **Shuffle amplification** \[44\]: how much local noise a shuffler
+//!    would save at realistic population sizes.
+//!
+//! Usage: cargo run --release -p dpbyz-bench --bin futurework [-- --quick]
+
+use dpbyz_bench::{arg_present, write_csv};
+use dpbyz_core::pipeline::{Experiment, FigureConfig};
+use dpbyz_core::report::csv;
+use dpbyz_core::AttackKind;
+use dpbyz_dp::amplification;
+
+fn dp_alie(batch: usize, steps: u32, size: usize) -> Experiment {
+    Experiment::paper_figure(FigureConfig {
+        batch_size: batch,
+        epsilon: Some(0.2),
+        attack: Some(AttackKind::PAPER_ALIE),
+        steps,
+        dataset_size: size,
+        ..FigureConfig::default()
+    })
+    .expect("valid spec")
+}
+
+fn mean_tail_and_acc(exp: &Experiment, seeds: &[u64]) -> (f64, f64) {
+    let hs = exp.run_seeds(seeds).expect("runs");
+    let k = (hs[0].train_loss.len() / 20).max(1);
+    let loss = hs.iter().map(|h| h.tail_loss(k)).sum::<f64>() / hs.len() as f64;
+    let acc = hs
+        .iter()
+        .map(|h| h.final_accuracy().unwrap_or(f64::NAN))
+        .sum::<f64>()
+        / hs.len() as f64;
+    (loss, acc)
+}
+
+fn main() {
+    let quick = arg_present("--quick");
+    let (steps, size, seeds): (u32, usize, Vec<u64>) = if quick {
+        (120, 2000, vec![1, 2])
+    } else {
+        (500, 8000, vec![1, 2, 3])
+    };
+
+    // Deep in the infeasible region (b = 50, ε = 0.2) every variant
+    // saturates at the same collapsed fixed point — itself a finding
+    // (variance reduction cannot rescue a dead certificate). The boundary
+    // configuration (ε = 0.4, b = 150, where the sweep shows partial
+    // protection) is where the extensions can move the needle.
+    println!("=== §7 extension 1: gradient EMA under DP + ALIE");
+    let mut rows = Vec::new();
+    for (regime, batch, eps) in [("collapsed (ε=0.2, b=50)", 50, 0.2), ("boundary (ε=0.4, b=150)", 150, 0.4)] {
+        let mut base = dp_alie(batch, steps, size);
+        base.budget = Some(dpbyz_dp::PrivacyBudget::new(eps, 1e-6).expect("valid"));
+        let (l0, a0) = mean_tail_and_acc(&base, &seeds);
+        println!("  {regime:<26} no EMA   : loss {l0:.5}, acc {:.1}%", a0 * 100.0);
+        rows.push(vec![regime.into(), "none".into(), format!("{l0:.5}"), format!("{a0:.4}")]);
+        for beta in [0.9, 0.99] {
+            let mut exp = base.clone();
+            exp.config.gradient_ema = Some(beta);
+            let (loss, acc) = mean_tail_and_acc(&exp, &seeds);
+            println!("  {regime:<26} EMA β={beta:<5}: loss {loss:.5}, acc {:.1}%", acc * 100.0);
+            rows.push(vec![regime.into(), format!("{beta}"), format!("{loss:.5}"), format!("{acc:.4}")]);
+        }
+    }
+    write_csv("futurework_ema.csv", &csv(&["regime", "ema_beta", "tail_loss", "accuracy"], &rows));
+
+    println!("\n=== §7 extension 2: dynamic batch growth under DP(ε=0.4) + ALIE");
+    let mut rows = Vec::new();
+    for (label, growth) in [
+        ("constant b=50", None),
+        ("b=50 ×1.01/step, cap 500", Some((1.01, 500))),
+        ("b=50 ×1.02/step, cap 500", Some((1.02, 500))),
+    ] {
+        let mut exp = dp_alie(50, steps, size);
+        exp.budget = Some(dpbyz_dp::PrivacyBudget::new(0.4, 1e-6).expect("valid"));
+        if let Some((factor, max)) = growth {
+            exp.config.batch_growth = Some(dpbyz_server::BatchGrowth { factor, max });
+        }
+        let (loss, acc) = mean_tail_and_acc(&exp, &seeds);
+        println!("  {label:<26}: tail loss {loss:.5}, acc {:.1}%", acc * 100.0);
+        rows.push(vec![label.into(), format!("{loss:.5}")]);
+    }
+    write_csv("futurework_batchgrowth.csv", &csv(&["schedule", "tail_loss"], &rows));
+    println!("  note: growth only shrinks σ_G (noise stays calibrated to b₁ —");
+    println!("  conservative DP); recalibrating per step would also shrink d·s².");
+
+    println!("\n=== §7 extension 3: shuffle amplification [44] — local ε₀ budget per");
+    println!("    worker to hit a central (ε, δ = 1e-6) target:");
+    let mut rows = Vec::new();
+    for eps_central in [0.01f64, 0.05, 0.2] {
+        for n in [20_000usize, 100_000, 1_000_000] {
+            match amplification::local_epsilon_budget(eps_central, n, 1e-6) {
+                Ok(local) => {
+                    let factor = local / eps_central;
+                    let capped = if local >= 0.5 { " (theorem cap)" } else { "" };
+                    println!(
+                        "  central ε = {eps_central:<5} n = {n:>8}: ε₀ ≤ {local:.3}  (noise ÷{factor:.1}){capped}"
+                    );
+                    rows.push(vec![
+                        eps_central.to_string(),
+                        n.to_string(),
+                        format!("{local:.4}"),
+                        format!("{factor:.2}"),
+                    ]);
+                }
+                Err(e) => println!("  central ε = {eps_central:<5} n = {n:>8}: inapplicable ({e})"),
+            }
+        }
+    }
+    write_csv(
+        "futurework_shuffle.csv",
+        &csv(&["central_epsilon", "n", "local_epsilon", "noise_reduction"], &rows),
+    );
+    println!("\n  reading: an anonymizing shuffler relaxes each worker's noise by");
+    println!("  ~√n — directly attacking the d·s² term of Eq. 8, as §7 anticipates.");
+}

@@ -1,0 +1,110 @@
+//! The "full version" hyper-parameter sweep plus the DESIGN.md ablations.
+//!
+//! 1. ε × b grid: tail loss of the DP+ALIE configuration — the graceful
+//!    accuracy/privacy trade-off (§5.2's second takeaway).
+//! 2. Ablation A — attack visibility: colluders observing submitted
+//!    (noisy) vs pre-noise honest gradients.
+//! 3. Ablation B — momentum placement: server-side vs worker-side.
+//! 4. Ablation C — noise mechanism: Gaussian vs Laplace (Remark 3: the
+//!    antagonism is mechanism-independent).
+//!
+//! Usage: cargo run --release -p dpbyz-bench --bin sweep [-- --quick]
+
+use dpbyz_bench::{arg_present, write_csv};
+use dpbyz_core::pipeline::{Experiment, FigureConfig};
+use dpbyz_core::report::csv;
+use dpbyz_core::{AttackKind, MechanismKind};
+use dpbyz_server::{AttackVisibility, MomentumMode};
+
+fn tail_loss(exp: &Experiment, seeds: &[u64]) -> f64 {
+    let hs = exp.run_seeds(seeds).expect("sweep cell runs");
+    let k = (hs[0].train_loss.len() / 20).max(1);
+    hs.iter().map(|h| h.tail_loss(k)).sum::<f64>() / hs.len() as f64
+}
+
+fn base(batch: usize, eps: Option<f64>, steps: u32, size: usize) -> Experiment {
+    Experiment::paper_figure(FigureConfig {
+        batch_size: batch,
+        epsilon: eps,
+        attack: Some(AttackKind::PAPER_ALIE),
+        steps,
+        dataset_size: size,
+        ..FigureConfig::default()
+    })
+    .expect("valid spec")
+}
+
+fn main() {
+    let quick = arg_present("--quick");
+    let (steps, size, seeds): (u32, usize, Vec<u64>) = if quick {
+        (120, 2000, vec![1, 2])
+    } else {
+        (500, 8000, vec![1, 2, 3])
+    };
+
+    // 1. ε × b grid under ALIE + MDA.
+    let epsilons = [0.05f64, 0.1, 0.2, 0.4, 0.8];
+    let batches = [10usize, 25, 50, 150, 500];
+    println!("=== ε × b sweep: tail training loss of DP+ALIE with MDA (lower = better)");
+    print!("{:>8}", "ε \\ b");
+    for b in batches {
+        print!(" {b:>9}");
+    }
+    println!();
+    let mut rows = Vec::new();
+    for &e in &epsilons {
+        print!("{e:>8.2}");
+        let mut row = vec![format!("{e}")];
+        for &b in &batches {
+            let loss = tail_loss(&base(b, Some(e), steps, size), &seeds);
+            print!(" {loss:>9.4}");
+            row.push(format!("{loss:.5}"));
+        }
+        println!();
+        rows.push(row);
+    }
+    let mut header = vec!["epsilon".to_string()];
+    header.extend(batches.iter().map(|b| format!("b{b}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    write_csv("sweep_eps_batch.csv", &csv(&header_refs, &rows));
+    println!("  expected shape: losses fall monotonically toward the bottom-right");
+    println!("  (larger ε, larger b) — a graceful trade-off, not a cliff.\n");
+
+    // 2. Attack visibility ablation.
+    println!("=== ablation A: attacker sees submitted (noisy) vs pre-noise gradients");
+    let mut rows = Vec::new();
+    for vis in [AttackVisibility::Submitted, AttackVisibility::PreNoise] {
+        let mut exp = base(50, Some(0.2), steps, size);
+        exp.config.attack_visibility = vis;
+        let loss = tail_loss(&exp, &seeds);
+        println!("  {vis:?}: tail loss {loss:.5}");
+        rows.push(vec![format!("{vis:?}"), format!("{loss:.5}")]);
+    }
+    write_csv("ablation_visibility.csv", &csv(&["visibility", "tail_loss"], &rows));
+
+    // 3. Momentum placement ablation.
+    println!("\n=== ablation B: momentum at the server vs at the workers");
+    let mut rows = Vec::new();
+    for mode in [MomentumMode::Server, MomentumMode::Worker] {
+        let mut exp = base(50, None, steps, size);
+        exp.config.momentum_mode = mode;
+        let loss = tail_loss(&exp, &seeds);
+        println!("  {mode:?}: tail loss {loss:.5} (no DP, ALIE)");
+        rows.push(vec![format!("{mode:?}"), format!("{loss:.5}")]);
+    }
+    write_csv("ablation_momentum.csv", &csv(&["momentum_mode", "tail_loss"], &rows));
+
+    // 4. Mechanism ablation: Remark 3.
+    println!("\n=== ablation C: Gaussian vs Laplace noise (Remark 3)");
+    let mut rows = Vec::new();
+    for mech in [MechanismKind::Gaussian, MechanismKind::Laplace] {
+        let mut exp = base(50, Some(0.2), steps, size);
+        exp.mechanism = mech;
+        let loss = tail_loss(&exp, &seeds);
+        println!("  {mech:?}: tail loss {loss:.5}");
+        rows.push(vec![format!("{mech:?}"), format!("{loss:.5}")]);
+    }
+    write_csv("ablation_mechanism.csv", &csv(&["mechanism", "tail_loss"], &rows));
+    println!("  expected shape: Laplace is at least as bad as Gaussian (its L1");
+    println!("  calibration carries an extra √d), confirming the mechanism-agnostic claim.");
+}

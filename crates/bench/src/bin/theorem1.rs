@@ -1,0 +1,130 @@
+//! Validates Theorem 1's error rate Θ(d·log(1/δ)/(T·b²·ε²)) empirically:
+//! one sweep per variable (d, b, ε, T), fitting the log-log slope of
+//! measured suboptimality against each.
+//!
+//! Expected slopes: +1 in d, −2 in b, −2 in ε, −1 in T (and ≈ 0 in d for
+//! the no-DP control).
+//!
+//! Usage: cargo run --release -p dpbyz-bench --bin theorem1 [-- --quick]
+
+use dpbyz_bench::{arg_present, write_csv};
+use dpbyz_core::pipeline::Experiment;
+use dpbyz_core::report::csv;
+use dpbyz_core::theory::convergence;
+use dpbyz_dp::PrivacyBudget;
+
+/// Measured suboptimality E[Q(w_{T+1})] − Q* averaged over seeds.
+fn measure(
+    dim: usize,
+    budget: Option<PrivacyBudget>,
+    steps: u32,
+    b: usize,
+    seeds: &[u64],
+) -> f64 {
+    let exp = Experiment::theorem1(dim, 1.0, budget, steps, b, 1).expect("valid spec");
+    let dist = exp.mean_estimation_instance().expect("mean estimation");
+    let mut total = 0.0;
+    for &s in seeds {
+        let h = exp.run(s).expect("run succeeds");
+        total += 0.5 * h.final_params.l2_distance_squared(dist.true_mean());
+    }
+    total / seeds.len() as f64
+}
+
+/// Least-squares slope of log(y) against log(x).
+fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+fn main() {
+    let quick = arg_present("--quick");
+    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let budget = PrivacyBudget::new(0.2, 1e-6).expect("paper budget");
+
+    println!("=== Theorem 1 scaling sweeps (mean estimation, σ² = 1, γ_t = 1/t, n = 1)");
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+
+    // Sweep d.
+    let dims = [8usize, 32, 128, 512];
+    let mut pts = Vec::new();
+    println!("\n-- dimension sweep (T = 400, b = 10, ε = 0.2) — paper: error ∝ d");
+    for &d in &dims {
+        let err = measure(d, Some(budget), 400, 10, &seeds);
+        let lo = convergence::lower_bound(1.0, 2.0, 400, 10, d, Some(budget));
+        println!("  d = {d:>4}: measured {err:>12.4}, thm lower {lo:>12.4}");
+        pts.push((d as f64, err));
+        all_rows.push(vec!["d".into(), d.to_string(), format!("{err:.6}"), format!("{lo:.6}")]);
+    }
+    let slope_d = loglog_slope(&pts);
+    println!("  log-log slope in d: {slope_d:.2}   (paper: +1)");
+
+    // No-DP control: flat in d.
+    let mut pts0 = Vec::new();
+    println!("\n-- no-DP control (same sweep) — paper: O(1/T), dimension-free");
+    for &d in &dims {
+        let err = measure(d, None, 400, 10, &seeds);
+        println!("  d = {d:>4}: measured {err:>12.6}");
+        pts0.push((d as f64, err.max(1e-12)));
+        all_rows.push(vec!["d_nodp".into(), d.to_string(), format!("{err:.8}"), String::new()]);
+    }
+    let slope_d0 = loglog_slope(&pts0);
+    println!("  log-log slope in d: {slope_d0:.2}   (paper: ~0)");
+
+    // Sweep b.
+    let batches = [5usize, 10, 20, 40];
+    let mut ptsb = Vec::new();
+    println!("\n-- batch-size sweep (d = 64, T = 400, ε = 0.2) — paper: error ∝ 1/b²");
+    for &b in &batches {
+        let err = measure(64, Some(budget), 400, b, &seeds);
+        println!("  b = {b:>3}: measured {err:>12.4}");
+        ptsb.push((b as f64, err));
+        all_rows.push(vec!["b".into(), b.to_string(), format!("{err:.6}"), String::new()]);
+    }
+    let slope_b = loglog_slope(&ptsb);
+    println!("  log-log slope in b: {slope_b:.2}   (paper: -2)");
+
+    // Sweep ε.
+    let epsilons = [0.05f64, 0.1, 0.2, 0.4];
+    let mut ptse = Vec::new();
+    println!("\n-- ε sweep (d = 64, T = 400, b = 10) — paper: error ∝ 1/ε²");
+    for &e in &epsilons {
+        let bud = PrivacyBudget::new(e, 1e-6).expect("valid");
+        let err = measure(64, Some(bud), 400, 10, &seeds);
+        println!("  ε = {e:>5.2}: measured {err:>12.4}");
+        ptse.push((e, err));
+        all_rows.push(vec!["eps".into(), e.to_string(), format!("{err:.6}"), String::new()]);
+    }
+    let slope_e = loglog_slope(&ptse);
+    println!("  log-log slope in ε: {slope_e:.2}   (paper: -2)");
+
+    // Sweep T.
+    let horizons = [100u32, 200, 400, 800];
+    let mut ptst = Vec::new();
+    println!("\n-- horizon sweep (d = 64, b = 10, ε = 0.2) — paper: error ∝ 1/T");
+    for &t in &horizons {
+        let err = measure(64, Some(budget), t, 10, &seeds);
+        println!("  T = {t:>4}: measured {err:>12.4}");
+        ptst.push((t as f64, err));
+        all_rows.push(vec!["T".into(), t.to_string(), format!("{err:.6}"), String::new()]);
+    }
+    let slope_t = loglog_slope(&ptst);
+    println!("  log-log slope in T: {slope_t:.2}   (paper: -1)");
+
+    write_csv(
+        "theorem1_sweeps.csv",
+        &csv(&["sweep", "value", "measured", "thm_lower"], &all_rows),
+    );
+
+    println!("\n=== summary of fitted slopes (paper's Θ(d·log(1/δ)/(T·b²·ε²))):");
+    println!("  d: {slope_d:+.2} (expect +1)   no-DP d: {slope_d0:+.2} (expect 0)");
+    println!("  b: {slope_b:+.2} (expect -2)   ε: {slope_e:+.2} (expect -2)   T: {slope_t:+.2} (expect -1)");
+}

@@ -1,0 +1,189 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! The binaries in `src/bin/` regenerate the paper's evaluation artefacts:
+//!
+//! * `figures` — Figs. 2, 3, 4 (loss/accuracy under the 2×2 DP×attack grid
+//!   at b = 10/50/500);
+//! * `table1` — the per-GAR necessary conditions plus empirical VN-ratio
+//!   confirmation;
+//! * `theorem1` — the Θ(d·log(1/δ)/(T·b²·ε²)) error-rate scaling sweeps;
+//! * `sweep` — the "full version" hyper-parameter sweep and the ablations
+//!   called out in DESIGN.md (attack visibility, momentum placement,
+//!   Laplace vs Gaussian noise).
+//!
+//! Results are written as CSV under `results/` and summarized on stdout
+//! with ASCII plots.
+
+use dpbyz_core::pipeline::{Experiment, FigureConfig, PipelineError};
+use dpbyz_core::AttackKind;
+use dpbyz_server::{RunHistory, SeedSummary};
+use std::path::{Path, PathBuf};
+
+/// One cell of a figure's configuration grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Short label, e.g. `"dp+alie"`.
+    pub label: &'static str,
+    /// Privacy ε (`None` = no DP).
+    pub epsilon: Option<f64>,
+    /// Attack (`None` = unattacked, averaging over 11 honest workers).
+    pub attack: Option<AttackKind>,
+}
+
+/// The paper's 2 (DP) × 3 (attack) grid: the six curves behind each figure.
+pub const FIGURE_CELLS: [Cell; 6] = [
+    Cell {
+        label: "clean",
+        epsilon: None,
+        attack: None,
+    },
+    Cell {
+        label: "alie",
+        epsilon: None,
+        attack: Some(AttackKind::PAPER_ALIE),
+    },
+    Cell {
+        label: "foe",
+        epsilon: None,
+        attack: Some(AttackKind::PAPER_FOE),
+    },
+    Cell {
+        label: "dp",
+        epsilon: Some(0.2),
+        attack: None,
+    },
+    Cell {
+        label: "dp+alie",
+        epsilon: Some(0.2),
+        attack: Some(AttackKind::PAPER_ALIE),
+    },
+    Cell {
+        label: "dp+foe",
+        epsilon: Some(0.2),
+        attack: Some(AttackKind::PAPER_FOE),
+    },
+];
+
+/// Aggregated outcome of one cell across seeds.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell.
+    pub cell: Cell,
+    /// Per-seed histories.
+    pub histories: Vec<RunHistory>,
+}
+
+impl CellResult {
+    /// Mean ± std of the tail training loss (last 5% of steps).
+    pub fn tail_loss(&self) -> SeedSummary {
+        let k = (self.histories[0].train_loss.len() / 20).max(1);
+        SeedSummary::from_metric(&self.histories, |h| h.tail_loss(k))
+    }
+
+    /// Mean ± std of the minimum training loss.
+    pub fn min_loss(&self) -> SeedSummary {
+        SeedSummary::from_metric(&self.histories, |h| h.min_loss())
+    }
+
+    /// Mean ± std of the final test accuracy (NaN if never evaluated).
+    pub fn final_accuracy(&self) -> SeedSummary {
+        SeedSummary::from_metric(&self.histories, |h| {
+            h.final_accuracy().unwrap_or(f64::NAN)
+        })
+    }
+
+    /// Mean loss curve across seeds.
+    pub fn mean_loss_curve(&self) -> Vec<f64> {
+        SeedSummary::loss_curve(&self.histories)
+            .into_iter()
+            .map(|s| s.mean)
+            .collect()
+    }
+
+    /// Mean VN ratio of submitted gradients across seeds and steps.
+    pub fn mean_vn_submitted(&self) -> f64 {
+        let sum: f64 = self.histories.iter().map(|h| h.mean_vn_submitted()).sum();
+        sum / self.histories.len() as f64
+    }
+}
+
+/// Runs one cell at a given batch size across seeds.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the pipeline.
+pub fn run_cell(
+    cell: Cell,
+    batch_size: usize,
+    steps: u32,
+    dataset_size: usize,
+    seeds: &[u64],
+) -> Result<CellResult, PipelineError> {
+    let exp = Experiment::paper_figure(FigureConfig {
+        batch_size,
+        epsilon: cell.epsilon,
+        attack: cell.attack,
+        steps,
+        dataset_size,
+        ..FigureConfig::default()
+    })?;
+    Ok(CellResult {
+        cell,
+        histories: exp.run_seeds(seeds)?,
+    })
+}
+
+/// Directory experiment CSVs are written to (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file into [`results_dir`] and reports the path on stdout.
+pub fn write_csv(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write results csv");
+    println!("  wrote {}", path.display());
+}
+
+/// Parses `--flag value`-style arguments very simply.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_cells_cover_grid() {
+        assert_eq!(FIGURE_CELLS.len(), 6);
+        let dp_count = FIGURE_CELLS.iter().filter(|c| c.epsilon.is_some()).count();
+        assert_eq!(dp_count, 3);
+        let attacked = FIGURE_CELLS.iter().filter(|c| c.attack.is_some()).count();
+        assert_eq!(attacked, 4);
+    }
+
+    #[test]
+    fn run_cell_produces_summaries() {
+        let res = run_cell(FIGURE_CELLS[0], 10, 8, 200, &[1, 2]).unwrap();
+        assert_eq!(res.histories.len(), 2);
+        let tail = res.tail_loss();
+        assert_eq!(tail.runs, 2);
+        assert!(tail.mean.is_finite());
+        assert_eq!(res.mean_loss_curve().len(), 8);
+        assert!(res.min_loss().mean <= tail.mean + 1e-9);
+    }
+}

@@ -1,0 +1,264 @@
+//! Serializable identifiers for GARs, attacks, and mechanisms — the
+//! vocabulary experiment specs are written in.
+
+use dpbyz_attacks::{
+    Attack, FallOfEmpires, LargeNorm, LittleIsEnough, Mimic, RandomNoise, SignFlip, Zero,
+};
+use dpbyz_dp::{DpError, GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise, PrivacyBudget};
+use dpbyz_gars::{
+    Average, Bulyan, CoordinateMedian, Gar, GeometricMedian, Krum, Mda, Meamed, MultiKrum,
+    Phocas, TrimmedMean,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which aggregation rule the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum GarKind {
+    Average,
+    Krum,
+    MultiKrum,
+    Mda,
+    Median,
+    TrimmedMean,
+    Meamed,
+    Phocas,
+    Bulyan,
+    GeometricMedian,
+}
+
+impl GarKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [GarKind; 10] = [
+        GarKind::Average,
+        GarKind::Krum,
+        GarKind::MultiKrum,
+        GarKind::Mda,
+        GarKind::Median,
+        GarKind::TrimmedMean,
+        GarKind::Meamed,
+        GarKind::Phocas,
+        GarKind::Bulyan,
+        GarKind::GeometricMedian,
+    ];
+
+    /// The seven *robust* rules analyzed in Table 1 (everything except
+    /// plain averaging; Multi-Krum shares Krum's bound).
+    pub const ROBUST: [GarKind; 7] = [
+        GarKind::Krum,
+        GarKind::Mda,
+        GarKind::Median,
+        GarKind::TrimmedMean,
+        GarKind::Meamed,
+        GarKind::Phocas,
+        GarKind::Bulyan,
+    ];
+
+    /// Instantiates the rule.
+    pub fn build(self) -> Arc<dyn Gar> {
+        match self {
+            GarKind::Average => Arc::new(Average::new()),
+            GarKind::Krum => Arc::new(Krum::new()),
+            GarKind::MultiKrum => Arc::new(MultiKrum::new()),
+            GarKind::Mda => Arc::new(Mda::new()),
+            GarKind::Median => Arc::new(CoordinateMedian::new()),
+            GarKind::TrimmedMean => Arc::new(TrimmedMean::new()),
+            GarKind::Meamed => Arc::new(Meamed::new()),
+            GarKind::Phocas => Arc::new(Phocas::new()),
+            GarKind::Bulyan => Arc::new(Bulyan::new()),
+            GarKind::GeometricMedian => Arc::new(GeometricMedian::new()),
+        }
+    }
+
+    /// The rule's VN bound `κ_F(n, f)` (see [`Gar::kappa`]).
+    pub fn kappa(self, n: usize, f: usize) -> Option<f64> {
+        self.build().kappa(n, f)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GarKind::Average => "average",
+            GarKind::Krum => "krum",
+            GarKind::MultiKrum => "multi-krum",
+            GarKind::Mda => "mda",
+            GarKind::Median => "median",
+            GarKind::TrimmedMean => "trimmed-mean",
+            GarKind::Meamed => "meamed",
+            GarKind::Phocas => "phocas",
+            GarKind::Bulyan => "bulyan",
+            GarKind::GeometricMedian => "geometric-median",
+        }
+    }
+}
+
+/// Which Byzantine attack the colluders mount.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// A Little Is Enough with shift factor ν.
+    Alie {
+        /// Shift factor (paper: 1.5).
+        nu: f64,
+    },
+    /// Fall of Empires with scale factor ν.
+    Foe {
+        /// Scale factor (paper: 1.1).
+        nu: f64,
+    },
+    /// Negated honest mean.
+    SignFlip,
+    /// Pure Gaussian noise of the given std.
+    RandomNoise {
+        /// Per-coordinate std.
+        std: f64,
+    },
+    /// Zero vector.
+    Zero,
+    /// Honest mean scaled by a huge factor.
+    LargeNorm {
+        /// Scale factor.
+        scale: f64,
+    },
+    /// Replay one honest worker's submission (Karimireddy et al. 2022).
+    Mimic {
+        /// Index of the honest worker to copy.
+        target: usize,
+    },
+}
+
+impl AttackKind {
+    /// The paper's ALIE setting (ν = 1.5).
+    pub const PAPER_ALIE: AttackKind = AttackKind::Alie { nu: 1.5 };
+    /// The paper's FoE setting (ν = 1.1).
+    pub const PAPER_FOE: AttackKind = AttackKind::Foe { nu: 1.1 };
+
+    /// Instantiates the attack.
+    pub fn build(self) -> Arc<dyn Attack> {
+        match self {
+            AttackKind::Alie { nu } => Arc::new(LittleIsEnough::new(nu)),
+            AttackKind::Foe { nu } => Arc::new(FallOfEmpires::new(nu)),
+            AttackKind::SignFlip => Arc::new(SignFlip),
+            AttackKind::RandomNoise { std } => Arc::new(RandomNoise::new(std)),
+            AttackKind::Zero => Arc::new(Zero),
+            AttackKind::LargeNorm { scale } => Arc::new(LargeNorm::new(scale)),
+            AttackKind::Mimic { target } => Arc::new(Mimic::new(target)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::Alie { .. } => "alie",
+            AttackKind::Foe { .. } => "foe",
+            AttackKind::SignFlip => "sign-flip",
+            AttackKind::RandomNoise { .. } => "random-noise",
+            AttackKind::Zero => "zero",
+            AttackKind::LargeNorm { .. } => "large-norm",
+            AttackKind::Mimic { .. } => "mimic",
+        }
+    }
+}
+
+/// Which noise-injection mechanism honest workers apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// The Gaussian mechanism of Eq. 6 (the paper's default).
+    Gaussian,
+    /// The Laplace alternative of Remark 3.
+    Laplace,
+}
+
+impl MechanismKind {
+    /// Builds the mechanism calibrated for the clipped batch-mean gradient
+    /// map. `budget = None` yields [`NoNoise`] regardless of kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors ([`DpError`]).
+    pub fn build(
+        self,
+        budget: Option<PrivacyBudget>,
+        g_max: f64,
+        batch_size: usize,
+        dim: usize,
+    ) -> Result<Arc<dyn Mechanism>, DpError> {
+        let Some(budget) = budget else {
+            return Ok(Arc::new(NoNoise));
+        };
+        Ok(match self {
+            MechanismKind::Gaussian => Arc::new(GaussianMechanism::for_clipped_gradients(
+                budget, g_max, batch_size,
+            )?),
+            MechanismKind::Laplace => Arc::new(LaplaceMechanism::for_clipped_gradients(
+                budget.epsilon(),
+                g_max,
+                batch_size,
+                dim,
+            )?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gar_kinds_build_and_name() {
+        for kind in GarKind::ALL {
+            let gar = kind.build();
+            assert_eq!(gar.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn robust_kinds_have_kappa_at_paper_topology() {
+        // n = 11: MDA/Median/TM/Meamed/Phocas tolerate f = 5, Krum f = 4,
+        // Bulyan f = 2.
+        assert!(GarKind::Mda.kappa(11, 5).is_some());
+        assert!(GarKind::Krum.kappa(11, 4).is_some());
+        assert!(GarKind::Bulyan.kappa(11, 2).is_some());
+        assert!(GarKind::Average.kappa(11, 0).is_none());
+    }
+
+    #[test]
+    fn attack_kinds_build() {
+        let kinds = [
+            AttackKind::PAPER_ALIE,
+            AttackKind::PAPER_FOE,
+            AttackKind::SignFlip,
+            AttackKind::RandomNoise { std: 1.0 },
+            AttackKind::Zero,
+            AttackKind::LargeNorm { scale: 10.0 },
+            AttackKind::Mimic { target: 0 },
+        ];
+        for k in kinds {
+            let a = k.build();
+            assert_eq!(a.name(), k.name());
+        }
+        assert_eq!(AttackKind::PAPER_ALIE, AttackKind::Alie { nu: 1.5 });
+    }
+
+    #[test]
+    fn mechanism_kind_none_budget_is_identity() {
+        let m = MechanismKind::Gaussian.build(None, 0.01, 50, 69).unwrap();
+        assert_eq!(m.name(), "none");
+    }
+
+    #[test]
+    fn mechanism_kind_builds_calibrated() {
+        let budget = PrivacyBudget::new(0.2, 1e-6).unwrap();
+        let g = MechanismKind::Gaussian
+            .build(Some(budget), 0.01, 50, 69)
+            .unwrap();
+        assert_eq!(g.name(), "gaussian");
+        assert!(g.per_coordinate_std() > 0.0);
+        let l = MechanismKind::Laplace
+            .build(Some(budget), 0.01, 50, 69)
+            .unwrap();
+        assert_eq!(l.name(), "laplace");
+        // Laplace noise carries the extra √d: more total variance here.
+        assert!(l.total_noise_variance(69) > g.total_noise_variance(69));
+    }
+}

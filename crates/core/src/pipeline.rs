@@ -1,0 +1,540 @@
+//! The experiment pipeline: declarative, seeded, reproducible runs of the
+//! combined DP + Byzantine-resilient SGD system.
+
+use crate::{AttackKind, GarKind, MechanismKind};
+use dpbyz_data::sampler::{BatchSource, DatasetSource, SamplingMode};
+use dpbyz_data::synthetic::{self, MeanEstimation, MeanEstimationSource};
+use dpbyz_data::Dataset;
+use dpbyz_dp::{DpError, PrivacyBudget};
+use dpbyz_gars::GarError;
+use dpbyz_models::{LogisticRegression, LossKind, Model, QuadraticMean};
+use dpbyz_server::{
+    ConfigError, LrSchedule, MomentumMode, RunHistory, ThreadedTrainer, Trainer, TrainingConfig,
+};
+use dpbyz_tensor::{Prng, Vector};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced while assembling or running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Invalid training configuration.
+    Config(ConfigError),
+    /// Invalid privacy configuration.
+    Dp(DpError),
+    /// The GAR rejected the topology at run time.
+    Gar(GarError),
+    /// Inconsistent specification (message explains).
+    Spec(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Config(e) => write!(f, "config: {e}"),
+            PipelineError::Dp(e) => write!(f, "privacy: {e}"),
+            PipelineError::Gar(e) => write!(f, "aggregation: {e}"),
+            PipelineError::Spec(m) => write!(f, "spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ConfigError> for PipelineError {
+    fn from(e: ConfigError) -> Self {
+        PipelineError::Config(e)
+    }
+}
+impl From<DpError> for PipelineError {
+    fn from(e: DpError) -> Self {
+        PipelineError::Dp(e)
+    }
+}
+impl From<GarError> for PipelineError {
+    fn from(e: GarError) -> Self {
+        PipelineError::Gar(e)
+    }
+}
+
+/// What the workers train on.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// The phishing-like synthetic classification task (the documented
+    /// substitute for the paper's LIBSVM `phishing` dataset): d = 69
+    /// logistic regression with sigmoid-MSE loss.
+    PhishingLike {
+        /// Seed of the dataset generator (fixed across run seeds so every
+        /// seed trains on the same data, as in the paper).
+        data_seed: u64,
+        /// Total number of examples (the paper's dataset has 11 055).
+        size: usize,
+    },
+    /// A user-provided dataset (e.g. the *real* `phishing` file loaded via
+    /// `dpbyz_data::libsvm`): logistic regression over its features.
+    Provided {
+        /// Training split.
+        train: Arc<Dataset>,
+        /// Test split.
+        test: Arc<Dataset>,
+    },
+    /// Theorem 1's mean-estimation instance: `Q(w) = ½·E‖w − x‖²` with
+    /// `D = N(x̄, σ²/d·I_d)` and `‖x̄‖ = 1` (unit-norm mean keeps `G_max`
+    /// d-independent so the measured error scaling is the noise's).
+    MeanEstimation {
+        /// Dimension `d`.
+        dim: usize,
+        /// Total sampling std σ.
+        sigma: f64,
+        /// Seed generating `x̄`.
+        data_seed: u64,
+    },
+}
+
+/// A fully specified experiment: run it with any number of seeds.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The data/model workload.
+    pub workload: Workload,
+    /// Topology and hyper-parameters.
+    pub config: TrainingConfig,
+    /// Aggregation rule.
+    pub gar: GarKind,
+    /// Attack mounted by the `config.n_byzantine` colluders (`None` ⇒ all
+    /// workers honest).
+    pub attack: Option<AttackKind>,
+    /// Per-step privacy budget (`None` ⇒ no DP noise).
+    pub budget: Option<PrivacyBudget>,
+    /// Noise mechanism used when a budget is set.
+    pub mechanism: MechanismKind,
+    /// Run on the threaded engine instead of the sequential one.
+    pub threaded: bool,
+    /// `G_max` reference used to *calibrate* the DP noise, when different
+    /// from the actual clip threshold (`None` ⇒ use `config.clip`, the
+    /// faithful clip-then-noise protocol). The Theorem 1 workload sets
+    /// this: its quadratic cost has no global gradient bound (Assumption 1
+    /// cannot hold), and the theorem's lower-bound analysis adds noise
+    /// without clipping — so it calibrates at a nominal `G_max` while
+    /// setting the clip high enough to never bite.
+    pub dp_reference_g_max: Option<f64>,
+}
+
+/// Knobs of the paper's §5 figure experiments, with §5.1 defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigureConfig {
+    /// Batch size `b` (Fig. 2: 50, Fig. 3: 10, Fig. 4: 500).
+    pub batch_size: usize,
+    /// Privacy `ε` (`None` = no DP; the paper's DP panels use 0.2).
+    pub epsilon: Option<f64>,
+    /// Privacy `δ` (paper: 10⁻⁶).
+    pub delta: f64,
+    /// The attack, if any. Unattacked runs aggregate with plain averaging
+    /// over all `n` honest workers; attacked runs use MDA with `f = 5`
+    /// (exactly the paper's protocol).
+    pub attack: Option<AttackKind>,
+    /// Steps `T` (paper: 1000).
+    pub steps: u32,
+    /// Synthetic dataset size (paper: 11 055; shrink for quick runs).
+    pub dataset_size: usize,
+    /// Dataset generator seed.
+    pub data_seed: u64,
+}
+
+impl Default for FigureConfig {
+    fn default() -> Self {
+        FigureConfig {
+            batch_size: 50,
+            epsilon: None,
+            delta: 1e-6,
+            attack: None,
+            steps: 1000,
+            dataset_size: synthetic::PHISHING_SIZE,
+            data_seed: 0xD1B2_2021,
+        }
+    }
+}
+
+impl Experiment {
+    /// Builds one cell of the paper's Figs. 2–4 grid (§5.1 protocol:
+    /// n = 11 workers, f = 5, lr = 2, momentum 0.99, `G_max = 10⁻²`,
+    /// accuracy every 50 steps; unattacked ⇒ averaging over 11 honest
+    /// workers, attacked ⇒ MDA).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Dp`] for an invalid `(ε, δ)`.
+    pub fn paper_figure(fig: FigureConfig) -> Result<Self, PipelineError> {
+        let budget = match fig.epsilon {
+            None => None,
+            Some(e) => Some(PrivacyBudget::new(e, fig.delta)?),
+        };
+        let (n_byz, gar) = if fig.attack.is_some() {
+            (5, GarKind::Mda)
+        } else {
+            (0, GarKind::Average)
+        };
+        // Momentum lives at the *workers* (El-Mhamdi et al. 2021, the
+        // paper's [16] — same authors, same experimental codebase): each
+        // honest worker submits its momentum-ed clipped gradient. This is
+        // load-bearing for Fig. 2's left panel — worker momentum shrinks
+        // the variance-to-norm ratio of the submitted vectors over time,
+        // which is what lets MDA survive ALIE without DP; with server-side
+        // momentum ALIE defeats MDA even noise-free. The server-side
+        // variant remains available as an ablation (`sweep` binary).
+        let config = TrainingConfig::builder()
+            .workers(11, n_byz)
+            .batch_size(fig.batch_size)
+            .steps(fig.steps)
+            .lr(LrSchedule::Constant(2.0))
+            .momentum(0.99)
+            .momentum_mode(MomentumMode::Worker)
+            .clip(1e-2)
+            .eval_every(50)
+            .build()?;
+        Ok(Experiment {
+            workload: Workload::PhishingLike {
+                data_seed: fig.data_seed,
+                size: fig.dataset_size,
+            },
+            config,
+            gar,
+            attack: fig.attack,
+            budget,
+            mechanism: MechanismKind::Gaussian,
+            threaded: false,
+            dp_reference_g_max: None,
+        })
+    }
+
+    /// Builds the Theorem 1 validation workload: mean estimation in
+    /// dimension `dim` with a hypothetical ideal GAR stand-in (averaging
+    /// over honest workers — the theorem's statement is GAR-agnostic, and
+    /// the lower-bound construction uses an honest-output GAR), `γ_t = 1/t`
+    /// (λ = 1, α = 0), DP noise calibrated at a nominal `G_max = 2` with
+    /// clipping effectively disabled (see
+    /// [`Experiment::dp_reference_g_max`]). Use `n_workers = 1` to compare
+    /// against the Cramér–Rao lower bound exactly (its construction
+    /// observes one noisy gradient per step); more workers divide the
+    /// variance by `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Dp`] / [`PipelineError::Config`] on bad inputs.
+    pub fn theorem1(
+        dim: usize,
+        sigma: f64,
+        budget: Option<PrivacyBudget>,
+        steps: u32,
+        batch_size: usize,
+        n_workers: usize,
+    ) -> Result<Self, PipelineError> {
+        let config = TrainingConfig::builder()
+            .workers(n_workers, 0)
+            .batch_size(batch_size)
+            .steps(steps)
+            .lr(LrSchedule::InvT { gamma0: 1.0 })
+            .momentum(0.0)
+            .clip(1e9)
+            .eval_every(0)
+            .build()?;
+        Ok(Experiment {
+            workload: Workload::MeanEstimation {
+                dim,
+                sigma,
+                data_seed: 0x7E01,
+            },
+            config,
+            gar: GarKind::Average,
+            attack: None,
+            budget,
+            mechanism: MechanismKind::Gaussian,
+            threaded: false,
+            dp_reference_g_max: Some(2.0),
+        })
+    }
+
+    /// A paper-protocol figure cell with a *different* aggregation rule
+    /// and Byzantine count — the grid the `attack_showdown` example and
+    /// the GAR-robustness matrix sweep over. `f` is clamped to the rule's
+    /// tolerance at n = 11 (e.g. Krum: 4, Bulyan: 2).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::paper_figure`].
+    pub fn paper_figure_with_gar(
+        fig: FigureConfig,
+        gar: GarKind,
+        f: usize,
+    ) -> Result<Self, PipelineError> {
+        let mut exp = Self::paper_figure(fig)?;
+        let f = f.min(gar.build().max_byzantine(11));
+        exp.gar = gar;
+        exp.config.n_byzantine = if exp.attack.is_some() { f } else { 0 };
+        Ok(exp)
+    }
+
+    /// For [`Workload::MeanEstimation`]: reconstructs the exact sampling
+    /// distribution (including `x̄ = w*`), so callers can compute
+    /// suboptimality `Q(w) − Q* = ½‖w − x̄‖²` from a run's final
+    /// parameters.
+    pub fn mean_estimation_instance(&self) -> Option<MeanEstimation> {
+        match self.workload {
+            Workload::MeanEstimation {
+                dim,
+                sigma,
+                data_seed,
+            } => Some(make_mean_estimation(dim, sigma, data_seed)),
+            _ => None,
+        }
+    }
+
+    /// Runs the experiment with one seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run(&self, seed: u64) -> Result<RunHistory, PipelineError> {
+        let (model, sources, test): (
+            Arc<dyn Model>,
+            Vec<Box<dyn BatchSource>>,
+            Option<Arc<Dataset>>,
+        ) = match &self.workload {
+            Workload::PhishingLike { data_seed, size } => {
+                let mut rng = Prng::seed_from_u64(*data_seed);
+                let ds = synthetic::phishing_like(&mut rng, *size);
+                let n_train = ((*size as f64) * 0.76).round() as usize;
+                let (train, test) = ds
+                    .split_at(n_train)
+                    .map_err(|e| PipelineError::Spec(format!("dataset too small: {e}")))?;
+                let train = Arc::new(train);
+                let model = Arc::new(LogisticRegression::new(
+                    train.num_features(),
+                    LossKind::SigmoidMse,
+                ));
+                let sources = dataset_sources(&train, self.config.n_workers);
+                (model, sources, Some(Arc::new(test)))
+            }
+            Workload::Provided { train, test } => {
+                let model = Arc::new(LogisticRegression::new(
+                    train.num_features(),
+                    LossKind::SigmoidMse,
+                ));
+                let sources = dataset_sources(train, self.config.n_workers);
+                (model, sources, Some(test.clone()))
+            }
+            Workload::MeanEstimation {
+                dim,
+                sigma,
+                data_seed,
+            } => {
+                let dist = make_mean_estimation(*dim, *sigma, *data_seed);
+                let model = Arc::new(QuadraticMean::new(*dim));
+                let sources: Vec<Box<dyn BatchSource>> = (0..self.config.n_workers)
+                    .map(|_| {
+                        Box::new(MeanEstimationSource(dist.clone())) as Box<dyn BatchSource>
+                    })
+                    .collect();
+                (model, sources, None)
+            }
+        };
+
+        let mechanism = self.mechanism.build(
+            self.budget,
+            self.dp_reference_g_max.unwrap_or(self.config.clip),
+            self.config.batch_size,
+            model.dim(),
+        )?;
+
+        let mut trainer = Trainer::new(self.config.clone(), model, sources, test)
+            .gar(self.gar.build())
+            .mechanism(mechanism);
+        if let Some(attack) = self.attack {
+            trainer = trainer.attack(attack.build());
+        }
+
+        let history = if self.threaded {
+            ThreadedTrainer::from(trainer).run(seed)?
+        } else {
+            trainer.run(seed)?
+        };
+        Ok(history)
+    }
+
+    /// Runs the experiment across several seeds (the paper repeats each
+    /// configuration with seeds 1–5).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first erroring seed.
+    pub fn run_seeds(&self, seeds: &[u64]) -> Result<Vec<RunHistory>, PipelineError> {
+        seeds.iter().map(|&s| self.run(s)).collect()
+    }
+
+    /// The paper's seeds, 1 through 5.
+    pub const PAPER_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+}
+
+fn dataset_sources(train: &Arc<Dataset>, n: usize) -> Vec<Box<dyn BatchSource>> {
+    (0..n)
+        .map(|_| {
+            Box::new(DatasetSource::new(
+                train.clone(),
+                SamplingMode::WithReplacement,
+            )) as Box<dyn BatchSource>
+        })
+        .collect()
+}
+
+/// `x̄` is a deterministic unit-norm vector derived from `data_seed`.
+fn make_mean_estimation(dim: usize, sigma: f64, data_seed: u64) -> MeanEstimation {
+    let mut rng = Prng::seed_from_u64(data_seed);
+    let raw = rng.normal_vector(dim, 1.0);
+    let norm = raw.l2_norm();
+    let mean: Vector = if norm > 0.0 {
+        raw.scaled(1.0 / norm)
+    } else {
+        Vector::basis(dim, 0).expect("dim >= 1")
+    };
+    MeanEstimation::new(mean, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_fig(
+        batch: usize,
+        eps: Option<f64>,
+        attack: Option<AttackKind>,
+        steps: u32,
+    ) -> Experiment {
+        Experiment::paper_figure(FigureConfig {
+            batch_size: batch,
+            epsilon: eps,
+            attack,
+            steps,
+            dataset_size: 400,
+            ..FigureConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_figure_wires_protocol() {
+        let unattacked = quick_fig(50, None, None, 10);
+        assert_eq!(unattacked.gar, GarKind::Average);
+        assert_eq!(unattacked.config.n_byzantine, 0);
+        assert_eq!(unattacked.config.momentum, 0.99);
+
+        let attacked = quick_fig(50, Some(0.2), Some(AttackKind::PAPER_ALIE), 10);
+        assert_eq!(attacked.gar, GarKind::Mda);
+        assert_eq!(attacked.config.n_byzantine, 5);
+        assert!(attacked.budget.is_some());
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let exp = quick_fig(10, None, None, 15);
+        let a = exp.run(3).unwrap();
+        let b = exp.run(3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.train_loss.len(), 15);
+    }
+
+    #[test]
+    fn threaded_flag_matches_sequential() {
+        let mut exp = quick_fig(10, Some(0.2), Some(AttackKind::PAPER_FOE), 8);
+        let seq = exp.run(2).unwrap();
+        exp.threaded = true;
+        let thr = exp.run(2).unwrap();
+        assert_eq!(seq, thr);
+    }
+
+    #[test]
+    fn run_seeds_produces_one_history_per_seed() {
+        let exp = quick_fig(10, None, None, 5);
+        let hs = exp.run_seeds(&Experiment::PAPER_SEEDS).unwrap();
+        assert_eq!(hs.len(), 5);
+        // Different seeds, different trajectories.
+        assert_ne!(hs[0], hs[1]);
+    }
+
+    #[test]
+    fn paper_figure_with_gar_swaps_rule_and_clamps_f() {
+        let fig = FigureConfig {
+            steps: 5,
+            dataset_size: 300,
+            attack: Some(AttackKind::PAPER_ALIE),
+            ..FigureConfig::default()
+        };
+        let krum = Experiment::paper_figure_with_gar(fig, GarKind::Krum, 5).unwrap();
+        assert_eq!(krum.gar, GarKind::Krum);
+        assert_eq!(krum.config.n_byzantine, 4); // clamped to Krum's max at n = 11
+        let bulyan = Experiment::paper_figure_with_gar(fig, GarKind::Bulyan, 5).unwrap();
+        assert_eq!(bulyan.config.n_byzantine, 2);
+        // Runs end-to-end.
+        assert!(krum.run(1).is_ok());
+    }
+
+    #[test]
+    fn theorem1_workload_runs_and_exposes_instance() {
+        let exp = Experiment::theorem1(8, 1.0, None, 50, 4, 3).unwrap();
+        let dist = exp.mean_estimation_instance().unwrap();
+        assert_eq!(dist.dim(), 8);
+        assert!((dist.true_mean().l2_norm() - 1.0).abs() < 1e-12);
+        let h = exp.run(1).unwrap();
+        // Convergence toward x̄: final suboptimality far below the start
+        // (w0 = 0 ⇒ Q(w0) − Q* = ½).
+        let sub = 0.5 * h.final_params.l2_distance_squared(dist.true_mean());
+        assert!(sub < 0.1, "suboptimality {sub}");
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let err = Experiment::paper_figure(FigureConfig {
+            epsilon: Some(-1.0),
+            ..FigureConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Dp(_)));
+    }
+
+    #[test]
+    fn provided_workload_trains() {
+        let mut rng = Prng::seed_from_u64(5);
+        let ds = synthetic::gaussian_blobs(&mut rng, 300, 4, 4.0);
+        let (train, test) = ds.split(0.8, &mut rng).unwrap();
+        let exp = Experiment {
+            workload: Workload::Provided {
+                train: Arc::new(train),
+                test: Arc::new(test),
+            },
+            config: TrainingConfig::builder()
+                .workers(3, 0)
+                .batch_size(16)
+                .steps(60)
+                .lr(LrSchedule::Constant(2.0))
+                .momentum(0.9)
+                .clip(0.5)
+                .eval_every(20)
+                .build()
+                .unwrap(),
+            gar: GarKind::Average,
+            attack: None,
+            budget: None,
+            mechanism: MechanismKind::Gaussian,
+            threaded: false,
+            dp_reference_g_max: None,
+        };
+        let h = exp.run(1).unwrap();
+        assert!(h.final_accuracy().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn error_display_covers_variants() {
+        let e = PipelineError::Spec("nope".into());
+        assert!(e.to_string().contains("nope"));
+        let e: PipelineError = GarError::Empty.into();
+        assert!(e.to_string().contains("aggregation"));
+    }
+}

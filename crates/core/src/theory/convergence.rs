@@ -1,0 +1,194 @@
+//! Theorem 1 — training-error bounds for strongly convex costs.
+//!
+//! For any `(α, f)`-Byzantine-resilient GAR fed the noisy gradients of
+//! Eq. 7, with `γ_t = 1/(λ(1 − sin α)·t)`:
+//!
+//! * **upper bound** (Eq. 12):
+//!   `E[Q(w_{T+1})] − Q* ≤ (1/(T+1)) · (μ·c / (2λ²(1 − sin α)²)) ·
+//!   (σ²/b + d·s² + G²max)`;
+//! * **lower bound** (Cramér–Rao on the mean-estimation instance):
+//!   `E[Q(ŵ)] − Q* ≥ (σ²/b + d·s²) / (2T)`;
+//!
+//! both `Θ(d·log(1/δ) / (T·b²·ε²))` once `s` is substituted from Eq. 6.
+//! Without DP (`s = 0`) the same algorithm achieves `O(1/T)` — the
+//! dimension-free rate the noise destroys.
+
+use dpbyz_dp::PrivacyBudget;
+use serde::{Deserialize, Serialize};
+
+/// Problem constants for the bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProblemConstants {
+    /// Strong-convexity modulus λ (Assumption 2).
+    pub lambda: f64,
+    /// Gradient-Lipschitz modulus μ (Assumption 3).
+    pub mu: f64,
+    /// Per-sample gradient variance σ² (Assumption 4).
+    pub sigma2: f64,
+    /// Gradient-norm bound `G_max` (Assumption 1).
+    pub g_max: f64,
+    /// The resilience angle's sine, `sin α ∈ [0, 1)`.
+    pub sin_alpha: f64,
+    /// The moment constant `c` of Eq. 11 (order 1; the GAR-dependent
+    /// constant in condition (2) of Byzantine resilience).
+    pub c: f64,
+}
+
+impl ProblemConstants {
+    /// The constants of the mean-estimation instance used for the lower
+    /// bound: λ = μ = 1, exact-resilience angle α = 0, `c = 1`.
+    pub fn mean_estimation(sigma2: f64, g_max: f64) -> Self {
+        ProblemConstants {
+            lambda: 1.0,
+            mu: 1.0,
+            sigma2,
+            g_max,
+            sin_alpha: 0.0,
+            c: 1.0,
+        }
+    }
+}
+
+/// The Eq. 6 noise std `s = 2·G_max·√(2·ln(1.25/δ)) / (b·ε)`, or 0 without
+/// a budget.
+pub fn noise_std(budget: Option<PrivacyBudget>, g_max: f64, batch_size: usize) -> f64 {
+    match budget {
+        None => 0.0,
+        Some(b) => {
+            2.0 * g_max * (2.0 * (1.25 / b.delta()).ln()).sqrt()
+                / (batch_size as f64 * b.epsilon())
+        }
+    }
+}
+
+/// Theorem 1's upper bound (Eq. 12) on `E[Q(w_{T+1})] − Q*`.
+pub fn upper_bound(
+    constants: &ProblemConstants,
+    steps: u32,
+    batch_size: usize,
+    dim: usize,
+    budget: Option<PrivacyBudget>,
+) -> f64 {
+    let s = noise_std(budget, constants.g_max, batch_size);
+    let variance_term = constants.sigma2 / batch_size as f64
+        + dim as f64 * s * s
+        + constants.g_max * constants.g_max;
+    let prefactor = constants.mu * constants.c
+        / (2.0 * constants.lambda * constants.lambda * (1.0 - constants.sin_alpha).powi(2));
+    prefactor * variance_term / (steps as f64 + 1.0)
+}
+
+/// The Cramér–Rao lower bound on `E[Q(ŵ)] − Q*` for the mean-estimation
+/// instance: `(σ²/b + d·s²) / (2T)`.
+pub fn lower_bound(
+    sigma2: f64,
+    g_max: f64,
+    steps: u32,
+    batch_size: usize,
+    dim: usize,
+    budget: Option<PrivacyBudget>,
+) -> f64 {
+    let s = noise_std(budget, g_max, batch_size);
+    (sigma2 / batch_size as f64 + dim as f64 * s * s) / (2.0 * steps as f64)
+}
+
+/// The headline `Θ` expression, `d·ln(1/δ) / (T·b²·ε²)` — useful for
+/// checking *scaling* against measurements without tracking constants.
+pub fn theta_rate(dim: usize, budget: PrivacyBudget, steps: u32, batch_size: usize) -> f64 {
+    dim as f64 * (1.0 / budget.delta()).ln()
+        / (steps as f64 * (batch_size * batch_size) as f64 * budget.epsilon() * budget.epsilon())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_budget() -> PrivacyBudget {
+        PrivacyBudget::new(0.2, 1e-6).unwrap()
+    }
+
+    #[test]
+    fn noise_std_matches_eq6() {
+        let s = noise_std(Some(paper_budget()), 0.01, 50);
+        let expected = 2.0 * 0.01 * (2.0 * (1.25f64 / 1e-6).ln()).sqrt() / (50.0 * 0.2);
+        assert!((s - expected).abs() < 1e-15);
+        assert_eq!(noise_std(None, 0.01, 50), 0.0);
+    }
+
+    #[test]
+    fn upper_bound_decays_as_one_over_t() {
+        let c = ProblemConstants::mean_estimation(1.0, 1.0);
+        let u100 = upper_bound(&c, 100, 10, 20, None);
+        let u1000 = upper_bound(&c, 1000, 10, 20, None);
+        let ratio = u100 / u1000;
+        assert!((ratio - 1001.0 / 101.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dp_upper_bound_scales_linearly_in_d() {
+        // With noise dominating, doubling d roughly doubles the bound.
+        let c = ProblemConstants::mean_estimation(0.0, 1.0);
+        let budget = Some(paper_budget());
+        let u_d = upper_bound(&c, 100, 10, 1000, budget) - upper_bound(&c, 100, 10, 0, budget);
+        let u_2d = upper_bound(&c, 100, 10, 2000, budget) - upper_bound(&c, 100, 10, 0, budget);
+        assert!((u_2d / u_d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_below_upper_bound() {
+        // Theorem 1 is a Θ statement: the bounds match up to constants.
+        // With the tightest moment constant (c = 1) the lower bound can
+        // exceed the upper by the T/(T+1) slack, so order them under any
+        // valid c ≥ 2 (Eq. 11 only asserts existence of some c).
+        let c = ProblemConstants {
+            c: 2.0,
+            ..ProblemConstants::mean_estimation(1.0, 1.0)
+        };
+        let budget = Some(paper_budget());
+        for &(t, b, d) in &[(10u32, 5usize, 10usize), (100, 50, 100), (1000, 10, 1000)] {
+            let lo = lower_bound(c.sigma2, c.g_max, t, b, d, budget);
+            let hi = upper_bound(&c, t, b, d, budget);
+            assert!(lo <= hi, "lo {lo} > hi {hi} at T={t}, b={b}, d={d}");
+        }
+    }
+
+    #[test]
+    fn bounds_agree_up_to_constant_factor() {
+        // The ratio upper/lower stays bounded across three decades of d —
+        // the Θ matching.
+        let c = ProblemConstants::mean_estimation(1.0, 1.0);
+        let budget = Some(paper_budget());
+        let mut ratios = Vec::new();
+        for &d in &[10usize, 100, 1000, 10_000] {
+            let lo = lower_bound(c.sigma2, c.g_max, 100, 10, d, budget);
+            let hi = upper_bound(&c, 100, 10, d, budget);
+            ratios.push(hi / lo);
+        }
+        for r in &ratios {
+            assert!(*r > 0.3 && *r < 10.0, "ratio {r} escaped Θ window");
+        }
+    }
+
+    #[test]
+    fn bounds_collapse_without_dp() {
+        // s = 0: the lower bound loses its d-dependence entirely.
+        let lo_small = lower_bound(1.0, 1.0, 100, 10, 10, None);
+        let lo_large = lower_bound(1.0, 1.0, 100, 10, 100_000, None);
+        assert_eq!(lo_small, lo_large);
+    }
+
+    #[test]
+    fn theta_rate_scalings() {
+        let budget = paper_budget();
+        let base = theta_rate(100, budget, 1000, 50);
+        // Linear in d.
+        assert!((theta_rate(200, budget, 1000, 50) / base - 2.0).abs() < 1e-12);
+        // Inverse in T.
+        assert!((theta_rate(100, budget, 2000, 50) / base - 0.5).abs() < 1e-12);
+        // Inverse-square in b.
+        assert!((theta_rate(100, budget, 1000, 100) / base - 0.25).abs() < 1e-12);
+        // Inverse-square in ε.
+        let loose = PrivacyBudget::new(0.4, 1e-6).unwrap();
+        assert!((theta_rate(100, loose, 1000, 50) / base - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,9 @@
+//! Closed-form calculators for the paper's theoretical results.
+//!
+//! * [`vn`] — the VN-ratio condition with DP noise (Eq. 8);
+//! * [`table1`] — the per-GAR necessary conditions (Propositions 1–3);
+//! * [`convergence`] — Theorem 1's error-rate bounds.
+
+pub mod convergence;
+pub mod table1;
+pub mod vn;

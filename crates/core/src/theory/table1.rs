@@ -1,0 +1,286 @@
+//! Table 1 — per-GAR necessary conditions for the VN condition under DP
+//! (Propositions 1–3).
+//!
+//! With `C = ε/√(ln(1.25/δ))`, the proofs show the noisy VN condition
+//! (Eq. 8) *cannot* hold unless:
+//!
+//! | GAR | necessary condition |
+//! |-----|---------------------|
+//! | Krum, Bulyan | `C·b ≥ √(16·d·(n + f²))` |
+//! | Median | `C·b ≥ √(4·d·(n + 1))` |
+//! | Meamed | `C·b ≥ √(40·d·(n + 1))` |
+//! | MDA | `f/n ≤ C·b / (8·√d + C·b)` |
+//! | Trimmed Mean | `f/n ≤ C²·b² / (16·d + 2·C²·b²)` |
+//! | Phocas | `f/n ≤ C²·b² / (64·d + 2·C²·b²)` |
+//!
+//! i.e. `b ∈ Ω(√(n·d))` for the first group and `f/n ∈ O(b/(√d + b))` /
+//! `O(b²/(d + b²))` for the others — the paper's headline incompatibility.
+
+use crate::GarKind;
+use dpbyz_dp::PrivacyBudget;
+use serde::{Deserialize, Serialize};
+
+/// The flavour of necessary condition a GAR falls under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// The batch size must be at least this large.
+    MinBatch(f64),
+    /// The Byzantine fraction `f/n` must be at most this large.
+    MaxByzantineFraction(f64),
+}
+
+/// One row of (the reproduction of) Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The rule.
+    pub gar: GarKind,
+    /// The necessary condition evaluated at the given `(n, f, d, b, ε, δ)`.
+    pub condition: Condition,
+    /// Whether the supplied configuration satisfies the necessary
+    /// condition. (Failing it proves the VN certificate is impossible;
+    /// passing it is necessary, not sufficient.)
+    pub satisfied: bool,
+}
+
+/// Evaluates the necessary condition of one GAR.
+///
+/// Returns `None` for [`GarKind::Average`] (no resilience certificate
+/// exists at all) and for Multi-Krum (shares Krum's row).
+pub fn condition_for(
+    gar: GarKind,
+    n: usize,
+    f: usize,
+    dim: usize,
+    batch_size: usize,
+    budget: PrivacyBudget,
+) -> Option<Table1Row> {
+    let c = budget.c_constant();
+    let (nf, ff, d, b) = (n as f64, f as f64, dim as f64, batch_size as f64);
+    let tau = ff / nf;
+    let row = match gar {
+        GarKind::Average | GarKind::GeometricMedian => return None,
+        GarKind::Krum | GarKind::MultiKrum | GarKind::Bulyan => {
+            let min_b = (16.0 * d * (nf + ff * ff)).sqrt() / c;
+            Table1Row {
+                gar,
+                condition: Condition::MinBatch(min_b),
+                satisfied: b >= min_b,
+            }
+        }
+        GarKind::Median => {
+            let min_b = (4.0 * d * (nf + 1.0)).sqrt() / c;
+            Table1Row {
+                gar,
+                condition: Condition::MinBatch(min_b),
+                satisfied: b >= min_b,
+            }
+        }
+        GarKind::Meamed => {
+            let min_b = (40.0 * d * (nf + 1.0)).sqrt() / c;
+            Table1Row {
+                gar,
+                condition: Condition::MinBatch(min_b),
+                satisfied: b >= min_b,
+            }
+        }
+        GarKind::Mda => {
+            let max_tau = c * b / (8.0 * d.sqrt() + c * b);
+            Table1Row {
+                gar,
+                condition: Condition::MaxByzantineFraction(max_tau),
+                satisfied: tau <= max_tau,
+            }
+        }
+        GarKind::TrimmedMean => {
+            let cb2 = c * c * b * b;
+            let max_tau = cb2 / (16.0 * d + 2.0 * cb2);
+            Table1Row {
+                gar,
+                condition: Condition::MaxByzantineFraction(max_tau),
+                satisfied: tau <= max_tau,
+            }
+        }
+        GarKind::Phocas => {
+            let cb2 = c * c * b * b;
+            let max_tau = cb2 / (64.0 * d + 2.0 * cb2);
+            Table1Row {
+                gar,
+                condition: Condition::MaxByzantineFraction(max_tau),
+                satisfied: tau <= max_tau,
+            }
+        }
+    };
+    Some(row)
+}
+
+/// The full table for one configuration — one row per robust GAR.
+pub fn table(
+    n: usize,
+    f: usize,
+    dim: usize,
+    batch_size: usize,
+    budget: PrivacyBudget,
+) -> Vec<Table1Row> {
+    GarKind::ROBUST
+        .iter()
+        .filter_map(|&g| condition_for(g, n, f, dim, batch_size, budget))
+        .collect()
+}
+
+/// The smallest batch size satisfying a GAR's necessary condition at a
+/// fixed Byzantine fraction `f/n` (the quantity behind the paper's
+/// "ResNet-50 needs b > 5000" worked example).
+pub fn required_batch(
+    gar: GarKind,
+    n: usize,
+    f: usize,
+    dim: usize,
+    budget: PrivacyBudget,
+) -> Option<usize> {
+    let c = budget.c_constant();
+    let (nf, ff, d) = (n as f64, f as f64, dim as f64);
+    let b = match gar {
+        GarKind::Average | GarKind::GeometricMedian => return None,
+        GarKind::Krum | GarKind::MultiKrum | GarKind::Bulyan => {
+            (16.0 * d * (nf + ff * ff)).sqrt() / c
+        }
+        GarKind::Median => (4.0 * d * (nf + 1.0)).sqrt() / c,
+        GarKind::Meamed => (40.0 * d * (nf + 1.0)).sqrt() / c,
+        GarKind::Mda => {
+            // τ ≤ C·b/(8√d + C·b)  ⇔  b ≥ 8√d·τ / (C·(1 − τ)).
+            if f == 0 {
+                return Some(1);
+            }
+            let tau = ff / nf;
+            8.0 * d.sqrt() * tau / (c * (1.0 - tau))
+        }
+        GarKind::TrimmedMean => {
+            // τ ≤ C²b²/(16d + 2C²b²)  ⇔  b² ≥ 16·d·τ / (C²·(1 − 2τ)).
+            if f == 0 {
+                return Some(1);
+            }
+            let tau = ff / nf;
+            if 1.0 - 2.0 * tau <= 0.0 {
+                return None;
+            }
+            (16.0 * d * tau / (c * c * (1.0 - 2.0 * tau))).sqrt()
+        }
+        GarKind::Phocas => {
+            if f == 0 {
+                return Some(1);
+            }
+            let tau = ff / nf;
+            if 1.0 - 2.0 * tau <= 0.0 {
+                return None;
+            }
+            (64.0 * d * tau / (c * c * (1.0 - 2.0 * tau))).sqrt()
+        }
+    };
+    Some(b.ceil().max(1.0) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_budget() -> PrivacyBudget {
+        PrivacyBudget::new(0.2, 1e-6).unwrap()
+    }
+
+    #[test]
+    fn paper_setting_fails_all_rows() {
+        // n = 11, f = 5, d = 69, b = 50, (0.2, 1e-6): the paper's Fig. 2
+        // configuration violates every necessary condition — exactly why
+        // DP + MDA collapses under attack there.
+        let rows = table(11, 5, 69, 50, paper_budget());
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(!row.satisfied, "{:?} unexpectedly satisfied", row.gar);
+        }
+    }
+
+    #[test]
+    fn huge_batch_satisfies_min_batch_rows() {
+        let rows = table(11, 5, 69, 2_000_000, paper_budget());
+        for row in rows {
+            match row.condition {
+                Condition::MinBatch(_) => assert!(row.satisfied, "{:?}", row.gar),
+                // MDA's fraction cap rises toward 1 with b, and τ = 5/11 is
+                // below it for b this large.
+                Condition::MaxByzantineFraction(cap) => {
+                    if row.gar == GarKind::Mda {
+                        assert!(row.satisfied, "MDA cap {cap}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mda_fraction_cap_matches_formula() {
+        let budget = paper_budget();
+        let row = condition_for(GarKind::Mda, 11, 5, 69, 50, budget).unwrap();
+        let c = budget.c_constant();
+        let expected = c * 50.0 / (8.0 * 69f64.sqrt() + c * 50.0);
+        match row.condition {
+            Condition::MaxByzantineFraction(t) => assert!((t - expected).abs() < 1e-12),
+            _ => panic!("MDA must yield a fraction cap"),
+        }
+    }
+
+    #[test]
+    fn krum_min_batch_scales_as_sqrt_nd() {
+        let budget = paper_budget();
+        let b1 = required_batch(GarKind::Krum, 11, 5, 100, budget).unwrap();
+        let b2 = required_batch(GarKind::Krum, 11, 5, 400, budget).unwrap();
+        let ratio = b2 as f64 / b1 as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn phocas_needs_larger_batch_than_trimmed_mean() {
+        // 64d vs 16d under the same fraction: Phocas is strictly more
+        // demanding.
+        let budget = paper_budget();
+        let tm = required_batch(GarKind::TrimmedMean, 11, 5, 69, budget).unwrap();
+        let ph = required_batch(GarKind::Phocas, 11, 5, 69, budget).unwrap();
+        assert!(ph > tm);
+    }
+
+    #[test]
+    fn required_batch_consistency_with_condition() {
+        let budget = paper_budget();
+        for gar in GarKind::ROBUST {
+            let Some(b) = required_batch(gar, 11, 5, 69, budget) else {
+                continue;
+            };
+            let at = condition_for(gar, 11, 5, 69, b, budget).unwrap();
+            assert!(at.satisfied, "{gar:?} unsatisfied at its own bound b={b}");
+            if b > 2 {
+                let below = condition_for(gar, 11, 5, 69, b / 2, budget).unwrap();
+                assert!(!below.satisfied, "{gar:?} satisfied below bound");
+            }
+        }
+    }
+
+    #[test]
+    fn average_and_half_byzantine_have_no_row() {
+        let budget = paper_budget();
+        assert!(condition_for(GarKind::Average, 11, 5, 69, 50, budget).is_none());
+        // Trimmed Mean / Phocas caps are vacuous at τ ≥ 1/2.
+        assert!(required_batch(GarKind::TrimmedMean, 10, 5, 69, budget).is_none());
+    }
+
+    #[test]
+    fn resnet50_scale_demands_impractical_batches() {
+        // The §3 worked example: d = 25.6 M. Every min-batch rule demands
+        // b in the tens of thousands or more; √d alone is > 5000.
+        let budget = paper_budget();
+        let d = 25_600_000;
+        assert!((d as f64).sqrt() > 5000.0);
+        let krum = required_batch(GarKind::Krum, 11, 5, d, budget).unwrap();
+        assert!(krum > 100_000, "krum requires b = {krum}");
+        let mda = required_batch(GarKind::Mda, 11, 5, d, budget).unwrap();
+        assert!(mda > 5000, "mda requires b = {mda}");
+    }
+}

@@ -1,0 +1,366 @@
+//! In-memory labelled datasets and batch views.
+
+use crate::DataError;
+use dpbyz_tensor::{Matrix, Prng, Vector};
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: one feature row per example plus a scalar label.
+///
+/// Labels are `f64`; binary classification uses `0.0`/`1.0` (the convention
+/// of the logistic model in `dpbyz-models`).
+///
+/// # Example
+///
+/// ```
+/// use dpbyz_data::Dataset;
+/// use dpbyz_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+/// let ds = Dataset::new(x, vec![0.0, 1.0]).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.num_features(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a feature matrix and matching labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::LengthMismatch`] if `features.rows() !=
+    /// labels.len()`.
+    pub fn new(features: Matrix, labels: Vec<f64>) -> Result<Self, DataError> {
+        if features.rows() != labels.len() {
+            return Err(DataError::LengthMismatch {
+                features: features.rows(),
+                labels: labels.len(),
+            });
+        }
+        Ok(Dataset { features, labels })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per example.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// The `i`-th example as `(features, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn example(&self, i: usize) -> (&[f64], f64) {
+        (self.features.row(i), self.labels[i])
+    }
+
+    /// Fraction of examples with label `1.0` (class balance diagnostic).
+    pub fn positive_fraction(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&y| y == 1.0).count() as f64 / self.len() as f64
+    }
+
+    /// Materializes the batch selected by `indices` (duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> Batch {
+        Batch {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// The whole dataset as one batch.
+    pub fn full_batch(&self) -> Batch {
+        Batch {
+            features: self.features.clone(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of the examples in
+    /// the train set, after a seeded shuffle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidFraction`] unless `0 < train_fraction <
+    /// 1`, and [`DataError::Empty`] if either side would be empty.
+    pub fn split(&self, train_fraction: f64, rng: &mut Prng) -> Result<(Dataset, Dataset), DataError> {
+        if !(0.0 < train_fraction && train_fraction < 1.0) {
+            return Err(DataError::InvalidFraction(train_fraction));
+        }
+        let n = self.len();
+        let n_train = (n as f64 * train_fraction).round() as usize;
+        if n_train == 0 || n_train == n {
+            return Err(DataError::Empty);
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        let train_idx = &idx[..n_train];
+        let test_idx = &idx[n_train..];
+        Ok((self.subset(train_idx), self.subset(test_idx)))
+    }
+
+    /// Deterministic split at an exact example count (no shuffle) — used to
+    /// mirror the paper's fixed 8 400 / 2 655 partition of `phishing`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Empty`] if `n_train` is 0 or ≥ `len()`.
+    pub fn split_at(&self, n_train: usize) -> Result<(Dataset, Dataset), DataError> {
+        if n_train == 0 || n_train >= self.len() {
+            return Err(DataError::Empty);
+        }
+        let train: Vec<usize> = (0..n_train).collect();
+        let test: Vec<usize> = (n_train..self.len()).collect();
+        Ok((self.subset(&train), self.subset(&test)))
+    }
+
+    /// The sub-dataset selected by `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Returns a copy with every feature column min-max scaled to `[0, 1]`.
+    /// Constant columns become all-zero.
+    pub fn min_max_scaled(&self) -> Dataset {
+        let rows = self.features.rows();
+        let cols = self.features.cols();
+        let mut lo = vec![f64::INFINITY; cols];
+        let mut hi = vec![f64::NEG_INFINITY; cols];
+        for i in 0..rows {
+            for (j, &x) in self.features.row(i).iter().enumerate() {
+                lo[j] = lo[j].min(x);
+                hi[j] = hi[j].max(x);
+            }
+        }
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let src = self.features.row(i);
+            for j in 0..cols {
+                let range = hi[j] - lo[j];
+                let v = if range > 0.0 {
+                    (src[j] - lo[j]) / range
+                } else {
+                    0.0
+                };
+                out.set(i, j, v);
+            }
+        }
+        Dataset {
+            features: out,
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+/// A materialized mini-batch: the unit a worker computes one stochastic
+/// gradient on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    features: Matrix,
+    labels: Vec<f64>,
+}
+
+impl Batch {
+    /// Creates a batch directly (used by tests and generators).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::LengthMismatch`] on inconsistent lengths.
+    pub fn new(features: Matrix, labels: Vec<f64>) -> Result<Self, DataError> {
+        if features.rows() != labels.len() {
+            return Err(DataError::LengthMismatch {
+                features: features.rows(),
+                labels: labels.len(),
+            });
+        }
+        Ok(Batch { features, labels })
+    }
+
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Features of the batch.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Labels of the batch.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// The `i`-th example as `(features, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn example(&self, i: usize) -> (&[f64], f64) {
+        (self.features.row(i), self.labels[i])
+    }
+
+    /// The `i`-th feature row as a `Vector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn feature_vector(&self, i: usize) -> Vector {
+        Vector::from(self.features.row(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        ])
+        .unwrap();
+        Dataset::new(x, vec![1.0, 0.0, 1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let x = Matrix::zeros(3, 2);
+        assert!(Dataset::new(x.clone(), vec![0.0; 3]).is_ok());
+        assert!(matches!(
+            Dataset::new(x, vec![0.0; 2]),
+            Err(DataError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.example(2), (&[1.0, 1.0][..], 1.0));
+        assert_eq!(ds.positive_fraction(), 0.5);
+    }
+
+    #[test]
+    fn batch_selection_with_duplicates() {
+        let ds = tiny();
+        let b = ds.batch(&[0, 0, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.labels(), &[1.0, 1.0, 0.0]);
+        assert_eq!(b.example(2), (&[0.0, 0.0][..], 0.0));
+        assert_eq!(b.feature_vector(0).as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn full_batch_covers_everything() {
+        let ds = tiny();
+        let b = ds.full_batch();
+        assert_eq!(b.len(), ds.len());
+        assert_eq!(b.labels(), ds.labels());
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let ds = tiny();
+        let mut rng = Prng::seed_from_u64(1);
+        let (train, test) = ds.split(0.5, &mut rng).unwrap();
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 2);
+        // Same multiset of labels overall.
+        let mut all: Vec<f64> = train.labels().iter().chain(test.labels()).cloned().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let ds = tiny();
+        let mut rng = Prng::seed_from_u64(1);
+        assert!(matches!(
+            ds.split(0.0, &mut rng),
+            Err(DataError::InvalidFraction(_))
+        ));
+        assert!(matches!(
+            ds.split(1.0, &mut rng),
+            Err(DataError::InvalidFraction(_))
+        ));
+    }
+
+    #[test]
+    fn split_is_seeded() {
+        let ds = tiny();
+        let (a, _) = ds.split(0.5, &mut Prng::seed_from_u64(9)).unwrap();
+        let (b, _) = ds.split(0.5, &mut Prng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_at_exact_counts() {
+        let ds = tiny();
+        let (train, test) = ds.split_at(3).unwrap();
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        assert!(ds.split_at(0).is_err());
+        assert!(ds.split_at(4).is_err());
+    }
+
+    #[test]
+    fn min_max_scaling() {
+        let x = Matrix::from_rows(&[vec![0.0, 5.0], vec![10.0, 5.0]]).unwrap();
+        let ds = Dataset::new(x, vec![0.0, 1.0]).unwrap();
+        let s = ds.min_max_scaled();
+        assert_eq!(s.features().row(0), &[0.0, 0.0]);
+        assert_eq!(s.features().row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_new_validates() {
+        assert!(Batch::new(Matrix::zeros(2, 2), vec![0.0]).is_err());
+        let b = Batch::new(Matrix::zeros(0, 2), vec![]).unwrap();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for dataset operations.
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing, or splitting datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// Features and labels have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// The dataset is empty where a non-empty one is required.
+    Empty,
+    /// A split fraction was outside `(0, 1)`.
+    InvalidFraction(f64),
+    /// A LIBSVM line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error (file reading), carried as a string to keep the error
+    /// type `Clone`/`PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch { features, labels } => write!(
+                f,
+                "features/labels length mismatch: {features} rows vs {labels} labels"
+            ),
+            DataError::Empty => write!(f, "dataset is empty"),
+            DataError::InvalidFraction(x) => {
+                write!(f, "split fraction must be in (0, 1), got {x}")
+            }
+            DataError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            DataError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::Empty.to_string().contains("empty"));
+        assert!(DataError::InvalidFraction(1.5).to_string().contains("1.5"));
+        assert!(DataError::LengthMismatch {
+            features: 3,
+            labels: 4
+        }
+        .to_string()
+        .contains("3 rows vs 4"));
+        assert!(DataError::Parse {
+            line: 7,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 7"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,246 @@
+//! LIBSVM sparse text format support.
+//!
+//! The paper's experiments use the LIBSVM `phishing` dataset. This module
+//! parses (and writes) the format so the real file can be used verbatim:
+//!
+//! ```text
+//! <label> <index>:<value> <index>:<value> ...
+//! ```
+//!
+//! Indices are 1-based and strictly increasing within a line; omitted
+//! indices are zero. Labels of `+1`/`-1` or `1`/`0` are normalized to
+//! `1.0`/`0.0`.
+//!
+//! # Example
+//!
+//! ```
+//! use dpbyz_data::libsvm;
+//!
+//! let text = "+1 1:0.5 3:1\n-1 2:0.25\n";
+//! let ds = libsvm::parse(text, None).unwrap();
+//! assert_eq!(ds.len(), 2);
+//! assert_eq!(ds.num_features(), 3);
+//! assert_eq!(ds.features().row(0), &[0.5, 0.0, 1.0]);
+//! assert_eq!(ds.labels(), &[1.0, 0.0]);
+//! ```
+
+use crate::{DataError, Dataset};
+use dpbyz_tensor::Matrix;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Parses LIBSVM text into a [`Dataset`].
+///
+/// `num_features` forces the feature dimension (useful when the tail
+/// features of a file are all zero); pass `None` to infer the maximum index.
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] (with a 1-based line number) on malformed
+/// input, non-increasing indices, or an index exceeding a forced
+/// `num_features`; [`DataError::Empty`] if no examples are present.
+pub fn parse(text: &str, num_features: Option<usize>) -> Result<Dataset, DataError> {
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    let mut max_index = 0usize;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a first token");
+        let label = parse_label(label_tok).ok_or_else(|| DataError::Parse {
+            line: lineno + 1,
+            message: format!("invalid label {label_tok:?}"),
+        })?;
+
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        let mut prev_index = 0usize;
+        for tok in parts {
+            let (idx_str, val_str) = tok.split_once(':').ok_or_else(|| DataError::Parse {
+                line: lineno + 1,
+                message: format!("expected index:value, got {tok:?}"),
+            })?;
+            let index: usize = idx_str.parse().map_err(|_| DataError::Parse {
+                line: lineno + 1,
+                message: format!("invalid feature index {idx_str:?}"),
+            })?;
+            if index == 0 {
+                return Err(DataError::Parse {
+                    line: lineno + 1,
+                    message: "feature indices are 1-based".into(),
+                });
+            }
+            if index <= prev_index {
+                return Err(DataError::Parse {
+                    line: lineno + 1,
+                    message: format!("indices must be strictly increasing (saw {index} after {prev_index})"),
+                });
+            }
+            let value: f64 = val_str.parse().map_err(|_| DataError::Parse {
+                line: lineno + 1,
+                message: format!("invalid feature value {val_str:?}"),
+            })?;
+            prev_index = index;
+            max_index = max_index.max(index);
+            row.push((index, value));
+        }
+        rows.push(row);
+        labels.push(label);
+    }
+
+    if rows.is_empty() {
+        return Err(DataError::Empty);
+    }
+
+    let dim = match num_features {
+        Some(d) => {
+            if max_index > d {
+                return Err(DataError::Parse {
+                    line: 0,
+                    message: format!("feature index {max_index} exceeds forced dimension {d}"),
+                });
+            }
+            d
+        }
+        None => max_index,
+    };
+
+    let mut features = Matrix::zeros(rows.len(), dim);
+    for (i, row) in rows.iter().enumerate() {
+        for &(index, value) in row {
+            features.set(i, index - 1, value);
+        }
+    }
+    Dataset::new(features, labels)
+}
+
+/// Reads and parses a LIBSVM file from disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors as [`DataError::Io`] and parse errors as in
+/// [`parse`].
+pub fn parse_file(path: impl AsRef<Path>, num_features: Option<usize>) -> Result<Dataset, DataError> {
+    let text = std::fs::read_to_string(path)?;
+    parse(&text, num_features)
+}
+
+/// Serializes a dataset to LIBSVM text (zeros omitted, labels written as
+/// `+1`/`-1`).
+pub fn serialize(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    for i in 0..dataset.len() {
+        let (row, label) = dataset.example(i);
+        out.push_str(if label == 1.0 { "+1" } else { "-1" });
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                // Writing to a String cannot fail.
+                let _ = write!(out, " {}:{}", j + 1, v);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_label(tok: &str) -> Option<f64> {
+    match tok {
+        "+1" | "1" | "1.0" => Some(1.0),
+        "-1" | "0" | "-1.0" | "0.0" => Some(0.0),
+        _ => tok.parse::<f64>().ok().map(|x| if x > 0.0 { 1.0 } else { 0.0 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let ds = parse("+1 1:1 2:0.5\n-1 3:2\n", None).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.num_features(), 3);
+        assert_eq!(ds.features().row(0), &[1.0, 0.5, 0.0]);
+        assert_eq!(ds.features().row(1), &[0.0, 0.0, 2.0]);
+        assert_eq!(ds.labels(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_comments() {
+        let ds = parse("\n# header comment\n+1 1:1 # trailing\n\n-1 1:2\n", None).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn label_variants() {
+        let ds = parse("1 1:1\n0 1:1\n+1 1:1\n-1 1:1\n2.0 1:1\n", None).unwrap();
+        assert_eq!(ds.labels(), &[1.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn forced_dimension() {
+        let ds = parse("+1 1:1\n", Some(68)).unwrap();
+        assert_eq!(ds.num_features(), 68);
+        assert!(parse("+1 70:1\n", Some(68)).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(parse("", None), Err(DataError::Empty)));
+        assert!(parse("+1 junk\n", None).is_err());
+        assert!(parse("+1 0:1\n", None).is_err());
+        assert!(parse("+1 2:1 1:1\n", None).is_err()); // non-increasing
+        assert!(parse("+1 1:abc\n", None).is_err());
+        assert!(parse("?? 1:1\n", None).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse("+1 1:1\n-1 bad\n", None).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_dense() {
+        let ds = parse("+1 1:0.25 2:-1 3:4\n-1 2:0.5\n", None).unwrap();
+        let text = serialize(&ds);
+        let back = parse(&text, Some(ds.num_features())).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn parse_file_missing_is_io_error() {
+        let err = parse_file("/nonexistent/definitely-missing.libsvm", None).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-10.0..10.0f64, 4),
+                1..20,
+            ),
+            labels in proptest::collection::vec(proptest::bool::ANY, 20),
+        ) {
+            // Quantize features so text round-trip is exact.
+            let rows: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| r.iter().map(|x| (x * 4.0).round() / 4.0).collect())
+                .collect();
+            let n = rows.len();
+            let m = Matrix::from_rows(&rows).unwrap();
+            let labels: Vec<f64> = labels.iter().take(n).map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            let ds = Dataset::new(m, labels).unwrap();
+            let back = parse(&serialize(&ds), Some(4)).unwrap();
+            prop_assert_eq!(back, ds);
+        }
+    }
+}

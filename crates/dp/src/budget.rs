@@ -1,0 +1,134 @@
+//! The `(ε, δ)` privacy budget.
+
+use crate::DpError;
+use serde::{Deserialize, Serialize};
+
+/// A per-step differential-privacy budget `(ε, δ)`.
+///
+/// Construction accepts any `ε > 0` and `δ ∈ (0, 1)`; the *classical
+/// Gaussian mechanism* additionally requires `ε < 1` (the paper assumes
+/// `(ε, δ) ∈ (0,1)²` throughout, Remark 3), which
+/// [`PrivacyBudget::is_classical_gaussian_valid`] checks and the Gaussian
+/// constructor enforces.
+///
+/// # Example
+///
+/// ```
+/// use dpbyz_dp::PrivacyBudget;
+///
+/// let b = PrivacyBudget::new(0.2, 1e-6).unwrap();
+/// assert!(b.is_classical_gaussian_valid());
+/// assert!(PrivacyBudget::new(-1.0, 1e-6).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget, validating `ε > 0` (finite) and `δ ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::InvalidEpsilon`] / [`DpError::InvalidDelta`] on violation.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, DpError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(DpError::InvalidEpsilon {
+                value: epsilon,
+                expected: "(0, inf)",
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(DpError::InvalidDelta {
+                value: delta,
+                expected: "(0, 1)",
+            });
+        }
+        Ok(PrivacyBudget { epsilon, delta })
+    }
+
+    /// The privacy parameter ε (privacy/utility trade-off knob).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The failure parameter δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Whether `(ε, δ) ∈ (0,1)²`, the validity domain of the classical
+    /// Gaussian mechanism calibration (and the paper's standing assumption).
+    pub fn is_classical_gaussian_valid(&self) -> bool {
+        self.epsilon < 1.0 && self.delta < 1.0
+    }
+
+    /// The constant `C = ε / √(ln(1.25/δ))` from the paper's Table 1
+    /// conditions — "negligible w.r.t. b and d" for budgets in `(0,1)²`.
+    pub fn c_constant(&self) -> f64 {
+        self.epsilon / (1.25 / self.delta).ln().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accepts_paper_budget() {
+        // The experimental budget of §5.1: ε = 0.2, δ = 1e-6.
+        let b = PrivacyBudget::new(0.2, 1e-6).unwrap();
+        assert_eq!(b.epsilon(), 0.2);
+        assert_eq!(b.delta(), 1e-6);
+        assert!(b.is_classical_gaussian_valid());
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(matches!(
+            PrivacyBudget::new(0.0, 1e-6),
+            Err(DpError::InvalidEpsilon { .. })
+        ));
+        assert!(PrivacyBudget::new(-0.5, 1e-6).is_err());
+        assert!(PrivacyBudget::new(f64::NAN, 1e-6).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY, 1e-6).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        assert!(matches!(
+            PrivacyBudget::new(0.2, 0.0),
+            Err(DpError::InvalidDelta { .. })
+        ));
+        assert!(PrivacyBudget::new(0.2, 1.0).is_err());
+        assert!(PrivacyBudget::new(0.2, -0.1).is_err());
+    }
+
+    #[test]
+    fn large_epsilon_allowed_but_not_classical() {
+        let b = PrivacyBudget::new(5.0, 1e-6).unwrap();
+        assert!(!b.is_classical_gaussian_valid());
+    }
+
+    #[test]
+    fn c_constant_matches_formula() {
+        let b = PrivacyBudget::new(0.2, 1e-6).unwrap();
+        let expected = 0.2 / (1.25f64 / 1e-6).ln().sqrt();
+        assert!((b.c_constant() - expected).abs() < 1e-15);
+        // For the paper's budgets C << 1.
+        assert!(b.c_constant() < 0.06);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_valid_budgets_roundtrip(e in 1e-6..0.999f64, d in 1e-12..0.999f64) {
+            let b = PrivacyBudget::new(e, d).unwrap();
+            prop_assert_eq!(b.epsilon(), e);
+            prop_assert_eq!(b.delta(), d);
+            prop_assert!(b.is_classical_gaussian_valid());
+            prop_assert!(b.c_constant() > 0.0);
+        }
+    }
+}

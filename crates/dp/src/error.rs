@@ -1,0 +1,67 @@
+//! Error type for DP configuration.
+
+use std::fmt;
+
+/// Errors produced while configuring privacy mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// `ε` out of the accepted range.
+    InvalidEpsilon {
+        /// Supplied value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"(0, 1)"`.
+        expected: &'static str,
+    },
+    /// `δ` out of the accepted range.
+    InvalidDelta {
+        /// Supplied value.
+        value: f64,
+        /// Human-readable constraint.
+        expected: &'static str,
+    },
+    /// A sensitivity / clipping parameter was not positive.
+    InvalidSensitivity(f64),
+    /// A batch size of zero was supplied.
+    ZeroBatch,
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon { value, expected } => {
+                write!(f, "epsilon must be in {expected}, got {value}")
+            }
+            DpError::InvalidDelta { value, expected } => {
+                write!(f, "delta must be in {expected}, got {value}")
+            }
+            DpError::InvalidSensitivity(v) => {
+                write!(f, "sensitivity must be positive and finite, got {v}")
+            }
+            DpError::ZeroBatch => write!(f, "batch size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DpError::InvalidEpsilon {
+            value: 2.0,
+            expected: "(0, 1)",
+        };
+        assert!(e.to_string().contains("epsilon"));
+        assert!(DpError::InvalidDelta {
+            value: 2.0,
+            expected: "(0, 1)"
+        }
+        .to_string()
+        .contains("delta"));
+        assert!(DpError::InvalidSensitivity(-1.0).to_string().contains("-1"));
+        assert!(DpError::ZeroBatch.to_string().contains("batch"));
+    }
+}

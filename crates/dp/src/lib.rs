@@ -1,0 +1,42 @@
+//! Differential-privacy substrate for `dp-byz-sgd`.
+//!
+//! Implements the worker-local noise-injection scheme of the paper's §2.3:
+//! every honest worker clips its stochastic gradient to L2 norm `G_max`,
+//! then adds noise calibrated to the sensitivity of the batch-mean gradient
+//! map `h` (Eq. 4–5) before sending it to the honest-but-curious server.
+//!
+//! * [`PrivacyBudget`] — a validated per-step `(ε, δ)` pair.
+//! * [`GaussianMechanism`] — Eq. 6: `s = 2·G_max·√(2·ln(1.25/δ)) / (b·ε)`,
+//!   giving `(ε, δ)`-DP for `(ε, δ) ∈ (0,1)²`.
+//! * [`LaplaceMechanism`] — the ε-DP alternative mentioned in Remark 3.
+//! * [`NoNoise`] — the identity mechanism (the paper's no-DP baselines).
+//! * [`accountant`] — basic, advanced, and RDP (moments-accountant style)
+//!   composition across the `T` training steps.
+//!
+//! # Example
+//!
+//! ```
+//! use dpbyz_dp::{GaussianMechanism, Mechanism, PrivacyBudget};
+//! use dpbyz_tensor::{Prng, Vector};
+//!
+//! let budget = PrivacyBudget::new(0.2, 1e-6).unwrap();
+//! let mech = GaussianMechanism::for_clipped_gradients(budget, 0.01, 50).unwrap();
+//! let mut rng = Prng::seed_from_u64(0);
+//! let clipped = Vector::from(vec![0.005, -0.003]);
+//! let noisy = mech.perturb(&clipped, &mut rng);
+//! assert_eq!(noisy.dim(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accountant;
+pub mod amplification;
+mod budget;
+mod error;
+mod mechanism;
+pub mod sensitivity;
+
+pub use budget::PrivacyBudget;
+pub use error::DpError;
+pub use mechanism::{GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise};

@@ -1,0 +1,74 @@
+//! Sensitivity of the batch-mean gradient map.
+//!
+//! The map `h : ξ → (1/b)·Σ_j ∇Q(w, x_j)` (Eq. 4) is what each worker
+//! releases. Two batches are *adjacent* when they differ in at most one
+//! sample (the paper's §2.3 definition); with every per-sample gradient
+//! clipped to L2 norm `g_max`, replacing one sample moves the mean by at
+//! most `2·g_max / b` in L2 (Eq. 5's bound `Δh ≤ 2·G_max/b`).
+
+use crate::DpError;
+
+/// L2 sensitivity of the clipped batch-mean gradient: `2·g_max / b`.
+///
+/// # Errors
+///
+/// [`DpError::InvalidSensitivity`] if `g_max` is not positive/finite,
+/// [`DpError::ZeroBatch`] if `batch_size == 0`.
+pub fn l2_clipped_mean(g_max: f64, batch_size: usize) -> Result<f64, DpError> {
+    if !(g_max > 0.0 && g_max.is_finite()) {
+        return Err(DpError::InvalidSensitivity(g_max));
+    }
+    if batch_size == 0 {
+        return Err(DpError::ZeroBatch);
+    }
+    Ok(2.0 * g_max / batch_size as f64)
+}
+
+/// L1 sensitivity of the clipped batch-mean gradient in dimension `d`:
+/// `2·g_max·√d / b` (via `‖v‖₁ ≤ √d·‖v‖₂`). This is what the Laplace
+/// mechanism must be calibrated to — note the extra `√d`, which is why
+/// Laplace noise makes the paper's dimensionality problem *worse*.
+///
+/// # Errors
+///
+/// Same as [`l2_clipped_mean`].
+pub fn l1_clipped_mean(g_max: f64, batch_size: usize, dim: usize) -> Result<f64, DpError> {
+    Ok(l2_clipped_mean(g_max, batch_size)? * (dim as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_formula() {
+        // Paper's experimental setting: G_max = 0.01, b = 50.
+        let s = l2_clipped_mean(0.01, 50).unwrap();
+        assert!((s - 0.0004).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l2_shrinks_with_batch() {
+        let s10 = l2_clipped_mean(1.0, 10).unwrap();
+        let s100 = l2_clipped_mean(1.0, 100).unwrap();
+        assert!((s10 / s100 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_carries_sqrt_d() {
+        let l2 = l2_clipped_mean(0.5, 20).unwrap();
+        let l1 = l1_clipped_mean(0.5, 20, 64).unwrap();
+        assert!((l1 - 8.0 * l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(matches!(
+            l2_clipped_mean(0.0, 10),
+            Err(DpError::InvalidSensitivity(_))
+        ));
+        assert!(l2_clipped_mean(-1.0, 10).is_err());
+        assert!(l2_clipped_mean(f64::NAN, 10).is_err());
+        assert!(matches!(l2_clipped_mean(1.0, 0), Err(DpError::ZeroBatch)));
+    }
+}

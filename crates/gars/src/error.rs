@@ -1,0 +1,62 @@
+//! Error type for aggregation.
+
+use std::fmt;
+
+/// Errors produced by gradient aggregation rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GarError {
+    /// No gradients (or zero-dimensional gradients) were submitted.
+    Empty,
+    /// Gradients have inconsistent dimensions.
+    DimensionMismatch {
+        /// Dimension of the first gradient.
+        expected: usize,
+        /// Offending dimension.
+        actual: usize,
+    },
+    /// The assumed number of Byzantine workers exceeds the rule's tolerance.
+    TooManyByzantine {
+        /// Total number of workers.
+        n: usize,
+        /// Assumed Byzantine count.
+        f: usize,
+        /// Maximum tolerated by this rule at this `n`.
+        max: usize,
+    },
+}
+
+impl fmt::Display for GarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GarError::Empty => write!(f, "no gradients to aggregate"),
+            GarError::DimensionMismatch { expected, actual } => {
+                write!(f, "gradient dimension mismatch: {expected} vs {actual}")
+            }
+            GarError::TooManyByzantine { n, f: fa, max } => write!(
+                f,
+                "f = {fa} Byzantine workers among n = {n} exceeds this rule's tolerance ({max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GarError::Empty.to_string().contains("no gradients"));
+        assert!(GarError::DimensionMismatch {
+            expected: 2,
+            actual: 3
+        }
+        .to_string()
+        .contains("2 vs 3"));
+        let e = GarError::TooManyByzantine { n: 11, f: 6, max: 5 };
+        assert!(e.to_string().contains("f = 6"));
+        assert!(e.to_string().contains("tolerance (5)"));
+    }
+}

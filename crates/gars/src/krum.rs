@@ -1,0 +1,280 @@
+//! Krum and Multi-Krum (Blanchard et al., NeurIPS 2017).
+
+use crate::{check_input, Gar, GarError};
+use dpbyz_tensor::Vector;
+
+/// The Krum score of every gradient: the sum of squared distances to its
+/// `n − f − 2` nearest neighbours (excluding itself).
+pub(crate) fn krum_scores(gradients: &[Vector], f: usize) -> Vec<f64> {
+    let n = gradients.len();
+    let k = n - f - 2; // number of neighbours scored
+    let mut dist2 = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = gradients[i].l2_distance_squared(&gradients[j]);
+            dist2[i][j] = d;
+            dist2[j][i] = d;
+        }
+    }
+    (0..n)
+        .map(|i| {
+            let mut ds: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist2[i][j]).collect();
+            ds.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            ds[..k].iter().sum()
+        })
+        .collect()
+}
+
+/// Index of the minimal score, breaking exact ties by lexicographic
+/// comparison of the gradient coordinates so the result is independent of
+/// submission order. Ties are structural, not exotic: with `k = 1`
+/// neighbour (the smallest tolerated pool), two mutually-nearest gradients
+/// share the same score — their mutual distance.
+pub(crate) fn canonical_argmin(scores: &[f64], gradients: &[Vector]) -> usize {
+    let mut best = 0;
+    for i in 1..scores.len() {
+        let ord = scores[i]
+            .partial_cmp(&scores[best])
+            .expect("finite scores");
+        if ord == std::cmp::Ordering::Less
+            || (ord == std::cmp::Ordering::Equal && lex_less(&gradients[i], &gradients[best]))
+        {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Lexicographic strict order on coordinates.
+pub(crate) fn lex_less(a: &Vector, b: &Vector) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return true;
+        }
+        if x > y {
+            return false;
+        }
+    }
+    false
+}
+
+/// Requires `n ≥ 2f + 3` (so that `n − 2f − 2 ≥ 1`).
+fn check_tolerance(n: usize, f: usize) -> Result<(), GarError> {
+    if n < 2 * f + 3 {
+        return Err(GarError::TooManyByzantine {
+            n,
+            f,
+            max: n.saturating_sub(3) / 2,
+        });
+    }
+    Ok(())
+}
+
+/// `η(n, f) = n − f + (f(n−f−2) + f²(n−f−1)) / (n − 2f − 2)` — the constant
+/// in Krum's (and Bulyan's) VN bound `κ = 1/√(2η)`.
+pub(crate) fn eta(n: usize, f: usize) -> f64 {
+    let (nf, ff) = (n as f64, f as f64);
+    nf - ff + (ff * (nf - ff - 2.0) + ff * ff * (nf - ff - 1.0)) / (nf - 2.0 * ff - 2.0)
+}
+
+/// Krum: selects the single gradient with the smallest Krum score.
+///
+/// # Example
+///
+/// ```
+/// use dpbyz_gars::{Gar, Krum};
+/// use dpbyz_tensor::Vector;
+///
+/// let grads: Vec<Vector> = (0..7)
+///     .map(|i| Vector::from(vec![i as f64 * 0.01]))
+///     .chain(std::iter::once(Vector::from(vec![1000.0])))
+///     .collect();
+/// let out = Krum::new().aggregate(&grads, 2).unwrap();
+/// assert!(out[0] < 1.0); // the outlier is never selected
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Krum;
+
+impl Krum {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        Krum
+    }
+}
+
+impl Gar for Krum {
+    fn name(&self) -> &'static str {
+        "krum"
+    }
+
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        check_input(gradients)?;
+        check_tolerance(gradients.len(), f)?;
+        let scores = krum_scores(gradients, f);
+        let best = canonical_argmin(&scores, gradients);
+        Ok(gradients[best].clone())
+    }
+
+    fn kappa(&self, n: usize, f: usize) -> Option<f64> {
+        if f == 0 || check_tolerance(n, f).is_err() {
+            return None;
+        }
+        Some(1.0 / (2.0 * eta(n, f)).sqrt())
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        n.saturating_sub(3) / 2
+    }
+}
+
+/// Multi-Krum: averages the `m` gradients with the smallest Krum scores
+/// (`m = n − f` here, the usual choice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiKrum;
+
+impl MultiKrum {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        MultiKrum
+    }
+}
+
+impl Gar for MultiKrum {
+    fn name(&self) -> &'static str {
+        "multi-krum"
+    }
+
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        check_input(gradients)?;
+        check_tolerance(gradients.len(), f)?;
+        let n = gradients.len();
+        let m = n - f;
+        let scores = krum_scores(gradients, f);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("finite scores")
+                .then_with(|| {
+                    if lex_less(&gradients[a], &gradients[b]) {
+                        std::cmp::Ordering::Less
+                    } else if lex_less(&gradients[b], &gradients[a]) {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+        });
+        let selected: Vec<Vector> = order[..m].iter().map(|&i| gradients[i].clone()).collect();
+        Ok(Vector::mean(&selected).expect("m >= 1"))
+    }
+
+    fn kappa(&self, n: usize, f: usize) -> Option<f64> {
+        Krum.kappa(n, f)
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        Krum.max_byzantine(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbyz_tensor::Prng;
+
+    fn honest_cluster(rng: &mut Prng, n: usize, dim: usize) -> Vec<Vector> {
+        (0..n).map(|_| rng.normal_vector(dim, 0.1)).collect()
+    }
+
+    #[test]
+    fn output_is_one_of_the_inputs() {
+        let mut rng = Prng::seed_from_u64(1);
+        let grads = honest_cluster(&mut rng, 9, 3);
+        let out = Krum::new().aggregate(&grads, 2).unwrap();
+        assert!(grads.iter().any(|g| g == &out));
+    }
+
+    #[test]
+    fn never_selects_far_outlier() {
+        let mut rng = Prng::seed_from_u64(2);
+        for _ in 0..20 {
+            let mut grads = honest_cluster(&mut rng, 7, 3);
+            grads.push(Vector::filled(3, 500.0));
+            grads.push(Vector::filled(3, -500.0));
+            let out = Krum::new().aggregate(&grads, 2).unwrap();
+            assert!(out.l2_norm() < 5.0);
+        }
+    }
+
+    #[test]
+    fn tolerance_boundary() {
+        // n = 2f + 3 is the minimum.
+        let grads = vec![Vector::zeros(1); 7];
+        assert!(Krum::new().aggregate(&grads, 2).is_ok());
+        assert!(matches!(
+            Krum::new().aggregate(&grads, 3),
+            Err(GarError::TooManyByzantine { .. })
+        ));
+        assert_eq!(Krum::new().max_byzantine(7), 2);
+        assert_eq!(Krum::new().max_byzantine(11), 4);
+    }
+
+    #[test]
+    fn eta_matches_hand_computation() {
+        // n = 11, f = 3: η = 8 + (3·6 + 9·7)/3 = 8 + 27 = 35.
+        assert!((eta(11, 3) - 35.0).abs() < 1e-12);
+        let k = Krum::new().kappa(11, 3).unwrap();
+        assert!((k - 1.0 / 70f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_none_for_zero_or_excess_f() {
+        assert!(Krum::new().kappa(11, 0).is_none());
+        assert!(Krum::new().kappa(11, 5).is_none());
+        assert!(Krum::new().kappa(11, 4).is_some());
+    }
+
+    #[test]
+    fn multi_krum_averages_good_subset() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut grads = honest_cluster(&mut rng, 9, 2);
+        grads.push(Vector::filled(2, 100.0));
+        let out = MultiKrum::new().aggregate(&grads, 1).unwrap();
+        assert!(out.l2_norm() < 12.0, "norm {}", out.l2_norm());
+        // Multi-Krum output is generally NOT one of the inputs.
+        assert_eq!(MultiKrum::new().name(), "multi-krum");
+    }
+
+    #[test]
+    fn multi_krum_equals_mean_without_byzantine_room() {
+        // With f = 0, m = n, Multi-Krum averages everything.
+        let grads = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![2.0]),
+            Vector::from(vec![3.0]),
+        ];
+        let out = MultiKrum::new().aggregate(&grads, 0).unwrap();
+        assert!((out[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn krum_scores_prefer_cluster_center() {
+        // Tight cluster at 0 plus one point at 10: the cluster points must
+        // all score lower than the outlier.
+        let mut grads = vec![
+            Vector::from(vec![0.0]),
+            Vector::from(vec![0.1]),
+            Vector::from(vec![-0.1]),
+            Vector::from(vec![0.05]),
+            Vector::from(vec![-0.05]),
+            Vector::from(vec![0.02]),
+        ];
+        grads.push(Vector::from(vec![10.0]));
+        let scores = krum_scores(&grads, 2);
+        let outlier_score = scores[6];
+        for s in &scores[..6] {
+            assert!(*s < outlier_score);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! MDA — Minimum-Diameter Averaging (El-Mhamdi et al. 2020).
+//!
+//! MDA returns the mean of the cardinality-`(n − f)` subset of gradients
+//! with the smallest diameter (`max` pairwise L2 distance). The paper's
+//! experiments use MDA because it has the *largest* known VN bound,
+//! `κ = (n − f)/(√8·f)` — the most noise-tolerant certified GAR — which
+//! makes its failure under DP noise (Fig. 2) the strongest demonstration of
+//! the antagonism.
+
+use crate::{check_input, Gar, GarError};
+use dpbyz_tensor::Vector;
+
+/// Exhaustive search is used while `C(n, n−f)` stays below this bound;
+/// beyond it MDA falls back to a 2-approximate heuristic.
+const EXACT_ENUMERATION_LIMIT: u128 = 200_000;
+
+/// Minimum-Diameter Averaging.
+///
+/// # Example
+///
+/// ```
+/// use dpbyz_gars::{Gar, Mda};
+/// use dpbyz_tensor::Vector;
+///
+/// let grads = vec![
+///     Vector::from(vec![0.0]),
+///     Vector::from(vec![0.1]),
+///     Vector::from(vec![-0.1]),
+///     Vector::from(vec![9.9]), // Byzantine
+/// ];
+/// let out = Mda::new().aggregate(&grads, 1).unwrap();
+/// assert!((out[0] - 0.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mda;
+
+impl Mda {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        Mda
+    }
+
+    /// Whether `(n, f)` will be solved exactly (subset enumeration) rather
+    /// than by the greedy 2-approximation.
+    pub fn is_exact(n: usize, f: usize) -> bool {
+        binomial(n, n.saturating_sub(f)) <= EXACT_ENUMERATION_LIMIT
+    }
+}
+
+fn check_tolerance(n: usize, f: usize) -> Result<(), GarError> {
+    // Need a strict majority of honest workers.
+    if 2 * f >= n {
+        return Err(GarError::TooManyByzantine {
+            n,
+            f,
+            max: n.saturating_sub(1) / 2,
+        });
+    }
+    Ok(())
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+        if acc > EXACT_ENUMERATION_LIMIT * 1000 {
+            return u128::MAX;
+        }
+    }
+    acc
+}
+
+/// Squared-distance table.
+fn distance_table(gradients: &[Vector]) -> Vec<Vec<f64>> {
+    let n = gradients.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = gradients[i].l2_distance_squared(&gradients[j]);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+/// Lexicographic strict order on coordinates — the canonical tie-break.
+/// Distinct subsets can share the exact minimal diameter (the same critical
+/// pair can realize the max in both), so "first found wins" would make the
+/// output depend on submission order.
+fn lex_less(a: &Vector, b: &Vector) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return true;
+        }
+        if x > y {
+            return false;
+        }
+    }
+    false
+}
+
+fn subset_mean(gradients: &[Vector], subset: &[usize]) -> Vector {
+    let chosen: Vec<Vector> = subset.iter().map(|&i| gradients[i].clone()).collect();
+    Vector::mean(&chosen).expect("subset non-empty")
+}
+
+/// Exact minimum-diameter subset via lexicographic combination enumeration.
+/// Returns the *mean* of the best subset; diameter ties are broken by the
+/// lexicographically smallest mean.
+fn exact_min_diameter_mean(
+    gradients: &[Vector],
+    dist2: &[Vec<f64>],
+    n: usize,
+    m: usize,
+) -> Vector {
+    let mut combo: Vec<usize> = (0..m).collect();
+    let mut best_mean = subset_mean(gradients, &combo);
+    let mut best_diam = subset_diameter(dist2, &combo);
+    loop {
+        // Advance to the next combination.
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return best_mean;
+            }
+            i -= 1;
+            if combo[i] != i + n - m {
+                break;
+            }
+            if i == 0 {
+                return best_mean;
+            }
+        }
+        combo[i] += 1;
+        for j in (i + 1)..m {
+            combo[j] = combo[j - 1] + 1;
+        }
+        let diam = subset_diameter(dist2, &combo);
+        if diam < best_diam {
+            best_diam = diam;
+            best_mean = subset_mean(gradients, &combo);
+        } else if diam == best_diam {
+            let mean = subset_mean(gradients, &combo);
+            if lex_less(&mean, &best_mean) {
+                best_mean = mean;
+            }
+        }
+    }
+}
+
+fn subset_diameter(dist2: &[Vec<f64>], subset: &[usize]) -> f64 {
+    let mut d: f64 = 0.0;
+    for (a, &i) in subset.iter().enumerate() {
+        for &j in &subset[a + 1..] {
+            d = d.max(dist2[i][j]);
+        }
+    }
+    d
+}
+
+/// Greedy 2-approximation: for every anchor `i`, take the `m` gradients
+/// nearest to `i` and measure that subset's diameter; keep the best subset.
+/// The optimal subset's diameter `D*` bounds each member's distance to the
+/// anchor it contains, so the best anchored subset has diameter ≤ 2·D*.
+/// Diameter ties are broken by the lexicographically smallest subset mean,
+/// as in the exact search.
+fn greedy_min_diameter_mean(
+    gradients: &[Vector],
+    dist2: &[Vec<f64>],
+    n: usize,
+    m: usize,
+) -> Vector {
+    let mut best: Option<(f64, Vector)> = None;
+    for anchor in 0..n {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            dist2[anchor][a]
+                .partial_cmp(&dist2[anchor][b])
+                .expect("finite distances")
+                .then_with(|| {
+                    if lex_less(&gradients[a], &gradients[b]) {
+                        std::cmp::Ordering::Less
+                    } else if lex_less(&gradients[b], &gradients[a]) {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+        });
+        let subset: Vec<usize> = order[..m].to_vec();
+        let diam = subset_diameter(dist2, &subset);
+        let replace = match &best {
+            None => true,
+            Some((d, mean)) => {
+                diam < *d || (diam == *d && lex_less(&subset_mean(gradients, &subset), mean))
+            }
+        };
+        if replace {
+            best = Some((diam, subset_mean(gradients, &subset)));
+        }
+    }
+    best.expect("n >= 1").1
+}
+
+impl Gar for Mda {
+    fn name(&self) -> &'static str {
+        "mda"
+    }
+
+    fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        check_input(gradients)?;
+        let n = gradients.len();
+        check_tolerance(n, f)?;
+        if f == 0 {
+            return Ok(Vector::mean(gradients).expect("non-empty"));
+        }
+        let m = n - f;
+        let dist2 = distance_table(gradients);
+        Ok(if Self::is_exact(n, f) {
+            exact_min_diameter_mean(gradients, &dist2, n, m)
+        } else {
+            greedy_min_diameter_mean(gradients, &dist2, n, m)
+        })
+    }
+
+    fn kappa(&self, n: usize, f: usize) -> Option<f64> {
+        if f == 0 || check_tolerance(n, f).is_err() {
+            return None;
+        }
+        Some((n - f) as f64 / (8f64.sqrt() * f as f64))
+    }
+
+    fn max_byzantine(&self, n: usize) -> usize {
+        n.saturating_sub(1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbyz_tensor::Prng;
+
+    #[test]
+    fn excludes_byzantine_cluster() {
+        // 6 honest near 0, 5 Byzantine near 100 (the paper's n=11, f=5).
+        let mut rng = Prng::seed_from_u64(1);
+        let mut grads: Vec<Vector> = (0..6).map(|_| rng.normal_vector(2, 0.1)).collect();
+        for _ in 0..5 {
+            grads.push(&Vector::filled(2, 100.0) + &rng.normal_vector(2, 0.1));
+        }
+        let out = Mda::new().aggregate(&grads, 5).unwrap();
+        assert!(out.l2_norm() < 1.0, "norm {}", out.l2_norm());
+    }
+
+    #[test]
+    fn output_is_subset_mean() {
+        // With an obvious outlier, MDA must equal the mean of the rest.
+        let grads = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![2.0]),
+            Vector::from(vec![3.0]),
+            Vector::from(vec![1000.0]),
+        ];
+        let out = Mda::new().aggregate(&grads, 1).unwrap();
+        assert!((out[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_zero_is_plain_mean() {
+        let grads = vec![Vector::from(vec![1.0]), Vector::from(vec![5.0])];
+        let out = Mda::new().aggregate(&grads, 0).unwrap();
+        assert_eq!(out[0], 3.0);
+    }
+
+    #[test]
+    fn tolerance_is_minority() {
+        let grads = vec![Vector::zeros(1); 11];
+        assert!(Mda::new().aggregate(&grads, 5).is_ok());
+        assert!(matches!(
+            Mda::new().aggregate(&grads, 6),
+            Err(GarError::TooManyByzantine { max: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn kappa_matches_formula() {
+        // n = 11, f = 5: κ = 6/(√8·5).
+        let k = Mda::new().kappa(11, 5).unwrap();
+        assert!((k - 6.0 / (8f64.sqrt() * 5.0)).abs() < 1e-12);
+        assert!(Mda::new().kappa(11, 0).is_none());
+        assert!(Mda::new().kappa(11, 6).is_none());
+    }
+
+    #[test]
+    fn exact_and_greedy_agree_on_clear_separation() {
+        // When honest/Byzantine clusters are well separated, the greedy
+        // heuristic must find the same subset mean as exhaustive search.
+        let mut rng = Prng::seed_from_u64(2);
+        let mut grads: Vec<Vector> = (0..8).map(|_| rng.normal_vector(3, 0.05)).collect();
+        for _ in 0..4 {
+            grads.push(&Vector::filled(3, 50.0) + &rng.normal_vector(3, 0.05));
+        }
+        let n = grads.len();
+        let m = n - 4;
+        let dist2 = distance_table(&grads);
+        let exact = exact_min_diameter_mean(&grads, &dist2, n, m);
+        let greedy = greedy_min_diameter_mean(&grads, &dist2, n, m);
+        assert!(exact.approx_eq(&greedy, 1e-12));
+        // And the chosen subset is the honest cluster.
+        let honest_mean = Vector::mean(&grads[..8]).unwrap();
+        assert!(exact.approx_eq(&honest_mean, 1e-12));
+    }
+
+    #[test]
+    fn greedy_output_stays_in_honest_hull_on_random_input() {
+        // The greedy mean must stay within the coordinate envelope of the
+        // inputs (it is a subset mean by construction).
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..30 {
+            let grads: Vec<Vector> = (0..10).map(|_| rng.normal_vector(2, 1.0)).collect();
+            let dist2 = distance_table(&grads);
+            let mean = greedy_min_diameter_mean(&grads, &dist2, 10, 6);
+            for j in 0..2 {
+                let lo = grads.iter().map(|g| g[j]).fold(f64::INFINITY, f64::min);
+                let hi = grads.iter().map(|g| g[j]).fold(f64::NEG_INFINITY, f64::max);
+                assert!(mean[j] >= lo && mean[j] <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_predicate() {
+        assert!(Mda::is_exact(11, 5)); // C(11,6) = 462
+        assert!(!Mda::is_exact(60, 25)); // astronomically many subsets
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(11, 6), 462);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 6), 0);
+    }
+}

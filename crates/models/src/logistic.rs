@@ -1,0 +1,209 @@
+//! Logistic regression — the paper's evaluation model (§5.1).
+
+use crate::Model;
+use dpbyz_data::Batch;
+use dpbyz_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable sigmoid `1 / (1 + e^{-z})`.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Training loss used on top of the sigmoid output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// `(σ(z) − y)²` — mean squared error on the sigmoid output. This is
+    /// what the paper trains with ("we use the mean square error as
+    /// training loss" on a logistic model).
+    SigmoidMse,
+    /// `−[y·ln σ(z) + (1−y)·ln(1−σ(z))]` — standard cross-entropy, included
+    /// for ablations.
+    CrossEntropy,
+}
+
+/// Logistic regression with bias: `p(x) = σ(<w, x> + b)`.
+///
+/// Parameter layout: `[w_1 … w_k, b]`, so `dim = num_features + 1` —
+/// the paper's phishing model has `d = 68 + 1 = 69`.
+///
+/// # Example
+///
+/// ```
+/// use dpbyz_models::{LogisticRegression, LossKind, Model};
+/// use dpbyz_tensor::Vector;
+///
+/// let m = LogisticRegression::new(2, LossKind::SigmoidMse);
+/// assert_eq!(m.dim(), 3);
+/// let p = m.predict(&Vector::zeros(3), &[1.0, -1.0]);
+/// assert_eq!(p, 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    num_features: usize,
+    loss: LossKind,
+}
+
+impl LogisticRegression {
+    /// Creates a model over `num_features` input features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_features == 0`.
+    pub fn new(num_features: usize, loss: LossKind) -> Self {
+        assert!(num_features > 0, "num_features must be positive");
+        LogisticRegression { num_features, loss }
+    }
+
+    /// The configured loss.
+    pub fn loss_kind(&self) -> LossKind {
+        self.loss
+    }
+
+    fn raw(&self, params: &Vector, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len(), self.num_features);
+        let w = params.as_slice();
+        let mut z = w[self.num_features]; // bias
+        for (wi, xi) in w[..self.num_features].iter().zip(features) {
+            z += wi * xi;
+        }
+        z
+    }
+}
+
+impl Model for LogisticRegression {
+    fn dim(&self) -> usize {
+        self.num_features + 1
+    }
+
+    fn loss(&self, params: &Vector, batch: &Batch) -> f64 {
+        assert!(!batch.is_empty(), "loss over an empty batch is undefined");
+        let mut total = 0.0;
+        for i in 0..batch.len() {
+            let (x, y) = batch.example(i);
+            let p = sigmoid(self.raw(params, x));
+            total += match self.loss {
+                LossKind::SigmoidMse => (p - y) * (p - y),
+                LossKind::CrossEntropy => {
+                    // Clamp avoids -inf on saturated predictions.
+                    let p = p.clamp(1e-12, 1.0 - 1e-12);
+                    -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+                }
+            };
+        }
+        total / batch.len() as f64
+    }
+
+    fn gradient(&self, params: &Vector, batch: &Batch) -> Vector {
+        assert!(
+            !batch.is_empty(),
+            "gradient over an empty batch is undefined"
+        );
+        let mut grad = Vector::zeros(self.dim());
+        let g = grad.as_mut_slice();
+        for i in 0..batch.len() {
+            let (x, y) = batch.example(i);
+            let p = sigmoid(self.raw(params, x));
+            // dL/dz for each loss; dσ/dz = σ(1−σ).
+            let dz = match self.loss {
+                LossKind::SigmoidMse => 2.0 * (p - y) * p * (1.0 - p),
+                LossKind::CrossEntropy => p - y,
+            };
+            for (j, &xj) in x.iter().enumerate() {
+                g[j] += dz * xj;
+            }
+            g[self.num_features] += dz;
+        }
+        grad.scale(1.0 / batch.len() as f64);
+        grad
+    }
+
+    fn predict(&self, params: &Vector, features: &[f64]) -> f64 {
+        sigmoid(self.raw(params, features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::finite_difference_gap;
+    use dpbyz_data::synthetic;
+    use dpbyz_tensor::Prng;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+        // Symmetry: σ(-z) = 1 - σ(z).
+        for z in [-3.0, -0.5, 0.7, 2.0] {
+            assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dim_includes_bias() {
+        let m = LogisticRegression::new(68, LossKind::SigmoidMse);
+        assert_eq!(m.dim(), 69);
+        assert_eq!(m.loss_kind(), LossKind::SigmoidMse);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_mse() {
+        let mut rng = Prng::seed_from_u64(1);
+        let ds = synthetic::phishing_like(&mut rng, 20);
+        let m = LogisticRegression::new(ds.num_features(), LossKind::SigmoidMse);
+        let params = rng.normal_vector(m.dim(), 0.5);
+        let gap = finite_difference_gap(&m, &params, &ds.full_batch(), 1e-5);
+        assert!(gap < 1e-7, "gap {gap}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_xent() {
+        let mut rng = Prng::seed_from_u64(2);
+        let ds = synthetic::phishing_like(&mut rng, 20);
+        let m = LogisticRegression::new(ds.num_features(), LossKind::CrossEntropy);
+        let params = rng.normal_vector(m.dim(), 0.5);
+        let gap = finite_difference_gap(&m, &params, &ds.full_batch(), 1e-5);
+        assert!(gap < 1e-6, "gap {gap}");
+    }
+
+    #[test]
+    fn zero_params_predict_half() {
+        let m = LogisticRegression::new(3, LossKind::SigmoidMse);
+        let p = m.predict(&Vector::zeros(4), &[0.2, -0.4, 1.0]);
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn gradient_descends_loss() {
+        let mut rng = Prng::seed_from_u64(3);
+        let ds = synthetic::phishing_like(&mut rng, 200);
+        let m = LogisticRegression::new(ds.num_features(), LossKind::SigmoidMse);
+        let batch = ds.full_batch();
+        let mut params = Vector::zeros(m.dim());
+        let l0 = m.loss(&params, &batch);
+        for _ in 0..50 {
+            let g = m.gradient(&params, &batch);
+            params.axpy(-2.0, &g);
+        }
+        let l1 = m.loss(&params, &batch);
+        assert!(l1 < l0, "loss did not decrease: {l0} -> {l1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        use dpbyz_tensor::Matrix;
+        let m = LogisticRegression::new(2, LossKind::SigmoidMse);
+        let empty = Batch::new(Matrix::zeros(0, 2), vec![]).unwrap();
+        let _ = m.loss(&Vector::zeros(3), &empty);
+    }
+}

@@ -1,0 +1,430 @@
+//! Training configuration.
+
+use crate::LrSchedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where momentum is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MomentumMode {
+    /// The server accumulates momentum on the aggregated gradient
+    /// (classical parameter-server SGD; the default, used to reproduce the
+    /// paper's figures).
+    Server,
+    /// Each honest worker accumulates momentum locally and submits the
+    /// momentum-ed vector (El-Mhamdi et al. 2021). Ablation only — note
+    /// that DP calibration then no longer matches the worker's submission
+    /// sensitivity (momentum accumulates the per-sample influence by up to
+    /// `1/(1 − m)`), which is itself an instructive failure mode.
+    Worker,
+}
+
+/// What the Byzantine coalition observes when forging gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackVisibility {
+    /// The honest *submissions* — post-noise under DP. Realistic: a
+    /// colluder cannot see through another worker's local randomizer.
+    Submitted,
+    /// The honest *pre-noise* gradients — the stronger, unrealistic
+    /// ablation.
+    PreNoise,
+}
+
+/// Dynamic batch-size growth — the "dynamic sampling" variance-reduction
+/// technique the paper's §7 suggests investigating. The batch at step `t`
+/// is `min(max, round(batch_size · factor^(t−1)))`.
+///
+/// DP note: the Gaussian mechanism stays calibrated for the *initial*
+/// batch size. Growth only shrinks the sensitivity (`Δ = 2·G_max/b_t ≤
+/// 2·G_max/b_1`), so the fixed noise keeps every step's `(ε, δ)` guarantee
+/// — conservatively (later steps are over-noised relative to a per-step
+/// recalibration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchGrowth {
+    /// Multiplicative growth per step (≥ 1).
+    pub factor: f64,
+    /// Cap on the per-step batch size.
+    pub max: usize,
+}
+
+/// Errors from configuration validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `n` must be at least 1 and `f < n`.
+    BadTopology {
+        /// Total workers.
+        n: usize,
+        /// Byzantine workers.
+        f: usize,
+    },
+    /// Batch size must be positive.
+    ZeroBatch,
+    /// Step count must be positive.
+    ZeroSteps,
+    /// Momentum must be in `[0, 1)`.
+    BadMomentum(f64),
+    /// Clipping threshold must be positive.
+    BadClip(f64),
+    /// Drop rate must be in `[0, 1)`.
+    BadDropRate(f64),
+    /// Gradient-EMA coefficient must be in `(0, 1)`.
+    BadEma(f64),
+    /// Batch-growth parameters must satisfy `factor ≥ 1` and
+    /// `max ≥ batch_size`.
+    BadBatchGrowth {
+        /// Offending factor.
+        factor: f64,
+        /// Offending cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadTopology { n, f: fa } => {
+                write!(f, "need n >= 1 and f < n, got n = {n}, f = {fa}")
+            }
+            ConfigError::ZeroBatch => write!(f, "batch size must be positive"),
+            ConfigError::ZeroSteps => write!(f, "step count must be positive"),
+            ConfigError::BadMomentum(m) => write!(f, "momentum must be in [0, 1), got {m}"),
+            ConfigError::BadClip(c) => write!(f, "clip threshold must be positive, got {c}"),
+            ConfigError::BadDropRate(r) => write!(f, "drop rate must be in [0, 1), got {r}"),
+            ConfigError::BadEma(b) => write!(f, "gradient EMA must be in (0, 1), got {b}"),
+            ConfigError::BadBatchGrowth { factor, max } => write!(
+                f,
+                "batch growth requires factor >= 1 and max >= batch_size, got factor {factor}, max {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Hyper-parameters of one distributed training run.
+///
+/// Defaults mirror the paper's §5.1: `n = 11`, `f = 5`, `b = 50`,
+/// `T = 1000`, `γ = 2` constant, momentum `0.99` at the server,
+/// `G_max = 10⁻²`, accuracy evaluated every 50 steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Total number of workers `n`.
+    pub n_workers: usize,
+    /// Upper bound `f` on Byzantine workers (also the count actually
+    /// spawned when an attack is configured).
+    pub n_byzantine: usize,
+    /// Batch size `b` per worker per step.
+    pub batch_size: usize,
+    /// Number of synchronous steps `T`.
+    pub steps: u32,
+    /// Learning-rate schedule `γ_t`.
+    pub lr: LrSchedule,
+    /// Momentum coefficient `m ∈ [0, 1)`.
+    pub momentum: f64,
+    /// Momentum placement.
+    pub momentum_mode: MomentumMode,
+    /// L2 clipping threshold `G_max` applied by every honest worker before
+    /// noising.
+    pub clip: f64,
+    /// Evaluate test accuracy every this many steps (0 = never).
+    pub eval_every: u32,
+    /// What the attacker observes.
+    pub attack_visibility: AttackVisibility,
+    /// Probability that an honest worker's submission is lost in a given
+    /// step; the server substitutes the zero vector, exactly as §2.1
+    /// prescribes for non-received gradients. 0 disables fault injection.
+    pub drop_rate: f64,
+    /// Server-side exponential moving average of the aggregated gradient
+    /// (bias-corrected), the "exponential gradient averaging"
+    /// variance-reduction idea of §7. `None` disables it.
+    pub gradient_ema: Option<f64>,
+    /// Dynamic batch-size growth (§7's "dynamic sampling"). `None` keeps
+    /// the batch constant.
+    pub batch_growth: Option<BatchGrowth>,
+}
+
+impl TrainingConfig {
+    /// Starts a builder pre-loaded with the paper's §5.1 defaults.
+    pub fn builder() -> TrainingConfigBuilder {
+        TrainingConfigBuilder::default()
+    }
+
+    /// Number of honest workers `n − f` when an attack is active.
+    pub fn n_honest(&self) -> usize {
+        self.n_workers - self.n_byzantine
+    }
+
+    /// The batch size at (1-based) step `t` under the configured growth
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn batch_at(&self, t: u32) -> usize {
+        assert!(t >= 1, "steps are 1-based");
+        match self.batch_growth {
+            None => self.batch_size,
+            Some(BatchGrowth { factor, max }) => {
+                let grown = self.batch_size as f64 * factor.powi(t as i32 - 1);
+                (grown.round() as usize).clamp(self.batch_size, max)
+            }
+        }
+    }
+}
+
+/// Builder for [`TrainingConfig`].
+#[derive(Debug, Clone)]
+pub struct TrainingConfigBuilder {
+    config: TrainingConfig,
+}
+
+impl Default for TrainingConfigBuilder {
+    fn default() -> Self {
+        TrainingConfigBuilder {
+            config: TrainingConfig {
+                n_workers: 11,
+                n_byzantine: 5,
+                batch_size: 50,
+                steps: 1000,
+                lr: LrSchedule::Constant(2.0),
+                momentum: 0.99,
+                momentum_mode: MomentumMode::Server,
+                clip: 1e-2,
+                eval_every: 50,
+                attack_visibility: AttackVisibility::Submitted,
+                drop_rate: 0.0,
+                gradient_ema: None,
+                batch_growth: None,
+            },
+        }
+    }
+}
+
+impl TrainingConfigBuilder {
+    /// Sets `n` total and `f` Byzantine workers.
+    pub fn workers(mut self, n: usize, f: usize) -> Self {
+        self.config.n_workers = n;
+        self.config.n_byzantine = f;
+        self
+    }
+
+    /// Sets the per-worker batch size `b`.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.config.batch_size = b;
+        self
+    }
+
+    /// Sets the number of steps `T`.
+    pub fn steps(mut self, t: u32) -> Self {
+        self.config.steps = t;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    pub fn lr(mut self, lr: LrSchedule) -> Self {
+        self.config.lr = lr;
+        self
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn momentum(mut self, m: f64) -> Self {
+        self.config.momentum = m;
+        self
+    }
+
+    /// Sets the momentum placement.
+    pub fn momentum_mode(mut self, mode: MomentumMode) -> Self {
+        self.config.momentum_mode = mode;
+        self
+    }
+
+    /// Sets the clipping threshold `G_max`.
+    pub fn clip(mut self, g_max: f64) -> Self {
+        self.config.clip = g_max;
+        self
+    }
+
+    /// Sets the accuracy evaluation period (0 disables evaluation).
+    pub fn eval_every(mut self, period: u32) -> Self {
+        self.config.eval_every = period;
+        self
+    }
+
+    /// Sets the attacker's observation model.
+    pub fn attack_visibility(mut self, v: AttackVisibility) -> Self {
+        self.config.attack_visibility = v;
+        self
+    }
+
+    /// Sets the per-step submission drop probability (fault injection).
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.config.drop_rate = rate;
+        self
+    }
+
+    /// Enables server-side gradient EMA with coefficient `beta`.
+    pub fn gradient_ema(mut self, beta: f64) -> Self {
+        self.config.gradient_ema = Some(beta);
+        self
+    }
+
+    /// Enables dynamic batch growth.
+    pub fn batch_growth(mut self, factor: f64, max: usize) -> Self {
+        self.config.batch_growth = Some(BatchGrowth { factor, max });
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`].
+    pub fn build(self) -> Result<TrainingConfig, ConfigError> {
+        let c = self.config;
+        if c.n_workers == 0 || c.n_byzantine >= c.n_workers {
+            return Err(ConfigError::BadTopology {
+                n: c.n_workers,
+                f: c.n_byzantine,
+            });
+        }
+        if c.batch_size == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if c.steps == 0 {
+            return Err(ConfigError::ZeroSteps);
+        }
+        if !(0.0..1.0).contains(&c.momentum) {
+            return Err(ConfigError::BadMomentum(c.momentum));
+        }
+        if !(c.clip > 0.0 && c.clip.is_finite()) {
+            return Err(ConfigError::BadClip(c.clip));
+        }
+        if !(0.0..1.0).contains(&c.drop_rate) {
+            return Err(ConfigError::BadDropRate(c.drop_rate));
+        }
+        if let Some(beta) = c.gradient_ema {
+            if !(beta > 0.0 && beta < 1.0) {
+                return Err(ConfigError::BadEma(beta));
+            }
+        }
+        if let Some(BatchGrowth { factor, max }) = c.batch_growth {
+            if !(factor >= 1.0 && factor.is_finite()) || max < c.batch_size {
+                return Err(ConfigError::BadBatchGrowth { factor, max });
+            }
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TrainingConfig::builder().build().unwrap();
+        assert_eq!(c.n_workers, 11);
+        assert_eq!(c.n_byzantine, 5);
+        assert_eq!(c.batch_size, 50);
+        assert_eq!(c.steps, 1000);
+        assert_eq!(c.lr, LrSchedule::Constant(2.0));
+        assert_eq!(c.momentum, 0.99);
+        assert_eq!(c.clip, 1e-2);
+        assert_eq!(c.eval_every, 50);
+        assert_eq!(c.n_honest(), 6);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = TrainingConfig::builder()
+            .workers(7, 2)
+            .batch_size(10)
+            .steps(100)
+            .momentum(0.0)
+            .momentum_mode(MomentumMode::Worker)
+            .clip(1.0)
+            .eval_every(0)
+            .lr(LrSchedule::InvT { gamma0: 1.0 })
+            .attack_visibility(AttackVisibility::PreNoise)
+            .build()
+            .unwrap();
+        assert_eq!(c.n_workers, 7);
+        assert_eq!(c.momentum_mode, MomentumMode::Worker);
+        assert_eq!(c.attack_visibility, AttackVisibility::PreNoise);
+    }
+
+    #[test]
+    fn batch_at_schedule() {
+        let constant = TrainingConfig::builder().build().unwrap();
+        assert_eq!(constant.batch_at(1), 50);
+        assert_eq!(constant.batch_at(1000), 50);
+
+        let growing = TrainingConfig::builder()
+            .batch_size(10)
+            .batch_growth(1.1, 100)
+            .build()
+            .unwrap();
+        assert_eq!(growing.batch_at(1), 10);
+        assert_eq!(growing.batch_at(2), 11);
+        assert!(growing.batch_at(20) > growing.batch_at(10));
+        assert_eq!(growing.batch_at(200), 100); // capped
+    }
+
+    #[test]
+    fn extension_validation() {
+        assert!(matches!(
+            TrainingConfig::builder().drop_rate(1.0).build(),
+            Err(ConfigError::BadDropRate(_))
+        ));
+        assert!(TrainingConfig::builder().drop_rate(0.3).build().is_ok());
+        assert!(matches!(
+            TrainingConfig::builder().gradient_ema(1.0).build(),
+            Err(ConfigError::BadEma(_))
+        ));
+        assert!(TrainingConfig::builder().gradient_ema(0.9).build().is_ok());
+        assert!(matches!(
+            TrainingConfig::builder().batch_growth(0.5, 100).build(),
+            Err(ConfigError::BadBatchGrowth { .. })
+        ));
+        assert!(matches!(
+            TrainingConfig::builder().batch_size(50).batch_growth(1.1, 10).build(),
+            Err(ConfigError::BadBatchGrowth { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(matches!(
+            TrainingConfig::builder().workers(5, 5).build(),
+            Err(ConfigError::BadTopology { .. })
+        ));
+        assert!(matches!(
+            TrainingConfig::builder().workers(0, 0).build(),
+            Err(ConfigError::BadTopology { .. })
+        ));
+        assert!(matches!(
+            TrainingConfig::builder().batch_size(0).build(),
+            Err(ConfigError::ZeroBatch)
+        ));
+        assert!(matches!(
+            TrainingConfig::builder().steps(0).build(),
+            Err(ConfigError::ZeroSteps)
+        ));
+        assert!(matches!(
+            TrainingConfig::builder().momentum(1.0).build(),
+            Err(ConfigError::BadMomentum(_))
+        ));
+        assert!(matches!(
+            TrainingConfig::builder().clip(0.0).build(),
+            Err(ConfigError::BadClip(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ConfigError::BadTopology { n: 5, f: 5 }
+            .to_string()
+            .contains("n = 5"));
+        assert!(ConfigError::BadMomentum(1.5).to_string().contains("1.5"));
+    }
+}

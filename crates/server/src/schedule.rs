@@ -1,0 +1,83 @@
+//! Learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// The step size `γ_t` used by the server update `w ← w − γ_t·F(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed rate — the paper's experiments use `γ = 2` (§5.1).
+    Constant(f64),
+    /// `γ_t = gamma0 / t` — the `1/(λ(1−sin α)·t)` schedule Theorem 1
+    /// requires (fold the constants into `gamma0`).
+    InvT {
+        /// Numerator `γ₀`.
+        gamma0: f64,
+    },
+    /// `γ_t = initial · decay^(t / period)` — staircase decay.
+    Step {
+        /// Rate during the first period.
+        initial: f64,
+        /// Multiplicative factor per period.
+        decay: f64,
+        /// Period length in steps.
+        period: u32,
+    },
+}
+
+impl LrSchedule {
+    /// The rate at (1-based) step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn at(&self, t: u32) -> f64 {
+        assert!(t >= 1, "steps are 1-based");
+        match *self {
+            LrSchedule::Constant(g) => g,
+            LrSchedule::InvT { gamma0 } => gamma0 / t as f64,
+            LrSchedule::Step {
+                initial,
+                decay,
+                period,
+            } => initial * decay.powi(((t - 1) / period) as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(2.0);
+        assert_eq!(s.at(1), 2.0);
+        assert_eq!(s.at(1000), 2.0);
+    }
+
+    #[test]
+    fn inv_t_decays() {
+        let s = LrSchedule::InvT { gamma0: 1.0 };
+        assert_eq!(s.at(1), 1.0);
+        assert_eq!(s.at(4), 0.25);
+    }
+
+    #[test]
+    fn step_decays_by_period() {
+        let s = LrSchedule::Step {
+            initial: 1.0,
+            decay: 0.5,
+            period: 10,
+        };
+        assert_eq!(s.at(1), 1.0);
+        assert_eq!(s.at(10), 1.0);
+        assert_eq!(s.at(11), 0.5);
+        assert_eq!(s.at(21), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_step_panics() {
+        LrSchedule::Constant(1.0).at(0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The multi-threaded training engine: one OS thread per honest worker,
+//! crossbeam channels carrying the serialized wire format.
+//!
+//! Produces histories **bit-identical** to [`Trainer`](crate::Trainer):
+//! both engines share [`ServerCore`](crate::trainer::ServerCore) and the
+//! RNG-stream derivation, and the server collects submissions in worker-id
+//! order regardless of thread scheduling.
+
+use crate::config::MomentumMode;
+use crate::message::GradientMessage;
+use crate::metrics::RunHistory;
+use crate::trainer::{derive_streams, ServerCore, Trainer};
+use crate::worker::{HonestWorker, WorkerOutput};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dpbyz_gars::GarError;
+use dpbyz_tensor::Vector;
+
+/// One round-trip of the worker protocol.
+enum Command {
+    /// Compute step `t` against the broadcast parameters with the given
+    /// per-step batch size (dynamic under batch growth).
+    Step {
+        t: u32,
+        params: Vector,
+        batch_size: usize,
+    },
+    /// Shut down.
+    Stop,
+}
+
+/// What a worker thread returns each round: the submitted gradient as an
+/// integrity-tagged wire frame, plus the simulator-only diagnostics that
+/// never cross the real network.
+struct RoundReply {
+    frame: Bytes,
+    pre_noise: Vector,
+    batch_loss: f64,
+}
+
+/// Multi-threaded engine wrapping a [`Trainer`] specification.
+///
+/// # Example
+///
+/// See the crate-level example — replace `Trainer::run` with
+/// `ThreadedTrainer::from(trainer).run(seed)` for the same result.
+pub struct ThreadedTrainer {
+    inner: Trainer,
+}
+
+impl From<Trainer> for ThreadedTrainer {
+    fn from(inner: Trainer) -> Self {
+        ThreadedTrainer { inner }
+    }
+}
+
+impl ThreadedTrainer {
+    /// Runs the full training on one thread per honest worker.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trainer::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread dies or a wire frame fails its integrity
+    /// check (both indicate simulator bugs, not run-time conditions).
+    pub fn run(self, seed: u64) -> Result<RunHistory, GarError> {
+        let trainer = self.inner;
+        let config = trainer.config;
+        let n = config.n_workers;
+        let (mut init_rng, worker_rngs, attack_rng, fault_rng) = derive_streams(seed, n);
+
+        let n_honest = if trainer.attack.is_some() {
+            config.n_honest()
+        } else {
+            n
+        };
+        let worker_momentum = match config.momentum_mode {
+            MomentumMode::Worker => config.momentum,
+            MomentumMode::Server => 0.0,
+        };
+
+        let params = trainer.model.init_params(&mut init_rng);
+        let mut core = ServerCore::new(
+            config.clone(),
+            trainer.model.clone(),
+            trainer.gar,
+            trainer.attack,
+            trainer.test,
+            params,
+            attack_rng,
+            fault_rng,
+        );
+
+        // Wire up one (command, reply) channel pair per honest worker.
+        let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n_honest);
+        let mut reply_rxs: Vec<Receiver<RoundReply>> = Vec::with_capacity(n_honest);
+        let mut handles = Vec::with_capacity(n_honest);
+
+        for (i, (source, rng)) in trainer
+            .sources
+            .into_iter()
+            .zip(worker_rngs)
+            .take(n_honest)
+            .enumerate()
+        {
+            let (cmd_tx, cmd_rx) = bounded::<Command>(1);
+            let (reply_tx, reply_rx) = bounded::<RoundReply>(1);
+            let mut worker = HonestWorker::new(
+                i as u32,
+                trainer.model.clone(),
+                source,
+                trainer.mechanism.clone(),
+                config.clip,
+                worker_momentum,
+                rng,
+            );
+            let handle = std::thread::spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        Command::Step {
+                            t,
+                            params,
+                            batch_size,
+                        } => {
+                            let out = worker.compute(&params, batch_size);
+                            let frame =
+                                GradientMessage::new(worker.id(), t, out.submitted).encode();
+                            let reply = RoundReply {
+                                frame,
+                                pre_noise: out.pre_noise,
+                                batch_loss: out.batch_loss,
+                            };
+                            if reply_tx.send(reply).is_err() {
+                                break;
+                            }
+                        }
+                        Command::Stop => break,
+                    }
+                }
+            });
+            cmd_txs.push(cmd_tx);
+            reply_rxs.push(reply_rx);
+            handles.push(handle);
+        }
+
+        let mut result = Ok(());
+        'training: for t in 1..=config.steps {
+            let params = core.params().clone();
+            let batch_size = config.batch_at(t);
+            for tx in &cmd_txs {
+                tx.send(Command::Step {
+                    t,
+                    params: params.clone(),
+                    batch_size,
+                })
+                .expect("worker thread alive");
+            }
+            // Collect in worker-id order: determinism independent of
+            // scheduling.
+            let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(n_honest);
+            for rx in &reply_rxs {
+                let reply = rx.recv().expect("worker thread alive");
+                let msg = GradientMessage::decode(reply.frame)
+                    .expect("wire integrity verified");
+                debug_assert_eq!(msg.step, t);
+                outputs.push(WorkerOutput {
+                    pre_noise: reply.pre_noise,
+                    submitted: msg.gradient,
+                    batch_loss: reply.batch_loss,
+                });
+            }
+            if let Err(e) = core.process_round(t, &outputs) {
+                result = Err(e);
+                break 'training;
+            }
+        }
+
+        for tx in &cmd_txs {
+            let _ = tx.send(Command::Stop);
+        }
+        drop(cmd_txs);
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+
+        result.map(|()| core.finish(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingConfig;
+    use dpbyz_attacks::FallOfEmpires;
+    use dpbyz_data::sampler::{BatchSource, DatasetSource, SamplingMode};
+    use dpbyz_data::synthetic;
+    use dpbyz_dp::GaussianMechanism;
+    use dpbyz_gars::Mda;
+    use dpbyz_models::{LogisticRegression, LossKind};
+    use dpbyz_tensor::Prng;
+    use std::sync::Arc;
+
+    fn build(n: usize, f: usize, steps: u32) -> (Trainer, Trainer) {
+        let mut rng = Prng::seed_from_u64(11);
+        let ds = Arc::new(synthetic::phishing_like(&mut rng, 500));
+        let (train, test) = ds.split(0.8, &mut rng).unwrap();
+        let (train, test) = (Arc::new(train), Arc::new(test));
+        let model = Arc::new(LogisticRegression::new(68, LossKind::SigmoidMse));
+        let config = TrainingConfig::builder()
+            .workers(n, f)
+            .batch_size(10)
+            .steps(steps)
+            .eval_every(5)
+            .build()
+            .unwrap();
+        let mk = |cfg: &TrainingConfig| {
+            let sources: Vec<Box<dyn BatchSource>> = (0..n)
+                .map(|_| {
+                    Box::new(DatasetSource::new(
+                        train.clone(),
+                        SamplingMode::WithReplacement,
+                    )) as Box<dyn BatchSource>
+                })
+                .collect();
+            Trainer::new(cfg.clone(), model.clone(), sources, Some(test.clone()))
+        };
+        (mk(&config), mk(&config))
+    }
+
+    #[test]
+    fn threaded_matches_sequential_honest() {
+        let (seq, thr) = build(4, 0, 25);
+        let a = seq.run(3).unwrap();
+        let b = ThreadedTrainer::from(thr).run(3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_under_attack_and_noise() {
+        let (seq, thr) = build(11, 5, 15);
+        let mech = Arc::new(GaussianMechanism::with_sigma(0.01).unwrap());
+        let seq = seq
+            .gar(Arc::new(Mda::new()))
+            .mechanism(mech.clone())
+            .attack(Arc::new(FallOfEmpires::default()));
+        let thr = thr
+            .gar(Arc::new(Mda::new()))
+            .mechanism(mech)
+            .attack(Arc::new(FallOfEmpires::default()));
+        let a = seq.run(5).unwrap();
+        let b = ThreadedTrainer::from(thr).run(5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_surfaces_aggregation_errors() {
+        let (_, thr) = build(5, 1, 10);
+        let res = ThreadedTrainer::from(thr.attack(Arc::new(FallOfEmpires::default()))).run(1);
+        assert!(matches!(res, Err(GarError::TooManyByzantine { .. })));
+    }
+}

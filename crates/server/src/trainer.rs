@@ -1,0 +1,566 @@
+//! The sequential training engine and the shared server-side round logic.
+
+use crate::config::{AttackVisibility, MomentumMode, TrainingConfig};
+use crate::metrics::RunHistory;
+use crate::worker::{HonestWorker, WorkerOutput};
+use dpbyz_attacks::{Attack, AttackContext};
+use dpbyz_data::sampler::BatchSource;
+use dpbyz_data::Dataset;
+use dpbyz_dp::{Mechanism, NoNoise};
+use dpbyz_gars::{vn, Average, Gar, GarError};
+use dpbyz_models::{metrics::accuracy, Model};
+use dpbyz_tensor::{Prng, Vector};
+use std::sync::Arc;
+
+/// Server-side state and round logic shared by the sequential and threaded
+/// engines — this is what guarantees the two produce identical histories.
+pub(crate) struct ServerCore {
+    config: TrainingConfig,
+    model: Arc<dyn Model>,
+    gar: Arc<dyn Gar>,
+    attack: Option<Arc<dyn Attack>>,
+    test: Option<Arc<Dataset>>,
+    params: Vector,
+    velocity: Vector,
+    /// Bias-corrected EMA state of the aggregated gradient (§7 extension).
+    ema: Vector,
+    attack_rng: Prng,
+    fault_rng: Prng,
+    train_loss: Vec<f64>,
+    test_accuracy: Vec<(u32, f64)>,
+    vn_submitted: Vec<f64>,
+    vn_clean: Vec<f64>,
+    grad_norm: Vec<f64>,
+}
+
+impl ServerCore {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        config: TrainingConfig,
+        model: Arc<dyn Model>,
+        gar: Arc<dyn Gar>,
+        attack: Option<Arc<dyn Attack>>,
+        test: Option<Arc<Dataset>>,
+        params: Vector,
+        attack_rng: Prng,
+        fault_rng: Prng,
+    ) -> Self {
+        let dim = params.dim();
+        let steps = config.steps as usize;
+        ServerCore {
+            config,
+            model,
+            gar,
+            attack,
+            test,
+            params,
+            velocity: Vector::zeros(dim),
+            ema: Vector::zeros(dim),
+            attack_rng,
+            fault_rng,
+            train_loss: Vec::with_capacity(steps),
+            test_accuracy: Vec::new(),
+            vn_submitted: Vec::with_capacity(steps),
+            vn_clean: Vec::with_capacity(steps),
+            grad_norm: Vec::with_capacity(steps),
+        }
+    }
+
+    pub(crate) fn params(&self) -> &Vector {
+        &self.params
+    }
+
+    /// Consumes one synchronous round of honest outputs (in worker-id
+    /// order), forges the Byzantine submissions, aggregates, and updates
+    /// the model.
+    pub(crate) fn process_round(
+        &mut self,
+        t: u32,
+        outputs: &[WorkerOutput],
+    ) -> Result<(), GarError> {
+        // The paper's training-loss metric: average loss over the batches
+        // the honest workers sampled this step, at the pre-update model.
+        let loss =
+            outputs.iter().map(|o| o.batch_loss).sum::<f64>() / outputs.len() as f64;
+        self.train_loss.push(loss);
+
+        let pre_noise: Vec<Vector> = outputs.iter().map(|o| o.pre_noise.clone()).collect();
+        let mut submissions: Vec<Vector> =
+            outputs.iter().map(|o| o.submitted.clone()).collect();
+
+        // VN ratios (Eq. 2 / Eq. 8). Both use the *pre-noise* mean norm as
+        // the `‖E[G]‖` estimate: the DP noise is zero-mean, and the norm
+        // of the noisy sample mean would be dominated by residual noise
+        // (≈ √(d·s²/n)) rather than the signal, badly biasing the ratio.
+        let grad_norm = Vector::mean(&pre_noise)
+            .map(|m| m.l2_norm())
+            .unwrap_or(f64::NAN);
+        let ratio_vs_clean_norm = |vectors: &[Vector]| -> f64 {
+            match vn::estimate(vectors) {
+                Ok(e) if grad_norm > 0.0 => e.variance.sqrt() / grad_norm,
+                // Zero mean gradient: the condition is unmeetable at a
+                // critical point (Eq. 2 requires ‖∇Q‖ > 0).
+                Ok(_) => f64::INFINITY,
+                // Fewer than 2 honest workers: statistic unavailable.
+                Err(_) => f64::NAN,
+            }
+        };
+        self.vn_clean.push(ratio_vs_clean_norm(&pre_noise));
+        self.vn_submitted.push(ratio_vs_clean_norm(&submissions));
+        self.grad_norm.push(grad_norm);
+
+        // Byzantine submissions: every colluder sends the same forged
+        // vector (the attack model of §5.1).
+        let active_byzantine = if self.attack.is_some() {
+            self.config.n_byzantine
+        } else {
+            0
+        };
+        if let Some(attack) = &self.attack {
+            if active_byzantine > 0 {
+                let mut ctx = AttackContext::new(&submissions, t as usize);
+                if self.config.attack_visibility == AttackVisibility::PreNoise {
+                    ctx.pre_noise_gradients = Some(&pre_noise);
+                }
+                let forged = attack.forge(&ctx, &mut self.attack_rng);
+                for _ in 0..active_byzantine {
+                    submissions.push(forged.clone());
+                }
+            }
+        }
+
+        // Fault injection (§2.1): a dropped honest submission is replaced
+        // by the zero vector at the server. Byzantine colluders are assumed
+        // to always deliver. Randomness is drawn only when faults are
+        // enabled, in worker-id order, so fault-free runs are byte-stable.
+        if self.config.drop_rate > 0.0 {
+            for submission in submissions.iter_mut().take(outputs.len()) {
+                if self.fault_rng.bernoulli(self.config.drop_rate) {
+                    *submission = Vector::zeros(submission.dim());
+                }
+            }
+        }
+
+        let mut aggregated = self.gar.aggregate(&submissions, self.config.n_byzantine)?;
+
+        // §7 extension: bias-corrected exponential averaging of the
+        // aggregated gradient reduces the effective noise variance by
+        // ≈ (1−β)/(1+β) at the cost of gradient staleness.
+        if let Some(beta) = self.config.gradient_ema {
+            self.ema.scale(beta);
+            self.ema.axpy(1.0 - beta, &aggregated);
+            let correction = 1.0 - beta.powi(t as i32);
+            aggregated = self.ema.scaled(1.0 / correction);
+        }
+
+        // Update (Eq. 9), with momentum where configured.
+        let lr = self.config.lr.at(t);
+        let direction = match self.config.momentum_mode {
+            MomentumMode::Server => {
+                self.velocity.scale(self.config.momentum);
+                self.velocity.axpy(1.0, &aggregated);
+                self.velocity.clone()
+            }
+            MomentumMode::Worker => aggregated,
+        };
+        self.params.axpy(-lr, &direction);
+
+        if self.config.eval_every > 0 && t % self.config.eval_every == 0 {
+            if let Some(test) = &self.test {
+                self.test_accuracy
+                    .push((t, accuracy(self.model.as_ref(), &self.params, test)));
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(self, seed: u64) -> RunHistory {
+        RunHistory {
+            seed,
+            train_loss: self.train_loss,
+            test_accuracy: self.test_accuracy,
+            vn_submitted: self.vn_submitted,
+            vn_clean: self.vn_clean,
+            grad_norm: self.grad_norm,
+            final_params: self.params,
+        }
+    }
+}
+
+/// Derives the per-run RNG streams from the seed. Shared by both engines;
+/// the derivation order is part of the reproducibility contract.
+pub(crate) fn derive_streams(seed: u64, n_workers: usize) -> (Prng, Vec<Prng>, Prng, Prng) {
+    let mut root = Prng::seed_from_u64(seed);
+    let init_rng = root.derive(0);
+    let worker_rngs: Vec<Prng> = (0..n_workers).map(|i| root.derive(1 + i as u64)).collect();
+    let attack_rng = root.derive(1_000_000);
+    let fault_rng = root.derive(2_000_000);
+    (init_rng, worker_rngs, attack_rng, fault_rng)
+}
+
+/// The sequential training engine.
+///
+/// Construct with [`Trainer::new`], configure with the fluent setters, and
+/// call [`Trainer::run`]. The trainer is consumed by `run` because batch
+/// sources are stateful; build a fresh trainer per seed (see
+/// `dpbyz-core`'s pipeline, which automates exactly that).
+pub struct Trainer {
+    pub(crate) config: TrainingConfig,
+    pub(crate) model: Arc<dyn Model>,
+    pub(crate) sources: Vec<Box<dyn BatchSource>>,
+    pub(crate) test: Option<Arc<Dataset>>,
+    pub(crate) gar: Arc<dyn Gar>,
+    pub(crate) mechanism: Arc<dyn Mechanism>,
+    pub(crate) attack: Option<Arc<dyn Attack>>,
+}
+
+impl Trainer {
+    /// Creates a trainer with no DP noise, averaging aggregation, and no
+    /// attack — override with the setters.
+    ///
+    /// `sources` supplies one batch stream per worker; Byzantine workers'
+    /// sources are unused while an attack is active but must still be
+    /// provided (they are consumed when the same config runs unattacked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != config.n_workers` or a source's feature
+    /// count is inconsistent with the model (checked lazily by the model).
+    pub fn new(
+        config: TrainingConfig,
+        model: Arc<dyn Model>,
+        sources: Vec<Box<dyn BatchSource>>,
+        test: Option<Arc<Dataset>>,
+    ) -> Self {
+        assert_eq!(
+            sources.len(),
+            config.n_workers,
+            "need one batch source per worker"
+        );
+        Trainer {
+            config,
+            model,
+            sources,
+            test,
+            gar: Arc::new(Average::new()),
+            mechanism: Arc::new(NoNoise),
+            attack: None,
+        }
+    }
+
+    /// Sets the aggregation rule.
+    pub fn gar(mut self, gar: Arc<dyn Gar>) -> Self {
+        self.gar = gar;
+        self
+    }
+
+    /// Sets the workers' local DP mechanism.
+    pub fn mechanism(mut self, mechanism: Arc<dyn Mechanism>) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Arms a Byzantine attack (the `config.n_byzantine` workers collude).
+    pub fn attack(mut self, attack: Arc<dyn Attack>) -> Self {
+        self.attack = Some(attack);
+        self
+    }
+
+    /// Runs the full training, consuming the trainer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GarError`] when the configured rule cannot tolerate
+    /// `config.n_byzantine` among `config.n_workers` (a configuration
+    /// mistake surfaced on the first step).
+    pub fn run(self, seed: u64) -> Result<RunHistory, GarError> {
+        let config = self.config;
+        let n = config.n_workers;
+        let (mut init_rng, worker_rngs, attack_rng, fault_rng) = derive_streams(seed, n);
+
+        let n_honest = if self.attack.is_some() {
+            config.n_honest()
+        } else {
+            n
+        };
+        let worker_momentum = match config.momentum_mode {
+            MomentumMode::Worker => config.momentum,
+            MomentumMode::Server => 0.0,
+        };
+
+        let mut workers: Vec<HonestWorker> = self
+            .sources
+            .into_iter()
+            .zip(worker_rngs)
+            .take(n_honest)
+            .enumerate()
+            .map(|(i, (source, rng))| {
+                HonestWorker::new(
+                    i as u32,
+                    self.model.clone(),
+                    source,
+                    self.mechanism.clone(),
+                    config.clip,
+                    worker_momentum,
+                    rng,
+                )
+            })
+            .collect();
+
+        let params = self.model.init_params(&mut init_rng);
+        let mut core = ServerCore::new(
+            config.clone(),
+            self.model,
+            self.gar,
+            self.attack,
+            self.test,
+            params,
+            attack_rng,
+            fault_rng,
+        );
+
+        let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(n_honest);
+        for t in 1..=config.steps {
+            outputs.clear();
+            let params = core.params().clone();
+            let batch = config.batch_at(t);
+            for w in &mut workers {
+                outputs.push(w.compute(&params, batch));
+            }
+            core.process_round(t, &outputs)?;
+        }
+        Ok(core.finish(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingConfig;
+    use dpbyz_attacks::LittleIsEnough;
+    use dpbyz_data::sampler::{DatasetSource, SamplingMode};
+    use dpbyz_data::synthetic;
+    use dpbyz_gars::Mda;
+    use dpbyz_models::{LogisticRegression, LossKind};
+
+    fn make_trainer(
+        n: usize,
+        f: usize,
+        steps: u32,
+        seed_data: u64,
+    ) -> (Trainer, Arc<Dataset>) {
+        let mut rng = Prng::seed_from_u64(seed_data);
+        let ds = Arc::new(synthetic::phishing_like(&mut rng, 600));
+        let (train, test) = ds.split(0.8, &mut rng).unwrap();
+        let train = Arc::new(train);
+        let test = Arc::new(test);
+        let model = Arc::new(LogisticRegression::new(68, LossKind::SigmoidMse));
+        let config = TrainingConfig::builder()
+            .workers(n, f)
+            .batch_size(20)
+            .steps(steps)
+            .eval_every(10)
+            .build()
+            .unwrap();
+        let sources: Vec<Box<dyn BatchSource>> = (0..n)
+            .map(|_| {
+                Box::new(DatasetSource::new(
+                    train.clone(),
+                    SamplingMode::WithReplacement,
+                )) as Box<dyn BatchSource>
+            })
+            .collect();
+        (
+            Trainer::new(config, model, sources, Some(test.clone())),
+            test,
+        )
+    }
+
+    #[test]
+    fn honest_training_reduces_loss() {
+        let (trainer, _) = make_trainer(5, 0, 120, 1);
+        let h = trainer.run(1).unwrap();
+        assert_eq!(h.train_loss.len(), 120);
+        assert!(
+            h.tail_loss(10) < h.train_loss[0] * 0.8,
+            "loss {} -> {}",
+            h.train_loss[0],
+            h.tail_loss(10)
+        );
+        assert_eq!(h.test_accuracy.len(), 12);
+        assert!(h.final_accuracy().unwrap() > 0.7);
+    }
+
+    #[test]
+    fn identical_seeds_identical_histories() {
+        let (t1, _) = make_trainer(5, 0, 30, 2);
+        let (t2, _) = make_trainer(5, 0, 30, 2);
+        assert_eq!(t1.run(7).unwrap(), t2.run(7).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (t1, _) = make_trainer(5, 0, 30, 2);
+        let (t2, _) = make_trainer(5, 0, 30, 2);
+        assert_ne!(t1.run(7).unwrap(), t2.run(8).unwrap());
+    }
+
+    #[test]
+    fn mda_survives_alie_without_noise() {
+        let (trainer, _) = make_trainer(11, 5, 150, 3);
+        let attacked = trainer
+            .gar(Arc::new(Mda::new()))
+            .attack(Arc::new(LittleIsEnough::default()))
+            .run(1)
+            .unwrap();
+        // MDA at b=20 without DP keeps training under ALIE.
+        assert!(
+            attacked.tail_loss(10) < attacked.train_loss[0],
+            "{} -> {}",
+            attacked.train_loss[0],
+            attacked.tail_loss(10)
+        );
+    }
+
+    #[test]
+    fn aggregation_error_surfaces() {
+        // Average cannot declare f > 0.
+        let (trainer, _) = make_trainer(5, 1, 10, 4);
+        let res = trainer.attack(Arc::new(LittleIsEnough::default())).run(1);
+        assert!(matches!(res, Err(GarError::TooManyByzantine { .. })));
+    }
+
+    #[test]
+    fn vn_metrics_recorded() {
+        let (trainer, _) = make_trainer(5, 0, 20, 5);
+        let h = trainer.run(1).unwrap();
+        assert_eq!(h.vn_clean.len(), 20);
+        assert_eq!(h.vn_submitted.len(), 20);
+        // Without noise, the two coincide.
+        for (a, b) in h.vn_clean.iter().zip(&h.vn_submitted) {
+            assert!((a - b).abs() < 1e-12 || (a.is_nan() && b.is_nan()));
+        }
+        assert_eq!(h.grad_norm.len(), 20);
+    }
+
+    fn make_trainer_with(
+        config: TrainingConfig,
+        seed_data: u64,
+    ) -> Trainer {
+        let mut rng = Prng::seed_from_u64(seed_data);
+        let ds = Arc::new(synthetic::phishing_like(&mut rng, 600));
+        let (train, test) = ds.split(0.8, &mut rng).unwrap();
+        let train = Arc::new(train);
+        let model = Arc::new(LogisticRegression::new(68, LossKind::SigmoidMse));
+        let sources: Vec<Box<dyn BatchSource>> = (0..config.n_workers)
+            .map(|_| {
+                Box::new(DatasetSource::new(
+                    train.clone(),
+                    SamplingMode::WithReplacement,
+                )) as Box<dyn BatchSource>
+            })
+            .collect();
+        Trainer::new(config, model, sources, Some(Arc::new(test)))
+    }
+
+    #[test]
+    fn drop_rate_still_trains_and_is_deterministic() {
+        let config = TrainingConfig::builder()
+            .workers(5, 0)
+            .batch_size(20)
+            .steps(80)
+            .drop_rate(0.3)
+            .eval_every(0)
+            .build()
+            .unwrap();
+        let h1 = make_trainer_with(config.clone(), 9).run(1).unwrap();
+        let h2 = make_trainer_with(config, 9).run(1).unwrap();
+        assert_eq!(h1, h2);
+        assert!(
+            h1.tail_loss(10) < h1.train_loss[0],
+            "training failed under 30% drops: {} -> {}",
+            h1.train_loss[0],
+            h1.tail_loss(10)
+        );
+    }
+
+    #[test]
+    fn drop_rate_changes_trajectory() {
+        let mk = |rate: f64| {
+            let config = TrainingConfig::builder()
+                .workers(5, 0)
+                .batch_size(20)
+                .steps(20)
+                .drop_rate(rate)
+                .eval_every(0)
+                .build()
+                .unwrap();
+            make_trainer_with(config, 9).run(1).unwrap()
+        };
+        assert_ne!(mk(0.0), mk(0.5));
+    }
+
+    #[test]
+    fn gradient_ema_smooths_updates() {
+        let mk = |ema: Option<f64>| {
+            let mut builder = TrainingConfig::builder()
+                .workers(5, 0)
+                .batch_size(20)
+                .steps(30)
+                .momentum(0.0)
+                .eval_every(0);
+            if let Some(beta) = ema {
+                builder = builder.gradient_ema(beta);
+            }
+            make_trainer_with(builder.build().unwrap(), 9).run(1).unwrap()
+        };
+        let plain = mk(None);
+        let smoothed = mk(Some(0.9));
+        assert_ne!(plain, smoothed);
+        // EMA must not break convergence.
+        assert!(smoothed.tail_loss(5) < smoothed.train_loss[0]);
+    }
+
+    #[test]
+    fn batch_growth_runs_and_improves_late_variance() {
+        let config = TrainingConfig::builder()
+            .workers(5, 0)
+            .batch_size(5)
+            .steps(60)
+            .batch_growth(1.1, 200)
+            .eval_every(0)
+            .build()
+            .unwrap();
+        let grown = make_trainer_with(config.clone(), 9).run(1).unwrap();
+        assert!(grown.tail_loss(5) < grown.train_loss[0]);
+
+        // Growth must actually change the trajectory relative to the
+        // constant-batch control (the σ_G ∝ 1/√b effect itself is verified
+        // at a fixed parameter point in `worker` tests — trajectories
+        // confound it with convergence state).
+        let constant = TrainingConfig::builder()
+            .workers(5, 0)
+            .batch_size(5)
+            .steps(60)
+            .eval_every(0)
+            .build()
+            .unwrap();
+        let flat = make_trainer_with(constant, 9).run(1).unwrap();
+        assert_ne!(grown, flat);
+        // Determinism is preserved under growth.
+        let again = make_trainer_with(config, 9).run(1).unwrap();
+        assert_eq!(grown, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "one batch source per worker")]
+    fn source_count_checked() {
+        let (trainer, test) = make_trainer(5, 0, 10, 6);
+        let _ = Trainer::new(
+            trainer.config.clone(),
+            trainer.model.clone(),
+            Vec::new(),
+            Some(test),
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Why the paper wants DP at all: a curious parameter server reconstructs
+//! training samples from the gradients workers share in the clear
+//! (Zhu et al. 2019 — the paper's \[43\]), and worker-local DP noise
+//! destroys the attack.
+//!
+//! For the generalized linear models of this workspace the inversion is
+//! closed-form (`x = ∇_w / ∇_b` on a single-sample gradient), so the demo
+//! is exact rather than optimization-based.
+//!
+//! Run with: `cargo run -p dpbyz-examples --bin gradient_leakage`
+
+use dpbyz_attacks::inversion;
+use dpbyz_data::synthetic;
+use dpbyz_dp::{GaussianMechanism, Mechanism, PrivacyBudget};
+use dpbyz_models::{LogisticRegression, LossKind, Model};
+use dpbyz_tensor::Prng;
+
+fn main() {
+    let mut rng = Prng::seed_from_u64(2021);
+    let ds = synthetic::phishing_like(&mut rng, 50);
+    let model = LogisticRegression::new(ds.num_features(), LossKind::SigmoidMse);
+    let params = rng.normal_vector(model.dim(), 0.3);
+
+    println!("curious-server gradient inversion on d = 69 logistic regression");
+    println!("(single-sample gradients, i.e. worker batch size b = 1)\n");
+
+    let budget = PrivacyBudget::new(0.2, 1e-6).expect("paper budget");
+    let mech = GaussianMechanism::for_clipped_gradients(budget, 0.01, 1).expect("calibrates");
+
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "sample", "clear-gradient MSE", "DP-gradient MSE"
+    );
+    let mut clear_exact = 0;
+    let mut dp_exact = 0;
+    let samples = 10;
+    for i in 0..samples {
+        let (x, _) = ds.example(i);
+        let batch = ds.batch(&[i]);
+        let grad = model.gradient(&params, &batch);
+
+        let clear_mse = inversion::reconstruction_mse(&grad, x);
+        let noisy = mech.perturb(&grad.clipped_l2(0.01), &mut rng);
+        let dp_mse = inversion::reconstruction_mse(&noisy, x);
+
+        if clear_mse < 1e-12 {
+            clear_exact += 1;
+        }
+        if dp_mse < 1e-2 {
+            dp_exact += 1;
+        }
+        println!("{i:>8} {clear_mse:>22.3e} {dp_mse:>22.3e}");
+    }
+
+    println!(
+        "\nexact reconstructions: {clear_exact}/{samples} from clear gradients, \
+         {dp_exact}/{samples} from DP gradients"
+    );
+    println!("\nThe asymmetry is the paper's starting point: gradients in the clear");
+    println!("leak the training data (so workers inject DP noise) — and §3/§4 then");
+    println!("show that this same noise breaks the Byzantine-resilience certificate.");
+}

@@ -1,0 +1,51 @@
+//! Privacy accounting over a full training run.
+//!
+//! The paper reasons about the *per-step* budget (ε, δ); this example shows
+//! what a whole T = 1000-step training costs under the three composition
+//! accountants, and how the noise multiplier trades off against the total
+//! spend — the practitioner's view of §2.3's composition remark.
+//!
+//! Run with: `cargo run -p dpbyz-examples --bin privacy_accounting`
+
+use dpbyz_dp::accountant::{advanced_composition, basic_composition, RdpAccountant};
+use dpbyz_dp::{GaussianMechanism, Mechanism, PrivacyBudget};
+
+fn main() {
+    let per_step = PrivacyBudget::new(0.2, 1e-6).expect("paper budget");
+    let steps = 1000u32;
+
+    println!("per-step budget: (ε = 0.2, δ = 1e-6); T = {steps} steps (the paper's run)\n");
+
+    let (be, bd) = basic_composition(per_step, steps);
+    println!("basic composition:     ε_total = {be:.1}, δ_total = {bd:.1e}");
+
+    let (ae, ad) = advanced_composition(per_step, steps, 1e-6).expect("valid slack");
+    println!("advanced composition:  ε_total = {ae:.1}, δ_total = {ad:.1e}");
+
+    let mut rdp = RdpAccountant::from_budget(per_step).expect("valid budget");
+    rdp.step_many(steps as u64);
+    println!("RDP (moments-style):   ε_total = {:.1} at δ = 1e-5\n", rdp.epsilon(1e-5));
+
+    println!("interpretation: even the tightest accountant leaves a multi-digit ε");
+    println!("after 1000 steps — the per-step budget the Byzantine analysis fights");
+    println!("against is already the *optimistic* quantity.\n");
+
+    // How the per-step noise scales with the budget, at the paper's
+    // G_max = 0.01, b = 50 calibration (Eq. 6).
+    println!("Eq. 6 noise std per coordinate (G_max = 0.01, b = 50):");
+    println!("{:>8} {:>14} {:>22}", "ε", "s", "total noise E‖y‖², d=69");
+    for eps in [0.05, 0.1, 0.2, 0.4, 0.8] {
+        let budget = PrivacyBudget::new(eps, 1e-6).expect("valid");
+        let mech = GaussianMechanism::for_clipped_gradients(budget, 0.01, 50).expect("valid");
+        println!(
+            "{:>8.2} {:>14.6} {:>22.6}",
+            eps,
+            mech.sigma(),
+            mech.total_noise_variance(69)
+        );
+    }
+
+    println!("\ncompare E‖y‖² with the largest possible signal ‖∇Q‖² ≤ G_max² = 1e-4:");
+    println!("at ε = 0.2 the injected noise energy exceeds the signal energy by ~77×,");
+    println!("which is Eq. 8's numerator in action.");
+}

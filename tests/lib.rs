@@ -1,0 +1,5 @@
+//! Integration-test crate for `dp-byz-sgd`.
+//!
+//! The library target is intentionally empty; all content lives in
+//! `tests/tests/*.rs`, which exercise the public APIs of every workspace
+//! crate together.

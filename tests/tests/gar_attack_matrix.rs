@@ -1,0 +1,113 @@
+//! Robustness matrix: every robust GAR against every attack, no DP.
+//! Averaging is the control that must fail.
+
+use dpbyz_core::pipeline::{Experiment, FigureConfig, Workload};
+use dpbyz_core::{AttackKind, GarKind, MechanismKind};
+use dpbyz_server::TrainingConfig;
+
+fn run_gar_attack(gar: GarKind, attack: AttackKind, f: usize) -> f64 {
+    let base = Experiment::paper_figure(FigureConfig {
+        batch_size: 25,
+        epsilon: None,
+        attack: Some(attack),
+        steps: 120,
+        dataset_size: 1500,
+        ..FigureConfig::default()
+    })
+    .expect("valid");
+    let config = TrainingConfig::builder()
+        .workers(11, f)
+        .batch_size(25)
+        .steps(120)
+        .lr(base.config.lr)
+        .momentum(base.config.momentum)
+        .clip(base.config.clip)
+        .eval_every(0)
+        .build()
+        .expect("valid");
+    let exp = Experiment {
+        workload: Workload::PhishingLike {
+            data_seed: 0xD1B2_2021,
+            size: 1500,
+        },
+        config,
+        gar,
+        attack: Some(attack),
+        budget: None,
+        mechanism: MechanismKind::Gaussian,
+        threaded: false,
+        dp_reference_g_max: None,
+    };
+    exp.run(1).expect("runs").tail_loss(10)
+}
+
+fn clean_reference() -> f64 {
+    Experiment::paper_figure(FigureConfig {
+        batch_size: 25,
+        epsilon: None,
+        attack: None,
+        steps: 120,
+        dataset_size: 1500,
+        ..FigureConfig::default()
+    })
+    .expect("valid")
+    .run(1)
+    .expect("runs")
+    .tail_loss(10)
+}
+
+#[test]
+fn every_robust_gar_survives_large_norm_attack() {
+    // The naive attack is table stakes: all robust rules must shrug it off.
+    let clean = clean_reference();
+    for (gar, f) in [
+        (GarKind::Mda, 5),
+        (GarKind::Krum, 4),
+        (GarKind::MultiKrum, 4),
+        (GarKind::Median, 5),
+        (GarKind::TrimmedMean, 5),
+        (GarKind::Meamed, 5),
+        (GarKind::Phocas, 5),
+        (GarKind::Bulyan, 2),
+    ] {
+        let loss = run_gar_attack(gar, AttackKind::LargeNorm { scale: 1e6 }, f);
+        assert!(
+            loss.is_finite() && loss < clean + 0.2,
+            "{} failed under large-norm: {loss} (clean {clean})",
+            gar.name()
+        );
+    }
+}
+
+#[test]
+fn mda_survives_both_paper_attacks() {
+    let clean = clean_reference();
+    for attack in [AttackKind::PAPER_ALIE, AttackKind::PAPER_FOE] {
+        let loss = run_gar_attack(GarKind::Mda, attack, 5);
+        assert!(
+            loss < clean + 0.2,
+            "MDA failed under {}: {loss} (clean {clean})",
+            attack.name()
+        );
+    }
+}
+
+#[test]
+fn median_family_survives_sign_flip() {
+    let clean = clean_reference();
+    for gar in [GarKind::Median, GarKind::TrimmedMean, GarKind::Phocas] {
+        let loss = run_gar_attack(gar, AttackKind::SignFlip, 5);
+        assert!(
+            loss < clean + 0.25,
+            "{} failed under sign-flip: {loss}",
+            gar.name()
+        );
+    }
+}
+
+#[test]
+fn zero_attack_slows_but_does_not_poison() {
+    // f zero-gradients dilute the aggregate but cannot steer it.
+    let loss = run_gar_attack(GarKind::Mda, AttackKind::Zero, 5);
+    assert!(loss < 0.3, "zero attack poisoned MDA: {loss}");
+}
