@@ -77,7 +77,8 @@ pub fn reconstruction_mse(gradient: &Vector, true_features: &[f64]) -> f64 {
     match invert_glm_gradient(gradient, true_features.len()) {
         None => f64::INFINITY,
         Some(rec) => {
-            rec.features.l2_distance_squared(&Vector::from(true_features))
+            rec.features
+                .l2_distance_squared(&Vector::from(true_features))
                 / true_features.len() as f64
         }
     }
@@ -145,7 +146,10 @@ mod tests {
         let clean_grad = model.gradient(&params, &single_sample_batch(&x, 1.0));
 
         let clean_mse = reconstruction_mse(&clean_grad, &x);
-        assert!(clean_mse < 1e-16, "clean attack should be exact: {clean_mse}");
+        assert!(
+            clean_mse < 1e-16,
+            "clean attack should be exact: {clean_mse}"
+        );
 
         // Worker-local DP: clip then add calibrated Gaussian noise (b = 1
         // — the worst case for privacy, strongest case for the attack).

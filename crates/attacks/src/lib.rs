@@ -214,10 +214,7 @@ impl Attack for RandomNoise {
     }
 
     fn forge(&self, ctx: &AttackContext<'_>, rng: &mut Prng) -> Vector {
-        let dim = ctx
-            .observed()
-            .first()
-            .map_or(0, Vector::dim);
+        let dim = ctx.observed().first().map_or(0, Vector::dim);
         rng.normal_vector(dim, self.std)
     }
 }

@@ -3,20 +3,18 @@
 //! extremes of Figs. 3 and 4.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpbyz_core::pipeline::{Experiment, FigureConfig};
-use dpbyz_core::AttackKind;
+use dpbyz_bench::{cell_experiment, Cell};
 use std::hint::black_box;
 
-fn run_steps(batch: usize, eps: Option<f64>, attack: Option<AttackKind>, steps: u32) {
-    let exp = Experiment::paper_figure(FigureConfig {
-        batch_size: batch,
+/// One protocol cell via the same construction path the figure harness
+/// uses, so the bench always measures the configuration the figures run.
+fn run_steps(batch: usize, eps: Option<f64>, attack: Option<&'static str>, steps: u32) {
+    let cell = Cell {
+        label: "bench",
         epsilon: eps,
         attack,
-        steps,
-        dataset_size: 1200,
-        ..FigureConfig::default()
-    })
-    .unwrap();
+    };
+    let exp = cell_experiment(cell, batch, steps, 1200).unwrap();
     black_box(exp.run(1).unwrap());
 }
 
@@ -26,10 +24,10 @@ fn bench_configurations(c: &mut Criterion) {
     group.bench_function("clean", |b| b.iter(|| run_steps(50, None, None, 20)));
     group.bench_function("dp", |b| b.iter(|| run_steps(50, Some(0.2), None, 20)));
     group.bench_function("mda_alie", |b| {
-        b.iter(|| run_steps(50, None, Some(AttackKind::PAPER_ALIE), 20))
+        b.iter(|| run_steps(50, None, Some("alie"), 20))
     });
     group.bench_function("dp_mda_alie", |b| {
-        b.iter(|| run_steps(50, Some(0.2), Some(AttackKind::PAPER_ALIE), 20))
+        b.iter(|| run_steps(50, Some(0.2), Some("alie"), 20))
     });
     group.finish();
 }
@@ -39,7 +37,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
     group.sample_size(10);
     for batch in [10usize, 50, 500] {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
-            b.iter(|| run_steps(batch, Some(0.2), Some(AttackKind::PAPER_ALIE), 20))
+            b.iter(|| run_steps(batch, Some(0.2), Some("alie"), 20))
         });
     }
     group.finish();

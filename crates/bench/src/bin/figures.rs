@@ -11,10 +11,10 @@
 //!   cargo run --release -p dpbyz-bench --bin figures -- --fig 2
 //!   cargo run --release -p dpbyz-bench --bin figures -- --quick # reduced scale
 
+use dpbyz::data::synthetic::PHISHING_SIZE;
+use dpbyz::prelude::*;
+use dpbyz::report::{ascii_plot, csv, Series};
 use dpbyz_bench::{arg_present, arg_value, run_cell, write_csv, CellResult, FIGURE_CELLS};
-use dpbyz_core::pipeline::Experiment;
-use dpbyz_core::report::{ascii_plot, csv, Series};
-use dpbyz_data::synthetic::PHISHING_SIZE;
 
 struct FigureSpec {
     number: u32,
@@ -36,7 +36,8 @@ const FIGURES: [FigureSpec; 3] = [
     FigureSpec {
         number: 4,
         batch_size: 500,
-        paper_note: "b=500: everything converges, DP+attack included (antagonism, not impossibility)",
+        paper_note:
+            "b=500: everything converges, DP+attack included (antagonism, not impossibility)",
     },
 ];
 
@@ -49,7 +50,10 @@ fn main() {
         (1000, PHISHING_SIZE, &Experiment::PAPER_SEEDS)
     };
 
-    for spec in FIGURES.iter().filter(|s| which.is_none_or(|w| w == s.number)) {
+    for spec in FIGURES
+        .iter()
+        .filter(|s| which.is_none_or(|w| w == s.number))
+    {
         println!(
             "\n=== Figure {} (b = {}) — {}",
             spec.number, spec.batch_size, spec.paper_note

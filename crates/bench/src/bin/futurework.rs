@@ -8,22 +8,22 @@
 //!
 //! Usage: cargo run --release -p dpbyz-bench --bin futurework [-- --quick]
 
+use dpbyz::dp::amplification;
+use dpbyz::prelude::*;
+use dpbyz::report::csv;
+use dpbyz::BatchGrowth;
 use dpbyz_bench::{arg_present, write_csv};
-use dpbyz_core::pipeline::{Experiment, FigureConfig};
-use dpbyz_core::report::csv;
-use dpbyz_core::AttackKind;
-use dpbyz_dp::amplification;
 
 fn dp_alie(batch: usize, steps: u32, size: usize) -> Experiment {
-    Experiment::paper_figure(FigureConfig {
-        batch_size: batch,
-        epsilon: Some(0.2),
-        attack: Some(AttackKind::PAPER_ALIE),
-        steps,
-        dataset_size: size,
-        ..FigureConfig::default()
-    })
-    .expect("valid spec")
+    Experiment::builder()
+        .batch_size(batch)
+        .steps(steps)
+        .dataset_size(size)
+        .gar("mda")
+        .attack("alie")
+        .epsilon(0.2)
+        .build()
+        .expect("valid spec")
 }
 
 fn mean_tail_and_acc(exp: &Experiment, seeds: &[u64]) -> (f64, f64) {
@@ -53,21 +53,43 @@ fn main() {
     // protection) is where the extensions can move the needle.
     println!("=== §7 extension 1: gradient EMA under DP + ALIE");
     let mut rows = Vec::new();
-    for (regime, batch, eps) in [("collapsed (ε=0.2, b=50)", 50, 0.2), ("boundary (ε=0.4, b=150)", 150, 0.4)] {
+    for (regime, batch, eps) in [
+        ("collapsed (ε=0.2, b=50)", 50, 0.2),
+        ("boundary (ε=0.4, b=150)", 150, 0.4),
+    ] {
         let mut base = dp_alie(batch, steps, size);
-        base.budget = Some(dpbyz_dp::PrivacyBudget::new(eps, 1e-6).expect("valid"));
+        base.budget = Some(PrivacyBudget::new(eps, 1e-6).expect("valid"));
         let (l0, a0) = mean_tail_and_acc(&base, &seeds);
-        println!("  {regime:<26} no EMA   : loss {l0:.5}, acc {:.1}%", a0 * 100.0);
-        rows.push(vec![regime.into(), "none".into(), format!("{l0:.5}"), format!("{a0:.4}")]);
+        println!(
+            "  {regime:<26} no EMA   : loss {l0:.5}, acc {:.1}%",
+            a0 * 100.0
+        );
+        rows.push(vec![
+            regime.into(),
+            "none".into(),
+            format!("{l0:.5}"),
+            format!("{a0:.4}"),
+        ]);
         for beta in [0.9, 0.99] {
             let mut exp = base.clone();
             exp.config.gradient_ema = Some(beta);
             let (loss, acc) = mean_tail_and_acc(&exp, &seeds);
-            println!("  {regime:<26} EMA β={beta:<5}: loss {loss:.5}, acc {:.1}%", acc * 100.0);
-            rows.push(vec![regime.into(), format!("{beta}"), format!("{loss:.5}"), format!("{acc:.4}")]);
+            println!(
+                "  {regime:<26} EMA β={beta:<5}: loss {loss:.5}, acc {:.1}%",
+                acc * 100.0
+            );
+            rows.push(vec![
+                regime.into(),
+                format!("{beta}"),
+                format!("{loss:.5}"),
+                format!("{acc:.4}"),
+            ]);
         }
     }
-    write_csv("futurework_ema.csv", &csv(&["regime", "ema_beta", "tail_loss", "accuracy"], &rows));
+    write_csv(
+        "futurework_ema.csv",
+        &csv(&["regime", "ema_beta", "tail_loss", "accuracy"], &rows),
+    );
 
     println!("\n=== §7 extension 2: dynamic batch growth under DP(ε=0.4) + ALIE");
     let mut rows = Vec::new();
@@ -77,15 +99,21 @@ fn main() {
         ("b=50 ×1.02/step, cap 500", Some((1.02, 500))),
     ] {
         let mut exp = dp_alie(50, steps, size);
-        exp.budget = Some(dpbyz_dp::PrivacyBudget::new(0.4, 1e-6).expect("valid"));
+        exp.budget = Some(PrivacyBudget::new(0.4, 1e-6).expect("valid"));
         if let Some((factor, max)) = growth {
-            exp.config.batch_growth = Some(dpbyz_server::BatchGrowth { factor, max });
+            exp.config.batch_growth = Some(BatchGrowth { factor, max });
         }
         let (loss, acc) = mean_tail_and_acc(&exp, &seeds);
-        println!("  {label:<26}: tail loss {loss:.5}, acc {:.1}%", acc * 100.0);
+        println!(
+            "  {label:<26}: tail loss {loss:.5}, acc {:.1}%",
+            acc * 100.0
+        );
         rows.push(vec![label.into(), format!("{loss:.5}")]);
     }
-    write_csv("futurework_batchgrowth.csv", &csv(&["schedule", "tail_loss"], &rows));
+    write_csv(
+        "futurework_batchgrowth.csv",
+        &csv(&["schedule", "tail_loss"], &rows),
+    );
     println!("  note: growth only shrinks σ_G (noise stays calibrated to b₁ —");
     println!("  conservative DP); recalibrating per step would also shrink d·s².");
 
@@ -114,7 +142,10 @@ fn main() {
     }
     write_csv(
         "futurework_shuffle.csv",
-        &csv(&["central_epsilon", "n", "local_epsilon", "noise_reduction"], &rows),
+        &csv(
+            &["central_epsilon", "n", "local_epsilon", "noise_reduction"],
+            &rows,
+        ),
     );
     println!("\n  reading: an anonymizing shuffler relaxes each worker's noise by");
     println!("  ~√n — directly attacking the d·s² term of Eq. 8, as §7 anticipates.");

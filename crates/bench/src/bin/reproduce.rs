@@ -16,15 +16,7 @@ fn run(bin: &str, extra: &[&str]) -> bool {
     println!("\n════════════════════════════════════════════════════════════");
     println!("  {bin} {}", extra.join(" "));
     println!("════════════════════════════════════════════════════════════");
-    let mut args = vec![
-        "run",
-        "--release",
-        "-p",
-        "dpbyz-bench",
-        "--bin",
-        bin,
-        "--",
-    ];
+    let mut args = vec!["run", "--release", "-p", "dpbyz-bench", "--bin", bin, "--"];
     args.extend_from_slice(extra);
     let status = Command::new(env!("CARGO"))
         .args(&args)

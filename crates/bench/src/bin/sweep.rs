@@ -10,11 +10,10 @@
 //!
 //! Usage: cargo run --release -p dpbyz-bench --bin sweep [-- --quick]
 
+use dpbyz::prelude::*;
+use dpbyz::report::csv;
+use dpbyz::AttackVisibility;
 use dpbyz_bench::{arg_present, write_csv};
-use dpbyz_core::pipeline::{Experiment, FigureConfig};
-use dpbyz_core::report::csv;
-use dpbyz_core::{AttackKind, MechanismKind};
-use dpbyz_server::{AttackVisibility, MomentumMode};
 
 fn tail_loss(exp: &Experiment, seeds: &[u64]) -> f64 {
     let hs = exp.run_seeds(seeds).expect("sweep cell runs");
@@ -23,15 +22,16 @@ fn tail_loss(exp: &Experiment, seeds: &[u64]) -> f64 {
 }
 
 fn base(batch: usize, eps: Option<f64>, steps: u32, size: usize) -> Experiment {
-    Experiment::paper_figure(FigureConfig {
-        batch_size: batch,
-        epsilon: eps,
-        attack: Some(AttackKind::PAPER_ALIE),
-        steps,
-        dataset_size: size,
-        ..FigureConfig::default()
-    })
-    .expect("valid spec")
+    let mut builder = Experiment::builder()
+        .batch_size(batch)
+        .steps(steps)
+        .dataset_size(size)
+        .gar("mda")
+        .attack("alie");
+    if let Some(eps) = eps {
+        builder = builder.epsilon(eps);
+    }
+    builder.build().expect("valid spec")
 }
 
 fn main() {
@@ -80,7 +80,10 @@ fn main() {
         println!("  {vis:?}: tail loss {loss:.5}");
         rows.push(vec![format!("{vis:?}"), format!("{loss:.5}")]);
     }
-    write_csv("ablation_visibility.csv", &csv(&["visibility", "tail_loss"], &rows));
+    write_csv(
+        "ablation_visibility.csv",
+        &csv(&["visibility", "tail_loss"], &rows),
+    );
 
     // 3. Momentum placement ablation.
     println!("\n=== ablation B: momentum at the server vs at the workers");
@@ -92,19 +95,25 @@ fn main() {
         println!("  {mode:?}: tail loss {loss:.5} (no DP, ALIE)");
         rows.push(vec![format!("{mode:?}"), format!("{loss:.5}")]);
     }
-    write_csv("ablation_momentum.csv", &csv(&["momentum_mode", "tail_loss"], &rows));
+    write_csv(
+        "ablation_momentum.csv",
+        &csv(&["momentum_mode", "tail_loss"], &rows),
+    );
 
     // 4. Mechanism ablation: Remark 3.
     println!("\n=== ablation C: Gaussian vs Laplace noise (Remark 3)");
     let mut rows = Vec::new();
-    for mech in [MechanismKind::Gaussian, MechanismKind::Laplace] {
+    for mech in ["gaussian", "laplace"] {
         let mut exp = base(50, Some(0.2), steps, size);
-        exp.mechanism = mech;
+        exp.mechanism = mech.into();
         let loss = tail_loss(&exp, &seeds);
-        println!("  {mech:?}: tail loss {loss:.5}");
-        rows.push(vec![format!("{mech:?}"), format!("{loss:.5}")]);
+        println!("  {mech}: tail loss {loss:.5}");
+        rows.push(vec![mech.to_string(), format!("{loss:.5}")]);
     }
-    write_csv("ablation_mechanism.csv", &csv(&["mechanism", "tail_loss"], &rows));
+    write_csv(
+        "ablation_mechanism.csv",
+        &csv(&["mechanism", "tail_loss"], &rows),
+    );
     println!("  expected shape: Laplace is at least as bad as Gaussian (its L1");
     println!("  calibration carries an extra √d), confirming the mechanism-agnostic claim.");
 }

@@ -5,11 +5,11 @@
 //!   cargo run --release -p dpbyz-bench --bin table1
 //!   cargo run --release -p dpbyz-bench --bin table1 -- --resnet
 
+use dpbyz::analysis;
+use dpbyz::prelude::*;
+use dpbyz::report::csv;
+use dpbyz::theory::table1::{self, Condition};
 use dpbyz_bench::{arg_present, write_csv};
-use dpbyz_core::report::csv;
-use dpbyz_core::theory::table1::{self, Condition};
-use dpbyz_core::{analysis, GarKind};
-use dpbyz_dp::PrivacyBudget;
 
 fn main() {
     let budget = PrivacyBudget::new(0.2, 1e-6).expect("paper budget");
@@ -55,21 +55,15 @@ fn main() {
     // config records honest gradients; do it without and with DP.
     let seeds = [1u64, 2];
     let run_vn_cell = |cell| {
-        let mut exp = dpbyz_core::pipeline::Experiment::paper_figure(
-            dpbyz_core::pipeline::FigureConfig {
-                batch_size: 50,
-                epsilon: match cell {
-                    0 => None,
-                    _ => Some(0.2),
-                },
-                attack: None,
-                steps: 100,
-                dataset_size: 2000,
-                ..dpbyz_core::pipeline::FigureConfig::default()
-            },
-        )
-        .expect("valid spec");
-        exp.config.momentum = 0.0;
+        let mut builder = Experiment::builder()
+            .batch_size(50)
+            .steps(100)
+            .dataset_size(2000)
+            .momentum(0.0);
+        if cell != 0 {
+            builder = builder.epsilon(0.2);
+        }
+        let exp = builder.build().expect("valid spec");
         exp.run_seeds(&seeds).expect("runs")
     };
     let clean_histories = run_vn_cell(0);
@@ -77,7 +71,12 @@ fn main() {
     // Average over the productive early phase (near convergence ‖∇Q‖ → 0
     // and every ratio diverges regardless of DP).
     let early_mean = |xs: &[f64]| -> f64 {
-        let vals: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).take(15).collect();
+        let vals: Vec<f64> = xs
+            .iter()
+            .copied()
+            .filter(|x| x.is_finite())
+            .take(15)
+            .collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     };
     let vn_clean: f64 = clean_histories
@@ -91,10 +90,16 @@ fn main() {
         .sum::<f64>()
         / seeds.len() as f64;
     println!("  measured VN ratio without DP: {vn_clean:.3}");
-    println!("  measured VN ratio with DP:    {vn_dp:.3}   (×{:.1})", vn_dp / vn_clean);
+    println!(
+        "  measured VN ratio with DP:    {vn_dp:.3}   (×{:.1})",
+        vn_dp / vn_clean
+    );
 
     let mut kappa_rows = Vec::new();
-    println!("\n{:<14} {:>10} {:>16} {:>16}", "GAR", "κ(n,f)", "clean VN ≤ κ?", "DP VN ≤ κ?");
+    println!(
+        "\n{:<14} {:>10} {:>16} {:>16}",
+        "GAR", "κ(n,f)", "clean VN ≤ κ?", "DP VN ≤ κ?"
+    );
     for gar in GarKind::ROBUST {
         let fr = match gar {
             GarKind::Krum | GarKind::MultiKrum => 4,

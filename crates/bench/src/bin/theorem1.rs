@@ -7,20 +7,13 @@
 //!
 //! Usage: cargo run --release -p dpbyz-bench --bin theorem1 [-- --quick]
 
+use dpbyz::report::csv;
+use dpbyz::theory::convergence;
+use dpbyz::{Experiment, PrivacyBudget};
 use dpbyz_bench::{arg_present, write_csv};
-use dpbyz_core::pipeline::Experiment;
-use dpbyz_core::report::csv;
-use dpbyz_core::theory::convergence;
-use dpbyz_dp::PrivacyBudget;
 
 /// Measured suboptimality E[Q(w_{T+1})] − Q* averaged over seeds.
-fn measure(
-    dim: usize,
-    budget: Option<PrivacyBudget>,
-    steps: u32,
-    b: usize,
-    seeds: &[u64],
-) -> f64 {
+fn measure(dim: usize, budget: Option<PrivacyBudget>, steps: u32, b: usize, seeds: &[u64]) -> f64 {
     let exp = Experiment::theorem1(dim, 1.0, budget, steps, b, 1).expect("valid spec");
     let dist = exp.mean_estimation_instance().expect("mean estimation");
     let mut total = 0.0;
@@ -47,7 +40,11 @@ fn loglog_slope(points: &[(f64, f64)]) -> f64 {
 
 fn main() {
     let quick = arg_present("--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     let budget = PrivacyBudget::new(0.2, 1e-6).expect("paper budget");
 
     println!("=== Theorem 1 scaling sweeps (mean estimation, σ² = 1, γ_t = 1/t, n = 1)");
@@ -62,7 +59,12 @@ fn main() {
         let lo = convergence::lower_bound(1.0, 2.0, 400, 10, d, Some(budget));
         println!("  d = {d:>4}: measured {err:>12.4}, thm lower {lo:>12.4}");
         pts.push((d as f64, err));
-        all_rows.push(vec!["d".into(), d.to_string(), format!("{err:.6}"), format!("{lo:.6}")]);
+        all_rows.push(vec![
+            "d".into(),
+            d.to_string(),
+            format!("{err:.6}"),
+            format!("{lo:.6}"),
+        ]);
     }
     let slope_d = loglog_slope(&pts);
     println!("  log-log slope in d: {slope_d:.2}   (paper: +1)");
@@ -74,7 +76,12 @@ fn main() {
         let err = measure(d, None, 400, 10, &seeds);
         println!("  d = {d:>4}: measured {err:>12.6}");
         pts0.push((d as f64, err.max(1e-12)));
-        all_rows.push(vec!["d_nodp".into(), d.to_string(), format!("{err:.8}"), String::new()]);
+        all_rows.push(vec![
+            "d_nodp".into(),
+            d.to_string(),
+            format!("{err:.8}"),
+            String::new(),
+        ]);
     }
     let slope_d0 = loglog_slope(&pts0);
     println!("  log-log slope in d: {slope_d0:.2}   (paper: ~0)");
@@ -87,7 +94,12 @@ fn main() {
         let err = measure(64, Some(budget), 400, b, &seeds);
         println!("  b = {b:>3}: measured {err:>12.4}");
         ptsb.push((b as f64, err));
-        all_rows.push(vec!["b".into(), b.to_string(), format!("{err:.6}"), String::new()]);
+        all_rows.push(vec![
+            "b".into(),
+            b.to_string(),
+            format!("{err:.6}"),
+            String::new(),
+        ]);
     }
     let slope_b = loglog_slope(&ptsb);
     println!("  log-log slope in b: {slope_b:.2}   (paper: -2)");
@@ -101,7 +113,12 @@ fn main() {
         let err = measure(64, Some(bud), 400, 10, &seeds);
         println!("  ε = {e:>5.2}: measured {err:>12.4}");
         ptse.push((e, err));
-        all_rows.push(vec!["eps".into(), e.to_string(), format!("{err:.6}"), String::new()]);
+        all_rows.push(vec![
+            "eps".into(),
+            e.to_string(),
+            format!("{err:.6}"),
+            String::new(),
+        ]);
     }
     let slope_e = loglog_slope(&ptse);
     println!("  log-log slope in ε: {slope_e:.2}   (paper: -2)");
@@ -114,7 +131,12 @@ fn main() {
         let err = measure(64, Some(budget), t, 10, &seeds);
         println!("  T = {t:>4}: measured {err:>12.4}");
         ptst.push((t as f64, err));
-        all_rows.push(vec!["T".into(), t.to_string(), format!("{err:.6}"), String::new()]);
+        all_rows.push(vec![
+            "T".into(),
+            t.to_string(),
+            format!("{err:.6}"),
+            String::new(),
+        ]);
     }
     let slope_t = loglog_slope(&ptst);
     println!("  log-log slope in T: {slope_t:.2}   (paper: -1)");

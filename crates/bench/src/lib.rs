@@ -14,20 +14,21 @@
 //! Results are written as CSV under `results/` and summarized on stdout
 //! with ASCII plots.
 
-use dpbyz_core::pipeline::{Experiment, FigureConfig, PipelineError};
-use dpbyz_core::AttackKind;
-use dpbyz_server::{RunHistory, SeedSummary};
+use dpbyz::prelude::*;
 use std::path::{Path, PathBuf};
 
-/// One cell of a figure's configuration grid.
+/// One cell of a figure's configuration grid. Attacks are named by
+/// registry id (resolved through the `dpbyz` component registry), so
+/// third-party attacks slot into sweeps without code changes here.
 #[derive(Debug, Clone, Copy)]
 pub struct Cell {
     /// Short label, e.g. `"dp+alie"`.
     pub label: &'static str,
     /// Privacy ε (`None` = no DP).
     pub epsilon: Option<f64>,
-    /// Attack (`None` = unattacked, averaging over 11 honest workers).
-    pub attack: Option<AttackKind>,
+    /// Attack registry id (`None` = unattacked, averaging over 11 honest
+    /// workers).
+    pub attack: Option<&'static str>,
 }
 
 /// The paper's 2 (DP) × 3 (attack) grid: the six curves behind each figure.
@@ -40,12 +41,12 @@ pub const FIGURE_CELLS: [Cell; 6] = [
     Cell {
         label: "alie",
         epsilon: None,
-        attack: Some(AttackKind::PAPER_ALIE),
+        attack: Some("alie"),
     },
     Cell {
         label: "foe",
         epsilon: None,
-        attack: Some(AttackKind::PAPER_FOE),
+        attack: Some("foe"),
     },
     Cell {
         label: "dp",
@@ -55,12 +56,12 @@ pub const FIGURE_CELLS: [Cell; 6] = [
     Cell {
         label: "dp+alie",
         epsilon: Some(0.2),
-        attack: Some(AttackKind::PAPER_ALIE),
+        attack: Some("alie"),
     },
     Cell {
         label: "dp+foe",
         epsilon: Some(0.2),
-        attack: Some(AttackKind::PAPER_FOE),
+        attack: Some("foe"),
     },
 ];
 
@@ -87,9 +88,7 @@ impl CellResult {
 
     /// Mean ± std of the final test accuracy (NaN if never evaluated).
     pub fn final_accuracy(&self) -> SeedSummary {
-        SeedSummary::from_metric(&self.histories, |h| {
-            h.final_accuracy().unwrap_or(f64::NAN)
-        })
+        SeedSummary::from_metric(&self.histories, |h| h.final_accuracy().unwrap_or(f64::NAN))
     }
 
     /// Mean loss curve across seeds.
@@ -107,6 +106,32 @@ impl CellResult {
     }
 }
 
+/// Builds one cell's experiment at a given batch size via the fluent
+/// builder (paper protocol: MDA with f = 5 once an attack is armed,
+/// averaging over 11 honest workers otherwise).
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the builder.
+pub fn cell_experiment(
+    cell: Cell,
+    batch_size: usize,
+    steps: u32,
+    dataset_size: usize,
+) -> Result<Experiment, PipelineError> {
+    let mut builder = Experiment::builder()
+        .batch_size(batch_size)
+        .steps(steps)
+        .dataset_size(dataset_size);
+    if let Some(attack) = cell.attack {
+        builder = builder.gar("mda").attack(attack);
+    }
+    if let Some(epsilon) = cell.epsilon {
+        builder = builder.epsilon(epsilon);
+    }
+    builder.build()
+}
+
 /// Runs one cell at a given batch size across seeds.
 ///
 /// # Errors
@@ -119,14 +144,7 @@ pub fn run_cell(
     dataset_size: usize,
     seeds: &[u64],
 ) -> Result<CellResult, PipelineError> {
-    let exp = Experiment::paper_figure(FigureConfig {
-        batch_size,
-        epsilon: cell.epsilon,
-        attack: cell.attack,
-        steps,
-        dataset_size,
-        ..FigureConfig::default()
-    })?;
+    let exp = cell_experiment(cell, batch_size, steps, dataset_size)?;
     Ok(CellResult {
         cell,
         histories: exp.run_seeds(seeds)?,

@@ -163,10 +163,7 @@ mod tests {
         assert!(ex.sqrt_d > 5000.0);
         for (gar, b) in &ex.required_batches {
             if let Some(b) = b {
-                assert!(
-                    *b > 5000,
-                    "{gar:?} requires only b = {b}, contradicting §3"
-                );
+                assert!(*b > 5000, "{gar:?} requires only b = {b}, contradicting §3");
             }
         }
         // At τ = 5/11 > some caps nothing is vacuous except possibly none:

@@ -1,18 +1,20 @@
-//! Serializable identifiers for GARs, attacks, and mechanisms — the
-//! vocabulary experiment specs are written in.
+//! Serializable identifiers for the built-in GARs, attacks, and mechanisms.
+//!
+//! These enums predate the [`registry`](crate::registry) and survive as
+//! thin, serde-compatible wrappers: every variant resolves through the
+//! global component registry by its stable string id, so existing specs
+//! and JSON round-trip unchanged while the registry remains the single
+//! construction path. New components do **not** require new variants —
+//! name them by [`ComponentSpec`] instead.
 
-use dpbyz_attacks::{
-    Attack, FallOfEmpires, LargeNorm, LittleIsEnough, Mimic, RandomNoise, SignFlip, Zero,
-};
-use dpbyz_dp::{DpError, GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise, PrivacyBudget};
-use dpbyz_gars::{
-    Average, Bulyan, CoordinateMedian, Gar, GeometricMedian, Krum, Mda, Meamed, MultiKrum,
-    Phocas, TrimmedMean,
-};
+use crate::registry::{self, ComponentSpec, RegistryError};
+use dpbyz_attacks::Attack;
+use dpbyz_dp::{Mechanism, PrivacyBudget};
+use dpbyz_gars::Gar;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Which aggregation rule the server runs.
+/// Which built-in aggregation rule the server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum GarKind {
@@ -55,20 +57,24 @@ impl GarKind {
         GarKind::Bulyan,
     ];
 
-    /// Instantiates the rule.
+    /// The registry spec this kind resolves to.
+    pub fn spec(self) -> ComponentSpec {
+        ComponentSpec::new(self.name())
+    }
+
+    /// The kind whose registry id is `id`, if it names a built-in.
+    pub fn from_id(id: &str) -> Option<GarKind> {
+        GarKind::ALL.into_iter().find(|k| k.name() == id)
+    }
+
+    /// Instantiates the rule through the component registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in registrations are missing — a workspace
+    /// invariant, not a runtime condition.
     pub fn build(self) -> Arc<dyn Gar> {
-        match self {
-            GarKind::Average => Arc::new(Average::new()),
-            GarKind::Krum => Arc::new(Krum::new()),
-            GarKind::MultiKrum => Arc::new(MultiKrum::new()),
-            GarKind::Mda => Arc::new(Mda::new()),
-            GarKind::Median => Arc::new(CoordinateMedian::new()),
-            GarKind::TrimmedMean => Arc::new(TrimmedMean::new()),
-            GarKind::Meamed => Arc::new(Meamed::new()),
-            GarKind::Phocas => Arc::new(Phocas::new()),
-            GarKind::Bulyan => Arc::new(Bulyan::new()),
-            GarKind::GeometricMedian => Arc::new(GeometricMedian::new()),
-        }
+        registry::build_gar(&self.spec()).expect("built-in GAR registered")
     }
 
     /// The rule's VN bound `κ_F(n, f)` (see [`Gar::kappa`]).
@@ -76,7 +82,7 @@ impl GarKind {
         self.build().kappa(n, f)
     }
 
-    /// Display name.
+    /// Display name — also the registry id.
     pub fn name(self) -> &'static str {
         match self {
             GarKind::Average => "average",
@@ -93,7 +99,25 @@ impl GarKind {
     }
 }
 
-/// Which Byzantine attack the colluders mount.
+impl From<GarKind> for ComponentSpec {
+    fn from(kind: GarKind) -> ComponentSpec {
+        kind.spec()
+    }
+}
+
+impl PartialEq<GarKind> for ComponentSpec {
+    fn eq(&self, kind: &GarKind) -> bool {
+        *self == kind.spec()
+    }
+}
+
+impl PartialEq<ComponentSpec> for GarKind {
+    fn eq(&self, spec: &ComponentSpec) -> bool {
+        self.spec() == *spec
+    }
+}
+
+/// Which built-in Byzantine attack the colluders mount.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AttackKind {
     /// A Little Is Enough with shift factor ν.
@@ -133,20 +157,31 @@ impl AttackKind {
     /// The paper's FoE setting (ν = 1.1).
     pub const PAPER_FOE: AttackKind = AttackKind::Foe { nu: 1.1 };
 
-    /// Instantiates the attack.
-    pub fn build(self) -> Arc<dyn Attack> {
+    /// The registry spec this kind (and its parameters) resolves to.
+    pub fn spec(self) -> ComponentSpec {
         match self {
-            AttackKind::Alie { nu } => Arc::new(LittleIsEnough::new(nu)),
-            AttackKind::Foe { nu } => Arc::new(FallOfEmpires::new(nu)),
-            AttackKind::SignFlip => Arc::new(SignFlip),
-            AttackKind::RandomNoise { std } => Arc::new(RandomNoise::new(std)),
-            AttackKind::Zero => Arc::new(Zero),
-            AttackKind::LargeNorm { scale } => Arc::new(LargeNorm::new(scale)),
-            AttackKind::Mimic { target } => Arc::new(Mimic::new(target)),
+            AttackKind::Alie { nu } => ComponentSpec::new("alie").with("nu", nu),
+            AttackKind::Foe { nu } => ComponentSpec::new("foe").with("nu", nu),
+            AttackKind::SignFlip => ComponentSpec::new("sign-flip"),
+            AttackKind::RandomNoise { std } => ComponentSpec::new("random-noise").with("std", std),
+            AttackKind::Zero => ComponentSpec::new("zero"),
+            AttackKind::LargeNorm { scale } => {
+                ComponentSpec::new("large-norm").with("scale", scale)
+            }
+            AttackKind::Mimic { target } => ComponentSpec::new("mimic").with("target", target),
         }
     }
 
-    /// Display name.
+    /// Instantiates the attack through the component registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in registrations are missing.
+    pub fn build(self) -> Arc<dyn Attack> {
+        registry::build_attack(&self.spec()).expect("built-in attack registered")
+    }
+
+    /// Display name — also the registry id.
     pub fn name(self) -> &'static str {
         match self {
             AttackKind::Alie { .. } => "alie",
@@ -160,7 +195,25 @@ impl AttackKind {
     }
 }
 
-/// Which noise-injection mechanism honest workers apply.
+impl From<AttackKind> for ComponentSpec {
+    fn from(kind: AttackKind) -> ComponentSpec {
+        kind.spec()
+    }
+}
+
+impl PartialEq<AttackKind> for ComponentSpec {
+    fn eq(&self, kind: &AttackKind) -> bool {
+        *self == kind.spec()
+    }
+}
+
+impl PartialEq<ComponentSpec> for AttackKind {
+    fn eq(&self, spec: &ComponentSpec) -> bool {
+        self.spec() == *spec
+    }
+}
+
+/// Which built-in noise-injection mechanism honest workers apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MechanismKind {
     /// The Gaussian mechanism of Eq. 6 (the paper's default).
@@ -170,33 +223,58 @@ pub enum MechanismKind {
 }
 
 impl MechanismKind {
+    /// The registry spec this kind resolves to (calibration parameters are
+    /// injected by the caller or the pipeline).
+    pub fn spec(self) -> ComponentSpec {
+        match self {
+            MechanismKind::Gaussian => ComponentSpec::new("gaussian"),
+            MechanismKind::Laplace => ComponentSpec::new("laplace"),
+        }
+    }
+
     /// Builds the mechanism calibrated for the clipped batch-mean gradient
-    /// map. `budget = None` yields [`NoNoise`] regardless of kind.
+    /// map, through the component registry. `budget = None` yields the
+    /// identity (`"none"`) mechanism regardless of kind.
     ///
     /// # Errors
     ///
-    /// Propagates calibration errors ([`DpError`]).
+    /// Propagates calibration failures as [`RegistryError::Build`].
     pub fn build(
         self,
         budget: Option<PrivacyBudget>,
         g_max: f64,
         batch_size: usize,
         dim: usize,
-    ) -> Result<Arc<dyn Mechanism>, DpError> {
+    ) -> Result<Arc<dyn Mechanism>, RegistryError> {
         let Some(budget) = budget else {
-            return Ok(Arc::new(NoNoise));
+            return registry::build_mechanism(&ComponentSpec::new("none"));
         };
-        Ok(match self {
-            MechanismKind::Gaussian => Arc::new(GaussianMechanism::for_clipped_gradients(
-                budget, g_max, batch_size,
-            )?),
-            MechanismKind::Laplace => Arc::new(LaplaceMechanism::for_clipped_gradients(
-                budget.epsilon(),
-                g_max,
-                batch_size,
-                dim,
-            )?),
-        })
+        let spec = self
+            .spec()
+            .with("epsilon", budget.epsilon())
+            .with("delta", budget.delta())
+            .with("g_max", g_max)
+            .with("batch_size", batch_size)
+            .with("dim", dim);
+        registry::build_mechanism(&spec)
+    }
+}
+
+impl From<MechanismKind> for ComponentSpec {
+    fn from(kind: MechanismKind) -> ComponentSpec {
+        kind.spec()
+    }
+}
+
+impl PartialEq<MechanismKind> for ComponentSpec {
+    fn eq(&self, kind: &MechanismKind) -> bool {
+        *self == kind.spec()
+    }
+}
+
+impl PartialEq<ComponentSpec> for MechanismKind {
+    fn eq(&self, spec: &ComponentSpec) -> bool {
+        self.spec() == *spec
     }
 }
 
@@ -209,7 +287,9 @@ mod tests {
         for kind in GarKind::ALL {
             let gar = kind.build();
             assert_eq!(gar.name(), kind.name());
+            assert_eq!(GarKind::from_id(kind.name()), Some(kind));
         }
+        assert_eq!(GarKind::from_id("nonsense"), None);
     }
 
     #[test]
@@ -241,6 +321,20 @@ mod tests {
     }
 
     #[test]
+    fn kinds_compare_equal_to_their_specs() {
+        assert_eq!(GarKind::Krum.spec(), GarKind::Krum);
+        assert_eq!(GarKind::Krum, ComponentSpec::new("krum"));
+        assert_ne!(GarKind::Krum.spec(), GarKind::Mda);
+        assert_eq!(
+            AttackKind::PAPER_ALIE,
+            ComponentSpec::new("alie").with("nu", 1.5)
+        );
+        // Same id, different parameter: different spec.
+        assert_ne!(AttackKind::PAPER_ALIE.spec(), AttackKind::Alie { nu: 2.0 });
+        assert_eq!(MechanismKind::Gaussian, ComponentSpec::new("gaussian"));
+    }
+
+    #[test]
     fn mechanism_kind_none_budget_is_identity() {
         let m = MechanismKind::Gaussian.build(None, 0.01, 50, 69).unwrap();
         assert_eq!(m.name(), "none");
@@ -260,5 +354,16 @@ mod tests {
         assert_eq!(l.name(), "laplace");
         // Laplace noise carries the extra √d: more total variance here.
         assert!(l.total_noise_variance(69) > g.total_noise_variance(69));
+    }
+
+    #[test]
+    fn mechanism_calibration_errors_surface_as_build_errors() {
+        // ε ≥ 1 is outside the classical Gaussian mechanism's validity.
+        let budget = PrivacyBudget::new(2.0, 1e-6).unwrap();
+        let err = MechanismKind::Gaussian
+            .build(Some(budget), 0.01, 50, 69)
+            .err()
+            .unwrap();
+        assert!(matches!(err, RegistryError::Build { .. }));
     }
 }

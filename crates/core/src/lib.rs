@@ -46,12 +46,17 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+mod builder;
 mod kinds;
 pub mod pipeline;
+pub mod registry;
 pub mod report;
 pub mod theory;
 
+pub use builder::ExperimentBuilder;
 pub use kinds::{AttackKind, GarKind, MechanismKind};
+pub use pipeline::Experiment;
+pub use registry::{ComponentSpec, ParamValue, Registry, RegistryError};
 
 /// One-line import for experiment scripts.
 ///
@@ -68,7 +73,10 @@ pub use kinds::{AttackKind, GarKind, MechanismKind};
 /// ```
 pub mod prelude {
     pub use crate::pipeline::{Experiment, FigureConfig, PipelineError, Workload};
-    pub use crate::{AttackKind, GarKind, MechanismKind};
+    pub use crate::registry::{register_attack, register_gar, register_mechanism, ComponentSpec};
+    pub use crate::{AttackKind, ExperimentBuilder, GarKind, MechanismKind};
     pub use dpbyz_dp::PrivacyBudget;
-    pub use dpbyz_server::{RunHistory, SeedSummary, TrainingConfig};
+    pub use dpbyz_server::{
+        FnObserver, RunHistory, RunObserver, SeedSummary, StepMetrics, TrainingConfig,
+    };
 }

@@ -1,6 +1,7 @@
 //! The experiment pipeline: declarative, seeded, reproducible runs of the
 //! combined DP + Byzantine-resilient SGD system.
 
+use crate::registry::{self, ComponentSpec, RegistryError};
 use crate::{AttackKind, GarKind, MechanismKind};
 use dpbyz_data::sampler::{BatchSource, DatasetSource, SamplingMode};
 use dpbyz_data::synthetic::{self, MeanEstimation, MeanEstimationSource};
@@ -9,7 +10,8 @@ use dpbyz_dp::{DpError, PrivacyBudget};
 use dpbyz_gars::GarError;
 use dpbyz_models::{LogisticRegression, LossKind, Model, QuadraticMean};
 use dpbyz_server::{
-    ConfigError, LrSchedule, MomentumMode, RunHistory, ThreadedTrainer, Trainer, TrainingConfig,
+    ConfigError, LrSchedule, MomentumMode, RunHistory, RunObserver, ThreadedTrainer, Trainer,
+    TrainingConfig,
 };
 use dpbyz_tensor::{Prng, Vector};
 use std::fmt;
@@ -24,6 +26,8 @@ pub enum PipelineError {
     Dp(DpError),
     /// The GAR rejected the topology at run time.
     Gar(GarError),
+    /// A component id failed to resolve or build through the registry.
+    Registry(RegistryError),
     /// Inconsistent specification (message explains).
     Spec(String),
 }
@@ -34,6 +38,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Config(e) => write!(f, "config: {e}"),
             PipelineError::Dp(e) => write!(f, "privacy: {e}"),
             PipelineError::Gar(e) => write!(f, "aggregation: {e}"),
+            PipelineError::Registry(e) => write!(f, "registry: {e}"),
             PipelineError::Spec(m) => write!(f, "spec: {m}"),
         }
     }
@@ -54,6 +59,11 @@ impl From<DpError> for PipelineError {
 impl From<GarError> for PipelineError {
     fn from(e: GarError) -> Self {
         PipelineError::Gar(e)
+    }
+}
+impl From<RegistryError> for PipelineError {
+    fn from(e: RegistryError) -> Self {
+        PipelineError::Registry(e)
     }
 }
 
@@ -92,21 +102,30 @@ pub enum Workload {
 }
 
 /// A fully specified experiment: run it with any number of seeds.
+///
+/// Components are named by registry [`ComponentSpec`]s, so any registered
+/// GAR/attack/mechanism — built-in or third-party — can appear here; the
+/// `*Kind` enums convert `Into<ComponentSpec>` for the built-ins.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     /// The data/model workload.
     pub workload: Workload,
     /// Topology and hyper-parameters.
     pub config: TrainingConfig,
-    /// Aggregation rule.
-    pub gar: GarKind,
+    /// Aggregation rule (resolved through the GAR registry).
+    pub gar: ComponentSpec,
     /// Attack mounted by the `config.n_byzantine` colluders (`None` ⇒ all
-    /// workers honest).
-    pub attack: Option<AttackKind>,
+    /// workers honest), resolved through the attack registry.
+    pub attack: Option<ComponentSpec>,
     /// Per-step privacy budget (`None` ⇒ no DP noise).
     pub budget: Option<PrivacyBudget>,
-    /// Noise mechanism used when a budget is set.
-    pub mechanism: MechanismKind,
+    /// Noise mechanism, resolved through the mechanism registry with the
+    /// calibration context (`epsilon`, `delta`, `g_max`, `batch_size`,
+    /// `dim`) injected at run time. While [`Experiment::budget`] is
+    /// `None`, the budget-calibrated built-ins (`gaussian`, `laplace`)
+    /// degrade to the identity mechanism (the paper's no-DP baselines);
+    /// custom registered ids are always resolved as specified.
+    pub mechanism: ComponentSpec,
     /// Run on the threaded engine instead of the sequential one.
     pub threaded: bool,
     /// `G_max` reference used to *calibrate* the DP noise, when different
@@ -169,9 +188,9 @@ impl Experiment {
             Some(e) => Some(PrivacyBudget::new(e, fig.delta)?),
         };
         let (n_byz, gar) = if fig.attack.is_some() {
-            (5, GarKind::Mda)
+            (5, GarKind::Mda.spec())
         } else {
-            (0, GarKind::Average)
+            (0, GarKind::Average.spec())
         };
         // Momentum lives at the *workers* (El-Mhamdi et al. 2021, the
         // paper's [16] — same authors, same experimental codebase): each
@@ -198,9 +217,9 @@ impl Experiment {
             },
             config,
             gar,
-            attack: fig.attack,
+            attack: fig.attack.map(AttackKind::spec),
             budget,
-            mechanism: MechanismKind::Gaussian,
+            mechanism: MechanismKind::Gaussian.spec(),
             threaded: false,
             dp_reference_g_max: None,
         })
@@ -244,10 +263,10 @@ impl Experiment {
                 data_seed: 0x7E01,
             },
             config,
-            gar: GarKind::Average,
+            gar: GarKind::Average.spec(),
             attack: None,
             budget,
-            mechanism: MechanismKind::Gaussian,
+            mechanism: MechanismKind::Gaussian.spec(),
             threaded: false,
             dp_reference_g_max: Some(2.0),
         })
@@ -268,7 +287,7 @@ impl Experiment {
     ) -> Result<Self, PipelineError> {
         let mut exp = Self::paper_figure(fig)?;
         let f = f.min(gar.build().max_byzantine(11));
-        exp.gar = gar;
+        exp.gar = gar.spec();
         exp.config.n_byzantine = if exp.attack.is_some() { f } else { 0 };
         Ok(exp)
     }
@@ -294,11 +313,30 @@ impl Experiment {
     ///
     /// See [`PipelineError`].
     pub fn run(&self, seed: u64) -> Result<RunHistory, PipelineError> {
-        let (model, sources, test): (
-            Arc<dyn Model>,
-            Vec<Box<dyn BatchSource>>,
-            Option<Arc<Dataset>>,
-        ) = match &self.workload {
+        self.run_inner(seed, None)
+    }
+
+    /// Runs the experiment with one seed, streaming per-step metrics into
+    /// `observer` while the run executes. Observation is passive: the
+    /// produced history is bit-identical to [`Experiment::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_with_observer(
+        &self,
+        seed: u64,
+        observer: Box<dyn RunObserver>,
+    ) -> Result<RunHistory, PipelineError> {
+        self.run_inner(seed, Some(observer))
+    }
+
+    fn run_inner(
+        &self,
+        seed: u64,
+        observer: Option<Box<dyn RunObserver>>,
+    ) -> Result<RunHistory, PipelineError> {
+        let (model, sources, test): WorkloadParts = match &self.workload {
             Workload::PhishingLike { data_seed, size } => {
                 let mut rng = Prng::seed_from_u64(*data_seed);
                 let ds = synthetic::phishing_like(&mut rng, *size);
@@ -330,26 +368,41 @@ impl Experiment {
                 let dist = make_mean_estimation(*dim, *sigma, *data_seed);
                 let model = Arc::new(QuadraticMean::new(*dim));
                 let sources: Vec<Box<dyn BatchSource>> = (0..self.config.n_workers)
-                    .map(|_| {
-                        Box::new(MeanEstimationSource(dist.clone())) as Box<dyn BatchSource>
-                    })
+                    .map(|_| Box::new(MeanEstimationSource(dist.clone())) as Box<dyn BatchSource>)
                     .collect();
                 (model, sources, None)
             }
         };
 
-        let mechanism = self.mechanism.build(
-            self.budget,
-            self.dp_reference_g_max.unwrap_or(self.config.clip),
-            self.config.batch_size,
-            model.dim(),
-        )?;
+        // Resolve the mechanism through the registry. The budget-calibrated
+        // built-ins (`gaussian`, `laplace`) degrade to the identity
+        // mechanism when no budget is set (the paper's no-DP baselines);
+        // custom mechanisms are always resolved as specified, with the
+        // calibration context injected for factories that want it.
+        let mechanism_spec = match (&self.budget, self.mechanism.id.as_str()) {
+            (None, "gaussian" | "laplace" | "none") => ComponentSpec::new("none"),
+            (budget, _) => {
+                let mut spec = self.mechanism.clone();
+                if let Some(budget) = budget {
+                    spec.default_param("epsilon", budget.epsilon());
+                    spec.default_param("delta", budget.delta());
+                }
+                spec.default_param("g_max", self.dp_reference_g_max.unwrap_or(self.config.clip));
+                spec.default_param("batch_size", self.config.batch_size);
+                spec.default_param("dim", model.dim());
+                spec
+            }
+        };
+        let mechanism = registry::build_mechanism(&mechanism_spec)?;
 
         let mut trainer = Trainer::new(self.config.clone(), model, sources, test)
-            .gar(self.gar.build())
+            .gar(registry::build_gar(&self.gar)?)
             .mechanism(mechanism);
-        if let Some(attack) = self.attack {
-            trainer = trainer.attack(attack.build());
+        if let Some(attack) = &self.attack {
+            trainer = trainer.attack(registry::build_attack(attack)?);
+        }
+        if let Some(observer) = observer {
+            trainer = trainer.observer(observer);
         }
 
         let history = if self.threaded {
@@ -384,6 +437,14 @@ fn dataset_sources(train: &Arc<Dataset>, n: usize) -> Vec<Box<dyn BatchSource>> 
         })
         .collect()
 }
+
+/// The instantiated pieces of a workload: model, per-worker batch
+/// sources, and optional test split.
+type WorkloadParts = (
+    Arc<dyn Model>,
+    Vec<Box<dyn BatchSource>>,
+    Option<Arc<Dataset>>,
+);
 
 /// `x̄` is a deterministic unit-norm vector derived from `data_seed`.
 fn make_mean_estimation(dim: usize, sigma: f64, data_seed: u64) -> MeanEstimation {
@@ -519,10 +580,10 @@ mod tests {
                 .eval_every(20)
                 .build()
                 .unwrap(),
-            gar: GarKind::Average,
+            gar: GarKind::Average.spec(),
             attack: None,
             budget: None,
-            mechanism: MechanismKind::Gaussian,
+            mechanism: MechanismKind::Gaussian.spec(),
             threaded: false,
             dp_reference_g_max: None,
         };

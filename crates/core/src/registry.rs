@@ -1,0 +1,659 @@
+//! The extensible component registry: GARs, attacks, and noise mechanisms
+//! resolved by stable string ids.
+//!
+//! The experiment vocabulary used to be three *closed* enums — adding a
+//! scenario meant editing this crate. The registry inverts that: each
+//! component family ([`Gar`], [`Attack`], [`Mechanism`]) has a global
+//! [`Registry`] keyed by id and pre-populated with every built-in, and
+//! downstream code (or third-party crates) can [`register_gar`] /
+//! [`register_attack`] / [`register_mechanism`] new implementations
+//! without touching core. Experiment specs name components by
+//! [`ComponentSpec`] — an id plus a flat parameter map — which is what
+//! makes them serializable, sweepable, and CLI-addressable.
+//!
+//! The old `GarKind` / `AttackKind` / `MechanismKind` enums survive as
+//! thin serde-compatible wrappers whose `build` methods resolve through
+//! the registry, so existing specs and JSON round-trip unchanged.
+//!
+//! # Registering a custom component
+//!
+//! ```
+//! use dpbyz_core::registry::{self, ComponentSpec};
+//! use dpbyz_gars::{Gar, GarError};
+//! use dpbyz_tensor::Vector;
+//! use std::sync::Arc;
+//!
+//! struct FirstVector;
+//!
+//! impl Gar for FirstVector {
+//!     fn name(&self) -> &'static str { "first-vector" }
+//!     fn aggregate(&self, gradients: &[Vector], _f: usize) -> Result<Vector, GarError> {
+//!         gradients.first().cloned().ok_or(GarError::Empty)
+//!     }
+//!     fn kappa(&self, _n: usize, _f: usize) -> Option<f64> { None }
+//!     fn max_byzantine(&self, _n: usize) -> usize { 0 }
+//! }
+//!
+//! registry::register_gar("first-vector", |_spec| Ok(Arc::new(FirstVector))).unwrap();
+//! let gar = registry::build_gar(&ComponentSpec::new("first-vector")).unwrap();
+//! assert_eq!(gar.name(), "first-vector");
+//! ```
+
+use dpbyz_attacks::{
+    Attack, FallOfEmpires, LargeNorm, LittleIsEnough, Mimic, RandomNoise, SignFlip, Zero,
+};
+use dpbyz_dp::{GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise, PrivacyBudget};
+use dpbyz_gars::{
+    Average, Bulyan, CoordinateMedian, Gar, GeometricMedian, Krum, Mda, Meamed, MultiKrum, Phocas,
+    TrimmedMean,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A scalar component parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A floating-point parameter (e.g. ALIE's ν).
+    F64(f64),
+    /// An unsigned integer parameter (e.g. Mimic's target index).
+    U64(u64),
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::F64(v)
+    }
+}
+
+impl From<u64> for ParamValue {
+    fn from(v: u64) -> Self {
+        ParamValue::U64(v)
+    }
+}
+
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::U64(v as u64)
+    }
+}
+
+/// A serializable component reference: a stable string id plus parameters.
+///
+/// This is the open replacement for the closed `*Kind` enums: any
+/// registered component — built-in or third-party — can be named in an
+/// experiment spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Registry id, e.g. `"krum"` or `"alie"`.
+    pub id: String,
+    /// Scalar parameters consumed by the component's factory.
+    pub params: BTreeMap<String, ParamValue>,
+}
+
+impl ComponentSpec {
+    /// A spec with no parameters.
+    pub fn new(id: impl Into<String>) -> Self {
+        ComponentSpec {
+            id: id.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or overrides) a parameter, builder-style.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Inserts a parameter only if absent (used by the pipeline to inject
+    /// calibration context without clobbering explicit settings).
+    pub fn default_param(&mut self, key: &str, value: impl Into<ParamValue>) {
+        self.params.entry(key.to_string()).or_insert(value.into());
+    }
+
+    /// Reads a parameter as `f64` (integers widen).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        match self.params.get(key) {
+            Some(ParamValue::F64(v)) => Some(*v),
+            Some(ParamValue::U64(v)) => Some(*v as f64),
+            None => None,
+        }
+    }
+
+    /// Reads a parameter as `f64` with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.f64(key).unwrap_or(default)
+    }
+
+    /// Reads a parameter as `u64` (floats must be integral).
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        match self.params.get(key) {
+            Some(ParamValue::U64(v)) => Some(*v),
+            Some(ParamValue::F64(v)) if v.fract() == 0.0 && *v >= 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Reads a parameter as `u64` with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.u64(key).unwrap_or(default)
+    }
+}
+
+impl From<&str> for ComponentSpec {
+    fn from(id: &str) -> Self {
+        ComponentSpec::new(id)
+    }
+}
+
+impl From<String> for ComponentSpec {
+    fn from(id: String) -> Self {
+        ComponentSpec::new(id)
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// An id was registered twice (ids are stable API; shadowing a
+    /// built-in silently would change every spec naming it).
+    DuplicateId(String),
+    /// No component is registered under the requested id.
+    UnknownId {
+        /// The id that failed to resolve.
+        id: String,
+        /// Every id currently registered in the family, sorted.
+        available: Vec<String>,
+    },
+    /// The factory rejected the spec (bad or missing parameters).
+    Build {
+        /// The id whose factory failed.
+        id: String,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateId(id) => {
+                write!(f, "component id `{id}` is already registered")
+            }
+            RegistryError::UnknownId { id, available } => write!(
+                f,
+                "unknown component id `{id}`; available: [{}]",
+                available.join(", ")
+            ),
+            RegistryError::Build { id, message } => {
+                write!(f, "building component `{id}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A factory producing a component from its spec.
+pub type Factory<T> = Arc<dyn Fn(&ComponentSpec) -> Result<Arc<T>, RegistryError> + Send + Sync>;
+
+/// An id-keyed registry for one component family (`dyn Gar`, `dyn Attack`,
+/// or `dyn Mechanism` — any `?Sized` target works).
+pub struct Registry<T: ?Sized> {
+    entries: BTreeMap<String, Factory<T>>,
+}
+
+impl<T: ?Sized> Default for Registry<T> {
+    fn default() -> Self {
+        Registry {
+            entries: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: ?Sized> Registry<T> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a factory under a new id.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateId`] if the id is taken.
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        factory: impl Fn(&ComponentSpec) -> Result<Arc<T>, RegistryError> + Send + Sync + 'static,
+    ) -> Result<(), RegistryError> {
+        let id = id.into();
+        if self.entries.contains_key(&id) {
+            return Err(RegistryError::DuplicateId(id));
+        }
+        self.entries.insert(id, Arc::new(factory));
+        Ok(())
+    }
+
+    /// Resolves a spec to a component instance.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownId`] (listing every available id) or the
+    /// factory's own [`RegistryError::Build`].
+    pub fn create(&self, spec: &ComponentSpec) -> Result<Arc<T>, RegistryError> {
+        let factory = self
+            .entries
+            .get(&spec.id)
+            .ok_or_else(|| RegistryError::UnknownId {
+                id: spec.id.clone(),
+                available: self.ids(),
+            })?;
+        factory(spec)
+    }
+
+    /// Whether an id is registered.
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.contains_key(id)
+    }
+
+    /// All registered ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+// ------------------------------------------------------------------------
+// Global per-family registries, pre-populated with the built-ins.
+
+fn gar_registry() -> &'static RwLock<Registry<dyn Gar>> {
+    static REGISTRY: OnceLock<RwLock<Registry<dyn Gar>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(built_in_gars()))
+}
+
+fn attack_registry() -> &'static RwLock<Registry<dyn Attack>> {
+    static REGISTRY: OnceLock<RwLock<Registry<dyn Attack>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(built_in_attacks()))
+}
+
+fn mechanism_registry() -> &'static RwLock<Registry<dyn Mechanism>> {
+    static REGISTRY: OnceLock<RwLock<Registry<dyn Mechanism>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(built_in_mechanisms()))
+}
+
+fn built_in_gars() -> Registry<dyn Gar> {
+    let mut r = Registry::new();
+    r.register("average", |_| Ok(Arc::new(Average::new()) as Arc<dyn Gar>))
+        .expect("fresh registry");
+    r.register("krum", |_| Ok(Arc::new(Krum::new()) as Arc<dyn Gar>))
+        .expect("fresh registry");
+    r.register("multi-krum", |_| {
+        Ok(Arc::new(MultiKrum::new()) as Arc<dyn Gar>)
+    })
+    .expect("fresh registry");
+    r.register("mda", |_| Ok(Arc::new(Mda::new()) as Arc<dyn Gar>))
+        .expect("fresh registry");
+    r.register("median", |_| {
+        Ok(Arc::new(CoordinateMedian::new()) as Arc<dyn Gar>)
+    })
+    .expect("fresh registry");
+    r.register("trimmed-mean", |_| {
+        Ok(Arc::new(TrimmedMean::new()) as Arc<dyn Gar>)
+    })
+    .expect("fresh registry");
+    r.register("meamed", |_| Ok(Arc::new(Meamed::new()) as Arc<dyn Gar>))
+        .expect("fresh registry");
+    r.register("phocas", |_| Ok(Arc::new(Phocas::new()) as Arc<dyn Gar>))
+        .expect("fresh registry");
+    r.register("bulyan", |_| Ok(Arc::new(Bulyan::new()) as Arc<dyn Gar>))
+        .expect("fresh registry");
+    r.register("geometric-median", |_| {
+        Ok(Arc::new(GeometricMedian::new()) as Arc<dyn Gar>)
+    })
+    .expect("fresh registry");
+    r
+}
+
+fn built_in_attacks() -> Registry<dyn Attack> {
+    let mut r = Registry::new();
+    r.register("alie", |spec| {
+        Ok(Arc::new(LittleIsEnough::new(spec.f64_or("nu", 1.5))) as Arc<dyn Attack>)
+    })
+    .expect("fresh registry");
+    r.register("foe", |spec| {
+        Ok(Arc::new(FallOfEmpires::new(spec.f64_or("nu", 1.1))) as Arc<dyn Attack>)
+    })
+    .expect("fresh registry");
+    r.register("sign-flip", |_| Ok(Arc::new(SignFlip) as Arc<dyn Attack>))
+        .expect("fresh registry");
+    r.register("random-noise", |spec| {
+        let std = spec.f64_or("std", 1.0);
+        if std < 0.0 {
+            return Err(RegistryError::Build {
+                id: "random-noise".into(),
+                message: format!("std must be non-negative, got {std}"),
+            });
+        }
+        Ok(Arc::new(RandomNoise::new(std)) as Arc<dyn Attack>)
+    })
+    .expect("fresh registry");
+    r.register("zero", |_| Ok(Arc::new(Zero) as Arc<dyn Attack>))
+        .expect("fresh registry");
+    r.register("large-norm", |spec| {
+        Ok(Arc::new(LargeNorm::new(spec.f64_or("scale", 1e6))) as Arc<dyn Attack>)
+    })
+    .expect("fresh registry");
+    r.register("mimic", |spec| {
+        Ok(Arc::new(Mimic::new(spec.u64_or("target", 0) as usize)) as Arc<dyn Attack>)
+    })
+    .expect("fresh registry");
+    r
+}
+
+/// Mechanism factories read their calibration context from spec params —
+/// the pipeline injects `epsilon`, `delta`, `g_max`, `batch_size`, and
+/// `dim` (without clobbering explicitly set values) before resolving.
+fn built_in_mechanisms() -> Registry<dyn Mechanism> {
+    fn build_err(id: &str, e: impl fmt::Display) -> RegistryError {
+        RegistryError::Build {
+            id: id.into(),
+            message: e.to_string(),
+        }
+    }
+    fn required(spec: &ComponentSpec, id: &str, key: &str) -> Result<f64, RegistryError> {
+        spec.f64(key).ok_or_else(|| {
+            build_err(
+                id,
+                format!("missing required parameter `{key}` (injected by the pipeline)"),
+            )
+        })
+    }
+
+    let mut r = Registry::new();
+    r.register("none", |_| Ok(Arc::new(NoNoise) as Arc<dyn Mechanism>))
+        .expect("fresh registry");
+    r.register("gaussian", |spec| {
+        let id = "gaussian";
+        let budget =
+            PrivacyBudget::new(required(spec, id, "epsilon")?, required(spec, id, "delta")?)
+                .map_err(|e| build_err(id, e))?;
+        let g_max = required(spec, id, "g_max")?;
+        let batch = spec
+            .u64("batch_size")
+            .ok_or_else(|| build_err(id, "missing required parameter `batch_size`"))?;
+        let mech = GaussianMechanism::for_clipped_gradients(budget, g_max, batch as usize)
+            .map_err(|e| build_err(id, e))?;
+        Ok(Arc::new(mech) as Arc<dyn Mechanism>)
+    })
+    .expect("fresh registry");
+    r.register("laplace", |spec| {
+        let id = "laplace";
+        let epsilon = required(spec, id, "epsilon")?;
+        let g_max = required(spec, id, "g_max")?;
+        let batch = spec
+            .u64("batch_size")
+            .ok_or_else(|| build_err(id, "missing required parameter `batch_size`"))?;
+        let dim = spec
+            .u64("dim")
+            .ok_or_else(|| build_err(id, "missing required parameter `dim`"))?;
+        let mech =
+            LaplaceMechanism::for_clipped_gradients(epsilon, g_max, batch as usize, dim as usize)
+                .map_err(|e| build_err(id, e))?;
+        Ok(Arc::new(mech) as Arc<dyn Mechanism>)
+    })
+    .expect("fresh registry");
+    r
+}
+
+/// Registers an aggregation rule under a new id.
+///
+/// # Errors
+///
+/// [`RegistryError::DuplicateId`] if the id is taken.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn register_gar(
+    id: impl Into<String>,
+    factory: impl Fn(&ComponentSpec) -> Result<Arc<dyn Gar>, RegistryError> + Send + Sync + 'static,
+) -> Result<(), RegistryError> {
+    gar_registry()
+        .write()
+        .expect("registry lock")
+        .register(id, factory)
+}
+
+/// Registers a Byzantine attack under a new id.
+///
+/// # Errors
+///
+/// [`RegistryError::DuplicateId`] if the id is taken.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn register_attack(
+    id: impl Into<String>,
+    factory: impl Fn(&ComponentSpec) -> Result<Arc<dyn Attack>, RegistryError> + Send + Sync + 'static,
+) -> Result<(), RegistryError> {
+    attack_registry()
+        .write()
+        .expect("registry lock")
+        .register(id, factory)
+}
+
+/// Registers a noise mechanism under a new id.
+///
+/// # Errors
+///
+/// [`RegistryError::DuplicateId`] if the id is taken.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn register_mechanism(
+    id: impl Into<String>,
+    factory: impl Fn(&ComponentSpec) -> Result<Arc<dyn Mechanism>, RegistryError>
+        + Send
+        + Sync
+        + 'static,
+) -> Result<(), RegistryError> {
+    mechanism_registry()
+        .write()
+        .expect("registry lock")
+        .register(id, factory)
+}
+
+/// Resolves a GAR spec through the global registry.
+///
+/// # Errors
+///
+/// See [`Registry::create`].
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn build_gar(spec: &ComponentSpec) -> Result<Arc<dyn Gar>, RegistryError> {
+    gar_registry().read().expect("registry lock").create(spec)
+}
+
+/// Resolves an attack spec through the global registry.
+///
+/// # Errors
+///
+/// See [`Registry::create`].
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn build_attack(spec: &ComponentSpec) -> Result<Arc<dyn Attack>, RegistryError> {
+    attack_registry()
+        .read()
+        .expect("registry lock")
+        .create(spec)
+}
+
+/// Resolves a mechanism spec through the global registry.
+///
+/// # Errors
+///
+/// See [`Registry::create`].
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn build_mechanism(spec: &ComponentSpec) -> Result<Arc<dyn Mechanism>, RegistryError> {
+    mechanism_registry()
+        .read()
+        .expect("registry lock")
+        .create(spec)
+}
+
+/// All registered GAR ids.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn gar_ids() -> Vec<String> {
+    gar_registry().read().expect("registry lock").ids()
+}
+
+/// All registered attack ids.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn attack_ids() -> Vec<String> {
+    attack_registry().read().expect("registry lock").ids()
+}
+
+/// All registered mechanism ids.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn mechanism_ids() -> Vec<String> {
+    mechanism_registry().read().expect("registry lock").ids()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_in_gars_resolve_by_id() {
+        for id in [
+            "average",
+            "krum",
+            "multi-krum",
+            "mda",
+            "median",
+            "trimmed-mean",
+            "meamed",
+            "phocas",
+            "bulyan",
+            "geometric-median",
+        ] {
+            let gar = build_gar(&ComponentSpec::new(id)).unwrap();
+            assert_eq!(gar.name(), id);
+        }
+        assert!(gar_ids().len() >= 10);
+    }
+
+    #[test]
+    fn built_in_attacks_resolve_with_params() {
+        let alie = build_attack(&ComponentSpec::new("alie").with("nu", 2.5)).unwrap();
+        assert_eq!(alie.name(), "alie");
+        let mimic = build_attack(&ComponentSpec::new("mimic").with("target", 3u64)).unwrap();
+        assert_eq!(mimic.name(), "mimic");
+        for id in ["foe", "sign-flip", "random-noise", "zero", "large-norm"] {
+            assert_eq!(build_attack(&ComponentSpec::new(id)).unwrap().name(), id);
+        }
+    }
+
+    #[test]
+    fn mechanisms_require_calibration_context() {
+        let err = build_mechanism(&ComponentSpec::new("gaussian"))
+            .err()
+            .unwrap();
+        assert!(matches!(err, RegistryError::Build { .. }));
+        assert!(err.to_string().contains("epsilon"));
+
+        let spec = ComponentSpec::new("gaussian")
+            .with("epsilon", 0.2)
+            .with("delta", 1e-6)
+            .with("g_max", 0.01)
+            .with("batch_size", 50u64);
+        let mech = build_mechanism(&spec).unwrap();
+        assert_eq!(mech.name(), "gaussian");
+        assert!(mech.per_coordinate_std() > 0.0);
+
+        assert_eq!(
+            build_mechanism(&ComponentSpec::new("none")).unwrap().name(),
+            "none"
+        );
+    }
+
+    #[test]
+    fn unknown_id_lists_available() {
+        let err = build_gar(&ComponentSpec::new("no-such-gar")).err().unwrap();
+        match &err {
+            RegistryError::UnknownId { id, available } => {
+                assert_eq!(id, "no-such-gar");
+                assert!(available.iter().any(|a| a == "krum"));
+            }
+            other => panic!("expected UnknownId, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("no-such-gar") && msg.contains("krum"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let err =
+            register_gar("average", |_| Ok(Arc::new(Average::new()) as Arc<dyn Gar>)).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateId("average".into()));
+    }
+
+    #[test]
+    fn local_registry_is_independent_of_globals() {
+        let mut local: Registry<dyn Gar> = Registry::new();
+        assert!(local.is_empty());
+        local
+            .register(
+                "only-here",
+                |_| Ok(Arc::new(Average::new()) as Arc<dyn Gar>),
+            )
+            .unwrap();
+        assert_eq!(local.len(), 1);
+        assert!(local.contains("only-here"));
+        assert!(!gar_ids().contains(&"only-here".to_string()));
+    }
+
+    #[test]
+    fn spec_param_accessors() {
+        let spec = ComponentSpec::new("x").with("a", 1.5).with("b", 7u64);
+        assert_eq!(spec.f64("a"), Some(1.5));
+        assert_eq!(spec.f64("b"), Some(7.0));
+        assert_eq!(spec.u64("b"), Some(7));
+        assert_eq!(spec.u64("a"), None); // 1.5 is not integral
+        assert_eq!(spec.f64_or("missing", 9.0), 9.0);
+        let mut spec = spec;
+        spec.default_param("a", 99.0);
+        assert_eq!(spec.f64("a"), Some(1.5)); // not clobbered
+    }
+}

@@ -9,7 +9,9 @@ use std::fmt::Write as _;
 /// commas or quotes).
 pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&join_csv(header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&join_csv(
+        header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     for row in rows {
         out.push_str(&join_csv(row.clone()));
@@ -132,10 +134,7 @@ mod tests {
 
     #[test]
     fn csv_escapes_fields() {
-        let out = csv(
-            &["a", "b"],
-            &[vec!["1,5".into(), "say \"hi\"".into()]],
-        );
+        let out = csv(&["a", "b"], &[vec!["1,5".into(), "say \"hi\"".into()]]);
         assert_eq!(out, "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n");
     }
 
@@ -152,11 +151,7 @@ mod tests {
     #[test]
     fn ascii_plot_contains_glyphs_and_bounds() {
         let values = [0.0, 1.0, 4.0, 9.0];
-        let plot = ascii_plot(
-            &[Series::new("loss", &values)],
-            20,
-            6,
-        );
+        let plot = ascii_plot(&[Series::new("loss", &values)], 20, 6);
         assert!(plot.contains('l'));
         assert!(plot.contains("9.0000e0"));
         assert!(plot.contains("0.0000e0"));
@@ -165,17 +160,9 @@ mod tests {
 
     #[test]
     fn ascii_plot_handles_constant_and_nan() {
-        let plot = ascii_plot(
-            &[Series::new("c", &[2.0, f64::NAN, 2.0])],
-            10,
-            3,
-        );
+        let plot = ascii_plot(&[Series::new("c", &[2.0, f64::NAN, 2.0])], 10, 3);
         assert!(plot.contains('c'));
-        let empty = ascii_plot(
-            &[Series::new("e", &[f64::NAN])],
-            10,
-            3,
-        );
+        let empty = ascii_plot(&[Series::new("e", &[f64::NAN])], 10, 3);
         assert!(empty.contains("no finite data"));
     }
 }

@@ -55,8 +55,7 @@ pub fn noise_std(budget: Option<PrivacyBudget>, g_max: f64, batch_size: usize) -
     match budget {
         None => 0.0,
         Some(b) => {
-            2.0 * g_max * (2.0 * (1.25 / b.delta()).ln()).sqrt()
-                / (batch_size as f64 * b.epsilon())
+            2.0 * g_max * (2.0 * (1.25 / b.delta()).ln()).sqrt() / (batch_size as f64 * b.epsilon())
         }
     }
 }

@@ -74,10 +74,7 @@ pub fn momentum_accumulated_noise_energy(
     dim: usize,
     momentum: f64,
 ) -> f64 {
-    assert!(
-        (0.0..1.0).contains(&momentum),
-        "momentum must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
     noise_energy(budget, g_max, batch_size, dim) / (1.0 - momentum * momentum)
 }
 
@@ -91,8 +88,7 @@ pub fn min_feasible_batch(budget: PrivacyBudget, dim: usize, kappa: f64) -> Opti
     if kappa <= 0.0 {
         return None;
     }
-    let b = (8.0 * dim as f64 * (1.25 / budget.delta()).ln()).sqrt()
-        / (budget.epsilon() * kappa);
+    let b = (8.0 * dim as f64 * (1.25 / budget.delta()).ln()).sqrt() / (budget.epsilon() * kappa);
     Some(b.ceil().max(1.0) as usize)
 }
 
@@ -153,8 +149,7 @@ mod tests {
         let budget = paper_budget();
         let kappa = 6.0 / (8f64.sqrt() * 5.0);
         let b = min_feasible_batch(budget, 69, kappa).unwrap();
-        let expected =
-            (8.0 * 69.0 * (1.25f64 / 1e-6).ln()).sqrt() / (0.2 * kappa);
+        let expected = (8.0 * 69.0 * (1.25f64 / 1e-6).ln()).sqrt() / (0.2 * kappa);
         assert_eq!(b, expected.ceil() as usize);
         // And the boundary actually separates feasible from infeasible at
         // the most favourable statistics.

@@ -112,7 +112,11 @@ impl Dataset {
     ///
     /// Returns [`DataError::InvalidFraction`] unless `0 < train_fraction <
     /// 1`, and [`DataError::Empty`] if either side would be empty.
-    pub fn split(&self, train_fraction: f64, rng: &mut Prng) -> Result<(Dataset, Dataset), DataError> {
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        rng: &mut Prng,
+    ) -> Result<(Dataset, Dataset), DataError> {
         if !(0.0 < train_fraction && train_fraction < 1.0) {
             return Err(DataError::InvalidFraction(train_fraction));
         }
@@ -311,7 +315,12 @@ mod tests {
         assert_eq!(train.len(), 2);
         assert_eq!(test.len(), 2);
         // Same multiset of labels overall.
-        let mut all: Vec<f64> = train.labels().iter().chain(test.labels()).cloned().collect();
+        let mut all: Vec<f64> = train
+            .labels()
+            .iter()
+            .chain(test.labels())
+            .cloned()
+            .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(all, vec![0.0, 0.0, 1.0, 1.0]);
     }

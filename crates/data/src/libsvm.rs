@@ -76,7 +76,9 @@ pub fn parse(text: &str, num_features: Option<usize>) -> Result<Dataset, DataErr
             if index <= prev_index {
                 return Err(DataError::Parse {
                     line: lineno + 1,
-                    message: format!("indices must be strictly increasing (saw {index} after {prev_index})"),
+                    message: format!(
+                        "indices must be strictly increasing (saw {index} after {prev_index})"
+                    ),
                 });
             }
             let value: f64 = val_str.parse().map_err(|_| DataError::Parse {
@@ -123,7 +125,10 @@ pub fn parse(text: &str, num_features: Option<usize>) -> Result<Dataset, DataErr
 ///
 /// Propagates I/O errors as [`DataError::Io`] and parse errors as in
 /// [`parse`].
-pub fn parse_file(path: impl AsRef<Path>, num_features: Option<usize>) -> Result<Dataset, DataError> {
+pub fn parse_file(
+    path: impl AsRef<Path>,
+    num_features: Option<usize>,
+) -> Result<Dataset, DataError> {
     let text = std::fs::read_to_string(path)?;
     parse(&text, num_features)
 }
@@ -150,7 +155,10 @@ fn parse_label(tok: &str) -> Option<f64> {
     match tok {
         "+1" | "1" | "1.0" => Some(1.0),
         "-1" | "0" | "-1.0" | "0.0" => Some(0.0),
-        _ => tok.parse::<f64>().ok().map(|x| if x > 0.0 { 1.0 } else { 0.0 }),
+        _ => tok
+            .parse::<f64>()
+            .ok()
+            .map(|x| if x > 0.0 { 1.0 } else { 0.0 }),
     }
 }
 

@@ -155,12 +155,7 @@ mod tests {
         // Two batches of 5 = one epoch: every example seen exactly once.
         let b1 = src.next_batch(5, &mut rng);
         let b2 = src.next_batch(5, &mut rng);
-        let mut seen: Vec<f64> = b1
-            .labels()
-            .iter()
-            .chain(b2.labels())
-            .cloned()
-            .collect();
+        let mut seen: Vec<f64> = b1.labels().iter().chain(b2.labels()).cloned().collect();
         let mut expected: Vec<f64> = ds.labels().to_vec();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         expected.sort_by(|a, b| a.partial_cmp(b).unwrap());

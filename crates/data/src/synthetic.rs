@@ -48,8 +48,12 @@ pub const PHISHING_TRAIN: usize = 8_400;
 /// ```
 pub fn phishing_like(rng: &mut Prng, n: usize) -> Dataset {
     // Per-feature loading on the latent score and bias, fixed per dataset.
-    let loadings: Vec<f64> = (0..PHISHING_FEATURES).map(|_| rng.normal(0.0, 1.0)).collect();
-    let biases: Vec<f64> = (0..PHISHING_FEATURES).map(|_| rng.normal(0.0, 0.5)).collect();
+    let loadings: Vec<f64> = (0..PHISHING_FEATURES)
+        .map(|_| rng.normal(0.0, 1.0))
+        .collect();
+    let biases: Vec<f64> = (0..PHISHING_FEATURES)
+        .map(|_| rng.normal(0.0, 0.5))
+        .collect();
 
     let mut features = Matrix::zeros(n, PHISHING_FEATURES);
     let mut labels = Vec::with_capacity(n);
@@ -57,7 +61,11 @@ pub fn phishing_like(rng: &mut Prng, n: usize) -> Dataset {
         // Latent "phishiness" of the example.
         let z = rng.normal(0.0, 1.0);
         // Label: noisy threshold, shifted to get ≈55% positives.
-        let y = if z + rng.normal(0.0, 0.35) > -0.15 { 1.0 } else { 0.0 };
+        let y = if z + rng.normal(0.0, 0.35) > -0.15 {
+            1.0
+        } else {
+            0.0
+        };
         labels.push(y);
         for j in 0..PHISHING_FEATURES {
             let u = loadings[j] * z + biases[j] + rng.normal(0.0, 0.8);
@@ -92,7 +100,11 @@ pub fn gaussian_blobs(rng: &mut Prng, n: usize, dim: usize, separation: f64) -> 
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let y = rng.bernoulli(0.5);
-        let center = if y { separation / 2.0 } else { -separation / 2.0 };
+        let center = if y {
+            separation / 2.0
+        } else {
+            -separation / 2.0
+        };
         for j in 0..dim {
             let mean = if j == 0 { center } else { 0.0 };
             features.set(i, j, rng.normal(mean, 1.0));
@@ -104,12 +116,7 @@ pub fn gaussian_blobs(rng: &mut Prng, n: usize, dim: usize, separation: f64) -> 
 
 /// Linear regression data `y = <w*, x> + N(0, noise²)` with `x ~ N(0, I)`.
 /// Returns the dataset and the ground-truth weights `w*`.
-pub fn linear_regression(
-    rng: &mut Prng,
-    n: usize,
-    dim: usize,
-    noise: f64,
-) -> (Dataset, Vector) {
+pub fn linear_regression(rng: &mut Prng, n: usize, dim: usize, noise: f64) -> (Dataset, Vector) {
     assert!(dim > 0, "dim must be positive");
     let w_star: Vector = (0..dim).map(|_| rng.normal(0.0, 1.0)).collect();
     let mut features = Matrix::zeros(n, dim);
@@ -264,7 +271,10 @@ mod tests {
                 informative += 1;
             }
         }
-        assert!(informative >= PHISHING_FEATURES / 4, "only {informative} informative features");
+        assert!(
+            informative >= PHISHING_FEATURES / 4,
+            "only {informative} informative features"
+        );
     }
 
     #[test]

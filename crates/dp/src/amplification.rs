@@ -56,11 +56,7 @@ pub fn shuffled_central_epsilon(eps_local: f64, n: usize, delta: f64) -> Result<
 /// # Errors
 ///
 /// Same domain errors as [`shuffled_central_epsilon`].
-pub fn local_epsilon_budget(
-    eps_central: f64,
-    n: usize,
-    delta: f64,
-) -> Result<f64, DpError> {
+pub fn local_epsilon_budget(eps_central: f64, n: usize, delta: f64) -> Result<f64, DpError> {
     if !(eps_central > 0.0 && eps_central.is_finite()) {
         return Err(DpError::InvalidEpsilon {
             value: eps_central,

@@ -60,8 +60,7 @@ impl GaussianMechanism {
         if !(l2_sensitivity > 0.0 && l2_sensitivity.is_finite()) {
             return Err(DpError::InvalidSensitivity(l2_sensitivity));
         }
-        let sigma =
-            l2_sensitivity * (2.0 * (1.25 / budget.delta()).ln()).sqrt() / budget.epsilon();
+        let sigma = l2_sensitivity * (2.0 * (1.25 / budget.delta()).ln()).sqrt() / budget.epsilon();
         Ok(GaussianMechanism { sigma })
     }
 

@@ -52,10 +52,7 @@ mod tests {
 
     #[test]
     fn averages_gradients() {
-        let grads = vec![
-            Vector::from(vec![1.0, 0.0]),
-            Vector::from(vec![3.0, 2.0]),
-        ];
+        let grads = vec![Vector::from(vec![1.0, 0.0]), Vector::from(vec![3.0, 2.0])];
         let out = Average::new().aggregate(&grads, 0).unwrap();
         assert_eq!(out.as_slice(), &[2.0, 1.0]);
     }

@@ -55,7 +55,11 @@ mod tests {
         }
         .to_string()
         .contains("2 vs 3"));
-        let e = GarError::TooManyByzantine { n: 11, f: 6, max: 5 };
+        let e = GarError::TooManyByzantine {
+            n: 11,
+            f: 6,
+            max: 5,
+        };
         assert!(e.to_string().contains("f = 6"));
         assert!(e.to_string().contains("tolerance (5)"));
     }

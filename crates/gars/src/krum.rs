@@ -33,9 +33,7 @@ pub(crate) fn krum_scores(gradients: &[Vector], f: usize) -> Vec<f64> {
 pub(crate) fn canonical_argmin(scores: &[f64], gradients: &[Vector]) -> usize {
     let mut best = 0;
     for i in 1..scores.len() {
-        let ord = scores[i]
-            .partial_cmp(&scores[best])
-            .expect("finite scores");
+        let ord = scores[i].partial_cmp(&scores[best]).expect("finite scores");
         if ord == std::cmp::Ordering::Less
             || (ord == std::cmp::Ordering::Equal && lex_less(&gradients[i], &gradients[best]))
         {

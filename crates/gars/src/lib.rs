@@ -47,8 +47,8 @@ mod error;
 mod geometric_median;
 mod krum;
 mod mda;
-mod median;
 mod meamed;
+mod median;
 mod phocas;
 mod trimmed_mean;
 pub mod vn;
@@ -59,8 +59,8 @@ pub use error::GarError;
 pub use geometric_median::GeometricMedian;
 pub use krum::{Krum, MultiKrum};
 pub use mda::Mda;
-pub use median::CoordinateMedian;
 pub use meamed::Meamed;
+pub use median::CoordinateMedian;
 pub use phocas::Phocas;
 pub use trimmed_mean::TrimmedMean;
 
@@ -171,9 +171,7 @@ mod tests {
         // the honest cluster around the origin.
         let mut rng = Prng::seed_from_u64(1);
         for (gar, n, f) in robust_cases() {
-            let mut grads: Vec<Vector> = (0..n - f)
-                .map(|_| rng.normal_vector(4, 0.1))
-                .collect();
+            let mut grads: Vec<Vector> = (0..n - f).map(|_| rng.normal_vector(4, 0.1)).collect();
             for _ in 0..f {
                 grads.push(Vector::filled(4, 1e6));
             }
@@ -203,7 +201,11 @@ mod tests {
                 let k = gar
                     .kappa(n, f)
                     .unwrap_or_else(|| panic!("{} has no kappa at f={f}", gar.name()));
-                assert!(k > 0.0 && k.is_finite(), "{} kappa at f={f}: {k}", gar.name());
+                assert!(
+                    k > 0.0 && k.is_finite(),
+                    "{} kappa at f={f}: {k}",
+                    gar.name()
+                );
             }
         }
     }

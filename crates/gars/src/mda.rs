@@ -112,12 +112,7 @@ fn subset_mean(gradients: &[Vector], subset: &[usize]) -> Vector {
 /// Exact minimum-diameter subset via lexicographic combination enumeration.
 /// Returns the *mean* of the best subset; diameter ties are broken by the
 /// lexicographically smallest mean.
-fn exact_min_diameter_mean(
-    gradients: &[Vector],
-    dist2: &[Vec<f64>],
-    n: usize,
-    m: usize,
-) -> Vector {
+fn exact_min_diameter_mean(gradients: &[Vector], dist2: &[Vec<f64>], n: usize, m: usize) -> Vector {
     let mut combo: Vec<usize> = (0..m).collect();
     let mut best_mean = subset_mean(gradients, &combo);
     let mut best_diam = subset_diameter(dist2, &combo);

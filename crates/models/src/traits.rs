@@ -35,12 +35,7 @@ pub trait Model: Send + Sync {
 /// `params`. Intended for tests; exact for the analytic models up to `tol`.
 ///
 /// Returns the maximum absolute coordinate discrepancy.
-pub fn finite_difference_gap(
-    model: &dyn Model,
-    params: &Vector,
-    batch: &Batch,
-    eps: f64,
-) -> f64 {
+pub fn finite_difference_gap(model: &dyn Model, params: &Vector, batch: &Batch, eps: f64) -> f64 {
     let analytic = model.gradient(params, batch);
     let mut worst: f64 = 0.0;
     for j in 0..model.dim() {

@@ -387,7 +387,10 @@ mod tests {
             Err(ConfigError::BadBatchGrowth { .. })
         ));
         assert!(matches!(
-            TrainingConfig::builder().batch_size(50).batch_growth(1.1, 10).build(),
+            TrainingConfig::builder()
+                .batch_size(50)
+                .batch_growth(1.1, 10)
+                .build(),
             Err(ConfigError::BadBatchGrowth { .. })
         ));
     }

@@ -58,16 +58,17 @@
 mod config;
 pub mod message;
 mod metrics;
+mod observer;
 mod schedule;
 mod threaded;
 mod trainer;
 mod worker;
 
 pub use config::{
-    AttackVisibility, BatchGrowth, ConfigError, MomentumMode, TrainingConfig,
-    TrainingConfigBuilder,
+    AttackVisibility, BatchGrowth, ConfigError, MomentumMode, TrainingConfig, TrainingConfigBuilder,
 };
 pub use metrics::{RunHistory, SeedSummary};
+pub use observer::{FnObserver, RunObserver, StepMetrics};
 pub use schedule::LrSchedule;
 pub use threaded::ThreadedTrainer;
 pub use trainer::Trainer;

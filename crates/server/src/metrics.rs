@@ -38,11 +38,7 @@ pub struct RunHistory {
 impl PartialEq for RunHistory {
     fn eq(&self, other: &Self) -> bool {
         fn bits(xs: &[f64], ys: &[f64]) -> bool {
-            xs.len() == ys.len()
-                && xs
-                    .iter()
-                    .zip(ys)
-                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(a, b)| a.to_bits() == b.to_bits())
         }
         self.seed == other.seed
             && bits(&self.train_loss, &other.train_loss)
@@ -67,7 +63,10 @@ impl RunHistory {
 
     /// Minimum training loss across steps.
     pub fn min_loss(&self) -> f64 {
-        self.train_loss.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.train_loss
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// First (1-based) step at which the loss dropped to within `slack` of
@@ -119,14 +118,10 @@ impl RunHistory {
         use std::fmt::Write as _;
         let mut out =
             String::from("step,train_loss,vn_clean,vn_submitted,grad_norm,test_accuracy\n");
-        let acc: std::collections::HashMap<u32, f64> =
-            self.test_accuracy.iter().copied().collect();
+        let acc: std::collections::HashMap<u32, f64> = self.test_accuracy.iter().copied().collect();
         for (i, loss) in self.train_loss.iter().enumerate() {
             let step = i as u32 + 1;
-            let a = acc
-                .get(&step)
-                .map(|a| format!("{a}"))
-                .unwrap_or_default();
+            let a = acc.get(&step).map(|a| format!("{a}")).unwrap_or_default();
             let _ = writeln!(
                 out,
                 "{step},{loss},{},{},{},{a}",

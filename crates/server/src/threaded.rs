@@ -92,6 +92,7 @@ impl ThreadedTrainer {
             attack_rng,
             fault_rng,
         );
+        core.set_observer(trainer.observer);
 
         // Wire up one (command, reply) channel pair per honest worker.
         let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n_honest);
@@ -162,8 +163,7 @@ impl ThreadedTrainer {
             let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(n_honest);
             for rx in &reply_rxs {
                 let reply = rx.recv().expect("worker thread alive");
-                let msg = GradientMessage::decode(reply.frame)
-                    .expect("wire integrity verified");
+                let msg = GradientMessage::decode(reply.frame).expect("wire integrity verified");
                 debug_assert_eq!(msg.step, t);
                 outputs.push(WorkerOutput {
                     pre_noise: reply.pre_noise,

@@ -2,6 +2,7 @@
 
 use crate::config::{AttackVisibility, MomentumMode, TrainingConfig};
 use crate::metrics::RunHistory;
+use crate::observer::{RunObserver, StepMetrics};
 use crate::worker::{HonestWorker, WorkerOutput};
 use dpbyz_attacks::{Attack, AttackContext};
 use dpbyz_data::sampler::BatchSource;
@@ -31,6 +32,7 @@ pub(crate) struct ServerCore {
     vn_submitted: Vec<f64>,
     vn_clean: Vec<f64>,
     grad_norm: Vec<f64>,
+    observer: Option<Box<dyn RunObserver>>,
 }
 
 impl ServerCore {
@@ -63,7 +65,15 @@ impl ServerCore {
             vn_submitted: Vec::with_capacity(steps),
             vn_clean: Vec::with_capacity(steps),
             grad_norm: Vec::with_capacity(steps),
+            observer: None,
         }
+    }
+
+    /// Attaches a streaming observer (observation is read-only: it cannot
+    /// perturb the RNG streams or the update, so histories stay
+    /// bit-identical with or without one).
+    pub(crate) fn set_observer(&mut self, observer: Option<Box<dyn RunObserver>>) {
+        self.observer = observer;
     }
 
     pub(crate) fn params(&self) -> &Vector {
@@ -80,13 +90,11 @@ impl ServerCore {
     ) -> Result<(), GarError> {
         // The paper's training-loss metric: average loss over the batches
         // the honest workers sampled this step, at the pre-update model.
-        let loss =
-            outputs.iter().map(|o| o.batch_loss).sum::<f64>() / outputs.len() as f64;
+        let loss = outputs.iter().map(|o| o.batch_loss).sum::<f64>() / outputs.len() as f64;
         self.train_loss.push(loss);
 
         let pre_noise: Vec<Vector> = outputs.iter().map(|o| o.pre_noise.clone()).collect();
-        let mut submissions: Vec<Vector> =
-            outputs.iter().map(|o| o.submitted.clone()).collect();
+        let mut submissions: Vec<Vector> = outputs.iter().map(|o| o.submitted.clone()).collect();
 
         // VN ratios (Eq. 2 / Eq. 8). Both use the *pre-noise* mean norm as
         // the `‖E[G]‖` estimate: the DP noise is zero-mean, and the norm
@@ -165,25 +173,53 @@ impl ServerCore {
         };
         self.params.axpy(-lr, &direction);
 
-        if self.config.eval_every > 0 && t % self.config.eval_every == 0 {
+        let mut eval_accuracy = None;
+        if self.config.eval_every > 0 && t.is_multiple_of(self.config.eval_every) {
             if let Some(test) = &self.test {
-                self.test_accuracy
-                    .push((t, accuracy(self.model.as_ref(), &self.params, test)));
+                let acc = accuracy(self.model.as_ref(), &self.params, test);
+                self.test_accuracy.push((t, acc));
+                eval_accuracy = Some(acc);
             }
+        }
+
+        if let Some(observer) = &mut self.observer {
+            observer.on_step(&StepMetrics {
+                step: t,
+                train_loss: loss,
+                vn_clean: *self.vn_clean.last().expect("pushed above"),
+                vn_submitted: *self.vn_submitted.last().expect("pushed above"),
+                grad_norm,
+                test_accuracy: eval_accuracy,
+                params: &self.params,
+            });
         }
         Ok(())
     }
 
     pub(crate) fn finish(self, seed: u64) -> RunHistory {
-        RunHistory {
+        let ServerCore {
+            mut observer,
+            train_loss,
+            test_accuracy,
+            vn_submitted,
+            vn_clean,
+            grad_norm,
+            params,
+            ..
+        } = self;
+        let history = RunHistory {
             seed,
-            train_loss: self.train_loss,
-            test_accuracy: self.test_accuracy,
-            vn_submitted: self.vn_submitted,
-            vn_clean: self.vn_clean,
-            grad_norm: self.grad_norm,
-            final_params: self.params,
+            train_loss,
+            test_accuracy,
+            vn_submitted,
+            vn_clean,
+            grad_norm,
+            final_params: params,
+        };
+        if let Some(observer) = observer.as_mut() {
+            observer.on_finish(&history);
         }
+        history
     }
 }
 
@@ -212,6 +248,7 @@ pub struct Trainer {
     pub(crate) gar: Arc<dyn Gar>,
     pub(crate) mechanism: Arc<dyn Mechanism>,
     pub(crate) attack: Option<Arc<dyn Attack>>,
+    pub(crate) observer: Option<Box<dyn RunObserver>>,
 }
 
 impl Trainer {
@@ -245,6 +282,7 @@ impl Trainer {
             gar: Arc::new(Average::new()),
             mechanism: Arc::new(NoNoise),
             attack: None,
+            observer: None,
         }
     }
 
@@ -263,6 +301,15 @@ impl Trainer {
     /// Arms a Byzantine attack (the `config.n_byzantine` workers collude).
     pub fn attack(mut self, attack: Arc<dyn Attack>) -> Self {
         self.attack = Some(attack);
+        self
+    }
+
+    /// Attaches a streaming [`RunObserver`] receiving per-step metrics.
+    /// Observation is passive — it never touches the RNG streams — so the
+    /// produced [`RunHistory`] is bit-identical with or without one, on
+    /// both the sequential and threaded engines.
+    pub fn observer(mut self, observer: Box<dyn RunObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -318,6 +365,7 @@ impl Trainer {
             attack_rng,
             fault_rng,
         );
+        core.set_observer(self.observer);
 
         let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(n_honest);
         for t in 1..=config.steps {
@@ -343,12 +391,7 @@ mod tests {
     use dpbyz_gars::Mda;
     use dpbyz_models::{LogisticRegression, LossKind};
 
-    fn make_trainer(
-        n: usize,
-        f: usize,
-        steps: u32,
-        seed_data: u64,
-    ) -> (Trainer, Arc<Dataset>) {
+    fn make_trainer(n: usize, f: usize, steps: u32, seed_data: u64) -> (Trainer, Arc<Dataset>) {
         let mut rng = Prng::seed_from_u64(seed_data);
         let ds = Arc::new(synthetic::phishing_like(&mut rng, 600));
         let (train, test) = ds.split(0.8, &mut rng).unwrap();
@@ -443,10 +486,7 @@ mod tests {
         assert_eq!(h.grad_norm.len(), 20);
     }
 
-    fn make_trainer_with(
-        config: TrainingConfig,
-        seed_data: u64,
-    ) -> Trainer {
+    fn make_trainer_with(config: TrainingConfig, seed_data: u64) -> Trainer {
         let mut rng = Prng::seed_from_u64(seed_data);
         let ds = Arc::new(synthetic::phishing_like(&mut rng, 600));
         let (train, test) = ds.split(0.8, &mut rng).unwrap();
@@ -512,7 +552,9 @@ mod tests {
             if let Some(beta) = ema {
                 builder = builder.gradient_ema(beta);
             }
-            make_trainer_with(builder.build().unwrap(), 9).run(1).unwrap()
+            make_trainer_with(builder.build().unwrap(), 9)
+                .run(1)
+                .unwrap()
         };
         let plain = mk(None);
         let smoothed = mk(Some(0.9));

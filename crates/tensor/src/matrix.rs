@@ -90,7 +90,11 @@ impl Matrix {
     ///
     /// Panics if `i >= rows`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -100,7 +104,11 @@ impl Matrix {
     ///
     /// Panics if `i >= rows`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -110,7 +118,11 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
+        assert!(
+            j < self.cols,
+            "col {j} out of bounds for {} cols",
+            self.cols
+        );
         self.row(i)[j]
     }
 
@@ -120,7 +132,11 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
-        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
+        assert!(
+            j < self.cols,
+            "col {j} out of bounds for {} cols",
+            self.cols
+        );
         let cols = self.cols;
         self.data[i * cols + j] = value;
     }

@@ -60,10 +60,7 @@ pub fn median(xs: &[f64]) -> Result<f64, TensorError> {
     if n % 2 == 1 {
         Ok(hi)
     } else {
-        let lo = v[..mid]
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = v[..mid].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Ok((lo + hi) / 2.0)
     }
 }
@@ -236,7 +233,7 @@ pub fn coordinate_std(vectors: &[Vector]) -> Result<Vector, TensorError> {
 /// Returns [`TensorError::Empty`] for no vectors,
 /// [`TensorError::DimensionMismatch`] for ragged input.
 pub fn coordinate_median(vectors: &[Vector]) -> Result<Vector, TensorError> {
-    coordinate_apply(vectors, |col| median(col))
+    coordinate_apply(vectors, median)
 }
 
 /// Per-coordinate trimmed mean across vectors (removes `trim` extremes on
@@ -288,10 +285,7 @@ pub fn empirical_variance_around_mean(vectors: &[Vector]) -> Result<f64, TensorE
         return Err(TensorError::Empty);
     }
     let mean = Vector::mean(vectors)?;
-    let ss: f64 = vectors
-        .iter()
-        .map(|v| v.l2_distance_squared(&mean))
-        .sum();
+    let ss: f64 = vectors.iter().map(|v| v.l2_distance_squared(&mean)).sum();
     Ok(ss / (vectors.len() - 1) as f64)
 }
 
@@ -364,10 +358,7 @@ mod tests {
 
     #[test]
     fn coordinate_std_matches_manual() {
-        let vs = vec![
-            Vector::from(vec![1.0, 10.0]),
-            Vector::from(vec![3.0, 10.0]),
-        ];
+        let vs = vec![Vector::from(vec![1.0, 10.0]), Vector::from(vec![3.0, 10.0])];
         let s = coordinate_std(&vs).unwrap();
         assert!((s[0] - 2f64.sqrt()).abs() < 1e-12);
         assert_eq!(s[1], 0.0);

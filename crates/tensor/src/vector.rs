@@ -99,11 +99,7 @@ impl Vector {
             self.dim(),
             other.dim()
         );
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Squared Euclidean norm `‖self‖²`.
@@ -470,10 +466,7 @@ mod tests {
 
     #[test]
     fn mean_of_vectors() {
-        let vs = vec![
-            Vector::from(vec![1.0, 2.0]),
-            Vector::from(vec![3.0, 6.0]),
-        ];
+        let vs = vec![Vector::from(vec![1.0, 2.0]), Vector::from(vec![3.0, 6.0])];
         assert_eq!(Vector::mean(&vs).unwrap().as_slice(), &[2.0, 4.0]);
         assert_eq!(Vector::mean(&[]), Err(TensorError::Empty));
         let bad = vec![Vector::zeros(2), Vector::zeros(3)];
@@ -516,9 +509,7 @@ mod tests {
     fn bincode_like_deserialize(bytes: &[u8]) -> Vec<f64> {
         let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
         (0..n)
-            .map(|i| {
-                f64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap())
-            })
+            .map(|i| f64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap()))
             .collect()
     }
 

@@ -6,55 +6,64 @@
 //! under ALIE/FoE; with the paper's (0.2, 1e-6) budget at b = 50, their
 //! protection collapses.
 //!
+//! The grid is driven entirely by registry ids — registering a custom GAR
+//! or attack (see `dpbyz::register_gar`) makes it sweepable here with one
+//! string added to the arrays.
+//!
 //! Run with: `cargo run --release -p dpbyz-examples --bin attack_showdown`
 
-use dpbyz_core::pipeline::{Experiment, FigureConfig};
-use dpbyz_core::{AttackKind, GarKind};
+use dpbyz::prelude::*;
 
-fn run_cell(gar: GarKind, attack: AttackKind, epsilon: Option<f64>) -> f64 {
+fn run_cell(gar: &str, attack: &str, epsilon: Option<f64>) -> f64 {
     // The paper protocol with the GAR swapped in; the Byzantine count is
     // clamped to each rule's tolerance (Krum: 4, Bulyan: 2 at n = 11) so
     // every rule is compared at full declared strength.
-    let exp = Experiment::paper_figure_with_gar(
-        FigureConfig {
-            batch_size: 50,
-            epsilon,
-            attack: Some(attack),
-            steps: 200,
-            dataset_size: 2000,
-            ..FigureConfig::default()
-        },
-        gar,
-        5,
-    )
-    .expect("valid configuration");
+    let f = 5.min(
+        dpbyz::build_gar(&gar.into())
+            .expect("registered gar")
+            .max_byzantine(11),
+    );
+    let mut builder = Experiment::builder()
+        .batch_size(50)
+        .steps(200)
+        .dataset_size(2000)
+        .gar(gar)
+        .attack(attack)
+        .byzantine(f);
+    if let Some(epsilon) = epsilon {
+        builder = builder.epsilon(epsilon);
+    }
+    let exp = builder.build().expect("valid configuration");
     exp.run(1).expect("run succeeds").tail_loss(20)
 }
 
 fn main() {
     let gars = [
-        GarKind::Mda,
-        GarKind::Krum,
-        GarKind::Median,
-        GarKind::TrimmedMean,
-        GarKind::Meamed,
-        GarKind::Phocas,
-        GarKind::Bulyan,
+        "mda",
+        "krum",
+        "median",
+        "trimmed-mean",
+        "meamed",
+        "phocas",
+        "bulyan",
     ];
-    let attacks = [AttackKind::PAPER_ALIE, AttackKind::PAPER_FOE];
+    let attacks = ["alie", "foe"];
 
     println!("final training loss after 200 steps (b = 50, n = 11, reduced scale)");
     println!("lower is better; compare the two blocks column-wise\n");
 
-    for (title, eps) in [("WITHOUT DP noise", None), ("WITH DP noise (ε = 0.2)", Some(0.2))] {
+    for (title, eps) in [
+        ("WITHOUT DP noise", None),
+        ("WITH DP noise (ε = 0.2)", Some(0.2)),
+    ] {
         println!("== {title}");
         print!("{:<14}", "GAR \\ attack");
         for a in attacks {
-            print!(" {:>10}", a.name());
+            print!(" {a:>10}");
         }
         println!();
         for gar in gars {
-            print!("{:<14}", gar.name());
+            print!("{gar:<14}");
             for attack in attacks {
                 print!(" {:>10.5}", run_cell(gar, attack, eps));
             }

@@ -1,7 +1,7 @@
 //! Feasibility planner: "can my deployment be both DP and Byzantine
 //! resilient?"
 //!
-//! A practitioner tool built on `dpbyz_core::theory`: given a model size,
+//! A practitioner tool built on `dpbyz::theory`: given a model size,
 //! topology, and privacy budget, it prints every GAR's Table 1 necessary
 //! condition, the minimum feasible batch size, and the ResNet-50 worked
 //! example from §3 of the paper.
@@ -10,9 +10,8 @@
 //! `cargo run -p dpbyz-examples --bin feasibility_planner -- [d] [n] [f] [eps] [delta] [b]`
 //! (defaults: d = 69, n = 11, f = 5, eps = 0.2, delta = 1e-6, b = 50)
 
-use dpbyz_core::theory::table1::{self, Condition};
-use dpbyz_core::{analysis, GarKind};
-use dpbyz_dp::PrivacyBudget;
+use dpbyz::theory::table1::{self, Condition};
+use dpbyz::{analysis, GarKind, PrivacyBudget};
 
 fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
     std::env::args()
@@ -37,7 +36,9 @@ fn main() {
         }
     };
 
-    println!("deployment: d = {d}, n = {n}, f = {f}, batch b = {b}, budget (ε = {eps}, δ = {delta})");
+    println!(
+        "deployment: d = {d}, n = {n}, f = {f}, batch b = {b}, budget (ε = {eps}, δ = {delta})"
+    );
     println!("C = ε/√ln(1.25/δ) = {:.5}\n", budget.c_constant());
 
     println!("Table 1 necessary conditions (Propositions 1-3):");
@@ -52,13 +53,22 @@ fn main() {
                 if row.satisfied { "OK" } else { "VIOLATED" },
             ),
             Condition::MaxByzantineFraction(t) => (
-                format!("Byzantine fraction f/n <= {t:.5} (have {:.3})", f as f64 / n as f64),
+                format!(
+                    "Byzantine fraction f/n <= {t:.5} (have {:.3})",
+                    f as f64 / n as f64
+                ),
                 if row.satisfied { "OK" } else { "VIOLATED" },
             ),
         };
         let min_batch = table1::required_batch(row.gar, n, f, d, budget)
             .map_or("-".to_string(), |v| v.to_string());
-        println!("{:<14} {:<44} {:>10} {:>12}", row.gar.name(), desc, status, min_batch);
+        println!(
+            "{:<14} {:<44} {:>10} {:>12}",
+            row.gar.name(),
+            desc,
+            status,
+            min_batch
+        );
     }
 
     println!("\nBatch frontier for Krum across model sizes (b ∈ Ω(√(n·d))):");
@@ -80,7 +90,10 @@ fn main() {
     }
 
     let ex = analysis::resnet50_example(budget);
-    println!("\nResNet-50 worked example (§3): d = {}, √d = {:.0}", ex.dim, ex.sqrt_d);
+    println!(
+        "\nResNet-50 worked example (§3): d = {}, √d = {:.0}",
+        ex.dim, ex.sqrt_d
+    );
     for (gar, req) in ex.required_batches {
         match req {
             Some(b) => println!("  {:<14} needs b >= {b}", gar.name()),

@@ -9,11 +9,11 @@
 //!
 //! Run with: `cargo run -p dpbyz-examples --bin gradient_leakage`
 
-use dpbyz_attacks::inversion;
-use dpbyz_data::synthetic;
-use dpbyz_dp::{GaussianMechanism, Mechanism, PrivacyBudget};
-use dpbyz_models::{LogisticRegression, LossKind, Model};
-use dpbyz_tensor::Prng;
+use dpbyz::attacks::inversion;
+use dpbyz::data::synthetic;
+use dpbyz::dp::{GaussianMechanism, Mechanism, PrivacyBudget};
+use dpbyz::models::{LogisticRegression, LossKind, Model};
+use dpbyz::tensor::Prng;
 
 fn main() {
     let mut rng = Prng::seed_from_u64(2021);

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run -p dpbyz-examples --bin privacy_accounting`
 
-use dpbyz_dp::accountant::{advanced_composition, basic_composition, RdpAccountant};
-use dpbyz_dp::{GaussianMechanism, Mechanism, PrivacyBudget};
+use dpbyz::dp::accountant::{advanced_composition, basic_composition, RdpAccountant};
+use dpbyz::dp::{GaussianMechanism, Mechanism, PrivacyBudget};
 
 fn main() {
     let per_step = PrivacyBudget::new(0.2, 1e-6).expect("paper budget");
@@ -24,7 +24,10 @@ fn main() {
 
     let mut rdp = RdpAccountant::from_budget(per_step).expect("valid budget");
     rdp.step_many(steps as u64);
-    println!("RDP (moments-style):   ε_total = {:.1} at δ = 1e-5\n", rdp.epsilon(1e-5));
+    println!(
+        "RDP (moments-style):   ε_total = {:.1} at δ = 1e-5\n",
+        rdp.epsilon(1e-5)
+    );
 
     println!("interpretation: even the tightest accountant leaves a multi-digit ε");
     println!("after 1000 steps — the per-step budget the Byzantine analysis fights");

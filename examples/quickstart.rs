@@ -11,8 +11,7 @@
 //!
 //! Run with: `cargo run --release -p dpbyz-examples --bin quickstart`
 
-use dpbyz_core::pipeline::{Experiment, FigureConfig};
-use dpbyz_core::AttackKind;
+use dpbyz::prelude::*;
 
 fn main() {
     // A reduced-size dataset and step count keep this under a few seconds;
@@ -21,27 +20,34 @@ fn main() {
     let steps = 300;
     let dataset_size = 3000;
 
-    let cells: [(&str, Option<f64>, Option<AttackKind>); 4] = [
+    // Components are named by registry id: "mda" and "alie" resolve through
+    // the extensible component registry (see `dpbyz::registry`).
+    let cells: [(&str, Option<f64>, Option<&str>); 4] = [
         ("no DP, no attack      ", None, None),
-        ("no DP, ALIE attack    ", None, Some(AttackKind::PAPER_ALIE)),
+        ("no DP, ALIE attack    ", None, Some("alie")),
         ("DP(eps=0.2), no attack", Some(0.2), None),
-        ("DP(eps=0.2) + ALIE    ", Some(0.2), Some(AttackKind::PAPER_ALIE)),
+        ("DP(eps=0.2) + ALIE    ", Some(0.2), Some("alie")),
     ];
 
     println!("dp-byz-sgd quickstart — logistic regression, d = 69, n = 11, f = 5, b = 50");
     println!("(configurations of the paper's Fig. 2; 1 seed, reduced scale)\n");
-    println!("{:<24} {:>12} {:>12} {:>10}", "configuration", "min loss", "final loss", "accuracy");
+    println!(
+        "{:<24} {:>12} {:>12} {:>10}",
+        "configuration", "min loss", "final loss", "accuracy"
+    );
 
     for (label, epsilon, attack) in cells {
-        let exp = Experiment::paper_figure(FigureConfig {
-            batch_size: 50,
-            epsilon,
-            attack,
-            steps,
-            dataset_size,
-            ..FigureConfig::default()
-        })
-        .expect("valid configuration");
+        let mut builder = Experiment::builder()
+            .batch_size(50)
+            .steps(steps)
+            .dataset_size(dataset_size);
+        if let Some(attack) = attack {
+            builder = builder.gar("mda").attack(attack);
+        }
+        if let Some(epsilon) = epsilon {
+            builder = builder.epsilon(epsilon);
+        }
+        let exp = builder.build().expect("valid configuration");
         let h = exp.run(1).expect("run succeeds");
         println!(
             "{:<24} {:>12.5} {:>12.5} {:>9.1}%",

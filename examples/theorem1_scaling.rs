@@ -8,9 +8,8 @@
 //!
 //! Run with: `cargo run --release -p dpbyz-examples --bin theorem1_scaling`
 
-use dpbyz_core::pipeline::Experiment;
-use dpbyz_core::theory::convergence;
-use dpbyz_dp::PrivacyBudget;
+use dpbyz::theory::convergence;
+use dpbyz::{Experiment, PrivacyBudget};
 
 fn measure(dim: usize, budget: Option<PrivacyBudget>, steps: u32, b: usize) -> f64 {
     // n = 1 worker: the lower bound's construction observes exactly one

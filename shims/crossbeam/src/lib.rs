@@ -1,0 +1,44 @@
+//! In-workspace stand-in for the `crossbeam` crate (offline build
+//! environment). Only the bounded-channel surface the threaded trainer
+//! uses is provided, implemented over `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels (here: std mpsc under the hood,
+/// which is all the one-directional worker wiring needs).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError};
+
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Creates a bounded channel with the given capacity.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_round_trip_across_threads() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn recv_errors_after_sender_drop() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

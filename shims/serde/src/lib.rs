@@ -1,0 +1,348 @@
+//! In-workspace stand-in for `serde`, built because the build environment
+//! has no network access to crates.io.
+//!
+//! It keeps the parts of serde's surface this workspace actually uses —
+//! `Serialize` / `Deserialize` traits usable as derive macros and as
+//! bounds — over a simple self-describing [`Value`] data model instead of
+//! serde's visitor architecture. The companion `serde_json` shim renders
+//! [`Value`] to JSON text with the same externally-tagged enum conventions
+//! real serde_json uses, so specs written against this shim keep working
+//! if the real dependency is ever restored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for unit structs and non-finite floats).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered string-keyed map (objects, structs, enum payloads).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the shim data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from the shim data model.
+    ///
+    /// # Errors
+    ///
+    /// [`de::Error`] when the value's shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization error type and helpers used by generated code.
+pub mod de {
+    use super::Value;
+    use std::fmt;
+
+    /// A deserialization failure with a human-readable message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// A type-mismatch error.
+        pub fn expected(what: &str, context: &str) -> Error {
+            Error(format!("expected {what} while deserializing {context}"))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Looks up a required struct field in a serialized map.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if the field is absent.
+    pub fn field<'v>(
+        map: &'v [(String, Value)],
+        name: &str,
+        context: &str,
+    ) -> Result<&'v Value, Error> {
+        map.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error(format!("missing field `{name}` in {context}")))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, de::Error> {
+                let raw = match value {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    _ => return Err(de::Error::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, de::Error> {
+                let raw = match value {
+                    Value::I64(i) => *i,
+                    Value::U64(u) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    _ => return Err(de::Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    // Real serde_json emits non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(de::Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| de::Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| de::Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (*self).serialize()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+ $(,)?)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, de::Error> {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| de::Error::expected("sequence", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(de::Error::expected("tuple of matching arity", "tuple"));
+                }
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        value
+            .as_map()
+            .ok_or_else(|| de::Error::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&3u32.serialize()).unwrap(), 3);
+        assert_eq!(i64::deserialize(&(-5i64).serialize()).unwrap(), -5);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(f64::deserialize(&Value::Null).unwrap().is_nan());
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(u32, f64)>::deserialize(&v.serialize()).unwrap(), v);
+        let o: Option<u64> = Some(9);
+        assert_eq!(Option::<u64>::deserialize(&o.serialize()).unwrap(), o);
+        let n: Option<u64> = None;
+        assert_eq!(Option::<u64>::deserialize(&n.serialize()).unwrap(), n);
+    }
+
+    #[test]
+    fn mismatches_error() {
+        assert!(u32::deserialize(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u32>::deserialize(&Value::Bool(true)).is_err());
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+    }
+}

@@ -17,7 +17,10 @@ fn cell(batch: usize, eps: Option<f64>, attack: Option<AttackKind>) -> Experimen
 }
 
 fn tail(batch: usize, eps: Option<f64>, attack: Option<AttackKind>, seed: u64) -> f64 {
-    cell(batch, eps, attack).run(seed).expect("runs").tail_loss(10)
+    cell(batch, eps, attack)
+        .run(seed)
+        .expect("runs")
+        .tail_loss(10)
 }
 
 #[test]

@@ -109,7 +109,7 @@ fn run_history_csv_roundtrips_key_columns() {
     let csv = h.to_csv();
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 13); // header + 12 steps
-    // Spot-check one full row against the history.
+                                 // Spot-check one full row against the history.
     let row: Vec<&str> = lines[1].split(',').collect();
     assert_eq!(row[0], "1");
     assert_eq!(row[1].parse::<f64>().unwrap(), h.train_loss[0]);

@@ -31,10 +31,10 @@ fn run_gar_attack(gar: GarKind, attack: AttackKind, f: usize) -> f64 {
             size: 1500,
         },
         config,
-        gar,
-        attack: Some(attack),
+        gar: gar.spec(),
+        attack: Some(attack.spec()),
         budget: None,
-        mechanism: MechanismKind::Gaussian,
+        mechanism: MechanismKind::Gaussian.spec(),
         threaded: false,
         dp_reference_g_max: None,
     };

@@ -39,10 +39,10 @@ fn libsvm_roundtrip_preserves_training_behaviour() {
             test: Arc::new(test),
         },
         config,
-        gar: GarKind::Average,
+        gar: GarKind::Average.spec(),
         attack: None,
         budget: None,
-        mechanism: MechanismKind::Gaussian,
+        mechanism: MechanismKind::Gaussian.spec(),
         threaded: false,
         dp_reference_g_max: None,
     };

@@ -50,11 +50,7 @@ fn noise_dominates_signal_at_paper_calibration() {
     let mech = GaussianMechanism::for_clipped_gradients(paper_budget(), 0.01, 50).unwrap();
     let noise = mech.total_noise_variance(69);
     let signal = 0.01f64 * 0.01;
-    assert!(
-        noise / signal > 10.0,
-        "noise/signal = {}",
-        noise / signal
-    );
+    assert!(noise / signal > 10.0, "noise/signal = {}", noise / signal);
 }
 
 #[test]

@@ -33,7 +33,12 @@ fn run(batch: usize, eps: Option<f64>) -> RunHistory {
 
 /// Mean of the first `k` finite entries.
 fn early_mean(xs: &[f64], k: usize) -> f64 {
-    let vals: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).take(k).collect();
+    let vals: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .take(k)
+        .collect();
     vals.iter().sum::<f64>() / vals.len() as f64
 }
 
