@@ -14,7 +14,7 @@
 use dpbyz::data::synthetic::PHISHING_SIZE;
 use dpbyz::prelude::*;
 use dpbyz::report::{ascii_plot, csv, Series};
-use dpbyz_bench::{arg_present, arg_value, run_cell, write_csv, CellResult, FIGURE_CELLS};
+use dpbyz_bench::{arg_present, arg_value, run_cells, write_csv, CellResult, FIGURE_CELLS};
 
 struct FigureSpec {
     number: u32,
@@ -58,21 +58,22 @@ fn main() {
             "\n=== Figure {} (b = {}) — {}",
             spec.number, spec.batch_size, spec.paper_note
         );
-        let mut results: Vec<CellResult> = Vec::new();
-        for cell in FIGURE_CELLS {
-            print!("  running {:<8} ...", cell.label);
-            let res = run_cell(cell, spec.batch_size, steps, dataset_size, seeds)
-                .expect("figure cell runs");
+        // All six cells × seeds fan out over the parallel sweep executor;
+        // results come back in FIGURE_CELLS order.
+        let results: Vec<CellResult> =
+            run_cells(&FIGURE_CELLS, spec.batch_size, steps, dataset_size, seeds)
+                .expect("figure cells run");
+        for res in &results {
             let tail = res.tail_loss();
             let acc = res.final_accuracy();
             println!(
-                " tail loss {:.5} ± {:.5}, accuracy {:.1}% ± {:.1}%",
+                "  {:<8} tail loss {:.5} ± {:.5}, accuracy {:.1}% ± {:.1}%",
+                res.cell.label,
                 tail.mean,
                 tail.std,
                 acc.mean * 100.0,
                 acc.std * 100.0
             );
-            results.push(res);
         }
 
         // CSV: per-step mean loss for each cell.

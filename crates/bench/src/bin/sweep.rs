@@ -8,22 +8,32 @@
 //! 4. Ablation C — noise mechanism: Gaussian vs Laplace (Remark 3: the
 //!    antagonism is mechanism-independent).
 //!
-//! Usage: cargo run --release -p dpbyz-bench --bin sweep [-- --quick]
+//! All cells are fanned over the parallel sweep executor
+//! (`dpbyz::sweep`): the ε × b grid is one `SweepBuilder` grid, the three
+//! ablations ride in a second executor run as explicit cells.
+//!
+//! Usage:
+//!   cargo run --release -p dpbyz-bench --bin sweep [-- --quick]
+//!   cargo run --release -p dpbyz-bench --bin sweep -- --quick --pool 8
+//!
+//! `--pool N` overrides the executor's thread count (default: the
+//! machine's available parallelism). `--pool 1` reproduces the old
+//! serial loop's schedule — handy for timing the parallel speedup; the
+//! results are bit-identical either way.
 
 use dpbyz::prelude::*;
 use dpbyz::report::csv;
 use dpbyz::AttackVisibility;
-use dpbyz_bench::{arg_present, write_csv};
+use dpbyz_bench::{arg_present, arg_value, write_csv};
 
-fn tail_loss(exp: &Experiment, seeds: &[u64]) -> f64 {
-    let hs = exp.run_seeds(seeds).expect("sweep cell runs");
-    let k = (hs[0].train_loss.len() / 20).max(1);
-    hs.iter().map(|h| h.tail_loss(k)).sum::<f64>() / hs.len() as f64
+/// Tail training loss (last 5% of steps) of one cell, averaged over seeds.
+fn mean_tail(run: &CellRun) -> f64 {
+    let k = (run.histories[0].train_loss.len() / 20).max(1);
+    run.histories.iter().map(|h| h.tail_loss(k)).sum::<f64>() / run.histories.len() as f64
 }
 
-fn base(batch: usize, eps: Option<f64>, steps: u32, size: usize) -> Experiment {
+fn base(eps: Option<f64>, steps: u32, size: usize) -> ExperimentBuilder {
     let mut builder = Experiment::builder()
-        .batch_size(batch)
         .steps(steps)
         .dataset_size(size)
         .gar("mda")
@@ -31,20 +41,38 @@ fn base(batch: usize, eps: Option<f64>, steps: u32, size: usize) -> Experiment {
     if let Some(eps) = eps {
         builder = builder.epsilon(eps);
     }
-    builder.build().expect("valid spec")
+    builder
 }
 
 fn main() {
     let quick = arg_present("--quick");
+    let pool: Option<usize> = arg_value("--pool").map(|v| match v.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => panic!("--pool takes a positive integer, e.g. --pool 8 (got `{v}`)"),
+    });
     let (steps, size, seeds): (u32, usize, Vec<u64>) = if quick {
         (120, 2000, vec![1, 2])
     } else {
         (500, 8000, vec![1, 2, 3])
     };
+    let sized = |sweep: SweepBuilder| match pool {
+        Some(pool) => sweep.pool_size(pool),
+        None => sweep,
+    };
 
-    // 1. ε × b grid under ALIE + MDA.
+    // 1. ε × b grid under ALIE + MDA: one parallel grid, deterministic
+    // ε-major/b-minor order regardless of which worker finishes first.
     let epsilons = [0.05f64, 0.1, 0.2, 0.4, 0.8];
     let batches = [10usize, 25, 50, 150, 500];
+    let grid = sized(
+        SweepBuilder::over(base(None, steps, size))
+            .epsilons(&epsilons)
+            .batch_sizes(&batches)
+            .seeds(&seeds),
+    )
+    .run()
+    .expect("sweep grid runs");
+
     println!("=== ε × b sweep: tail training loss of DP+ALIE with MDA (lower = better)");
     print!("{:>8}", "ε \\ b");
     for b in batches {
@@ -52,11 +80,12 @@ fn main() {
     }
     println!();
     let mut rows = Vec::new();
+    let mut cells = grid.cells.iter();
     for &e in &epsilons {
         print!("{e:>8.2}");
         let mut row = vec![format!("{e}")];
-        for &b in &batches {
-            let loss = tail_loss(&base(b, Some(e), steps, size), &seeds);
+        for _ in &batches {
+            let loss = mean_tail(cells.next().expect("grid covers ε × b"));
             print!(" {loss:>9.4}");
             row.push(format!("{loss:.5}"));
         }
@@ -70,13 +99,32 @@ fn main() {
     println!("  expected shape: losses fall monotonically toward the bottom-right");
     println!("  (larger ε, larger b) — a graceful trade-off, not a cliff.\n");
 
-    // 2. Attack visibility ablation.
+    // 2–4. The three ablations: six explicit cells, one executor run.
+    let mut ablations = sized(SweepBuilder::new().seeds(&seeds));
+    for vis in [AttackVisibility::Submitted, AttackVisibility::PreNoise] {
+        let mut exp = base(Some(0.2), steps, size).build().expect("valid spec");
+        exp.config.attack_visibility = vis;
+        ablations = ablations.cell(format!("vis:{vis:?}"), exp);
+    }
+    for mode in [MomentumMode::Server, MomentumMode::Worker] {
+        let mut exp = base(None, steps, size).build().expect("valid spec");
+        exp.config.momentum_mode = mode;
+        ablations = ablations.cell(format!("mom:{mode:?}"), exp);
+    }
+    for mech in ["gaussian", "laplace"] {
+        let exp = base(Some(0.2), steps, size)
+            .mechanism(mech)
+            .build()
+            .expect("valid spec");
+        ablations = ablations.cell(format!("mech:{mech}"), exp);
+    }
+    let ablations = ablations.run().expect("ablation cells run");
+    let tail_of = |label: &str| mean_tail(ablations.get(label).expect("cell ran"));
+
     println!("=== ablation A: attacker sees submitted (noisy) vs pre-noise gradients");
     let mut rows = Vec::new();
     for vis in [AttackVisibility::Submitted, AttackVisibility::PreNoise] {
-        let mut exp = base(50, Some(0.2), steps, size);
-        exp.config.attack_visibility = vis;
-        let loss = tail_loss(&exp, &seeds);
+        let loss = tail_of(&format!("vis:{vis:?}"));
         println!("  {vis:?}: tail loss {loss:.5}");
         rows.push(vec![format!("{vis:?}"), format!("{loss:.5}")]);
     }
@@ -85,13 +133,10 @@ fn main() {
         &csv(&["visibility", "tail_loss"], &rows),
     );
 
-    // 3. Momentum placement ablation.
     println!("\n=== ablation B: momentum at the server vs at the workers");
     let mut rows = Vec::new();
     for mode in [MomentumMode::Server, MomentumMode::Worker] {
-        let mut exp = base(50, None, steps, size);
-        exp.config.momentum_mode = mode;
-        let loss = tail_loss(&exp, &seeds);
+        let loss = tail_of(&format!("mom:{mode:?}"));
         println!("  {mode:?}: tail loss {loss:.5} (no DP, ALIE)");
         rows.push(vec![format!("{mode:?}"), format!("{loss:.5}")]);
     }
@@ -100,13 +145,10 @@ fn main() {
         &csv(&["momentum_mode", "tail_loss"], &rows),
     );
 
-    // 4. Mechanism ablation: Remark 3.
     println!("\n=== ablation C: Gaussian vs Laplace noise (Remark 3)");
     let mut rows = Vec::new();
     for mech in ["gaussian", "laplace"] {
-        let mut exp = base(50, Some(0.2), steps, size);
-        exp.mechanism = mech.into();
-        let loss = tail_loss(&exp, &seeds);
+        let loss = tail_of(&format!("mech:{mech}"));
         println!("  {mech}: tail loss {loss:.5}");
         rows.push(vec![mech.to_string(), format!("{loss:.5}")]);
     }

@@ -51,23 +51,25 @@ fn main() {
     println!("    VN(clean) from pre-noise gradients, VN(DP) from submissions");
     println!("    (momentum disabled: Eq. 2/8 are statements about raw per-step gradients)\n");
 
-    // Measure the empirical VN ratio in a live run: unattacked averaging
-    // config records honest gradients; do it without and with DP.
+    // Measure the empirical VN ratio in live runs: unattacked averaging
+    // config records honest gradients, without and with DP. Both cells ×
+    // seeds run concurrently on the parallel sweep executor (grid order:
+    // the `nodp` element first, then ε = 0.2).
     let seeds = [1u64, 2];
-    let run_vn_cell = |cell| {
-        let mut builder = Experiment::builder()
+    let results = SweepBuilder::over(
+        Experiment::builder()
             .batch_size(50)
             .steps(100)
             .dataset_size(2000)
-            .momentum(0.0);
-        if cell != 0 {
-            builder = builder.epsilon(0.2);
-        }
-        let exp = builder.build().expect("valid spec");
-        exp.run_seeds(&seeds).expect("runs")
-    };
-    let clean_histories = run_vn_cell(0);
-    let dp_histories = run_vn_cell(1);
+            .momentum(0.0),
+    )
+    .with_no_dp()
+    .epsilons(&[0.2])
+    .seeds(&seeds)
+    .run()
+    .expect("VN measurement cells run");
+    let clean_histories = &results.cells[0].histories;
+    let dp_histories = &results.cells[1].histories;
     // Average over the productive early phase (near convergence ‖∇Q‖ → 0
     // and every ratio diverges regardless of DP).
     let early_mean = |xs: &[f64]| -> f64 {

@@ -5,23 +5,33 @@
 //! Expected slopes: +1 in d, −2 in b, −2 in ε, −1 in T (and ≈ 0 in d for
 //! the no-DP control).
 //!
+//! Every (cell, seed) job across all five sweeps is fanned over one
+//! parallel executor run; results are read back by label.
+//!
 //! Usage: cargo run --release -p dpbyz-bench --bin theorem1 [-- --quick]
 
 use dpbyz::report::csv;
+use dpbyz::sweep::{CellRun, SweepBuilder, SweepResults};
 use dpbyz::theory::convergence;
 use dpbyz::{Experiment, PrivacyBudget};
 use dpbyz_bench::{arg_present, write_csv};
 
-/// Measured suboptimality E[Q(w_{T+1})] − Q* averaged over seeds.
-fn measure(dim: usize, budget: Option<PrivacyBudget>, steps: u32, b: usize, seeds: &[u64]) -> f64 {
-    let exp = Experiment::theorem1(dim, 1.0, budget, steps, b, 1).expect("valid spec");
-    let dist = exp.mean_estimation_instance().expect("mean estimation");
-    let mut total = 0.0;
-    for &s in seeds {
-        let h = exp.run(s).expect("run succeeds");
-        total += 0.5 * h.final_params.l2_distance_squared(dist.true_mean());
-    }
-    total / seeds.len() as f64
+/// Measured suboptimality E[Q(w_{T+1})] − Q* averaged over a cell's seeds.
+fn suboptimality(run: &CellRun) -> f64 {
+    let dist = run
+        .experiment
+        .mean_estimation_instance()
+        .expect("mean estimation workload");
+    let total: f64 = run
+        .histories
+        .iter()
+        .map(|h| 0.5 * h.final_params.l2_distance_squared(dist.true_mean()))
+        .sum();
+    total / run.histories.len() as f64
+}
+
+fn measured(results: &SweepResults, label: &str) -> f64 {
+    suboptimality(results.get(label).expect("cell ran"))
 }
 
 /// Least-squares slope of log(y) against log(x).
@@ -38,6 +48,11 @@ fn loglog_slope(points: &[(f64, f64)]) -> f64 {
     (n * sxy - sx * sy) / (n * sxx - sx * sx)
 }
 
+const DIMS: [usize; 4] = [8, 32, 128, 512];
+const BATCHES: [usize; 4] = [5, 10, 20, 40];
+const EPSILONS: [f64; 4] = [0.05, 0.1, 0.2, 0.4];
+const HORIZONS: [u32; 4] = [100, 200, 400, 800];
+
 fn main() {
     let quick = arg_present("--quick");
     let seeds: Vec<u64> = if quick {
@@ -47,15 +62,37 @@ fn main() {
     };
     let budget = PrivacyBudget::new(0.2, 1e-6).expect("paper budget");
 
+    // Assemble every cell of all five sweeps, then run them in one
+    // parallel executor pass (they are all independent mean-estimation
+    // instances — exactly the executor's job).
+    let theorem1_cell = |dim: usize, budget: Option<PrivacyBudget>, steps: u32, b: usize| {
+        Experiment::theorem1(dim, 1.0, budget, steps, b, 1).expect("valid spec")
+    };
+    let mut sweep = SweepBuilder::new().seeds(&seeds);
+    for &d in &DIMS {
+        sweep = sweep.cell(format!("d{d}"), theorem1_cell(d, Some(budget), 400, 10));
+        sweep = sweep.cell(format!("d_nodp{d}"), theorem1_cell(d, None, 400, 10));
+    }
+    for &b in &BATCHES {
+        sweep = sweep.cell(format!("b{b}"), theorem1_cell(64, Some(budget), 400, b));
+    }
+    for &e in &EPSILONS {
+        let bud = PrivacyBudget::new(e, 1e-6).expect("valid");
+        sweep = sweep.cell(format!("eps{e}"), theorem1_cell(64, Some(bud), 400, 10));
+    }
+    for &t in &HORIZONS {
+        sweep = sweep.cell(format!("T{t}"), theorem1_cell(64, Some(budget), t, 10));
+    }
+    let results = sweep.run().expect("theorem 1 cells run");
+
     println!("=== Theorem 1 scaling sweeps (mean estimation, σ² = 1, γ_t = 1/t, n = 1)");
     let mut all_rows: Vec<Vec<String>> = Vec::new();
 
     // Sweep d.
-    let dims = [8usize, 32, 128, 512];
     let mut pts = Vec::new();
     println!("\n-- dimension sweep (T = 400, b = 10, ε = 0.2) — paper: error ∝ d");
-    for &d in &dims {
-        let err = measure(d, Some(budget), 400, 10, &seeds);
+    for &d in &DIMS {
+        let err = measured(&results, &format!("d{d}"));
         let lo = convergence::lower_bound(1.0, 2.0, 400, 10, d, Some(budget));
         println!("  d = {d:>4}: measured {err:>12.4}, thm lower {lo:>12.4}");
         pts.push((d as f64, err));
@@ -72,8 +109,8 @@ fn main() {
     // No-DP control: flat in d.
     let mut pts0 = Vec::new();
     println!("\n-- no-DP control (same sweep) — paper: O(1/T), dimension-free");
-    for &d in &dims {
-        let err = measure(d, None, 400, 10, &seeds);
+    for &d in &DIMS {
+        let err = measured(&results, &format!("d_nodp{d}"));
         println!("  d = {d:>4}: measured {err:>12.6}");
         pts0.push((d as f64, err.max(1e-12)));
         all_rows.push(vec![
@@ -87,11 +124,10 @@ fn main() {
     println!("  log-log slope in d: {slope_d0:.2}   (paper: ~0)");
 
     // Sweep b.
-    let batches = [5usize, 10, 20, 40];
     let mut ptsb = Vec::new();
     println!("\n-- batch-size sweep (d = 64, T = 400, ε = 0.2) — paper: error ∝ 1/b²");
-    for &b in &batches {
-        let err = measure(64, Some(budget), 400, b, &seeds);
+    for &b in &BATCHES {
+        let err = measured(&results, &format!("b{b}"));
         println!("  b = {b:>3}: measured {err:>12.4}");
         ptsb.push((b as f64, err));
         all_rows.push(vec![
@@ -105,12 +141,10 @@ fn main() {
     println!("  log-log slope in b: {slope_b:.2}   (paper: -2)");
 
     // Sweep ε.
-    let epsilons = [0.05f64, 0.1, 0.2, 0.4];
     let mut ptse = Vec::new();
     println!("\n-- ε sweep (d = 64, T = 400, b = 10) — paper: error ∝ 1/ε²");
-    for &e in &epsilons {
-        let bud = PrivacyBudget::new(e, 1e-6).expect("valid");
-        let err = measure(64, Some(bud), 400, 10, &seeds);
+    for &e in &EPSILONS {
+        let err = measured(&results, &format!("eps{e}"));
         println!("  ε = {e:>5.2}: measured {err:>12.4}");
         ptse.push((e, err));
         all_rows.push(vec![
@@ -124,11 +158,10 @@ fn main() {
     println!("  log-log slope in ε: {slope_e:.2}   (paper: -2)");
 
     // Sweep T.
-    let horizons = [100u32, 200, 400, 800];
     let mut ptst = Vec::new();
     println!("\n-- horizon sweep (d = 64, b = 10, ε = 0.2) — paper: error ∝ 1/T");
-    for &t in &horizons {
-        let err = measure(64, Some(budget), t, 10, &seeds);
+    for &t in &HORIZONS {
+        let err = measured(&results, &format!("T{t}"));
         println!("  T = {t:>4}: measured {err:>12.4}");
         ptst.push((t as f64, err));
         all_rows.push(vec![

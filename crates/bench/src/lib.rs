@@ -132,7 +132,8 @@ pub fn cell_experiment(
     builder.build()
 }
 
-/// Runs one cell at a given batch size across seeds.
+/// Runs one cell at a given batch size across seeds, parallelizing over
+/// the seeds.
 ///
 /// # Errors
 ///
@@ -144,11 +145,49 @@ pub fn run_cell(
     dataset_size: usize,
     seeds: &[u64],
 ) -> Result<CellResult, PipelineError> {
-    let exp = cell_experiment(cell, batch_size, steps, dataset_size)?;
-    Ok(CellResult {
-        cell,
-        histories: exp.run_seeds(seeds)?,
-    })
+    let mut results = run_cells(&[cell], batch_size, steps, dataset_size, seeds)?;
+    Ok(results.pop().expect("one cell in, one result out"))
+}
+
+/// Runs a whole grid of cells across seeds on the parallel sweep
+/// executor: every (cell, seed) job is fanned over the thread pool and
+/// the results come back in the input cell order, bit-identical to the
+/// serial loop.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the pipeline; an empty cell list is
+/// a [`PipelineError::Spec`] (the axis-free `SweepBuilder` would
+/// otherwise fall back to running its base cell and discard it).
+pub fn run_cells(
+    cells: &[Cell],
+    batch_size: usize,
+    steps: u32,
+    dataset_size: usize,
+    seeds: &[u64],
+) -> Result<Vec<CellResult>, PipelineError> {
+    if cells.is_empty() {
+        return Err(PipelineError::Spec(
+            "run_cells needs at least one cell".into(),
+        ));
+    }
+    let mut sweep = SweepBuilder::new().seeds(seeds);
+    for cell in cells {
+        sweep = sweep.cell(
+            cell.label,
+            cell_experiment(*cell, batch_size, steps, dataset_size)?,
+        );
+    }
+    let results = sweep.run()?;
+    Ok(results
+        .cells
+        .into_iter()
+        .zip(cells)
+        .map(|(run, &cell)| CellResult {
+            cell,
+            histories: run.histories,
+        })
+        .collect())
 }
 
 /// Directory experiment CSVs are written to (created on demand).
@@ -203,5 +242,28 @@ mod tests {
         assert!(tail.mean.is_finite());
         assert_eq!(res.mean_loss_curve().len(), 8);
         assert!(res.min_loss().mean <= tail.mean + 1e-9);
+    }
+
+    #[test]
+    fn run_cells_rejects_empty_input() {
+        assert!(matches!(
+            run_cells(&[], 10, 5, 200, &[1]),
+            Err(PipelineError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn run_cells_preserves_input_order_and_matches_serial() {
+        let cells = [FIGURE_CELLS[0], FIGURE_CELLS[1]];
+        let results = run_cells(&cells, 10, 5, 200, &[1, 2]).unwrap();
+        assert_eq!(results.len(), 2);
+        for (res, cell) in results.iter().zip(&cells) {
+            assert_eq!(res.cell.label, cell.label);
+            let serial = cell_experiment(*cell, 10, 5, 200)
+                .unwrap()
+                .run_seeds(&[1, 2])
+                .unwrap();
+            assert_eq!(res.histories, serial, "cell {}", cell.label);
+        }
     }
 }

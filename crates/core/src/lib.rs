@@ -51,12 +51,14 @@ mod kinds;
 pub mod pipeline;
 pub mod registry;
 pub mod report;
+pub mod sweep;
 pub mod theory;
 
 pub use builder::ExperimentBuilder;
 pub use kinds::{AttackKind, GarKind, MechanismKind};
 pub use pipeline::Experiment;
 pub use registry::{ComponentSpec, ParamValue, Registry, RegistryError};
+pub use sweep::{CellRun, SweepBuilder, SweepResults};
 
 /// One-line import for experiment scripts.
 ///
@@ -74,6 +76,7 @@ pub use registry::{ComponentSpec, ParamValue, Registry, RegistryError};
 pub mod prelude {
     pub use crate::pipeline::{Experiment, FigureConfig, PipelineError, Workload};
     pub use crate::registry::{register_attack, register_gar, register_mechanism, ComponentSpec};
+    pub use crate::sweep::{CellRun, SweepBuilder, SweepResults};
     pub use crate::{AttackKind, ExperimentBuilder, GarKind, MechanismKind};
     pub use dpbyz_dp::PrivacyBudget;
     pub use dpbyz_server::{

@@ -418,13 +418,46 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Fails on the first erroring seed.
+    /// [`PipelineError::Spec`] on an empty seed list (an empty result
+    /// would silently poison every downstream aggregate), otherwise fails
+    /// on the first erroring seed.
     pub fn run_seeds(&self, seeds: &[u64]) -> Result<Vec<RunHistory>, PipelineError> {
+        check_seeds(seeds)?;
         seeds.iter().map(|&s| self.run(s)).collect()
+    }
+
+    /// Runs the experiment across several seeds in parallel on a
+    /// work-sharing thread pool — the single-cell fast path of the
+    /// [`sweep`](crate::sweep) executor. Results come back in seed order
+    /// and are bit-identical to [`Experiment::run_seeds`]'s, at any pool
+    /// size (`None` = the machine's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run_seeds`]; when several seeds fail, the error
+    /// of the first failing seed in *seed order* is returned
+    /// (deterministic regardless of completion order).
+    pub fn run_seeds_parallel(
+        &self,
+        seeds: &[u64],
+        pool_size: Option<usize>,
+    ) -> Result<Vec<RunHistory>, PipelineError> {
+        crate::sweep::run_one_parallel(self, seeds, pool_size)
     }
 
     /// The paper's seeds, 1 through 5.
     pub const PAPER_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+}
+
+/// Rejects an empty seed list: an empty history vector would silently
+/// poison every downstream cross-seed aggregate (`hs[0]`, mean curves).
+pub(crate) fn check_seeds(seeds: &[u64]) -> Result<(), PipelineError> {
+    if seeds.is_empty() {
+        return Err(PipelineError::Spec(
+            "no seeds given: running an experiment needs at least one seed".into(),
+        ));
+    }
+    Ok(())
 }
 
 fn dataset_sources(train: &Arc<Dataset>, n: usize) -> Vec<Box<dyn BatchSource>> {

@@ -1,0 +1,747 @@
+//! The parallel sweep executor: fans the (cell × seed) jobs of an
+//! experiment grid out over a thread pool and collects the histories back
+//! in **deterministic grid order**, bit-identical to the serial loop.
+//!
+//! The paper's evidence is a large cross-product of
+//! (GAR × attack × mechanism × batch × seed) cells, every one an
+//! independent [`Experiment`] run — embarrassingly parallel work. The
+//! executor exploits that: a shared `crossbeam` job queue feeds
+//! `std::thread` workers that pull the next job as soon as they finish
+//! the last (a work-sharing pool: fast cells never wait on slow ones),
+//! while results are placed by (cell, seed) index so the output never
+//! depends on completion order.
+//!
+//! ```
+//! use dpbyz_core::sweep::SweepBuilder;
+//! use dpbyz_core::Experiment;
+//!
+//! let results = SweepBuilder::over(
+//!     Experiment::builder()
+//!         .steps(5)
+//!         .dataset_size(200)
+//!         .gar("mda")
+//!         .attack("alie"),
+//! )
+//! .epsilons(&[0.2, 0.4])
+//! .batch_sizes(&[10, 20])
+//! .seeds(&[1, 2])
+//! .run()
+//! .unwrap();
+//! // Grid order: epsilon-major, batch-minor — independent of which
+//! // worker finished first.
+//! let labels: Vec<&str> = results.cells.iter().map(|c| c.label.as_str()).collect();
+//! assert_eq!(labels, ["eps0.2/b10", "eps0.2/b20", "eps0.4/b10", "eps0.4/b20"]);
+//! assert_eq!(results.cells[0].histories.len(), 2);
+//! ```
+
+use crate::builder::ExperimentBuilder;
+use crate::pipeline::{check_seeds, Experiment, PipelineError};
+use crate::registry::ComponentSpec;
+use crossbeam::channel;
+use dpbyz_server::{RunHistory, RunObserver};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Identity of one (cell, seed) job inside a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct JobInfo<'a> {
+    /// Index of the cell in grid order.
+    pub cell: usize,
+    /// The cell's label.
+    pub label: &'a str,
+    /// The seed this job runs.
+    pub seed: u64,
+}
+
+/// A progress event, delivered on the calling thread each time a job
+/// completes. Events arrive in completion order — `completed` is
+/// monotonic, the jobs are not — so treat them as telemetry, not as the
+/// result stream (results come back grid-ordered from
+/// [`SweepBuilder::run`]). Once a job has errored, grid-later jobs that
+/// were never started are skipped and emit **no** event, so an erroring
+/// sweep can finish with fewer than `total` events.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepEvent<'a> {
+    /// Jobs completed so far, including this one.
+    pub completed: usize,
+    /// Total jobs in the sweep (`cells × seeds`).
+    pub total: usize,
+    /// The job that completed.
+    pub job: JobInfo<'a>,
+}
+
+/// Factory producing one streaming [`RunObserver`] per job. Invoked on
+/// the worker thread that executes the job, so it must be `Send + Sync`;
+/// observation is passive (see [`RunObserver`]), so attaching observers
+/// never perturbs the histories.
+pub type ObserverFactory = Arc<dyn Fn(&JobInfo<'_>) -> Box<dyn RunObserver> + Send + Sync>;
+
+type ProgressFn = Box<dyn FnMut(&SweepEvent<'_>)>;
+
+/// One labelled cell of a sweep: a fully assembled experiment plus the
+/// label it reports under.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Human-readable label (for grid cells: the swept axis values joined
+    /// by `/`, e.g. `"mda/alie/eps0.2/b50"`).
+    pub label: String,
+    /// The experiment this cell runs.
+    pub experiment: Experiment,
+}
+
+/// One cell's outcome: its label, the experiment that ran, and one
+/// history per seed (in seed order).
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The cell's label.
+    pub label: String,
+    /// The experiment that ran.
+    pub experiment: Experiment,
+    /// Histories in the same order as the sweep's seed list; each is
+    /// bit-identical to what `experiment.run(seed)` returns serially.
+    pub histories: Vec<RunHistory>,
+}
+
+/// Every cell of a completed sweep, in deterministic grid order.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// The seeds every cell ran with.
+    pub seeds: Vec<u64>,
+    /// Cells in grid order (axes expanded outer-to-inner in the order
+    /// documented on [`SweepBuilder`], explicit cells appended last).
+    pub cells: Vec<CellRun>,
+}
+
+impl SweepResults {
+    /// The first cell carrying `label`, if any.
+    pub fn get(&self, label: &str) -> Option<&CellRun> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+
+    /// Total number of runs executed (`cells × seeds`).
+    pub fn total_runs(&self) -> usize {
+        self.cells.len() * self.seeds.len()
+    }
+}
+
+/// Builder for a parallel experiment sweep.
+///
+/// A sweep is a grid of cells crossed with a seed list. Cells come from
+/// two sources, freely combined:
+///
+/// * **axes** over a base [`ExperimentBuilder`] — GARs, attacks,
+///   mechanisms, privacy budgets, batch sizes. The grid is their cross
+///   product, expanded outer-to-inner in the fixed order *gars → attacks
+///   → mechanisms → epsilons → batch sizes* (elements in the order they
+///   were added to each axis);
+/// * **explicit cells** ([`SweepBuilder::cell`]) for anything the axes
+///   cannot express (per-cell worker counts, mutated configs, different
+///   workloads). Explicit cells run after the grid cells.
+///
+/// If no axis is set and no explicit cell is added, the base builder
+/// itself is the single cell. Seeds default to the paper's
+/// [`Experiment::PAPER_SEEDS`].
+///
+/// Determinism: results are keyed by (cell, seed) index, so
+/// [`SweepBuilder::run`] returns the exact histories — bit for bit — that
+/// the equivalent serial `run_seeds` loop produces, at any pool size.
+pub struct SweepBuilder {
+    base: ExperimentBuilder,
+    gars: Vec<ComponentSpec>,
+    attacks: Vec<Option<ComponentSpec>>,
+    mechanisms: Vec<ComponentSpec>,
+    epsilons: Vec<Option<f64>>,
+    batch_sizes: Vec<usize>,
+    explicit: Vec<SweepCell>,
+    seeds: Option<Vec<u64>>,
+    pool_size: Option<usize>,
+    observer_factory: Option<ObserverFactory>,
+    progress: Option<ProgressFn>,
+}
+
+impl Default for SweepBuilder {
+    fn default() -> Self {
+        Self::over(Experiment::builder())
+    }
+}
+
+impl SweepBuilder {
+    /// Starts a sweep over the default paper-protocol base experiment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a sweep over an explicit base: every grid cell is `base`
+    /// with the cell's axis values applied on top.
+    pub fn over(base: ExperimentBuilder) -> Self {
+        SweepBuilder {
+            base,
+            gars: Vec::new(),
+            attacks: Vec::new(),
+            mechanisms: Vec::new(),
+            epsilons: Vec::new(),
+            batch_sizes: Vec::new(),
+            explicit: Vec::new(),
+            seeds: None,
+            pool_size: None,
+            observer_factory: None,
+            progress: None,
+        }
+    }
+
+    /// Adds aggregation rules to the GAR axis (registry ids, `GarKind`s,
+    /// or full specs).
+    #[must_use]
+    pub fn gars<I>(mut self, gars: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<ComponentSpec>,
+    {
+        self.gars.extend(gars.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds armed attacks to the attack axis. Combine with
+    /// [`SweepBuilder::with_unattacked`] for a "clean" control cell.
+    #[must_use]
+    pub fn attacks<I>(mut self, attacks: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<ComponentSpec>,
+    {
+        self.attacks
+            .extend(attacks.into_iter().map(|a| Some(a.into())));
+        self
+    }
+
+    /// Adds an unattacked element to the attack axis (labelled `clean`),
+    /// at the position of this call relative to [`SweepBuilder::attacks`].
+    #[must_use]
+    pub fn with_unattacked(mut self) -> Self {
+        self.attacks.push(None);
+        self
+    }
+
+    /// Adds noise mechanisms to the mechanism axis.
+    #[must_use]
+    pub fn mechanisms<I>(mut self, mechanisms: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<ComponentSpec>,
+    {
+        self.mechanisms
+            .extend(mechanisms.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds privacy budgets (per-step ε, with the base builder's δ) to
+    /// the DP axis. Combine with [`SweepBuilder::with_no_dp`] for a
+    /// noise-free control cell.
+    #[must_use]
+    pub fn epsilons(mut self, epsilons: &[f64]) -> Self {
+        self.epsilons.extend(epsilons.iter().map(|&e| Some(e)));
+        self
+    }
+
+    /// Adds a no-DP element to the DP axis (labelled `nodp`), at the
+    /// position of this call relative to [`SweepBuilder::epsilons`].
+    #[must_use]
+    pub fn with_no_dp(mut self) -> Self {
+        self.epsilons.push(None);
+        self
+    }
+
+    /// Adds batch sizes to the batch axis.
+    #[must_use]
+    pub fn batch_sizes(mut self, batch_sizes: &[usize]) -> Self {
+        self.batch_sizes.extend_from_slice(batch_sizes);
+        self
+    }
+
+    /// Appends an explicit, fully assembled cell (run after every grid
+    /// cell, in insertion order).
+    #[must_use]
+    pub fn cell(mut self, label: impl Into<String>, experiment: Experiment) -> Self {
+        self.explicit.push(SweepCell {
+            label: label.into(),
+            experiment,
+        });
+        self
+    }
+
+    /// Sets the seeds every cell runs with (unset:
+    /// [`Experiment::PAPER_SEEDS`]; explicitly empty: rejected at run).
+    #[must_use]
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = Some(seeds.to_vec());
+        self
+    }
+
+    /// Sets the worker-thread count (default: the machine's available
+    /// parallelism, clamped to the job count; 1 degenerates to a serial
+    /// loop on a worker thread).
+    #[must_use]
+    pub fn pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = Some(pool_size);
+        self
+    }
+
+    /// Installs a per-job [`RunObserver`] factory: each (cell, seed) run
+    /// streams its per-step metrics into a fresh observer from `factory`.
+    /// Built on the engines' observer plumbing, so attaching one never
+    /// changes the histories.
+    #[must_use]
+    pub fn observe_with<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(&JobInfo<'_>) -> Box<dyn RunObserver> + Send + Sync + 'static,
+    {
+        self.observer_factory = Some(Arc::new(factory));
+        self
+    }
+
+    /// Installs a progress callback, invoked on the calling thread once
+    /// per completed job (see [`SweepEvent`]).
+    #[must_use]
+    pub fn progress<F>(mut self, callback: F) -> Self
+    where
+        F: FnMut(&SweepEvent<'_>) + 'static,
+    {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Expands the grid (axes over the base, then explicit cells) without
+    /// running it. Cell experiments are validated here, so a bad id or an
+    /// intolerable Byzantine count fails before any thread spawns.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PipelineError`] the base builder surfaces for a grid cell.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, PipelineError> {
+        let mut cells = Vec::new();
+        let has_axes = !(self.gars.is_empty()
+            && self.attacks.is_empty()
+            && self.mechanisms.is_empty()
+            && self.epsilons.is_empty()
+            && self.batch_sizes.is_empty());
+        if has_axes || self.explicit.is_empty() {
+            // An unset axis contributes one pass-through element.
+            fn axis<T>(values: &[T]) -> Vec<Option<&T>> {
+                if values.is_empty() {
+                    vec![None]
+                } else {
+                    values.iter().map(Some).collect()
+                }
+            }
+            for gar in axis(&self.gars) {
+                for attack in axis(&self.attacks) {
+                    for mechanism in axis(&self.mechanisms) {
+                        for epsilon in axis(&self.epsilons) {
+                            for batch in axis(&self.batch_sizes) {
+                                let mut builder = self.base.clone();
+                                let mut label = Vec::new();
+                                if let Some(gar) = gar {
+                                    builder = builder.gar(gar.clone());
+                                    label.push(gar.id.clone());
+                                }
+                                if let Some(attack) = attack {
+                                    match attack {
+                                        Some(spec) => {
+                                            builder = builder.attack(spec.clone());
+                                            label.push(spec.id.clone());
+                                        }
+                                        None => label.push("clean".into()),
+                                    }
+                                }
+                                if let Some(mechanism) = mechanism {
+                                    builder = builder.mechanism(mechanism.clone());
+                                    label.push(mechanism.id.clone());
+                                }
+                                if let Some(epsilon) = epsilon {
+                                    match epsilon {
+                                        Some(eps) => {
+                                            builder = builder.epsilon(*eps);
+                                            label.push(format!("eps{eps}"));
+                                        }
+                                        None => label.push("nodp".into()),
+                                    }
+                                }
+                                if let Some(batch) = batch {
+                                    builder = builder.batch_size(*batch);
+                                    label.push(format!("b{batch}"));
+                                }
+                                let label = if label.is_empty() {
+                                    "base".to_string()
+                                } else {
+                                    label.join("/")
+                                };
+                                cells.push(SweepCell {
+                                    label,
+                                    experiment: builder.build()?,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells.extend(self.explicit.iter().cloned());
+        Ok(cells)
+    }
+
+    /// Expands the grid and runs every (cell, seed) job on the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Spec`] on an empty seed list; any cell-build
+    /// error before execution; otherwise the error of the **grid-first**
+    /// failing job (deterministic regardless of completion order — once
+    /// an error is recorded, not-yet-started grid-later jobs are skipped
+    /// rather than run, since only grid-earlier jobs could displace it).
+    pub fn run(mut self) -> Result<SweepResults, PipelineError> {
+        let cells = self.cells()?;
+        let seeds = self
+            .seeds
+            .take()
+            .unwrap_or_else(|| Experiment::PAPER_SEEDS.to_vec());
+        let histories = execute(
+            &cells,
+            &seeds,
+            self.pool_size,
+            self.observer_factory.as_ref(),
+            self.progress.as_mut(),
+        )?;
+        Ok(SweepResults {
+            seeds,
+            cells: cells
+                .into_iter()
+                .zip(histories)
+                .map(|(cell, histories)| CellRun {
+                    label: cell.label,
+                    experiment: cell.experiment,
+                    histories,
+                })
+                .collect(),
+        })
+    }
+}
+
+/// The single-cell fast path behind [`Experiment::run_seeds_parallel`].
+pub(crate) fn run_one_parallel(
+    experiment: &Experiment,
+    seeds: &[u64],
+    pool_size: Option<usize>,
+) -> Result<Vec<RunHistory>, PipelineError> {
+    let cells = [SweepCell {
+        label: "cell".into(),
+        experiment: experiment.clone(),
+    }];
+    let mut grid = execute(&cells, seeds, pool_size, None, None)?;
+    Ok(grid.pop().expect("one cell in, one row out"))
+}
+
+fn default_pool_size() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+struct Job {
+    cell: usize,
+    slot: usize,
+    seed: u64,
+}
+
+enum JobOutcome {
+    Done(RunHistory),
+    Failed(PipelineError),
+    /// The job was grid-later than an already-recorded error and was
+    /// never run (its history would be discarded anyway).
+    Skipped,
+}
+
+type JobDone = (usize, usize, u64, JobOutcome);
+
+/// Runs `cells × seeds` jobs on `pool_size` workers; returns one history
+/// row per cell, in cell order, each row in seed order.
+fn execute(
+    cells: &[SweepCell],
+    seeds: &[u64],
+    pool_size: Option<usize>,
+    observer_factory: Option<&ObserverFactory>,
+    mut progress: Option<&mut ProgressFn>,
+) -> Result<Vec<Vec<RunHistory>>, PipelineError> {
+    check_seeds(seeds)?;
+    if cells.is_empty() {
+        return Err(PipelineError::Spec(
+            "sweep has no cells: set an axis or add explicit cells".into(),
+        ));
+    }
+    let total = cells.len() * seeds.len();
+    let pool_size = pool_size.unwrap_or_else(default_pool_size).clamp(1, total);
+
+    // The shared job queue: workers pull the next (cell, seed) as soon as
+    // they free up, so a slow cell never serializes the rest of the grid.
+    let (job_tx, job_rx) = channel::unbounded::<Job>();
+    for cell in 0..cells.len() {
+        for (slot, &seed) in seeds.iter().enumerate() {
+            job_tx
+                .send(Job { cell, slot, seed })
+                .expect("job queue receiver alive");
+        }
+    }
+    drop(job_tx); // Workers drain the queue, then see the disconnect.
+
+    let (done_tx, done_rx) = channel::unbounded::<JobDone>();
+    let mut grid: Vec<Vec<Option<RunHistory>>> =
+        (0..cells.len()).map(|_| vec![None; seeds.len()]).collect();
+    // First error in (cell, slot) order — deterministic even though jobs
+    // complete in scheduler order.
+    let mut first_error: Option<(usize, usize, PipelineError)> = None;
+    // Flat job order of the grid-first error so far (u64::MAX = none):
+    // once set, workers skip grid-*later* jobs instead of running them —
+    // their results would be discarded anyway, and only grid-earlier
+    // jobs can displace the recorded error, so determinism is preserved.
+    let error_watermark = AtomicU64::new(u64::MAX);
+    let flat = |cell: usize, slot: usize| (cell * seeds.len() + slot) as u64;
+
+    thread::scope(|scope| {
+        for _ in 0..pool_size {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let error_watermark = &error_watermark;
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let outcome =
+                        if flat(job.cell, job.slot) > error_watermark.load(Ordering::Relaxed) {
+                            JobOutcome::Skipped
+                        } else {
+                            let cell = &cells[job.cell];
+                            let result = match observer_factory {
+                                Some(factory) => {
+                                    let info = JobInfo {
+                                        cell: job.cell,
+                                        label: &cell.label,
+                                        seed: job.seed,
+                                    };
+                                    cell.experiment.run_with_observer(job.seed, factory(&info))
+                                }
+                                None => cell.experiment.run(job.seed),
+                            };
+                            match result {
+                                Ok(history) => JobOutcome::Done(history),
+                                Err(error) => JobOutcome::Failed(error),
+                            }
+                        };
+                    if done_tx
+                        .send((job.cell, job.slot, job.seed, outcome))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        drop(job_rx);
+
+        let mut completed = 0;
+        for _ in 0..total {
+            let (cell, slot, seed, outcome) =
+                done_rx.recv().expect("a sweep worker thread panicked");
+            match outcome {
+                JobOutcome::Done(history) => grid[cell][slot] = Some(history),
+                JobOutcome::Failed(error) => {
+                    if first_error
+                        .as_ref()
+                        .is_none_or(|(c, s, _)| (cell, slot) < (*c, *s))
+                    {
+                        first_error = Some((cell, slot, error));
+                        error_watermark.fetch_min(flat(cell, slot), Ordering::Relaxed);
+                    }
+                }
+                // Never executed (grid-later than a recorded error): not a
+                // completion, so no progress event for it.
+                JobOutcome::Skipped => continue,
+            }
+            completed += 1;
+            if let Some(callback) = progress.as_deref_mut() {
+                callback(&SweepEvent {
+                    completed,
+                    total,
+                    job: JobInfo {
+                        cell,
+                        label: &cells[cell].label,
+                        seed,
+                    },
+                });
+            }
+        }
+    });
+
+    if let Some((_, _, error)) = first_error {
+        return Err(error);
+    }
+    Ok(grid
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|h| h.expect("every job completed"))
+                .collect()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GarKind;
+    use std::sync::Mutex;
+
+    fn quick_base() -> ExperimentBuilder {
+        Experiment::builder().steps(4).dataset_size(200)
+    }
+
+    #[test]
+    fn grid_order_is_axis_major_and_labels_compose() {
+        let cells = SweepBuilder::over(quick_base().gar("mda").attack("alie"))
+            .with_no_dp()
+            .epsilons(&[0.2])
+            .batch_sizes(&[10, 20])
+            .cells()
+            .unwrap();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["nodp/b10", "nodp/b20", "eps0.2/b10", "eps0.2/b20"]);
+        assert_eq!(cells[3].experiment.config.batch_size, 20);
+        assert!(cells[3].experiment.budget.is_some());
+        assert!(cells[0].experiment.budget.is_none());
+    }
+
+    #[test]
+    fn axis_free_builder_is_a_single_base_cell() {
+        let cells = SweepBuilder::over(quick_base()).cells().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].label, "base");
+    }
+
+    #[test]
+    fn explicit_cells_replace_the_grid_when_no_axis_set() {
+        let exp = quick_base().build().unwrap();
+        let cells = SweepBuilder::new().cell("only", exp).cells().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].label, "only");
+    }
+
+    #[test]
+    fn gar_and_attack_axes_expand() {
+        let cells = SweepBuilder::over(quick_base())
+            .gars([GarKind::Mda, GarKind::Median])
+            .attacks(["alie", "foe"])
+            .cells()
+            .unwrap();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["mda/alie", "mda/foe", "median/alie", "median/foe"]);
+    }
+
+    #[test]
+    fn invalid_grid_cell_fails_before_running() {
+        // Averaging cannot host an armed attack: the cell build rejects
+        // the sweep before any thread spawns.
+        let err = SweepBuilder::over(quick_base())
+            .gars(["average"])
+            .attacks(["alie"])
+            .seeds(&[1])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Spec(_)));
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_grid_order() {
+        let base = quick_base().gar("mda").attack("alie");
+        let seeds = [1u64, 2];
+        let results = SweepBuilder::over(base.clone())
+            .with_no_dp()
+            .epsilons(&[0.2])
+            .batch_sizes(&[10, 20])
+            .seeds(&seeds)
+            .pool_size(4)
+            .run()
+            .unwrap();
+        let serial_cells = SweepBuilder::over(base)
+            .with_no_dp()
+            .epsilons(&[0.2])
+            .batch_sizes(&[10, 20])
+            .cells()
+            .unwrap();
+        for (run, cell) in results.cells.iter().zip(&serial_cells) {
+            assert_eq!(run.label, cell.label);
+            let serial = cell.experiment.run_seeds(&seeds).unwrap();
+            assert_eq!(run.histories, serial, "cell {}", run.label);
+        }
+        assert_eq!(results.total_runs(), 8);
+        assert!(results.get("eps0.2/b20").is_some());
+        assert!(results.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn empty_seed_list_is_rejected() {
+        let err = SweepBuilder::over(quick_base())
+            .seeds(&[])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Spec(_)));
+    }
+
+    #[test]
+    fn progress_fires_once_per_job_and_observers_stream() {
+        let events: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        let observed_steps = Arc::new(Mutex::new(0usize));
+        let counter = observed_steps.clone();
+        let results = SweepBuilder::over(quick_base())
+            .batch_sizes(&[10, 20])
+            .seeds(&[1, 2, 3])
+            .pool_size(2)
+            .progress(move |e| sink.lock().unwrap().push((e.completed, e.total)))
+            .observe_with(move |_job| {
+                let counter = counter.clone();
+                Box::new(dpbyz_server::FnObserver::new(move |_m| {
+                    *counter.lock().unwrap() += 1;
+                }))
+            })
+            .run()
+            .unwrap();
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 6);
+        assert_eq!(events.first(), Some(&(1, 6)));
+        assert_eq!(events.last(), Some(&(6, 6)));
+        // 2 cells × 3 seeds × 4 steps streamed through the observers.
+        assert_eq!(*observed_steps.lock().unwrap(), 24);
+        // Observation is passive: histories still match the serial runs.
+        let serial = results.cells[0]
+            .experiment
+            .run_seeds(&results.seeds)
+            .unwrap();
+        assert_eq!(results.cells[0].histories, serial);
+    }
+
+    #[test]
+    fn runtime_error_is_grid_first_deterministic() {
+        // A cell that fails at *run* time (not build time): hand-assemble
+        // an experiment whose GAR rejects its Byzantine count on step 1.
+        let good = quick_base().build().unwrap();
+        let mut bad = quick_base().build().unwrap();
+        bad.config.n_byzantine = 2;
+        bad.attack = Some("alie".into());
+        let err = SweepBuilder::new()
+            .cell("good", good)
+            .cell("bad", bad)
+            .seeds(&[1, 2])
+            .pool_size(4)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Gar(_)), "{err}");
+    }
+}

@@ -87,6 +87,15 @@
 #![forbid(unsafe_code)]
 
 // ---- the redesigned experiment API --------------------------------------
+/// The parallel sweep executor: [`SweepBuilder`](sweep::SweepBuilder)
+/// fans a grid of experiment cells × seeds over a work-sharing thread
+/// pool and returns histories in deterministic grid order, bit-identical
+/// to the serial loop. See the module docs for the grid API.
+pub mod sweep {
+    pub use dpbyz_core::sweep::{
+        CellRun, JobInfo, ObserverFactory, SweepBuilder, SweepCell, SweepEvent, SweepResults,
+    };
+}
 pub use dpbyz_core::pipeline::{FigureConfig, PipelineError, Workload};
 pub use dpbyz_core::registry::{
     self, attack_ids, build_attack, build_gar, build_mechanism, gar_ids, mechanism_ids,
@@ -129,6 +138,7 @@ pub use dpbyz_tensor as tensor;
 /// One-line import for experiment scripts: the builder, kinds, registry
 /// registration hooks, observers, and run artifacts.
 pub mod prelude {
+    pub use crate::sweep::{CellRun, SweepBuilder, SweepEvent, SweepResults};
     pub use crate::{
         register_attack, register_gar, register_mechanism, AttackKind, ComponentSpec, Experiment,
         ExperimentBuilder, FigureConfig, FnObserver, GarKind, LrSchedule, MechanismKind,

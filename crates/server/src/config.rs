@@ -126,7 +126,8 @@ pub struct TrainingConfig {
     /// L2 clipping threshold `G_max` applied by every honest worker before
     /// noising.
     pub clip: f64,
-    /// Evaluate test accuracy every this many steps (0 = never).
+    /// Evaluate test accuracy every this many steps, plus always at the
+    /// final step (0 = never).
     pub eval_every: u32,
     /// What the attacker observes.
     pub attack_visibility: AttackVisibility,

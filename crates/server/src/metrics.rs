@@ -18,9 +18,12 @@ pub struct RunHistory {
     pub train_loss: Vec<f64>,
     /// `(step, accuracy)` samples over the test set.
     pub test_accuracy: Vec<(u32, f64)>,
-    /// Empirical VN ratio of the honest *submitted* gradients per step
-    /// (what Eq. 8 bounds — includes the DP noise). The denominator is the
-    /// pre-noise mean norm, the simulator's best estimate of `‖E[G]‖`.
+    /// Empirical VN ratio of the *final* submission set the GAR aggregates
+    /// — honest submissions after DP noise, plus Byzantine forgeries and
+    /// fault-injection drops (what Eq. 8 bounds in the attacked system).
+    /// The denominator is the pre-noise honest mean norm, the simulator's
+    /// best estimate of `‖E[G]‖`. Without noise, attack, or drops this
+    /// coincides with [`RunHistory::vn_clean`].
     pub vn_submitted: Vec<f64>,
     /// Empirical VN ratio of the honest *pre-noise* gradients per step
     /// (what Eq. 2 bounds without DP), same denominator.
@@ -93,8 +96,12 @@ impl RunHistory {
     }
 
     /// Mean of the last `k` training losses (a smoother "final loss").
+    /// Total: a zero-step history yields `NaN` instead of panicking.
     pub fn tail_loss(&self, k: usize) -> f64 {
         let n = self.train_loss.len();
+        if n == 0 {
+            return f64::NAN;
+        }
         let k = k.clamp(1, n);
         self.train_loss[n - k..].iter().sum::<f64>() / k as f64
     }
@@ -251,6 +258,21 @@ mod tests {
         assert_eq!(h.steps_to_reach(2.1), Some(2));
         assert_eq!(h.steps_to_reach(0.1), None);
         assert!((h.tail_loss(2) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_loss_is_total_on_empty_history() {
+        let h = RunHistory {
+            seed: 1,
+            train_loss: vec![],
+            test_accuracy: vec![],
+            vn_submitted: vec![],
+            vn_clean: vec![],
+            grad_norm: vec![],
+            final_params: Vector::zeros(1),
+        };
+        assert!(h.tail_loss(5).is_nan());
+        assert!(h.tail_loss(0).is_nan());
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub struct StepMetrics<'a> {
     pub train_loss: f64,
     /// Empirical VN ratio of the honest pre-noise gradients.
     pub vn_clean: f64,
-    /// Empirical VN ratio of the honest submitted gradients.
+    /// Empirical VN ratio of the final submission set the GAR aggregates
+    /// (honest submissions after DP noise, Byzantine forgeries, drops).
     pub vn_submitted: f64,
     /// L2 norm of the honest pre-noise mean gradient.
     pub grad_norm: f64,

@@ -114,7 +114,6 @@ impl ServerCore {
             }
         };
         self.vn_clean.push(ratio_vs_clean_norm(&pre_noise));
-        self.vn_submitted.push(ratio_vs_clean_norm(&submissions));
         self.grad_norm.push(grad_norm);
 
         // Byzantine submissions: every colluder sends the same forged
@@ -149,6 +148,13 @@ impl ServerCore {
             }
         }
 
+        // The submitted VN ratio is measured over the *final* submission
+        // set — after DP noise, Byzantine forgeries, and fault-injection
+        // drops — i.e. over exactly the vectors the GAR aggregates. (It
+        // was previously computed before forgeries/drops, which made the
+        // "submitted" series blind to everything the attack added.)
+        self.vn_submitted.push(ratio_vs_clean_norm(&submissions));
+
         let mut aggregated = self.gar.aggregate(&submissions, self.config.n_byzantine)?;
 
         // §7 extension: bias-corrected exponential averaging of the
@@ -173,8 +179,13 @@ impl ServerCore {
         };
         self.params.axpy(-lr, &direction);
 
+        // Evaluation fires on the period *and* unconditionally at the
+        // final step, so curves always end with the finished model even
+        // when `steps` is not a multiple of `eval_every`.
         let mut eval_accuracy = None;
-        if self.config.eval_every > 0 && t.is_multiple_of(self.config.eval_every) {
+        if self.config.eval_every > 0
+            && (t.is_multiple_of(self.config.eval_every) || t == self.config.steps)
+        {
             if let Some(test) = &self.test {
                 let acc = accuracy(self.model.as_ref(), &self.params, test);
                 self.test_accuracy.push((t, acc));
@@ -479,11 +490,95 @@ mod tests {
         let h = trainer.run(1).unwrap();
         assert_eq!(h.vn_clean.len(), 20);
         assert_eq!(h.vn_submitted.len(), 20);
-        // Without noise, the two coincide.
+        // Without noise, attack, or drops, the two coincide.
         for (a, b) in h.vn_clean.iter().zip(&h.vn_submitted) {
             assert!((a - b).abs() < 1e-12 || (a.is_nan() && b.is_nan()));
         }
         assert_eq!(h.grad_norm.len(), 20);
+    }
+
+    #[test]
+    fn vn_submitted_reflects_byzantine_forgeries() {
+        // Regression: `vn_submitted` used to be computed *before* the
+        // Byzantine forgeries were appended, so under a noise-free attack
+        // it was bit-identical to `vn_clean` — the "submitted" series
+        // never saw what the GAR actually aggregated. With FoE forging
+        // vectors far from the honest cloud, the two must now differ at
+        // every step.
+        let (trainer, _) = make_trainer(11, 5, 15, 3);
+        let h = trainer
+            .gar(Arc::new(Mda::new()))
+            .attack(Arc::new(dpbyz_attacks::FallOfEmpires::default()))
+            .run(1)
+            .unwrap();
+        for (t, (clean, submitted)) in h.vn_clean.iter().zip(&h.vn_submitted).enumerate() {
+            assert!(
+                (clean - submitted).abs() > 1e-9,
+                "step {}: vn_clean {clean} == vn_submitted {submitted} despite 5 forgeries",
+                t + 1
+            );
+        }
+    }
+
+    #[test]
+    fn vn_submitted_reflects_fault_injection_drops() {
+        // Zeroed (dropped) submissions are part of what the GAR sees, so
+        // the submitted series must diverge from the clean one.
+        let config = TrainingConfig::builder()
+            .workers(5, 0)
+            .batch_size(20)
+            .steps(40)
+            .drop_rate(0.4)
+            .eval_every(0)
+            .build()
+            .unwrap();
+        let h = make_trainer_with(config, 9).run(1).unwrap();
+        let diverged = h
+            .vn_clean
+            .iter()
+            .zip(&h.vn_submitted)
+            .any(|(c, s)| (c - s).abs() > 1e-9);
+        assert!(diverged, "40% drops never moved the submitted VN ratio");
+    }
+
+    #[test]
+    fn final_step_always_evaluated() {
+        // Regression: with steps = 7 and eval_every = 3 the old schedule
+        // evaluated at t = 3, 6 only, so the final model never appeared in
+        // the accuracy curve.
+        let config = TrainingConfig::builder()
+            .workers(3, 0)
+            .batch_size(10)
+            .steps(7)
+            .eval_every(3)
+            .build()
+            .unwrap();
+        let h = make_trainer_with(config, 4).run(1).unwrap();
+        let steps: Vec<u32> = h.test_accuracy.iter().map(|&(t, _)| t).collect();
+        assert_eq!(steps, vec![3, 6, 7]);
+
+        // When steps is a multiple of the period there is no duplicate.
+        let config = TrainingConfig::builder()
+            .workers(3, 0)
+            .batch_size(10)
+            .steps(6)
+            .eval_every(3)
+            .build()
+            .unwrap();
+        let h = make_trainer_with(config, 4).run(1).unwrap();
+        let steps: Vec<u32> = h.test_accuracy.iter().map(|&(t, _)| t).collect();
+        assert_eq!(steps, vec![3, 6]);
+
+        // eval_every = 0 still disables evaluation entirely.
+        let config = TrainingConfig::builder()
+            .workers(3, 0)
+            .batch_size(10)
+            .steps(7)
+            .eval_every(0)
+            .build()
+            .unwrap();
+        let h = make_trainer_with(config, 4).run(1).unwrap();
+        assert!(h.test_accuracy.is_empty());
     }
 
     fn make_trainer_with(config: TrainingConfig, seed_data: u64) -> Trainer {

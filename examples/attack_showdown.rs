@@ -8,13 +8,26 @@
 //!
 //! The grid is driven entirely by registry ids — registering a custom GAR
 //! or attack (see `dpbyz::register_gar`) makes it sweepable here with one
-//! string added to the arrays.
+//! string added to the arrays — and every cell runs concurrently on the
+//! parallel sweep executor (`dpbyz::sweep`), with results read back in
+//! deterministic label order.
 //!
 //! Run with: `cargo run --release -p dpbyz-examples --bin attack_showdown`
 
 use dpbyz::prelude::*;
 
-fn run_cell(gar: &str, attack: &str, epsilon: Option<f64>) -> f64 {
+const GARS: [&str; 7] = [
+    "mda",
+    "krum",
+    "median",
+    "trimmed-mean",
+    "meamed",
+    "phocas",
+    "bulyan",
+];
+const ATTACKS: [&str; 2] = ["alie", "foe"];
+
+fn cell(gar: &str, attack: &str, epsilon: Option<f64>) -> Experiment {
     // The paper protocol with the GAR swapped in; the Byzantine count is
     // clamped to each rule's tolerance (Krum: 4, Bulyan: 2 at n = 11) so
     // every rule is compared at full declared strength.
@@ -33,39 +46,45 @@ fn run_cell(gar: &str, attack: &str, epsilon: Option<f64>) -> f64 {
     if let Some(epsilon) = epsilon {
         builder = builder.epsilon(epsilon);
     }
-    let exp = builder.build().expect("valid configuration");
-    exp.run(1).expect("run succeeds").tail_loss(20)
+    builder.build().expect("valid configuration")
 }
 
 fn main() {
-    let gars = [
-        "mda",
-        "krum",
-        "median",
-        "trimmed-mean",
-        "meamed",
-        "phocas",
-        "bulyan",
-    ];
-    let attacks = ["alie", "foe"];
+    // All 28 (GAR × attack × DP) cells in one parallel executor run.
+    let mut sweep = SweepBuilder::new().seeds(&[1]);
+    for (tag, eps) in [("nodp", None), ("dp", Some(0.2))] {
+        for gar in GARS {
+            for attack in ATTACKS {
+                sweep = sweep.cell(format!("{gar}/{attack}/{tag}"), cell(gar, attack, eps));
+            }
+        }
+    }
+    let results = sweep.run().expect("showdown cells run");
+    let tail = |gar: &str, attack: &str, tag: &str| {
+        results
+            .get(&format!("{gar}/{attack}/{tag}"))
+            .expect("cell ran")
+            .histories[0]
+            .tail_loss(20)
+    };
 
     println!("final training loss after 200 steps (b = 50, n = 11, reduced scale)");
     println!("lower is better; compare the two blocks column-wise\n");
 
-    for (title, eps) in [
-        ("WITHOUT DP noise", None),
-        ("WITH DP noise (ε = 0.2)", Some(0.2)),
+    for (title, tag) in [
+        ("WITHOUT DP noise", "nodp"),
+        ("WITH DP noise (ε = 0.2)", "dp"),
     ] {
         println!("== {title}");
         print!("{:<14}", "GAR \\ attack");
-        for a in attacks {
+        for a in ATTACKS {
             print!(" {a:>10}");
         }
         println!();
-        for gar in gars {
+        for gar in GARS {
             print!("{gar:<14}");
-            for attack in attacks {
-                print!(" {:>10.5}", run_cell(gar, attack, eps));
+            for attack in ATTACKS {
+                print!(" {:>10.5}", tail(gar, attack, tag));
             }
             println!();
         }

@@ -1,26 +1,186 @@
 //! In-workspace stand-in for the `crossbeam` crate (offline build
-//! environment). Only the bounded-channel surface the threaded trainer
-//! uses is provided, implemented over `std::sync::mpsc`.
+//! environment). Only the channel surface the workspace uses is provided:
+//! bounded and unbounded MPMC channels with cloneable senders *and*
+//! receivers (the latter is what distinguishes crossbeam's channels from
+//! `std::sync::mpsc` and what the parallel sweep executor's shared job
+//! queue relies on), implemented over `Mutex` + `Condvar`.
 
 #![forbid(unsafe_code)]
 
-/// Multi-producer multi-consumer channels (here: std mpsc under the hood,
-/// which is all the one-directional worker wiring needs).
+/// Multi-producer multi-consumer channels, API-compatible with the subset
+/// of `crossbeam-channel` the workspace uses: [`bounded`](channel::bounded),
+/// [`unbounded`](channel::unbounded), cloneable [`Sender`](channel::Sender)
+/// / [`Receiver`](channel::Receiver) halves, and disconnect-on-last-drop
+/// semantics.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    /// Sending half of a bounded channel.
-    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    pub use std::sync::mpsc::{RecvError, SendError};
 
-    /// Creates a bounded channel with the given capacity.
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half of a channel. Cloning adds a producer; the channel
+    /// disconnects for receivers when the last sender drops.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel. Cloning adds a consumer (each message
+    /// is delivered to exactly one receiver); the channel disconnects for
+    /// senders when the last receiver drops.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = inner
+                    .capacity
+                    .is_some_and(|capacity| inner.queue.len() >= capacity);
+                if !full {
+                    inner.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self.shared.not_full.wait(inner).expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Errors once the channel is empty and every sender has been
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a bounded channel: `send` blocks once `capacity` messages
+    /// are in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `capacity == 0`: real crossbeam treats that as a
+    /// rendezvous channel, which this shim does not implement — failing
+    /// loudly beats deadlocking both halves.
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::sync_channel(capacity)
+        assert!(
+            capacity > 0,
+            "bounded(0) rendezvous channels are not supported by the crossbeam shim"
+        );
+        with_capacity(Some(capacity))
+    }
+
+    /// Creates an unbounded channel: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use std::collections::BTreeSet;
 
     #[test]
     fn bounded_round_trip_across_threads() {
@@ -40,5 +200,99 @@ mod tests {
         let (tx, rx) = channel::bounded::<u32>(1);
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn drained_messages_survive_sender_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_a_queue() {
+        // The sweep executor's pattern: one producer fans jobs out to many
+        // consumers; each job is delivered exactly once.
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        let mut all = BTreeSet::new();
+        let mut total = 0;
+        for w in workers {
+            let got = w.join().unwrap();
+            total += got.len();
+            all.extend(got);
+        }
+        assert_eq!(total, 100, "every job delivered exactly once");
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn cloned_senders_all_feed_one_receiver() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..25 {
+                        tx.send(i * 25 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = BTreeSet::new();
+        while let Ok(v) = rx.recv() {
+            got.insert(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn zero_capacity_bounded_is_rejected() {
+        let _ = channel::bounded::<u32>(0);
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_until_drained() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The third send must wait for a recv; do it from another thread.
+        let handle = std::thread::spawn(move || tx.send(3).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
     }
 }

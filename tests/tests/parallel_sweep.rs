@@ -1,0 +1,148 @@
+//! Determinism suite for the parallel sweep executor: histories produced
+//! by `SweepBuilder` / `Experiment::run_seeds_parallel` must be
+//! **bit-identical** to the serial `run_seeds` loop — across both engines
+//! (`Trainer` and `ThreadedTrainer`) and across pool sizes 1, 2, and 8.
+//!
+//! `RunHistory`'s `PartialEq` compares float *bit patterns* (see
+//! `dpbyz-server`), so equality here is the strongest claim available:
+//! the executor adds no nondeterminism whatsoever.
+
+use dpbyz::prelude::*;
+use std::sync::{Arc, Mutex};
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+/// A DP + attacked cell: exercises the attack and noise RNG streams, the
+/// parts most sensitive to ordering bugs.
+fn attacked_experiment(threaded: bool) -> Experiment {
+    Experiment::builder()
+        .steps(6)
+        .dataset_size(250)
+        .gar("mda")
+        .attack("alie")
+        .epsilon(0.2)
+        .threaded(threaded)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn run_seeds_parallel_matches_serial_on_sequential_engine() {
+    let exp = attacked_experiment(false);
+    let serial = exp.run_seeds(&SEEDS).unwrap();
+    for pool in POOL_SIZES {
+        let parallel = exp.run_seeds_parallel(&SEEDS, Some(pool)).unwrap();
+        assert_eq!(serial, parallel, "pool size {pool}");
+    }
+    // Auto-sized pool too.
+    assert_eq!(serial, exp.run_seeds_parallel(&SEEDS, None).unwrap());
+}
+
+#[test]
+fn run_seeds_parallel_matches_serial_on_threaded_engine() {
+    let exp = attacked_experiment(true);
+    let serial = exp.run_seeds(&SEEDS).unwrap();
+    for pool in POOL_SIZES {
+        let parallel = exp.run_seeds_parallel(&SEEDS, Some(pool)).unwrap();
+        assert_eq!(serial, parallel, "pool size {pool} (threaded engine)");
+    }
+    // And the threaded engine agrees with the sequential one end-to-end.
+    let sequential = attacked_experiment(false).run_seeds(&SEEDS).unwrap();
+    assert_eq!(serial, sequential);
+}
+
+#[test]
+fn sweep_grid_is_bit_identical_to_serial_loops_at_every_pool_size() {
+    let grid = |pool: usize| {
+        SweepBuilder::over(
+            Experiment::builder()
+                .steps(5)
+                .dataset_size(250)
+                .gar("mda")
+                .attack("alie"),
+        )
+        .with_no_dp()
+        .epsilons(&[0.2])
+        .batch_sizes(&[10, 25])
+        .seeds(&SEEDS)
+        .pool_size(pool)
+        .run()
+        .unwrap()
+    };
+    // Serial reference: the exact loops the bench binaries used to run.
+    let reference = grid(1);
+    assert_eq!(reference.cells.len(), 4);
+    for run in &reference.cells {
+        let serial = run.experiment.run_seeds(&SEEDS).unwrap();
+        assert_eq!(run.histories, serial, "cell {}", run.label);
+    }
+    for pool in [2, 8] {
+        let parallel = grid(pool);
+        for (a, b) in reference.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.histories, b.histories, "pool {pool}, cell {}", a.label);
+        }
+    }
+}
+
+#[test]
+fn sweep_covers_both_engines_identically() {
+    // The same grid run on the threaded engine must produce the same
+    // bits as on the sequential engine, through the executor.
+    let run_with = |threaded: bool| {
+        SweepBuilder::over(
+            Experiment::builder()
+                .steps(4)
+                .dataset_size(250)
+                .gar("median")
+                .attack("sign-flip")
+                .byzantine(2)
+                .threaded(threaded),
+        )
+        .with_no_dp()
+        .epsilons(&[0.2])
+        .seeds(&[1, 2])
+        .pool_size(4)
+        .run()
+        .unwrap()
+    };
+    let sequential = run_with(false);
+    let threaded = run_with(true);
+    for (a, b) in sequential.cells.iter().zip(&threaded.cells) {
+        assert_eq!(a.histories, b.histories, "cell {}", a.label);
+    }
+}
+
+#[test]
+fn observers_stream_without_perturbing_parallel_results() {
+    let exp = attacked_experiment(false);
+    let serial = exp.run_seeds(&SEEDS).unwrap();
+    let streamed = Arc::new(Mutex::new(0usize));
+    let counter = streamed.clone();
+    let results = SweepBuilder::new()
+        .cell("only", exp)
+        .seeds(&SEEDS)
+        .pool_size(8)
+        .observe_with(move |_job| {
+            let counter = counter.clone();
+            Box::new(FnObserver::new(move |_m: &StepMetrics<'_>| {
+                *counter.lock().unwrap() += 1;
+            }))
+        })
+        .run()
+        .unwrap();
+    assert_eq!(results.cells[0].histories, serial);
+    // 4 seeds × 6 steps streamed.
+    assert_eq!(*streamed.lock().unwrap(), 24);
+}
+
+#[test]
+fn empty_seed_lists_error_instead_of_returning_empty() {
+    let exp = attacked_experiment(false);
+    assert!(matches!(exp.run_seeds(&[]), Err(PipelineError::Spec(_))));
+    assert!(matches!(
+        exp.run_seeds_parallel(&[], Some(2)),
+        Err(PipelineError::Spec(_))
+    ));
+}
