@@ -85,6 +85,17 @@ impl<'a> AttackContext<'a> {
         Vector::mean(self.observed()).expect("attack requires visible honest gradients")
     }
 
+    /// Writes [`AttackContext::honest_mean`] into `out` without allocating
+    /// (when `out` already has capacity) — the buffer-reusing counterpart
+    /// used by the in-place [`Attack::forge_into`] implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no honest gradients are visible.
+    pub fn honest_mean_into(&self, out: &mut Vector) {
+        Vector::mean_into(self.observed(), out).expect("attack requires visible honest gradients");
+    }
+
     /// Coordinate-wise std `σ_t` of the observed honest gradients
     /// (zero vector when only one honest gradient is visible).
     pub fn honest_std(&self) -> Vector {
@@ -104,6 +115,20 @@ pub trait Attack: Send + Sync {
 
     /// Forges the Byzantine gradient for this round.
     fn forge(&self, ctx: &AttackContext<'_>, rng: &mut Prng) -> Vector;
+
+    /// Forges into a caller-provided buffer — the output-reuse path the
+    /// zero-copy round engine drives (the server keeps one forged-vector
+    /// buffer alive across rounds). Must consume the RNG stream
+    /// identically to [`Attack::forge`] and produce the same coordinates,
+    /// bit for bit.
+    ///
+    /// The default delegates to `forge` (one allocation per round), so
+    /// out-of-tree attacks keep working unchanged; the built-ins override
+    /// it allocation-free.
+    fn forge_into(&self, ctx: &AttackContext<'_>, rng: &mut Prng, out: &mut Vector) {
+        let forged = self.forge(ctx, rng);
+        out.copy_from(&forged);
+    }
 }
 
 /// "A Little Is Enough" (Baruch et al. 2019): submit
@@ -139,6 +164,29 @@ impl Attack for LittleIsEnough {
         g.axpy(-self.nu, &ctx.honest_std());
         g
     }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        // mean − ν·std computed coordinate-wise in place: the per-
+        // coordinate accumulation, `1/(n−1)` scaling, and `+(−ν)·std`
+        // update mirror `honest_std` + `axpy` exactly, so the output is
+        // bit-identical to `forge`.
+        ctx.honest_mean_into(out);
+        let obs = ctx.observed();
+        if obs.len() < 2 {
+            return; // honest_std is the zero vector: forged = mean.
+        }
+        let inv = 1.0 / (obs.len() - 1) as f64;
+        for j in 0..out.dim() {
+            let m = out[j];
+            let mut acc = 0.0;
+            for v in obs {
+                let d = v[j] - m;
+                acc += d * d;
+            }
+            let std = (acc * inv).sqrt();
+            out[j] = m + (-self.nu) * std;
+        }
+    }
 }
 
 /// "Fall of Empires" (Xie et al. 2019): submit `(1 − ν)·mean(honest)` —
@@ -172,6 +220,11 @@ impl Attack for FallOfEmpires {
     fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
         ctx.honest_mean().scaled(1.0 - self.nu)
     }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        ctx.honest_mean_into(out);
+        out.scale(1.0 - self.nu);
+    }
 }
 
 /// Submits the negated honest mean.
@@ -185,6 +238,11 @@ impl Attack for SignFlip {
 
     fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
         -&ctx.honest_mean()
+    }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        ctx.honest_mean_into(out);
+        out.scale(-1.0);
     }
 }
 
@@ -217,6 +275,15 @@ impl Attack for RandomNoise {
         let dim = ctx.observed().first().map_or(0, Vector::dim);
         rng.normal_vector(dim, self.std)
     }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, rng: &mut Prng, out: &mut Vector) {
+        let dim = ctx.observed().first().map_or(0, Vector::dim);
+        out.resize(dim, 0.0);
+        // Same per-coordinate draw order as `normal_vector`.
+        for x in out.as_mut_slice() {
+            *x = rng.normal(0.0, self.std);
+        }
+    }
 }
 
 /// Submits the zero vector (a silently failing worker; the paper's server
@@ -231,6 +298,11 @@ impl Attack for Zero {
 
     fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
         Vector::zeros(ctx.observed().first().map_or(0, Vector::dim))
+    }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        out.resize(ctx.observed().first().map_or(0, Vector::dim), 0.0);
+        out.fill(0.0);
     }
 }
 
@@ -264,6 +336,12 @@ impl Attack for Mimic {
         assert!(!obs.is_empty(), "mimic requires visible honest gradients");
         obs[self.target % obs.len()].clone()
     }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        let obs = ctx.observed();
+        assert!(!obs.is_empty(), "mimic requires visible honest gradients");
+        out.copy_from(&obs[self.target % obs.len()]);
+    }
 }
 
 /// Submits the honest mean blown up by a large factor — the naive attack
@@ -294,6 +372,11 @@ impl Attack for LargeNorm {
 
     fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
         ctx.honest_mean().scaled(self.scale)
+    }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        ctx.honest_mean_into(out);
+        out.scale(self.scale);
     }
 }
 
@@ -427,6 +510,48 @@ mod tests {
         let mut rng = Prng::seed_from_u64(0);
         let forged = Mimic::default().forge(&ctx, &mut rng);
         assert!(h.contains(&forged));
+    }
+
+    #[test]
+    fn forge_into_matches_forge_bitwise() {
+        let mut rng = Prng::seed_from_u64(17);
+        let h: Vec<Vector> = (0..5)
+            .map(|_| rng.normal_vector(6, 1.0))
+            .collect::<Vec<_>>();
+        let ctx = AttackContext::new(&h, 4);
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(LittleIsEnough::default()),
+            Box::new(FallOfEmpires::default()),
+            Box::new(SignFlip),
+            Box::new(RandomNoise::new(0.8)),
+            Box::new(Zero),
+            Box::new(LargeNorm::default()),
+            Box::new(Mimic::new(2)),
+        ];
+        for attack in &attacks {
+            let allocating = attack.forge(&ctx, &mut Prng::seed_from_u64(5));
+            let mut rng_in = Prng::seed_from_u64(5);
+            let mut reused = Vector::from(vec![7.0; 2]); // dirty, wrong dim
+            attack.forge_into(&ctx, &mut rng_in, &mut reused);
+            assert_eq!(allocating.dim(), reused.dim(), "{}", attack.name());
+            for (a, b) in allocating.iter().zip(reused.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} diverged", attack.name());
+            }
+            // RNG stream consumed identically.
+            let mut rng_ref = Prng::seed_from_u64(5);
+            let _ = attack.forge(&ctx, &mut rng_ref);
+            assert_eq!(rng_in.uniform().to_bits(), rng_ref.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn forge_into_single_observed_gradient_is_mean() {
+        // ALIE with one visible gradient: std is the zero vector.
+        let h = vec![Vector::from(vec![2.0, -3.0])];
+        let ctx = AttackContext::new(&h, 0);
+        let mut out = Vector::default();
+        LittleIsEnough::default().forge_into(&ctx, &mut Prng::seed_from_u64(0), &mut out);
+        assert_eq!(out, h[0]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! documents where the greedy fallback takes over.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpbyz_gars::{all_gars, Gar, Mda};
+use dpbyz_gars::{all_gars, Gar, GarScratch, Mda};
 use dpbyz_tensor::{Prng, Vector};
 use std::hint::black_box;
 
@@ -24,6 +24,35 @@ fn bench_all_gars(c: &mut Criterion) {
         };
         group.bench_function(gar.name(), |b| {
             b.iter(|| gar.aggregate(black_box(&grads), f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Old vs new hot path: the allocating `aggregate` (fresh distance
+/// matrices, cloned pools, fresh outputs — what the engine called before
+/// the zero-copy refactor) against `aggregate_into` with a reused
+/// `GarScratch` and output buffer (what it calls now).
+fn bench_alloc_vs_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gar_alloc_vs_scratch_n11_d1000");
+    let grads = gradients(11, 1_000, 4);
+    let mut scratch = GarScratch::new();
+    let mut out = Vector::default();
+    for gar in all_gars() {
+        let f = match gar.name() {
+            "average" => 0,
+            "krum" | "multi-krum" => 4,
+            "bulyan" => 2,
+            _ => 5,
+        };
+        group.bench_function(format!("{}/alloc", gar.name()), |b| {
+            b.iter(|| gar.aggregate(black_box(&grads), f).unwrap())
+        });
+        group.bench_function(format!("{}/scratch", gar.name()), |b| {
+            b.iter(|| {
+                gar.aggregate_into(black_box(&grads), f, &mut scratch, &mut out)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -57,6 +86,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_all_gars,
+    bench_alloc_vs_scratch,
     bench_dimension_scaling,
     bench_worker_scaling
 );

@@ -4,6 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpbyz_bench::{cell_experiment, Cell};
+use dpbyz_dp::{GaussianMechanism, Mechanism};
+use dpbyz_gars::{Gar, GarScratch, Mda};
+use dpbyz_tensor::{Prng, Vector};
 use std::hint::black_box;
 
 /// One protocol cell via the same construction path the figure harness
@@ -43,5 +46,59 @@ fn bench_batch_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_configurations, bench_batch_sizes);
+/// Old vs new server-round body (n = 11, d = 69, MDA): the pre-refactor
+/// clone-per-round path — clone the submission set, allocate the noise
+/// vector, allocate the VN mean, allocate the aggregate — against the
+/// zero-copy path over persistent buffers. Both compute identical values;
+/// the difference is pure allocation traffic.
+fn bench_round_body_old_vs_new(c: &mut Criterion) {
+    const N: usize = 11;
+    const DIM: usize = 69;
+    let mut rng = Prng::seed_from_u64(7);
+    let outputs: Vec<Vector> = (0..N).map(|_| rng.normal_vector(DIM, 1.0)).collect();
+    let mechanism = GaussianMechanism::with_sigma(0.01).unwrap();
+    let gar = Mda::new();
+
+    let mut group = c.benchmark_group("round_body_old_vs_new_n11_d69");
+    group.sample_size(20);
+    group.bench_function("old_clone_path", |b| {
+        let mut rng = Prng::seed_from_u64(8);
+        b.iter(|| {
+            // What `ServerCore::process_round` + the worker loop did per
+            // round before the refactor.
+            let submissions: Vec<Vector> = outputs
+                .iter()
+                .map(|o| mechanism.perturb(o, &mut rng))
+                .collect();
+            let mean = Vector::mean(&submissions).unwrap();
+            let aggregated = gar.aggregate(&submissions, 5).unwrap();
+            black_box((mean.l2_norm(), aggregated))
+        })
+    });
+    group.bench_function("new_zero_copy_path", |b| {
+        let mut rng = Prng::seed_from_u64(8);
+        let mut submissions = outputs.clone();
+        let mut mean = Vector::default();
+        let mut aggregated = Vector::default();
+        let mut scratch = GarScratch::new();
+        b.iter(|| {
+            for (slot, o) in submissions.iter_mut().zip(&outputs) {
+                slot.copy_from(o);
+                mechanism.perturb_in_place(slot, &mut rng);
+            }
+            Vector::mean_into(&submissions, &mut mean).unwrap();
+            gar.aggregate_into(&submissions, 5, &mut scratch, &mut aggregated)
+                .unwrap();
+            black_box(mean.l2_norm())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_configurations,
+    bench_batch_sizes,
+    bench_round_body_old_vs_new
+);
 criterion_main!(benches);

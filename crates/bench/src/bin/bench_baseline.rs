@@ -1,0 +1,96 @@
+//! Emits `results/BENCH_baseline.json`: a quick, fixed-seed micro-run of
+//! the round-engine hot paths, so CI can archive one small artifact per
+//! commit and future PRs can track the perf trajectory without re-running
+//! the full criterion suite.
+//!
+//! Every measured workload is seeded and fixed-shape; the JSON keys are
+//! stable so baselines diff cleanly. Timings are wall-clock medians of
+//! `REPEATS` runs (median, not mean: robust to CI scheduler noise).
+//!
+//! ```text
+//! cargo run --release -p dpbyz-bench --bin bench_baseline
+//! ```
+
+use dpbyz::gars::GarScratch;
+use dpbyz::registry::build_gar;
+use dpbyz::ComponentSpec;
+use dpbyz_bench::{cell_experiment, results_dir, Cell};
+use dpbyz_tensor::{Prng, Vector};
+use std::time::Instant;
+
+const REPEATS: usize = 5;
+
+/// Median wall-clock seconds of `REPEATS` runs of `f`.
+fn time_median(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..REPEATS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[REPEATS / 2]
+}
+
+fn main() {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    // End-to-end training cells (20 steps, b = 50, dataset 1200): the
+    // figure-harness construction path, on the zero-copy engine.
+    for (label, epsilon, attack) in [
+        ("training_20steps/clean", None, None),
+        ("training_20steps/dp_mda_alie", Some(0.2), Some("alie")),
+    ] {
+        let cell = Cell {
+            label: "baseline",
+            epsilon,
+            attack,
+        };
+        let exp = cell_experiment(cell, 50, 20, 1200).expect("baseline cell builds");
+        let secs = time_median(|| {
+            std::hint::black_box(exp.run(1).expect("baseline cell runs"));
+        });
+        entries.push((label.to_string(), secs));
+    }
+
+    // Aggregation hot path, allocating vs scratch-reusing (n = 11,
+    // d = 1000, 50 rounds per sample).
+    let mut rng = Prng::seed_from_u64(1);
+    let grads: Vec<Vector> = (0..11).map(|_| rng.normal_vector(1_000, 1.0)).collect();
+    for (id, f) in [("krum", 4usize), ("mda", 5), ("median", 5), ("bulyan", 2)] {
+        let gar = build_gar(&ComponentSpec::new(id)).expect("built-in gar");
+        let secs = time_median(|| {
+            for _ in 0..50 {
+                std::hint::black_box(gar.aggregate(&grads, f).expect("aggregates"));
+            }
+        });
+        entries.push((format!("gar_50rounds_d1000/{id}/alloc"), secs));
+        let mut scratch = GarScratch::new();
+        let mut out = Vector::default();
+        let secs = time_median(|| {
+            for _ in 0..50 {
+                gar.aggregate_into(&grads, f, &mut scratch, &mut out)
+                    .expect("aggregates");
+            }
+            std::hint::black_box(out.l2_norm());
+        });
+        entries.push((format!("gar_50rounds_d1000/{id}/scratch"), secs));
+    }
+
+    // Hand-rolled JSON: stable key order, no serializer dependency.
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"dpbyz-bench-baseline/v1\",\n");
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str("  \"seconds\": {\n");
+    for (i, (key, secs)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{key}\": {secs:.6}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = results_dir().join("BENCH_baseline.json");
+    std::fs::write(&path, &json).expect("write baseline json");
+    println!("wrote {}", path.display());
+    print!("{json}");
+}

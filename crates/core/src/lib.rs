@@ -75,7 +75,10 @@ pub use sweep::{CellRun, SweepBuilder, SweepResults};
 /// ```
 pub mod prelude {
     pub use crate::pipeline::{Experiment, FigureConfig, PipelineError, Workload};
-    pub use crate::registry::{register_attack, register_gar, register_mechanism, ComponentSpec};
+    pub use crate::registry::{
+        register_attack, register_gar, register_mechanism, register_mechanism_with, ComponentSpec,
+        MechanismCapabilities,
+    };
     pub use crate::sweep::{CellRun, SweepBuilder, SweepResults};
     pub use crate::{AttackKind, ExperimentBuilder, GarKind, MechanismKind};
     pub use dpbyz_dp::PrivacyBudget;

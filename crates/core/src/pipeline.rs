@@ -122,9 +122,13 @@ pub struct Experiment {
     /// Noise mechanism, resolved through the mechanism registry with the
     /// calibration context (`epsilon`, `delta`, `g_max`, `batch_size`,
     /// `dim`) injected at run time. While [`Experiment::budget`] is
-    /// `None`, the budget-calibrated built-ins (`gaussian`, `laplace`)
+    /// `None`, mechanisms whose factory declared the `requires_budget`
+    /// capability (the built-in `gaussian`/`laplace`, or any third-party
+    /// mechanism registered via
+    /// [`registry::register_mechanism_with`](crate::registry::register_mechanism_with)
+    /// with [`MechanismCapabilities::budget_calibrated`](crate::registry::MechanismCapabilities::budget_calibrated))
     /// degrade to the identity mechanism (the paper's no-DP baselines);
-    /// custom registered ids are always resolved as specified.
+    /// all other registered ids are always resolved as specified.
     pub mechanism: ComponentSpec,
     /// Run on the threaded engine instead of the sequential one.
     pub threaded: bool,
@@ -374,24 +378,27 @@ impl Experiment {
             }
         };
 
-        // Resolve the mechanism through the registry. The budget-calibrated
-        // built-ins (`gaussian`, `laplace`) degrade to the identity
-        // mechanism when no budget is set (the paper's no-DP baselines);
-        // custom mechanisms are always resolved as specified, with the
-        // calibration context injected for factories that want it.
-        let mechanism_spec = match (&self.budget, self.mechanism.id.as_str()) {
-            (None, "gaussian" | "laplace" | "none") => ComponentSpec::new("none"),
-            (budget, _) => {
-                let mut spec = self.mechanism.clone();
-                if let Some(budget) = budget {
-                    spec.default_param("epsilon", budget.epsilon());
-                    spec.default_param("delta", budget.delta());
-                }
-                spec.default_param("g_max", self.dp_reference_g_max.unwrap_or(self.config.clip));
-                spec.default_param("batch_size", self.config.batch_size);
-                spec.default_param("dim", model.dim());
-                spec
+        // Resolve the mechanism through the registry. Mechanisms whose
+        // factory declared the `requires_budget` capability (the built-in
+        // `gaussian`/`laplace`, plus any third-party budget-calibrated
+        // registration) degrade to the identity mechanism when no budget
+        // is set (the paper's no-DP baselines); every other mechanism is
+        // always resolved as specified, with the calibration context
+        // injected for factories that want it.
+        let degrade_to_identity = self.budget.is_none()
+            && registry::mechanism_capabilities(&self.mechanism.id).requires_budget;
+        let mechanism_spec = if degrade_to_identity {
+            ComponentSpec::new("none")
+        } else {
+            let mut spec = self.mechanism.clone();
+            if let Some(budget) = &self.budget {
+                spec.default_param("epsilon", budget.epsilon());
+                spec.default_param("delta", budget.delta());
             }
+            spec.default_param("g_max", self.dp_reference_g_max.unwrap_or(self.config.clip));
+            spec.default_param("batch_size", self.config.batch_size);
+            spec.default_param("dim", model.dim());
+            spec
         };
         let mechanism = registry::build_mechanism(&mechanism_spec)?;
 

@@ -294,6 +294,49 @@ fn mechanism_registry() -> &'static RwLock<Registry<dyn Mechanism>> {
     REGISTRY.get_or_init(|| RwLock::new(built_in_mechanisms()))
 }
 
+/// Factory-declared capabilities of a registered noise mechanism.
+///
+/// Capabilities describe how the pipeline should treat a mechanism id —
+/// today a single flag, declared at registration time so the behaviour is
+/// a property of the *factory*, not of hard-coded built-in id strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MechanismCapabilities {
+    /// The mechanism calibrates its noise from a privacy budget. When an
+    /// experiment has **no** budget, the pipeline degrades such a
+    /// mechanism to the identity (`"none"`) — the paper's no-DP baselines
+    /// — instead of asking the factory to calibrate against nothing.
+    /// Mechanisms without this capability are always resolved as
+    /// specified.
+    pub requires_budget: bool,
+}
+
+impl MechanismCapabilities {
+    /// Capabilities of a budget-calibrated mechanism (degrades to the
+    /// identity in no-DP sweeps, like the built-in `gaussian`/`laplace`).
+    pub fn budget_calibrated() -> Self {
+        MechanismCapabilities {
+            requires_budget: true,
+        }
+    }
+}
+
+fn mechanism_caps() -> &'static RwLock<BTreeMap<String, MechanismCapabilities>> {
+    static CAPS: OnceLock<RwLock<BTreeMap<String, MechanismCapabilities>>> = OnceLock::new();
+    CAPS.get_or_init(|| {
+        let mut caps = BTreeMap::new();
+        caps.insert(
+            "gaussian".to_string(),
+            MechanismCapabilities::budget_calibrated(),
+        );
+        caps.insert(
+            "laplace".to_string(),
+            MechanismCapabilities::budget_calibrated(),
+        );
+        caps.insert("none".to_string(), MechanismCapabilities::default());
+        RwLock::new(caps)
+    })
+}
+
 fn built_in_gars() -> Registry<dyn Gar> {
     let mut r = Registry::new();
     r.register("average", |_| Ok(Arc::new(Average::new()) as Arc<dyn Gar>))
@@ -456,7 +499,9 @@ pub fn register_attack(
         .register(id, factory)
 }
 
-/// Registers a noise mechanism under a new id.
+/// Registers a noise mechanism under a new id, with default capabilities
+/// (not budget-calibrated: the mechanism is always resolved as specified,
+/// even in no-DP sweeps).
 ///
 /// # Errors
 ///
@@ -472,10 +517,56 @@ pub fn register_mechanism(
         + Sync
         + 'static,
 ) -> Result<(), RegistryError> {
+    register_mechanism_with(id, MechanismCapabilities::default(), factory)
+}
+
+/// Registers a noise mechanism under a new id with factory-declared
+/// [`MechanismCapabilities`]. A third-party budget-calibrated mechanism
+/// registered with [`MechanismCapabilities::budget_calibrated`] gets the
+/// same no-budget degradation to the identity mechanism as the built-in
+/// `gaussian`/`laplace`, so it can participate in no-DP baseline sweeps
+/// with identical semantics.
+///
+/// # Errors
+///
+/// [`RegistryError::DuplicateId`] if the id is taken.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn register_mechanism_with(
+    id: impl Into<String>,
+    capabilities: MechanismCapabilities,
+    factory: impl Fn(&ComponentSpec) -> Result<Arc<dyn Mechanism>, RegistryError>
+        + Send
+        + Sync
+        + 'static,
+) -> Result<(), RegistryError> {
+    let id = id.into();
     mechanism_registry()
         .write()
         .expect("registry lock")
-        .register(id, factory)
+        .register(id.clone(), factory)?;
+    mechanism_caps()
+        .write()
+        .expect("capability lock")
+        .insert(id, capabilities);
+    Ok(())
+}
+
+/// The factory-declared capabilities of a mechanism id (defaults for ids
+/// that never declared any, including unregistered ids).
+///
+/// # Panics
+///
+/// Panics if the capability lock is poisoned.
+pub fn mechanism_capabilities(id: &str) -> MechanismCapabilities {
+    mechanism_caps()
+        .read()
+        .expect("capability lock")
+        .get(id)
+        .copied()
+        .unwrap_or_default()
 }
 
 /// Resolves a GAR spec through the global registry.
@@ -606,6 +697,39 @@ mod tests {
             build_mechanism(&ComponentSpec::new("none")).unwrap().name(),
             "none"
         );
+    }
+
+    #[test]
+    fn built_in_mechanism_capabilities() {
+        assert!(mechanism_capabilities("gaussian").requires_budget);
+        assert!(mechanism_capabilities("laplace").requires_budget);
+        assert!(!mechanism_capabilities("none").requires_budget);
+        // Unregistered ids default to no declared capabilities.
+        assert!(!mechanism_capabilities("no-such-mechanism").requires_budget);
+    }
+
+    #[test]
+    fn register_mechanism_with_records_capabilities() {
+        register_mechanism_with(
+            "caps-test-budget",
+            MechanismCapabilities::budget_calibrated(),
+            |_| Ok(Arc::new(NoNoise) as Arc<dyn Mechanism>),
+        )
+        .unwrap();
+        register_mechanism("caps-test-plain", |_| {
+            Ok(Arc::new(NoNoise) as Arc<dyn Mechanism>)
+        })
+        .unwrap();
+        assert!(mechanism_capabilities("caps-test-budget").requires_budget);
+        assert!(!mechanism_capabilities("caps-test-plain").requires_budget);
+        // Duplicate ids are still rejected and leave capabilities intact.
+        let err =
+            register_mechanism_with("caps-test-budget", MechanismCapabilities::default(), |_| {
+                Ok(Arc::new(NoNoise) as Arc<dyn Mechanism>)
+            })
+            .unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateId("caps-test-budget".into()));
+        assert!(mechanism_capabilities("caps-test-budget").requires_budget);
     }
 
     #[test]

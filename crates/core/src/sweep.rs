@@ -11,6 +11,13 @@
 //! while results are placed by (cell, seed) index so the output never
 //! depends on completion order.
 //!
+//! Each job runs on the zero-copy round engine: the trainer a job builds
+//! keeps its round buffers (worker outputs, submission set, GAR scratch)
+//! alive for the whole run, so a `(cell, seed)` job allocates its working
+//! set once and then streams rounds allocation-free. The executor
+//! multiplies throughput by cores; the buffer-reusing hot path multiplies
+//! it per core.
+//!
 //! ```
 //! use dpbyz_core::sweep::SweepBuilder;
 //! use dpbyz_core::Experiment;

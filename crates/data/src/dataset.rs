@@ -97,6 +97,19 @@ impl Dataset {
         }
     }
 
+    /// Writes the batch at `indices` into `out`, reusing `out`'s buffers —
+    /// the zero-copy counterpart of [`Dataset::batch`] used by the
+    /// batch-recycling samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn batch_into(&self, indices: &[usize], out: &mut Batch) {
+        self.features.select_rows_into(indices, &mut out.features);
+        out.labels.clear();
+        out.labels.extend(indices.iter().map(|&i| self.labels[i]));
+    }
+
     /// The whole dataset as one batch.
     pub fn full_batch(&self) -> Batch {
         Batch {
@@ -214,6 +227,22 @@ impl Batch {
             });
         }
         Ok(Batch { features, labels })
+    }
+
+    /// An empty batch — the starting buffer for
+    /// [`BatchSource::next_batch_into`](crate::sampler::BatchSource::next_batch_into)
+    /// recycling loops.
+    pub fn empty() -> Self {
+        Batch {
+            features: Matrix::zeros(0, 0),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the feature matrix and label buffer, for in-crate
+    /// batch-refilling generators.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Matrix, &mut Vec<f64>) {
+        (&mut self.features, &mut self.labels)
     }
 
     /// Number of examples in the batch.

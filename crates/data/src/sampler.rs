@@ -23,6 +23,18 @@ pub trait BatchSource: Send {
 
     /// Draws the next batch of `batch_size` examples.
     fn next_batch(&mut self, batch_size: usize, rng: &mut Prng) -> Batch;
+
+    /// Draws the next batch into a caller-provided buffer — the zero-copy
+    /// counterpart of [`BatchSource::next_batch`] driven every step by the
+    /// buffer-recycling worker loop. Must consume the RNG identically to
+    /// `next_batch` and produce an equal batch.
+    ///
+    /// The default delegates to `next_batch` (one allocation per call), so
+    /// out-of-tree sources keep working unchanged; the in-tree sources
+    /// override it allocation-free.
+    fn next_batch_into(&mut self, batch_size: usize, rng: &mut Prng, out: &mut Batch) {
+        *out = self.next_batch(batch_size, rng);
+    }
 }
 
 /// How a [`DatasetSource`] traverses its dataset.
@@ -59,6 +71,8 @@ pub struct DatasetSource {
     /// Epoch state (only used by `EpochShuffle`).
     perm: Vec<usize>,
     pos: usize,
+    /// Reusable index buffer: the next batch's row selection.
+    indices: Vec<usize>,
 }
 
 impl DatasetSource {
@@ -74,6 +88,7 @@ impl DatasetSource {
             mode,
             perm: Vec::new(),
             pos: 0,
+            indices: Vec::new(),
         }
     }
 
@@ -82,20 +97,32 @@ impl DatasetSource {
         &self.dataset
     }
 
-    fn next_epoch_indices(&mut self, batch_size: usize, rng: &mut Prng) -> Vec<usize> {
+    /// Fills `self.indices` with the next batch's row selection, drawing
+    /// from the RNG exactly as the historical allocating path did.
+    fn fill_indices(&mut self, batch_size: usize, rng: &mut Prng) {
         let n = self.dataset.len();
-        let mut out = Vec::with_capacity(batch_size);
-        while out.len() < batch_size {
-            if self.pos >= self.perm.len() {
-                self.perm = (0..n).collect();
-                rng.shuffle(&mut self.perm);
-                self.pos = 0;
+        self.indices.clear();
+        match self.mode {
+            SamplingMode::WithReplacement => {
+                for _ in 0..batch_size {
+                    self.indices.push(rng.index(n));
+                }
             }
-            let take = (batch_size - out.len()).min(self.perm.len() - self.pos);
-            out.extend_from_slice(&self.perm[self.pos..self.pos + take]);
-            self.pos += take;
+            SamplingMode::EpochShuffle => {
+                while self.indices.len() < batch_size {
+                    if self.pos >= self.perm.len() {
+                        self.perm.clear();
+                        self.perm.extend(0..n);
+                        rng.shuffle(&mut self.perm);
+                        self.pos = 0;
+                    }
+                    let take = (batch_size - self.indices.len()).min(self.perm.len() - self.pos);
+                    self.indices
+                        .extend_from_slice(&self.perm[self.pos..self.pos + take]);
+                    self.pos += take;
+                }
+            }
         }
-        out
     }
 }
 
@@ -105,14 +132,15 @@ impl BatchSource for DatasetSource {
     }
 
     fn next_batch(&mut self, batch_size: usize, rng: &mut Prng) -> Batch {
+        let mut out = Batch::empty();
+        self.next_batch_into(batch_size, rng, &mut out);
+        out
+    }
+
+    fn next_batch_into(&mut self, batch_size: usize, rng: &mut Prng, out: &mut Batch) {
         assert!(batch_size > 0, "batch size must be positive");
-        let indices = match self.mode {
-            SamplingMode::WithReplacement => {
-                rng.sample_with_replacement(self.dataset.len(), batch_size)
-            }
-            SamplingMode::EpochShuffle => self.next_epoch_indices(batch_size, rng),
-        };
-        self.dataset.batch(&indices)
+        self.fill_indices(batch_size, rng);
+        self.dataset.batch_into(&self.indices, out);
     }
 }
 

@@ -190,15 +190,27 @@ impl MeanEstimation {
     /// Draws a batch of `b` points as a [`Batch`] (labels are all zero —
     /// the mean-estimation cost ignores them).
     pub fn sample_batch(&self, b: usize, rng: &mut Prng) -> Batch {
+        let mut out = Batch::empty();
+        self.sample_batch_into(b, rng, &mut out);
+        out
+    }
+
+    /// Draws a batch of `b` points into `out`, reusing its buffers and
+    /// consuming the RNG exactly as [`MeanEstimation::sample_batch`] does
+    /// (one row of `dim` normals per example, in row order).
+    pub fn sample_batch_into(&self, b: usize, rng: &mut Prng, out: &mut Batch) {
         let dim = self.dim();
-        let mut features = Matrix::zeros(b, dim);
+        let per_coord = self.sigma / (dim as f64).sqrt();
+        let (features, labels) = out.parts_mut();
+        features.resize(b, dim, 0.0);
         for i in 0..b {
-            let x = self.sample(rng);
-            for j in 0..dim {
-                features.set(i, j, x[j]);
+            let row = features.row_mut(i);
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = self.mean[j] + rng.normal(0.0, per_coord);
             }
         }
-        Batch::new(features, vec![0.0; b]).expect("lengths match by construction")
+        labels.clear();
+        labels.resize(b, 0.0);
     }
 }
 
@@ -214,6 +226,10 @@ impl BatchSource for MeanEstimationSource {
 
     fn next_batch(&mut self, batch_size: usize, rng: &mut Prng) -> Batch {
         self.0.sample_batch(batch_size, rng)
+    }
+
+    fn next_batch_into(&mut self, batch_size: usize, rng: &mut Prng, out: &mut Batch) {
+        self.0.sample_batch_into(batch_size, rng, out);
     }
 }
 

@@ -10,6 +10,19 @@ pub trait Mechanism: Send + Sync {
     /// Returns `gradient + noise`.
     fn perturb(&self, gradient: &Vector, rng: &mut Prng) -> Vector;
 
+    /// Adds the noise directly into `gradient` — the zero-copy counterpart
+    /// of [`Mechanism::perturb`] used by the buffer-reusing worker loop.
+    /// Must consume the RNG stream identically to `perturb` and produce
+    /// the same coordinates, bit for bit.
+    ///
+    /// The default delegates to `perturb` (one allocation per call), so
+    /// out-of-tree mechanisms keep working unchanged; the built-ins
+    /// override it with allocation-free sampling loops.
+    fn perturb_in_place(&self, gradient: &mut Vector, rng: &mut Prng) {
+        let noisy = self.perturb(gradient, rng);
+        *gradient = noisy;
+    }
+
     /// Per-coordinate noise standard deviation (0 for [`NoNoise`]).
     fn per_coordinate_std(&self) -> f64;
 
@@ -102,6 +115,14 @@ impl Mechanism for GaussianMechanism {
         gradient + &rng.normal_vector(gradient.dim(), self.sigma)
     }
 
+    fn perturb_in_place(&self, gradient: &mut Vector, rng: &mut Prng) {
+        // Same per-coordinate draw order as `normal_vector`, added in
+        // place: the stream and the sums match `perturb` bit for bit.
+        for x in gradient.as_mut_slice() {
+            *x += rng.normal(0.0, self.sigma);
+        }
+    }
+
     fn per_coordinate_std(&self) -> f64 {
         self.sigma
     }
@@ -178,6 +199,12 @@ impl Mechanism for LaplaceMechanism {
         gradient + &rng.laplace_vector(gradient.dim(), self.scale)
     }
 
+    fn perturb_in_place(&self, gradient: &mut Vector, rng: &mut Prng) {
+        for x in gradient.as_mut_slice() {
+            *x += rng.laplace(self.scale);
+        }
+    }
+
     fn per_coordinate_std(&self) -> f64 {
         // Var[Lap(0, b)] = 2 b².
         self.scale * 2f64.sqrt()
@@ -201,6 +228,8 @@ impl Mechanism for NoNoise {
     fn perturb(&self, gradient: &Vector, _rng: &mut Prng) -> Vector {
         gradient.clone()
     }
+
+    fn perturb_in_place(&self, _gradient: &mut Vector, _rng: &mut Prng) {}
 
     fn per_coordinate_std(&self) -> f64 {
         0.0
@@ -317,6 +346,29 @@ mod tests {
         assert_eq!(mech.total_noise_variance(10), 0.0);
         assert_eq!(mech.per_coordinate_std(), 0.0);
         assert_eq!(mech.name(), "none");
+    }
+
+    #[test]
+    fn perturb_in_place_matches_perturb_bitwise() {
+        let mechs: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(NoNoise),
+            Box::new(GaussianMechanism::with_sigma(0.7).unwrap()),
+            Box::new(LaplaceMechanism::calibrate(0.5, 1.0).unwrap()),
+        ];
+        for m in &mechs {
+            let g = Vector::from(vec![1.0, -2.5, 0.25, 1e6]);
+            let allocating = m.perturb(&g, &mut Prng::seed_from_u64(9));
+            let mut in_place = g.clone();
+            let mut rng = Prng::seed_from_u64(9);
+            m.perturb_in_place(&mut in_place, &mut rng);
+            for (a, b) in allocating.iter().zip(in_place.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} diverged", m.name());
+            }
+            // The in-place path must consume the RNG stream identically.
+            let mut rng2 = Prng::seed_from_u64(9);
+            let _ = m.perturb(&g, &mut rng2);
+            assert_eq!(rng.uniform().to_bits(), rng2.uniform().to_bits());
+        }
     }
 
     #[test]

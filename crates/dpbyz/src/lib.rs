@@ -98,8 +98,9 @@ pub mod sweep {
 }
 pub use dpbyz_core::pipeline::{FigureConfig, PipelineError, Workload};
 pub use dpbyz_core::registry::{
-    self, attack_ids, build_attack, build_gar, build_mechanism, gar_ids, mechanism_ids,
-    register_attack, register_gar, register_mechanism,
+    self, attack_ids, build_attack, build_gar, build_mechanism, gar_ids, mechanism_capabilities,
+    mechanism_ids, register_attack, register_gar, register_mechanism, register_mechanism_with,
+    MechanismCapabilities,
 };
 pub use dpbyz_core::{
     AttackKind, ComponentSpec, Experiment, ExperimentBuilder, GarKind, MechanismKind, ParamValue,
@@ -140,10 +141,10 @@ pub use dpbyz_tensor as tensor;
 pub mod prelude {
     pub use crate::sweep::{CellRun, SweepBuilder, SweepEvent, SweepResults};
     pub use crate::{
-        register_attack, register_gar, register_mechanism, AttackKind, ComponentSpec, Experiment,
-        ExperimentBuilder, FigureConfig, FnObserver, GarKind, LrSchedule, MechanismKind,
-        MomentumMode, PipelineError, PrivacyBudget, RunHistory, RunObserver, SeedSummary,
-        StepMetrics, TrainingConfig, Workload,
+        register_attack, register_gar, register_mechanism, register_mechanism_with, AttackKind,
+        ComponentSpec, Experiment, ExperimentBuilder, FigureConfig, FnObserver, GarKind,
+        LrSchedule, MechanismCapabilities, MechanismKind, MomentumMode, PipelineError,
+        PrivacyBudget, RunHistory, RunObserver, SeedSummary, StepMetrics, TrainingConfig, Workload,
     };
 }
 

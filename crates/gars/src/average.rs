@@ -1,7 +1,7 @@
 //! Plain averaging — the honest-case aggregation (Eq. 1), provably *not*
 //! Byzantine resilient.
 
-use crate::{check_input, Gar, GarError};
+use crate::{check_input, Gar, GarError, GarScratch};
 use dpbyz_tensor::Vector;
 
 /// Arithmetic mean of all submitted gradients.
@@ -25,6 +25,18 @@ impl Gar for Average {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        _scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
         check_input(gradients)?;
         if f > 0 {
             return Err(GarError::TooManyByzantine {
@@ -33,7 +45,8 @@ impl Gar for Average {
                 max: 0,
             });
         }
-        Ok(Vector::mean(gradients).expect("checked non-empty"))
+        Vector::mean_into(gradients, out).expect("checked non-empty");
+        Ok(())
     }
 
     fn kappa(&self, _n: usize, _f: usize) -> Option<f64> {

@@ -1,8 +1,8 @@
 //! Bulyan (El Mhamdi et al., ICML 2018) — Krum selection followed by a
 //! per-coordinate trimmed aggregation.
 
-use crate::krum::{canonical_argmin, eta, krum_scores};
-use crate::{check_input, Gar, GarError};
+use crate::krum::{canonical_argmin_indexed, eta};
+use crate::{check_input, Gar, GarError, GarScratch};
 use dpbyz_tensor::{stats, Vector};
 
 /// Bulyan over Krum.
@@ -40,41 +40,66 @@ impl Gar for Bulyan {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
         if f == 0 {
-            return Ok(Vector::mean(gradients).expect("non-empty"));
+            return Vector::mean_into(gradients, out).map_err(|_| GarError::Empty);
         }
 
-        // Stage 1: iterated Krum selection of θ = n − 2f gradients.
+        // Stage 1: iterated Krum selection of θ = n − 2f gradients, by
+        // *index* — the pool is a shrinking list of indices into
+        // `gradients`, never a cloned vector set. Pairwise distances never
+        // change as the pool shrinks, so the O(n²·d) matrix is filled once
+        // and every selection round re-scores from it.
         let theta = n - 2 * f;
-        let mut pool: Vec<Vector> = gradients.to_vec();
-        let mut selected: Vec<Vector> = Vec::with_capacity(theta);
+        scratch.set_active_full(n);
+        scratch.fill_dist2_active(gradients);
+        scratch.selected.clear();
         for _ in 0..theta {
-            // Krum scoring needs pool.len() ≥ f + 3 to have ≥1 neighbour;
+            // Krum scoring needs a pool of ≥ f + 3 to have ≥1 neighbour;
             // n ≥ 4f + 3 guarantees it throughout the θ rounds.
-            let scores = krum_scores(&pool, f);
+            scratch.compute_krum_scores_prefilled(n, f);
             // Canonical tie-breaking keeps the selection independent of
             // submission order even at k = 1 neighbour, where mutual
             // nearest neighbours share a score by construction.
-            let best = canonical_argmin(&scores, &pool);
-            selected.push(pool.swap_remove(best));
+            let best = canonical_argmin_indexed(&scratch.scores, gradients, &scratch.active);
+            let picked = scratch.active.swap_remove(best);
+            scratch.selected.push(picked);
         }
 
         // Stage 2: per coordinate, mean of the β = θ − 2f values closest to
         // the median of the selected set.
         let beta = theta - 2 * f;
-        let mut out = Vector::zeros(dim);
-        let mut col = vec![0.0; theta];
+        out.resize(dim, 0.0);
+        let GarScratch {
+            ref selected,
+            ref mut col,
+            ref mut sort_buf,
+            ..
+        } = *scratch;
+        col.clear();
+        col.resize(theta, 0.0);
         for j in 0..dim {
-            for (i, g) in selected.iter().enumerate() {
-                col[i] = g[j];
+            for (i, &g) in selected.iter().enumerate() {
+                col[i] = gradients[g][j];
             }
-            let med = stats::median(&col).expect("theta >= 1");
-            out[j] = stats::mean_around(&col, med, beta).expect("beta <= theta");
+            let med = stats::median_with(col, sort_buf).expect("theta >= 1");
+            out[j] = stats::mean_around_with(col, med, beta, sort_buf).expect("beta <= theta");
         }
-        Ok(out)
+        Ok(())
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

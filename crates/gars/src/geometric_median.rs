@@ -7,7 +7,7 @@
 //! `None`; it is included as an extension point for sweeps beyond the
 //! paper's GAR set.
 
-use crate::{check_input, Gar, GarError};
+use crate::{check_input, Gar, GarError, GarScratch};
 use dpbyz_tensor::Vector;
 
 /// Smoothed Weiszfeld iteration parameters.
@@ -57,18 +57,17 @@ fn check_tolerance(n: usize, f: usize) -> Result<(), GarError> {
     Ok(())
 }
 
-/// One smoothed Weiszfeld step from `y`.
-fn weiszfeld_step(gradients: &[Vector], y: &Vector) -> Vector {
-    let dim = y.dim();
-    let mut numerator = Vector::zeros(dim);
+/// One smoothed Weiszfeld step from `y`, written into `next`.
+fn weiszfeld_step_into(gradients: &[Vector], y: &Vector, next: &mut Vector) {
+    next.resize(y.dim(), 0.0);
+    next.fill(0.0);
     let mut denominator = 0.0;
     for g in gradients {
         let w = 1.0 / (g.l2_distance(y) + SMOOTHING);
-        numerator.axpy(w, g);
+        next.axpy(w, g);
         denominator += w;
     }
-    numerator.scale(1.0 / denominator);
-    numerator
+    next.scale(1.0 / denominator);
 }
 
 impl Gar for GeometricMedian {
@@ -77,19 +76,33 @@ impl Gar for GeometricMedian {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
         check_input(gradients)?;
         check_tolerance(gradients.len(), f)?;
-        // Start from the coordinate-wise mean; iterate to fixed point.
-        let mut y = Vector::mean(gradients).expect("non-empty");
+        // Start from the coordinate-wise mean; iterate to fixed point,
+        // ping-ponging between `out` and one scratch buffer.
+        Vector::mean_into(gradients, out).expect("validated input");
+        let next = &mut scratch.vec_a;
         for _ in 0..MAX_ITERS {
-            let next = weiszfeld_step(gradients, &y);
-            let moved = next.l2_distance(&y);
-            y = next;
+            weiszfeld_step_into(gradients, out, next);
+            let moved = next.l2_distance(out);
+            std::mem::swap(next, out);
             if moved < TOLERANCE {
                 break;
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     fn kappa(&self, _n: usize, _f: usize) -> Option<f64> {

@@ -1,41 +1,37 @@
 //! Krum and Multi-Krum (Blanchard et al., NeurIPS 2017).
 
-use crate::{check_input, Gar, GarError};
+use crate::scratch::mean_indexed_into;
+use crate::{check_input, Gar, GarError, GarScratch};
 use dpbyz_tensor::Vector;
 
 /// The Krum score of every gradient: the sum of squared distances to its
-/// `n − f − 2` nearest neighbours (excluding itself).
+/// `n − f − 2` nearest neighbours (excluding itself). Allocating
+/// convenience wrapper over [`GarScratch::compute_krum_scores`], kept for
+/// tests.
+#[cfg(test)]
 pub(crate) fn krum_scores(gradients: &[Vector], f: usize) -> Vec<f64> {
-    let n = gradients.len();
-    let k = n - f - 2; // number of neighbours scored
-    let mut dist2 = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = gradients[i].l2_distance_squared(&gradients[j]);
-            dist2[i][j] = d;
-            dist2[j][i] = d;
-        }
-    }
-    (0..n)
-        .map(|i| {
-            let mut ds: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist2[i][j]).collect();
-            ds.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-            ds[..k].iter().sum()
-        })
-        .collect()
+    let mut scratch = GarScratch::new();
+    scratch.set_active_full(gradients.len());
+    scratch.compute_krum_scores(gradients, f);
+    std::mem::take(&mut scratch.scores)
 }
 
-/// Index of the minimal score, breaking exact ties by lexicographic
-/// comparison of the gradient coordinates so the result is independent of
-/// submission order. Ties are structural, not exotic: with `k = 1`
-/// neighbour (the smallest tolerated pool), two mutually-nearest gradients
-/// share the same score — their mutual distance.
-pub(crate) fn canonical_argmin(scores: &[f64], gradients: &[Vector]) -> usize {
+/// Position (into `members`) of the minimal score, breaking exact ties by
+/// lexicographic comparison of the gradient coordinates so the result is
+/// independent of submission order. Ties are structural, not exotic: with
+/// `k = 1` neighbour (the smallest tolerated pool), two mutually-nearest
+/// gradients share the same score — their mutual distance.
+pub(crate) fn canonical_argmin_indexed(
+    scores: &[f64],
+    gradients: &[Vector],
+    members: &[usize],
+) -> usize {
     let mut best = 0;
     for i in 1..scores.len() {
         let ord = scores[i].partial_cmp(&scores[best]).expect("finite scores");
         if ord == std::cmp::Ordering::Less
-            || (ord == std::cmp::Ordering::Equal && lex_less(&gradients[i], &gradients[best]))
+            || (ord == std::cmp::Ordering::Equal
+                && lex_less(&gradients[members[i]], &gradients[members[best]]))
         {
             best = i;
         }
@@ -106,11 +102,25 @@ impl Gar for Krum {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
         check_input(gradients)?;
         check_tolerance(gradients.len(), f)?;
-        let scores = krum_scores(gradients, f);
-        let best = canonical_argmin(&scores, gradients);
-        Ok(gradients[best].clone())
+        scratch.set_active_full(gradients.len());
+        scratch.compute_krum_scores(gradients, f);
+        let best = canonical_argmin_indexed(&scratch.scores, gradients, &scratch.active);
+        out.copy_from(&gradients[scratch.active[best]]);
+        Ok(())
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {
@@ -143,12 +153,31 @@ impl Gar for MultiKrum {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
         check_input(gradients)?;
         check_tolerance(gradients.len(), f)?;
         let n = gradients.len();
         let m = n - f;
-        let scores = krum_scores(gradients, f);
-        let mut order: Vec<usize> = (0..n).collect();
+        scratch.set_active_full(n);
+        scratch.compute_krum_scores(gradients, f);
+        let GarScratch {
+            ref scores,
+            ref mut order,
+            ..
+        } = *scratch;
+        order.clear();
+        order.extend(0..n);
         order.sort_by(|&a, &b| {
             scores[a]
                 .partial_cmp(&scores[b])
@@ -163,8 +192,8 @@ impl Gar for MultiKrum {
                     }
                 })
         });
-        let selected: Vec<Vector> = order[..m].iter().map(|&i| gradients[i].clone()).collect();
-        Ok(Vector::mean(&selected).expect("m >= 1"))
+        mean_indexed_into(gradients, &order[..m], out);
+        Ok(())
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

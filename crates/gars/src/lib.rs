@@ -50,6 +50,7 @@ mod mda;
 mod meamed;
 mod median;
 mod phocas;
+mod scratch;
 mod trimmed_mean;
 pub mod vn;
 
@@ -62,6 +63,7 @@ pub use mda::Mda;
 pub use meamed::Meamed;
 pub use median::CoordinateMedian;
 pub use phocas::Phocas;
+pub use scratch::GarScratch;
 pub use trimmed_mean::TrimmedMean;
 
 use dpbyz_tensor::Vector;
@@ -82,6 +84,33 @@ pub trait Gar: Send + Sync {
     /// for ragged input, [`GarError::TooManyByzantine`] if `f` exceeds the
     /// rule's tolerance for `n = gradients.len()`.
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError>;
+
+    /// Aggregates into a caller-provided output buffer, reusing `scratch`
+    /// across calls — the zero-copy hot path the round engine drives every
+    /// step. Must produce exactly the same coordinates as
+    /// [`Gar::aggregate`], bit for bit.
+    ///
+    /// The default delegates to `aggregate` (one allocation per call), so
+    /// out-of-tree GARs written against the two-method trait keep working
+    /// unchanged; every built-in rule overrides it with an
+    /// allocation-free implementation. Implementations may leave `out` at
+    /// a different dimension on error.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gar::aggregate`].
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
+        let _ = scratch;
+        let result = self.aggregate(gradients, f)?;
+        out.copy_from(&result);
+        Ok(())
+    }
 
     /// The VN-ratio bound `κ_F(n, f)` of Eq. 2, or `None` when the rule has
     /// no known bound for this `(n, f)` (e.g. `f` beyond tolerance, or

@@ -7,7 +7,8 @@
 //! makes its failure under DP noise (Fig. 2) the strongest demonstration of
 //! the antagonism.
 
-use crate::{check_input, Gar, GarError};
+use crate::scratch::mean_indexed_into;
+use crate::{check_input, Gar, GarError, GarScratch};
 use dpbyz_tensor::Vector;
 
 /// Exhaustive search is used while `C(n, n−f)` stays below this bound;
@@ -74,15 +75,18 @@ fn binomial(n: usize, k: usize) -> u128 {
     acc
 }
 
-/// Squared-distance table.
-fn distance_table(gradients: &[Vector]) -> Vec<Vec<f64>> {
+/// Flat symmetric squared-distance table (row-major `n × n`), kept for the
+/// unit tests that drive the subset searches directly (the hot path fills
+/// the scratch's matrix via [`GarScratch::fill_dist2_active`]).
+#[cfg(test)]
+fn distance_table(gradients: &[Vector]) -> Vec<f64> {
     let n = gradients.len();
-    let mut d = vec![vec![0.0; n]; n];
+    let mut d = vec![0.0; n * n];
     for i in 0..n {
         for j in (i + 1)..n {
             let dist = gradients[i].l2_distance_squared(&gradients[j]);
-            d[i][j] = dist;
-            d[j][i] = dist;
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
         }
     }
     d
@@ -104,55 +108,60 @@ fn lex_less(a: &Vector, b: &Vector) -> bool {
     false
 }
 
-fn subset_mean(gradients: &[Vector], subset: &[usize]) -> Vector {
-    let chosen: Vec<Vector> = subset.iter().map(|&i| gradients[i].clone()).collect();
-    Vector::mean(&chosen).expect("subset non-empty")
-}
-
-/// Exact minimum-diameter subset via lexicographic combination enumeration.
-/// Returns the *mean* of the best subset; diameter ties are broken by the
-/// lexicographically smallest mean.
-fn exact_min_diameter_mean(gradients: &[Vector], dist2: &[Vec<f64>], n: usize, m: usize) -> Vector {
-    let mut combo: Vec<usize> = (0..m).collect();
-    let mut best_mean = subset_mean(gradients, &combo);
-    let mut best_diam = subset_diameter(dist2, &combo);
+/// Exact minimum-diameter subset via lexicographic combination enumeration,
+/// writing the *mean* of the best subset into `out`; diameter ties are
+/// broken by the lexicographically smallest mean. `candidate` is a scratch
+/// buffer for the challenger mean.
+fn exact_min_diameter_mean(
+    gradients: &[Vector],
+    dist2: &[f64],
+    n: usize,
+    m: usize,
+    combo: &mut Vec<usize>,
+    candidate: &mut Vector,
+    out: &mut Vector,
+) {
+    combo.clear();
+    combo.extend(0..m);
+    mean_indexed_into(gradients, combo, out);
+    let mut best_diam = subset_diameter(dist2, n, combo);
     loop {
         // Advance to the next combination.
         let mut i = m;
         loop {
             if i == 0 {
-                return best_mean;
+                return;
             }
             i -= 1;
             if combo[i] != i + n - m {
                 break;
             }
             if i == 0 {
-                return best_mean;
+                return;
             }
         }
         combo[i] += 1;
         for j in (i + 1)..m {
             combo[j] = combo[j - 1] + 1;
         }
-        let diam = subset_diameter(dist2, &combo);
+        let diam = subset_diameter(dist2, n, combo);
         if diam < best_diam {
             best_diam = diam;
-            best_mean = subset_mean(gradients, &combo);
+            mean_indexed_into(gradients, combo, out);
         } else if diam == best_diam {
-            let mean = subset_mean(gradients, &combo);
-            if lex_less(&mean, &best_mean) {
-                best_mean = mean;
+            mean_indexed_into(gradients, combo, candidate);
+            if lex_less(candidate, out) {
+                std::mem::swap(candidate, out);
             }
         }
     }
 }
 
-fn subset_diameter(dist2: &[Vec<f64>], subset: &[usize]) -> f64 {
+fn subset_diameter(dist2: &[f64], n: usize, subset: &[usize]) -> f64 {
     let mut d: f64 = 0.0;
     for (a, &i) in subset.iter().enumerate() {
         for &j in &subset[a + 1..] {
-            d = d.max(dist2[i][j]);
+            d = d.max(dist2[i * n + j]);
         }
     }
     d
@@ -166,16 +175,20 @@ fn subset_diameter(dist2: &[Vec<f64>], subset: &[usize]) -> f64 {
 /// as in the exact search.
 fn greedy_min_diameter_mean(
     gradients: &[Vector],
-    dist2: &[Vec<f64>],
+    dist2: &[f64],
     n: usize,
     m: usize,
-) -> Vector {
-    let mut best: Option<(f64, Vector)> = None;
+    order: &mut Vec<usize>,
+    candidate: &mut Vector,
+    out: &mut Vector,
+) {
+    let mut best_diam: Option<f64> = None;
     for anchor in 0..n {
-        let mut order: Vec<usize> = (0..n).collect();
+        order.clear();
+        order.extend(0..n);
         order.sort_by(|&a, &b| {
-            dist2[anchor][a]
-                .partial_cmp(&dist2[anchor][b])
+            dist2[anchor * n + a]
+                .partial_cmp(&dist2[anchor * n + b])
                 .expect("finite distances")
                 .then_with(|| {
                     if lex_less(&gradients[a], &gradients[b]) {
@@ -187,19 +200,26 @@ fn greedy_min_diameter_mean(
                     }
                 })
         });
-        let subset: Vec<usize> = order[..m].to_vec();
-        let diam = subset_diameter(dist2, &subset);
-        let replace = match &best {
-            None => true,
-            Some((d, mean)) => {
-                diam < *d || (diam == *d && lex_less(&subset_mean(gradients, &subset), mean))
+        let subset = &order[..m];
+        let diam = subset_diameter(dist2, n, subset);
+        match best_diam {
+            None => {
+                best_diam = Some(diam);
+                mean_indexed_into(gradients, subset, out);
             }
-        };
-        if replace {
-            best = Some((diam, subset_mean(gradients, &subset)));
+            Some(d) if diam < d => {
+                best_diam = Some(diam);
+                mean_indexed_into(gradients, subset, out);
+            }
+            Some(d) if diam == d => {
+                mean_indexed_into(gradients, subset, candidate);
+                if lex_less(candidate, out) {
+                    std::mem::swap(candidate, out);
+                }
+            }
+            Some(_) => {}
         }
     }
-    best.expect("n >= 1").1
 }
 
 impl Gar for Mda {
@@ -208,19 +228,40 @@ impl Gar for Mda {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
         check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
         if f == 0 {
-            return Ok(Vector::mean(gradients).expect("non-empty"));
+            return Vector::mean_into(gradients, out).map_err(|_| GarError::Empty);
         }
         let m = n - f;
-        let dist2 = distance_table(gradients);
-        Ok(if Self::is_exact(n, f) {
-            exact_min_diameter_mean(gradients, &dist2, n, m)
+        scratch.set_active_full(n);
+        scratch.fill_dist2_active(gradients);
+        let GarScratch {
+            ref dist2,
+            ref mut combo,
+            ref mut order,
+            ref mut vec_a,
+            ..
+        } = *scratch;
+        if Self::is_exact(n, f) {
+            exact_min_diameter_mean(gradients, dist2, n, m, combo, vec_a, out);
         } else {
-            greedy_min_diameter_mean(gradients, &dist2, n, m)
-        })
+            greedy_min_diameter_mean(gradients, dist2, n, m, order, vec_a, out);
+        }
+        Ok(())
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {
@@ -303,8 +344,11 @@ mod tests {
         let n = grads.len();
         let m = n - 4;
         let dist2 = distance_table(&grads);
-        let exact = exact_min_diameter_mean(&grads, &dist2, n, m);
-        let greedy = greedy_min_diameter_mean(&grads, &dist2, n, m);
+        let (mut combo, mut order) = (Vec::new(), Vec::new());
+        let (mut scratch, mut exact, mut greedy) =
+            (Vector::default(), Vector::default(), Vector::default());
+        exact_min_diameter_mean(&grads, &dist2, n, m, &mut combo, &mut scratch, &mut exact);
+        greedy_min_diameter_mean(&grads, &dist2, n, m, &mut order, &mut scratch, &mut greedy);
         assert!(exact.approx_eq(&greedy, 1e-12));
         // And the chosen subset is the honest cluster.
         let honest_mean = Vector::mean(&grads[..8]).unwrap();
@@ -316,10 +360,12 @@ mod tests {
         // The greedy mean must stay within the coordinate envelope of the
         // inputs (it is a subset mean by construction).
         let mut rng = Prng::seed_from_u64(3);
+        let (mut order, mut scratch) = (Vec::new(), Vector::default());
         for _ in 0..30 {
             let grads: Vec<Vector> = (0..10).map(|_| rng.normal_vector(2, 1.0)).collect();
             let dist2 = distance_table(&grads);
-            let mean = greedy_min_diameter_mean(&grads, &dist2, 10, 6);
+            let mut mean = Vector::default();
+            greedy_min_diameter_mean(&grads, &dist2, 10, 6, &mut order, &mut scratch, &mut mean);
             for j in 0..2 {
                 let lo = grads.iter().map(|g| g[j]).fold(f64::INFINITY, f64::min);
                 let hi = grads.iter().map(|g| g[j]).fold(f64::NEG_INFINITY, f64::max);

@@ -1,6 +1,6 @@
 //! Coordinate-wise median (Yin et al., ICML 2018).
 
-use crate::{check_input, Gar, GarError};
+use crate::{check_input, Gar, GarError, GarScratch};
 use dpbyz_tensor::{stats, Vector};
 
 /// Coordinate-wise median of the submitted gradients.
@@ -33,9 +33,36 @@ impl Gar for CoordinateMedian {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
-        check_input(gradients)?;
-        check_tolerance(gradients.len(), f)?;
-        Ok(stats::coordinate_median(gradients).expect("validated input"))
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
+        let dim = check_input(gradients)?;
+        let n = gradients.len();
+        check_tolerance(n, f)?;
+        out.resize(dim, 0.0);
+        let GarScratch {
+            ref mut col,
+            ref mut sort_buf,
+            ..
+        } = *scratch;
+        col.clear();
+        col.resize(n, 0.0);
+        for j in 0..dim {
+            for (i, g) in gradients.iter().enumerate() {
+                col[i] = g[j];
+            }
+            out[j] = stats::median_with(col, sort_buf).expect("n >= 1");
+        }
+        Ok(())
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

@@ -1,6 +1,6 @@
 //! Phocas (Xie et al., 2018) — trimmed mean around the trimmed mean.
 
-use crate::{check_input, Gar, GarError};
+use crate::{check_input, Gar, GarError, GarScratch};
 use dpbyz_tensor::{stats, Vector};
 
 /// Per coordinate: compute the `f`-trimmed mean, then average the `n − f`
@@ -35,20 +35,38 @@ impl Gar for Phocas {
     }
 
     fn aggregate(&self, gradients: &[Vector], f: usize) -> Result<Vector, GarError> {
+        let mut out = Vector::default();
+        self.aggregate_into(gradients, f, &mut GarScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn aggregate_into(
+        &self,
+        gradients: &[Vector],
+        f: usize,
+        scratch: &mut GarScratch,
+        out: &mut Vector,
+    ) -> Result<(), GarError> {
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
         let keep = n - f;
-        let mut out = Vector::zeros(dim);
-        let mut col = vec![0.0; n];
+        out.resize(dim, 0.0);
+        let GarScratch {
+            ref mut col,
+            ref mut sort_buf,
+            ..
+        } = *scratch;
+        col.clear();
+        col.resize(n, 0.0);
         for j in 0..dim {
             for (i, g) in gradients.iter().enumerate() {
                 col[i] = g[j];
             }
-            let tm = stats::trimmed_mean(&col, f).expect("2f < n");
-            out[j] = stats::mean_around(&col, tm, keep).expect("keep <= n");
+            let tm = stats::trimmed_mean_with(col, f, sort_buf).expect("2f < n");
+            out[j] = stats::mean_around_with(col, tm, keep, sort_buf).expect("keep <= n");
         }
-        Ok(out)
+        Ok(())
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

@@ -1,0 +1,207 @@
+//! Reusable scratch state for allocation-free aggregation
+//! ([`Gar::aggregate_into`](crate::Gar::aggregate_into)).
+//!
+//! One [`GarScratch`] lives in the server's round buffers and is handed to
+//! the GAR every step. After the first round its internal buffers are
+//! warmed to the topology's sizes and aggregation performs no further heap
+//! allocation. The centrepiece is a flat symmetric squared-distance matrix
+//! shared by the Krum family (Krum, Multi-Krum, Bulyan) and MDA — the
+//! O(n²·d) part of their cost is computed once per call into reused
+//! storage instead of a fresh `Vec<Vec<f64>>` per round.
+
+use dpbyz_tensor::Vector;
+
+/// Scratch buffers for [`Gar::aggregate_into`](crate::Gar::aggregate_into).
+///
+/// Built-in rules use the private buffers below. Out-of-tree GARs that
+/// override `aggregate_into` can either keep their own state or borrow the
+/// dedicated extension buffers ([`GarScratch::scalars`],
+/// [`GarScratch::indices`], [`GarScratch::vector`]), which the built-ins
+/// never touch.
+#[derive(Debug, Default)]
+pub struct GarScratch {
+    /// Flat `m × m` symmetric squared-distance matrix over the current
+    /// member set (`m = active.len()` for subset-iterating rules).
+    pub(crate) dist2: Vec<f64>,
+    /// Krum scores aligned with `active`.
+    pub(crate) scores: Vec<f64>,
+    /// Neighbour-distance buffer for one row of the score computation.
+    pub(crate) neigh: Vec<f64>,
+    /// Indices of the gradients currently in play (the full set for Krum,
+    /// the shrinking pool for Bulyan's iterated selection).
+    pub(crate) active: Vec<usize>,
+    /// Indices selected so far (Bulyan stage 1), in selection order.
+    pub(crate) selected: Vec<usize>,
+    /// Index-ordering buffer (Multi-Krum ranking, MDA greedy anchors).
+    pub(crate) order: Vec<usize>,
+    /// Combination buffer for MDA's exact subset enumeration.
+    pub(crate) combo: Vec<usize>,
+    /// One coordinate column across the member gradients.
+    pub(crate) col: Vec<f64>,
+    /// Sorting scratch for the scalar statistics (median, trimmed mean,
+    /// mean-around).
+    pub(crate) sort_buf: Vec<f64>,
+    /// General vector scratch (candidate subset means, Weiszfeld iterate).
+    pub(crate) vec_a: Vector,
+    /// Extension buffers reserved for out-of-tree implementations.
+    ext_scalars: Vec<f64>,
+    ext_indices: Vec<usize>,
+    ext_vector: Vector,
+}
+
+impl GarScratch {
+    /// An empty scratch; buffers grow to the topology's sizes on first use
+    /// and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cleared general-purpose `f64` buffer for out-of-tree
+    /// `aggregate_into` implementations. The built-in rules never touch it.
+    pub fn scalars(&mut self) -> &mut Vec<f64> {
+        self.ext_scalars.clear();
+        &mut self.ext_scalars
+    }
+
+    /// A cleared general-purpose index buffer for out-of-tree
+    /// implementations. The built-in rules never touch it.
+    pub fn indices(&mut self) -> &mut Vec<usize> {
+        self.ext_indices.clear();
+        &mut self.ext_indices
+    }
+
+    /// A general-purpose vector buffer for out-of-tree implementations
+    /// (contents unspecified; overwrite before reading). The built-in
+    /// rules never touch it.
+    pub fn vector(&mut self) -> &mut Vector {
+        &mut self.ext_vector
+    }
+
+    /// Fills `active` with the identity member set `0..n`.
+    pub(crate) fn set_active_full(&mut self, n: usize) {
+        self.active.clear();
+        self.active.extend(0..n);
+    }
+
+    /// Fills the flat symmetric squared-distance matrix over the gradients
+    /// listed in `active`.
+    pub(crate) fn fill_dist2_active(&mut self, gradients: &[Vector]) {
+        let m = self.active.len();
+        self.dist2.clear();
+        self.dist2.resize(m * m, 0.0);
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let d = gradients[self.active[a]].squared_distance(&gradients[self.active[b]]);
+                self.dist2[a * m + b] = d;
+                self.dist2[b * m + a] = d;
+            }
+        }
+    }
+
+    /// Computes the Krum score of every member in `active` (sum of squared
+    /// distances to its `m − f − 2` nearest co-members), leaving the
+    /// scores in `self.scores` aligned with `active`. Bit-identical to the
+    /// historical allocating implementation: equal distances are equal
+    /// values, so the sorted prefix sum is independent of tie order.
+    pub(crate) fn compute_krum_scores(&mut self, gradients: &[Vector], f: usize) {
+        self.fill_dist2_active(gradients);
+        let m = self.active.len();
+        let k = m - f - 2;
+        self.scores.clear();
+        for a in 0..m {
+            self.neigh.clear();
+            for b in 0..m {
+                if b != a {
+                    self.neigh.push(self.dist2[a * m + b]);
+                }
+            }
+            self.neigh
+                .sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite distances"));
+            self.scores.push(self.neigh[..k].iter().sum());
+        }
+    }
+
+    /// Krum scores for a *shrinking* pool over a pre-filled matrix: the
+    /// distance matrix was filled once over all `n` original indices
+    /// (`active` = identity at fill time, stride `n`), and members are
+    /// looked up by their original index. Pairwise distances never change
+    /// as a pool shrinks, so Bulyan's θ selection iterations share one
+    /// O(n²·d) fill instead of recomputing it every round. Bitwise the
+    /// same scores as re-filling per round: the same distance values feed
+    /// the same sorted prefix sums.
+    pub(crate) fn compute_krum_scores_prefilled(&mut self, n: usize, f: usize) {
+        let m = self.active.len();
+        let k = m - f - 2;
+        self.scores.clear();
+        for pos_a in 0..m {
+            self.neigh.clear();
+            let row = self.active[pos_a] * n;
+            for pos_b in 0..m {
+                if pos_b != pos_a {
+                    self.neigh.push(self.dist2[row + self.active[pos_b]]);
+                }
+            }
+            self.neigh
+                .sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite distances"));
+            self.scores.push(self.neigh[..k].iter().sum());
+        }
+    }
+}
+
+/// Writes the mean of `gradients[indices]` into `out` without cloning any
+/// member — bit-identical to collecting the subset and calling
+/// [`Vector::mean`] (same accumulation order, same scaling).
+pub(crate) fn mean_indexed_into(gradients: &[Vector], indices: &[usize], out: &mut Vector) {
+    let dim = gradients[indices[0]].dim();
+    out.resize(dim, 0.0);
+    out.fill(0.0);
+    for &i in indices {
+        out.axpy(1.0, &gradients[i]);
+    }
+    out.scale(1.0 / indices.len() as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbyz_tensor::Prng;
+
+    #[test]
+    fn extension_buffers_are_cleared_and_reusable() {
+        let mut s = GarScratch::new();
+        s.scalars().extend_from_slice(&[1.0, 2.0]);
+        assert!(s.scalars().is_empty());
+        s.indices().push(7);
+        assert!(s.indices().is_empty());
+        s.vector().resize(3, 1.0);
+        assert_eq!(s.vector().dim(), 3);
+    }
+
+    #[test]
+    fn mean_indexed_matches_subset_mean_bitwise() {
+        let mut rng = Prng::seed_from_u64(3);
+        let grads: Vec<Vector> = (0..8).map(|_| rng.normal_vector(5, 1.0)).collect();
+        let indices = [6usize, 1, 3];
+        let subset: Vec<Vector> = indices.iter().map(|&i| grads[i].clone()).collect();
+        let expected = Vector::mean(&subset).unwrap();
+        let mut out = Vector::from(vec![1.0; 2]); // dirty, wrong dim
+        mean_indexed_into(&grads, &indices, &mut out);
+        for (a, b) in expected.iter().zip(out.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn krum_scores_over_active_subset() {
+        // Cluster at 0 plus an outlier: the outlier's score dominates.
+        let mut grads: Vec<Vector> = (0..6)
+            .map(|i| Vector::from(vec![i as f64 * 0.01]))
+            .collect();
+        grads.push(Vector::from(vec![100.0]));
+        let mut s = GarScratch::new();
+        s.set_active_full(grads.len());
+        s.compute_krum_scores(&grads, 2);
+        let outlier = *s.scores.last().unwrap();
+        assert!(s.scores[..6].iter().all(|&x| x < outlier));
+    }
+}

@@ -7,7 +7,7 @@
 //! relative to each GAR's threshold.
 
 use crate::GarError;
-use dpbyz_tensor::{stats, Vector};
+use dpbyz_tensor::Vector;
 
 /// An empirical VN-ratio measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +42,20 @@ impl VnEstimate {
 /// [`GarError::Empty`] with fewer than 2 gradients,
 /// [`GarError::DimensionMismatch`] for ragged input.
 pub fn estimate(honest_gradients: &[Vector]) -> Result<VnEstimate, GarError> {
+    estimate_with(honest_gradients, &mut Vector::default())
+}
+
+/// [`estimate`] with a caller-provided mean scratch buffer, so the
+/// per-round VN diagnostics allocate nothing at steady state. Bit-identical
+/// to [`estimate`] (same mean accumulation, same sum-of-squares order).
+///
+/// # Errors
+///
+/// As [`estimate`].
+pub fn estimate_with(
+    honest_gradients: &[Vector],
+    mean: &mut Vector,
+) -> Result<VnEstimate, GarError> {
     if honest_gradients.len() < 2 {
         return Err(GarError::Empty);
     }
@@ -54,11 +68,13 @@ pub fn estimate(honest_gradients: &[Vector]) -> Result<VnEstimate, GarError> {
             });
         }
     }
-    let variance =
-        stats::empirical_variance_around_mean(honest_gradients).expect("len >= 2 checked");
-    let mean = Vector::mean(honest_gradients).expect("non-empty");
+    Vector::mean_into(honest_gradients, mean).expect("validated input");
+    let ss: f64 = honest_gradients
+        .iter()
+        .map(|v| v.l2_distance_squared(mean))
+        .sum();
     Ok(VnEstimate {
-        variance,
+        variance: ss / (honest_gradients.len() - 1) as f64,
         mean_norm: mean.l2_norm(),
     })
 }

@@ -100,12 +100,19 @@ impl Model for LogisticRegression {
     }
 
     fn gradient(&self, params: &Vector, batch: &Batch) -> Vector {
+        let mut grad = Vector::default();
+        self.gradient_into(params, batch, &mut grad);
+        grad
+    }
+
+    fn gradient_into(&self, params: &Vector, batch: &Batch, out: &mut Vector) {
         assert!(
             !batch.is_empty(),
             "gradient over an empty batch is undefined"
         );
-        let mut grad = Vector::zeros(self.dim());
-        let g = grad.as_mut_slice();
+        out.resize(self.dim(), 0.0);
+        out.fill(0.0);
+        let g = out.as_mut_slice();
         for i in 0..batch.len() {
             let (x, y) = batch.example(i);
             let p = sigmoid(self.raw(params, x));
@@ -119,8 +126,7 @@ impl Model for LogisticRegression {
             }
             g[self.num_features] += dz;
         }
-        grad.scale(1.0 / batch.len() as f64);
-        grad
+        out.scale(1.0 / batch.len() as f64);
     }
 
     fn predict(&self, params: &Vector, features: &[f64]) -> f64 {

@@ -77,17 +77,30 @@ impl Model for QuadraticMean {
     }
 
     fn gradient(&self, params: &Vector, batch: &Batch) -> Vector {
+        let mut grad = Vector::default();
+        self.gradient_into(params, batch, &mut grad);
+        grad
+    }
+
+    fn gradient_into(&self, params: &Vector, batch: &Batch, out: &mut Vector) {
         assert!(
             !batch.is_empty(),
             "gradient over an empty batch is undefined"
         );
-        // ∇Q(w, x) = w − x, averaged: w − mean(batch).
-        let mut mean = Vector::zeros(self.dim);
+        // ∇Q(w, x) = w − x, averaged: w − mean(batch), accumulated straight
+        // from the feature rows (no per-example vector clones).
+        out.resize(self.dim, 0.0);
+        out.fill(0.0);
         for i in 0..batch.len() {
-            mean += &batch.feature_vector(i);
+            let (x, _) = batch.example(i);
+            for (o, &xj) in out.as_mut_slice().iter_mut().zip(x) {
+                *o += xj;
+            }
         }
-        mean.scale(1.0 / batch.len() as f64);
-        params - &mean
+        out.scale(1.0 / batch.len() as f64);
+        for (o, &p) in out.as_mut_slice().iter_mut().zip(params.as_slice()) {
+            *o = p - *o;
+        }
     }
 
     fn predict(&self, params: &Vector, features: &[f64]) -> f64 {

@@ -19,6 +19,18 @@ pub trait Model: Send + Sync {
     /// of Eq. (4).
     fn gradient(&self, params: &Vector, batch: &Batch) -> Vector;
 
+    /// Writes the gradient into a caller-provided buffer — the zero-copy
+    /// counterpart of [`Model::gradient`] driven every step by the
+    /// buffer-recycling worker loop. Must produce the same coordinates,
+    /// bit for bit.
+    ///
+    /// The default delegates to `gradient` (one allocation per call), so
+    /// out-of-tree models keep working unchanged; the analytic in-tree
+    /// models override it allocation-free.
+    fn gradient_into(&self, params: &Vector, batch: &Batch, out: &mut Vector) {
+        out.copy_from(&self.gradient(params, batch));
+    }
+
     /// Raw model output for a single feature row (for classifiers: the
     /// probability of class 1).
     fn predict(&self, params: &Vector, features: &[f64]) -> f64;

@@ -10,11 +10,15 @@
 //! Two execution engines produce **bit-identical** histories given the same
 //! [`TrainingConfig`] and seed:
 //!
-//! * [`Trainer`] — sequential, allocation-light;
+//! * [`Trainer`] — sequential, zero-copy: the round hot path (worker
+//!   batch/gradient buffers, the server's submission set, GAR scratch)
+//!   is recycled across rounds, so steady-state rounds perform **no**
+//!   heap allocation;
 //! * [`ThreadedTrainer`] — one OS thread per worker wired to the server
 //!   with crossbeam channels, exchanging the serialized
 //!   [`message::GradientMessage`] wire format (integrity-tagged, as
-//!   Remark 1's channels are).
+//!   Remark 1's channels are); shares `ServerCore` and the workers'
+//!   buffer recycling, paying allocations only for the wire frames.
 //!
 //! # Example
 //!

@@ -118,6 +118,11 @@ impl ThreadedTrainer {
                 rng,
             );
             let handle = std::thread::spawn(move || {
+                // Recycled across rounds: the worker refills this output
+                // in place (its batch/gradient buffers live inside the
+                // worker). Only the wire frame and the diagnostics that
+                // leave the thread are fresh per round.
+                let mut out = WorkerOutput::default();
                 while let Ok(cmd) = cmd_rx.recv() {
                     match cmd {
                         Command::Step {
@@ -125,12 +130,16 @@ impl ThreadedTrainer {
                             params,
                             batch_size,
                         } => {
-                            let out = worker.compute(&params, batch_size);
-                            let frame =
-                                GradientMessage::new(worker.id(), t, out.submitted).encode();
+                            worker.compute_into(&params, batch_size, &mut out);
+                            let frame = GradientMessage::new(
+                                worker.id(),
+                                t,
+                                std::mem::take(&mut out.submitted),
+                            )
+                            .encode();
                             let reply = RoundReply {
                                 frame,
-                                pre_noise: out.pre_noise,
+                                pre_noise: std::mem::take(&mut out.pre_noise),
                                 batch_loss: out.batch_loss,
                             };
                             if reply_tx.send(reply).is_err() {
@@ -147,6 +156,10 @@ impl ThreadedTrainer {
         }
 
         let mut result = Ok(());
+        // Persistent server-side round state: one output slot per worker,
+        // refilled by move from each round's replies.
+        let mut outputs: Vec<WorkerOutput> =
+            (0..n_honest).map(|_| WorkerOutput::default()).collect();
         'training: for t in 1..=config.steps {
             let params = core.params().clone();
             let batch_size = config.batch_at(t);
@@ -160,18 +173,15 @@ impl ThreadedTrainer {
             }
             // Collect in worker-id order: determinism independent of
             // scheduling.
-            let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(n_honest);
-            for rx in &reply_rxs {
+            for (rx, out) in reply_rxs.iter().zip(outputs.iter_mut()) {
                 let reply = rx.recv().expect("worker thread alive");
                 let msg = GradientMessage::decode(reply.frame).expect("wire integrity verified");
                 debug_assert_eq!(msg.step, t);
-                outputs.push(WorkerOutput {
-                    pre_noise: reply.pre_noise,
-                    submitted: msg.gradient,
-                    batch_loss: reply.batch_loss,
-                });
+                out.pre_noise = reply.pre_noise;
+                out.submitted = msg.gradient;
+                out.batch_loss = reply.batch_loss;
             }
-            if let Err(e) = core.process_round(t, &outputs) {
+            if let Err(e) = core.process_round(t, &mut outputs) {
                 result = Err(e);
                 break 'training;
             }

@@ -8,10 +8,56 @@ use dpbyz_attacks::{Attack, AttackContext};
 use dpbyz_data::sampler::BatchSource;
 use dpbyz_data::Dataset;
 use dpbyz_dp::{Mechanism, NoNoise};
-use dpbyz_gars::{vn, Average, Gar, GarError};
+use dpbyz_gars::{vn, Average, Gar, GarError, GarScratch};
 use dpbyz_models::{metrics::accuracy, Model};
 use dpbyz_tensor::{Prng, Vector};
 use std::sync::Arc;
+
+/// Per-round buffers the server keeps alive for the entire run — the heart
+/// of the zero-copy hot path. Every round refills these in place instead
+/// of re-allocating the vector set: at steady state `process_round`
+/// performs no heap allocation.
+struct RoundBuffers {
+    /// The final submission set the GAR aggregates: honest submissions in
+    /// worker-id order, then `n_byzantine` copies of the forged vector.
+    submissions: Vec<Vector>,
+    /// Honest pre-noise gradients (VN diagnostics), in worker-id order.
+    pre_noise: Vec<Vector>,
+    /// The round's forged Byzantine vector (reused across rounds).
+    forged: Vector,
+    /// Mean scratch shared by the VN estimators and `grad_norm`.
+    mean: Vector,
+    /// The aggregated gradient.
+    aggregated: Vector,
+    /// Scratch handed to `Gar::aggregate_into` every round.
+    gar_scratch: GarScratch,
+    /// Model dimension, for provisioning fresh slots.
+    dim: usize,
+}
+
+impl RoundBuffers {
+    fn new(dim: usize) -> Self {
+        RoundBuffers {
+            submissions: Vec::new(),
+            pre_noise: Vec::new(),
+            forged: Vector::default(),
+            mean: Vector::default(),
+            aggregated: Vector::default(),
+            gar_scratch: GarScratch::new(),
+            dim,
+        }
+    }
+
+    /// Adjusts the slot counts to this round's shape. The shape is fixed
+    /// for the life of a run (worker count and attack are set at build),
+    /// so this grows once on the first round and is a no-op afterwards.
+    fn ensure_slots(&mut self, n_honest: usize, n_byzantine: usize) {
+        let dim = self.dim;
+        self.submissions
+            .resize_with(n_honest + n_byzantine, || Vector::zeros(dim));
+        self.pre_noise.resize_with(n_honest, || Vector::zeros(dim));
+    }
+}
 
 /// Server-side state and round logic shared by the sequential and threaded
 /// engines — this is what guarantees the two produce identical histories.
@@ -27,6 +73,7 @@ pub(crate) struct ServerCore {
     ema: Vector,
     attack_rng: Prng,
     fault_rng: Prng,
+    buffers: RoundBuffers,
     train_loss: Vec<f64>,
     test_accuracy: Vec<(u32, f64)>,
     vn_submitted: Vec<f64>,
@@ -49,6 +96,12 @@ impl ServerCore {
     ) -> Self {
         let dim = params.dim();
         let steps = config.steps as usize;
+        // Pre-reserve the eval curve too (0 when evaluation is disabled),
+        // so steady-state rounds never grow a metrics vector.
+        let evals = config
+            .steps
+            .checked_div(config.eval_every)
+            .map_or(0, |e| e as usize + 1);
         ServerCore {
             config,
             model,
@@ -60,8 +113,9 @@ impl ServerCore {
             ema: Vector::zeros(dim),
             attack_rng,
             fault_rng,
+            buffers: RoundBuffers::new(dim),
             train_loss: Vec::with_capacity(steps),
-            test_accuracy: Vec::new(),
+            test_accuracy: Vec::with_capacity(evals),
             vn_submitted: Vec::with_capacity(steps),
             vn_clean: Vec::with_capacity(steps),
             grad_norm: Vec::with_capacity(steps),
@@ -83,38 +137,22 @@ impl ServerCore {
     /// Consumes one synchronous round of honest outputs (in worker-id
     /// order), forges the Byzantine submissions, aggregates, and updates
     /// the model.
+    ///
+    /// The outputs hand their vectors over **by move**: each output's
+    /// `pre_noise`/`submitted` buffers are swapped into the server's
+    /// long-lived [`RoundBuffers`], and the previous round's buffers are
+    /// swapped back out for the worker to refill — no per-round clone of
+    /// the vector set, and at steady state no heap allocation at all.
     pub(crate) fn process_round(
         &mut self,
         t: u32,
-        outputs: &[WorkerOutput],
+        outputs: &mut [WorkerOutput],
     ) -> Result<(), GarError> {
+        let n_honest = outputs.len();
         // The paper's training-loss metric: average loss over the batches
         // the honest workers sampled this step, at the pre-update model.
-        let loss = outputs.iter().map(|o| o.batch_loss).sum::<f64>() / outputs.len() as f64;
+        let loss = outputs.iter().map(|o| o.batch_loss).sum::<f64>() / n_honest as f64;
         self.train_loss.push(loss);
-
-        let pre_noise: Vec<Vector> = outputs.iter().map(|o| o.pre_noise.clone()).collect();
-        let mut submissions: Vec<Vector> = outputs.iter().map(|o| o.submitted.clone()).collect();
-
-        // VN ratios (Eq. 2 / Eq. 8). Both use the *pre-noise* mean norm as
-        // the `‖E[G]‖` estimate: the DP noise is zero-mean, and the norm
-        // of the noisy sample mean would be dominated by residual noise
-        // (≈ √(d·s²/n)) rather than the signal, badly biasing the ratio.
-        let grad_norm = Vector::mean(&pre_noise)
-            .map(|m| m.l2_norm())
-            .unwrap_or(f64::NAN);
-        let ratio_vs_clean_norm = |vectors: &[Vector]| -> f64 {
-            match vn::estimate(vectors) {
-                Ok(e) if grad_norm > 0.0 => e.variance.sqrt() / grad_norm,
-                // Zero mean gradient: the condition is unmeetable at a
-                // critical point (Eq. 2 requires ‖∇Q‖ > 0).
-                Ok(_) => f64::INFINITY,
-                // Fewer than 2 honest workers: statistic unavailable.
-                Err(_) => f64::NAN,
-            }
-        };
-        self.vn_clean.push(ratio_vs_clean_norm(&pre_noise));
-        self.grad_norm.push(grad_norm);
 
         // Byzantine submissions: every colluder sends the same forged
         // vector (the attack model of §5.1).
@@ -123,15 +161,47 @@ impl ServerCore {
         } else {
             0
         };
+        self.buffers.ensure_slots(n_honest, active_byzantine);
+        for (i, output) in outputs.iter_mut().enumerate() {
+            std::mem::swap(&mut self.buffers.pre_noise[i], &mut output.pre_noise);
+            std::mem::swap(&mut self.buffers.submissions[i], &mut output.submitted);
+        }
+
+        // VN ratios (Eq. 2 / Eq. 8). Both use the *pre-noise* mean norm as
+        // the `‖E[G]‖` estimate: the DP noise is zero-mean, and the norm
+        // of the noisy sample mean would be dominated by residual noise
+        // (≈ √(d·s²/n)) rather than the signal, badly biasing the ratio.
+        let grad_norm = match Vector::mean_into(&self.buffers.pre_noise, &mut self.buffers.mean) {
+            Ok(()) => self.buffers.mean.l2_norm(),
+            Err(_) => f64::NAN,
+        };
+        fn ratio_vs_clean_norm(vectors: &[Vector], grad_norm: f64, mean: &mut Vector) -> f64 {
+            match vn::estimate_with(vectors, mean) {
+                Ok(e) if grad_norm > 0.0 => e.variance.sqrt() / grad_norm,
+                // Zero mean gradient: the condition is unmeetable at a
+                // critical point (Eq. 2 requires ‖∇Q‖ > 0).
+                Ok(_) => f64::INFINITY,
+                // Fewer than 2 honest workers: statistic unavailable.
+                Err(_) => f64::NAN,
+            }
+        }
+        self.vn_clean.push(ratio_vs_clean_norm(
+            &self.buffers.pre_noise,
+            grad_norm,
+            &mut self.buffers.mean,
+        ));
+        self.grad_norm.push(grad_norm);
+
         if let Some(attack) = &self.attack {
             if active_byzantine > 0 {
-                let mut ctx = AttackContext::new(&submissions, t as usize);
+                let (honest, byzantine) = self.buffers.submissions.split_at_mut(n_honest);
+                let mut ctx = AttackContext::new(honest, t as usize);
                 if self.config.attack_visibility == AttackVisibility::PreNoise {
-                    ctx.pre_noise_gradients = Some(&pre_noise);
+                    ctx.pre_noise_gradients = Some(&self.buffers.pre_noise);
                 }
-                let forged = attack.forge(&ctx, &mut self.attack_rng);
-                for _ in 0..active_byzantine {
-                    submissions.push(forged.clone());
+                attack.forge_into(&ctx, &mut self.attack_rng, &mut self.buffers.forged);
+                for slot in byzantine {
+                    slot.copy_from(&self.buffers.forged);
                 }
             }
         }
@@ -141,9 +211,9 @@ impl ServerCore {
         // to always deliver. Randomness is drawn only when faults are
         // enabled, in worker-id order, so fault-free runs are byte-stable.
         if self.config.drop_rate > 0.0 {
-            for submission in submissions.iter_mut().take(outputs.len()) {
+            for submission in self.buffers.submissions.iter_mut().take(n_honest) {
                 if self.fault_rng.bernoulli(self.config.drop_rate) {
-                    *submission = Vector::zeros(submission.dim());
+                    submission.fill(0.0);
                 }
             }
         }
@@ -153,31 +223,40 @@ impl ServerCore {
         // drops — i.e. over exactly the vectors the GAR aggregates. (It
         // was previously computed before forgeries/drops, which made the
         // "submitted" series blind to everything the attack added.)
-        self.vn_submitted.push(ratio_vs_clean_norm(&submissions));
+        self.vn_submitted.push(ratio_vs_clean_norm(
+            &self.buffers.submissions,
+            grad_norm,
+            &mut self.buffers.mean,
+        ));
 
-        let mut aggregated = self.gar.aggregate(&submissions, self.config.n_byzantine)?;
+        self.gar.aggregate_into(
+            &self.buffers.submissions,
+            self.config.n_byzantine,
+            &mut self.buffers.gar_scratch,
+            &mut self.buffers.aggregated,
+        )?;
 
         // §7 extension: bias-corrected exponential averaging of the
         // aggregated gradient reduces the effective noise variance by
         // ≈ (1−β)/(1+β) at the cost of gradient staleness.
         if let Some(beta) = self.config.gradient_ema {
             self.ema.scale(beta);
-            self.ema.axpy(1.0 - beta, &aggregated);
+            self.ema.axpy(1.0 - beta, &self.buffers.aggregated);
             let correction = 1.0 - beta.powi(t as i32);
-            aggregated = self.ema.scaled(1.0 / correction);
+            self.buffers.aggregated.copy_from(&self.ema);
+            self.buffers.aggregated.scale(1.0 / correction);
         }
 
         // Update (Eq. 9), with momentum where configured.
         let lr = self.config.lr.at(t);
-        let direction = match self.config.momentum_mode {
+        match self.config.momentum_mode {
             MomentumMode::Server => {
                 self.velocity.scale(self.config.momentum);
-                self.velocity.axpy(1.0, &aggregated);
-                self.velocity.clone()
+                self.velocity.axpy(1.0, &self.buffers.aggregated);
+                self.params.axpy(-lr, &self.velocity);
             }
-            MomentumMode::Worker => aggregated,
-        };
-        self.params.axpy(-lr, &direction);
+            MomentumMode::Worker => self.params.axpy(-lr, &self.buffers.aggregated),
+        }
 
         // Evaluation fires on the period *and* unconditionally at the
         // final step, so curves always end with the finished model even
@@ -378,15 +457,18 @@ impl Trainer {
         );
         core.set_observer(self.observer);
 
-        let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(n_honest);
+        // Long-lived round state: one output buffer per worker and one
+        // broadcast-parameter buffer, refilled in place every step.
+        let mut outputs: Vec<WorkerOutput> =
+            (0..n_honest).map(|_| WorkerOutput::default()).collect();
+        let mut params = Vector::default();
         for t in 1..=config.steps {
-            outputs.clear();
-            let params = core.params().clone();
+            params.copy_from(core.params());
             let batch = config.batch_at(t);
-            for w in &mut workers {
-                outputs.push(w.compute(&params, batch));
+            for (w, out) in workers.iter_mut().zip(outputs.iter_mut()) {
+                w.compute_into(&params, batch, out);
             }
-            core.process_round(t, &outputs)?;
+            core.process_round(t, &mut outputs)?;
         }
         Ok(core.finish(seed))
     }

@@ -1,13 +1,19 @@
 //! Worker-side computation: sample → gradient → clip → (momentum) → noise.
 
 use dpbyz_data::sampler::BatchSource;
+use dpbyz_data::Batch;
 use dpbyz_dp::Mechanism;
 use dpbyz_models::Model;
 use dpbyz_tensor::{Prng, Vector};
 use std::sync::Arc;
 
 /// What one honest worker produces in one step.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// In the zero-copy round engine these are long-lived buffers: the trainer
+/// keeps one `WorkerOutput` per worker alive across rounds, the worker
+/// refills it in place ([`HonestWorker::compute_into`]), and the server
+/// takes the vectors by move (swapping its own recycled buffers back in).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerOutput {
     /// The clipped (and, in worker-momentum mode, momentum-ed) gradient
     /// *before* the DP randomizer — never leaves the worker in the real
@@ -47,6 +53,12 @@ pub struct HonestWorker {
     /// counterfactual used for VN diagnostics.
     clean_velocity: Vector,
     rng: Prng,
+    /// Recycled batch buffer — refilled in place every step.
+    batch: Batch,
+    /// Recycled clipped-gradient buffer.
+    grad: Vector,
+    /// Recycled sanitized-gradient buffer.
+    noisy: Vector,
 }
 
 impl HonestWorker {
@@ -78,6 +90,9 @@ impl HonestWorker {
             velocity: Vector::zeros(dim),
             clean_velocity: Vector::zeros(dim),
             rng,
+            batch: Batch::empty(),
+            grad: Vector::zeros(dim),
+            noisy: Vector::zeros(dim),
         }
     }
 
@@ -88,24 +103,37 @@ impl HonestWorker {
 
     /// Runs one step against the broadcast parameters.
     pub fn compute(&mut self, params: &Vector, batch_size: usize) -> WorkerOutput {
-        let batch = self.source.next_batch(batch_size, &mut self.rng);
-        let batch_loss = self.model.loss(params, &batch);
-        let gradient = self.model.gradient(params, &batch);
-        let clipped = gradient.clipped_l2(self.clip);
-        let sanitized = self.mechanism.perturb(&clipped, &mut self.rng);
-        let (pre_noise, submitted) = if self.momentum > 0.0 {
+        let mut out = WorkerOutput::default();
+        self.compute_into(params, batch_size, &mut out);
+        out
+    }
+
+    /// Runs one step, refilling a caller-provided output buffer — the
+    /// zero-copy path both engines drive every round. Internally recycles
+    /// the worker's batch and gradient buffers, so at steady state a step
+    /// performs no heap allocation (given an in-place mechanism and
+    /// `_into`-capable model and source). Bit-identical to
+    /// [`HonestWorker::compute`]: same RNG stream, same arithmetic.
+    pub fn compute_into(&mut self, params: &Vector, batch_size: usize, out: &mut WorkerOutput) {
+        self.source
+            .next_batch_into(batch_size, &mut self.rng, &mut self.batch);
+        out.batch_loss = self.model.loss(params, &self.batch);
+        self.model
+            .gradient_into(params, &self.batch, &mut self.grad);
+        self.grad.clip_l2(self.clip);
+        self.noisy.copy_from(&self.grad);
+        self.mechanism
+            .perturb_in_place(&mut self.noisy, &mut self.rng);
+        if self.momentum > 0.0 {
             self.velocity.scale(self.momentum);
-            self.velocity.axpy(1.0, &sanitized);
+            self.velocity.axpy(1.0, &self.noisy);
             self.clean_velocity.scale(self.momentum);
-            self.clean_velocity.axpy(1.0, &clipped);
-            (self.clean_velocity.clone(), self.velocity.clone())
+            self.clean_velocity.axpy(1.0, &self.grad);
+            out.pre_noise.copy_from(&self.clean_velocity);
+            out.submitted.copy_from(&self.velocity);
         } else {
-            (clipped, sanitized)
-        };
-        WorkerOutput {
-            pre_noise,
-            submitted,
-            batch_loss,
+            out.pre_noise.copy_from(&self.grad);
+            out.submitted.copy_from(&self.noisy);
         }
     }
 }

@@ -34,11 +34,13 @@
 
 mod error;
 mod matrix;
+mod pool;
 pub mod rng;
 pub mod stats;
 mod vector;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use pool::VectorPool;
 pub use rng::Prng;
 pub use vector::Vector;

@@ -217,6 +217,31 @@ impl Matrix {
         }
     }
 
+    /// Reshapes in place to `rows × cols` with every entry set to `value`,
+    /// reusing the allocation when the capacity suffices.
+    pub fn resize(&mut self, rows: usize, cols: usize, value: f64) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, value);
+    }
+
+    /// Writes the rows selected by `indices` into `out`, reusing `out`'s
+    /// allocation — the zero-copy counterpart of [`Matrix::select_rows`]
+    /// used by the batch-recycling samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.data.clear();
+        for &i in indices {
+            out.data.extend_from_slice(self.row(i));
+        }
+        out.rows = indices.len();
+        out.cols = self.cols;
+    }
+
     /// Iterator over rows as slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1))
@@ -295,6 +320,14 @@ mod tests {
         assert_eq!(s.rows(), 3);
         assert_eq!(s.row(0), &[3.0, 4.0]);
         assert_eq!(s.row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows() {
+        let m = m22();
+        let mut out = Matrix::zeros(5, 7); // dirty, wrong shape
+        m.select_rows_into(&[1, 1, 0], &mut out);
+        assert_eq!(out, m.select_rows(&[1, 1, 0]));
     }
 
     #[test]

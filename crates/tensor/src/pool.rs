@@ -1,0 +1,122 @@
+//! A checkout/checkin pool of equally-dimensioned vector buffers.
+//!
+//! The round engine recycles `R^d` buffers aggressively: worker outputs,
+//! the server's submission set, GAR scratch. [`VectorPool`] is the shared
+//! primitive behind that reuse — buffers are checked out, overwritten by
+//! the caller, and checked back in, so steady-state rounds perform no heap
+//! allocation. Checked-out buffers are always zeroed, which keeps results
+//! independent of what a previous tenant left behind.
+
+use crate::Vector;
+
+/// A pool of reusable `dim`-dimensional [`Vector`] buffers.
+///
+/// # Example
+///
+/// ```
+/// use dpbyz_tensor::VectorPool;
+///
+/// let mut pool = VectorPool::new(3);
+/// let a = pool.checkout();
+/// assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0]);
+/// pool.checkin(a);
+/// assert_eq!(pool.available(), 1);
+/// let _b = pool.checkout(); // reuses the returned buffer, no allocation
+/// assert_eq!(pool.available(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct VectorPool {
+    dim: usize,
+    free: Vec<Vector>,
+}
+
+impl VectorPool {
+    /// An empty pool of `dim`-dimensional buffers.
+    pub fn new(dim: usize) -> Self {
+        VectorPool {
+            dim,
+            free: Vec::new(),
+        }
+    }
+
+    /// The dimension every pooled buffer has.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of buffers currently available for checkout.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes a zeroed buffer from the pool, allocating only when the free
+    /// list is empty (i.e. only while the pool is warming up).
+    pub fn checkout(&mut self) -> Vector {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.fill(0.0);
+                v
+            }
+            None => Vector::zeros(self.dim),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer's dimension does not match the pool's — mixing
+    /// dimensions would silently hand the wrong shape to a later checkout.
+    pub fn checkin(&mut self, v: Vector) {
+        assert_eq!(
+            v.dim(),
+            self.dim,
+            "VectorPool::checkin: buffer dim {} does not match pool dim {}",
+            v.dim(),
+            self.dim
+        );
+        self.free.push(v);
+    }
+
+    /// Pre-allocates buffers so the next `n` checkouts are allocation-free.
+    pub fn reserve(&mut self, n: usize) {
+        while self.free.len() < n {
+            self.free.push(Vector::zeros(self.dim));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_is_zeroed_even_after_dirty_checkin() {
+        let mut pool = VectorPool::new(2);
+        let mut v = pool.checkout();
+        v[0] = 42.0;
+        pool.checkin(v);
+        let again = pool.checkout();
+        assert_eq!(again.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reserve_prefills() {
+        let mut pool = VectorPool::new(4);
+        pool.reserve(3);
+        assert_eq!(pool.available(), 3);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(pool.available(), 1);
+        pool.checkin(a);
+        pool.checkin(b);
+        assert_eq!(pool.available(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match pool dim")]
+    fn wrong_dimension_rejected() {
+        let mut pool = VectorPool::new(3);
+        pool.checkin(Vector::zeros(2));
+    }
+}

@@ -49,18 +49,33 @@ pub fn population_variance(xs: &[f64]) -> Result<f64, TensorError> {
 ///
 /// Returns [`TensorError::Empty`] for an empty slice.
 pub fn median(xs: &[f64]) -> Result<f64, TensorError> {
+    median_with(xs, &mut Vec::new())
+}
+
+/// [`median`] with a caller-provided scratch buffer, so repeated calls (one
+/// per coordinate in the coordinate-wise GARs) perform no heap allocation
+/// once the buffer has warmed up. Bit-identical to [`median`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] for an empty slice.
+pub fn median_with(xs: &[f64], scratch: &mut Vec<f64>) -> Result<f64, TensorError> {
     if xs.is_empty() {
         return Err(TensorError::Empty);
     }
-    let mut v = xs.to_vec();
-    let n = v.len();
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    let n = scratch.len();
     let mid = n / 2;
-    v.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
-    let hi = v[mid];
+    scratch.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let hi = scratch[mid];
     if n % 2 == 1 {
         Ok(hi)
     } else {
-        let lo = v[..mid].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = scratch[..mid]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         Ok((lo + hi) / 2.0)
     }
 }
@@ -96,12 +111,27 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64, TensorError> {
 ///
 /// Returns [`TensorError::Empty`] if fewer than `2*trim + 1` elements remain.
 pub fn trimmed_mean(xs: &[f64], trim: usize) -> Result<f64, TensorError> {
+    trimmed_mean_with(xs, trim, &mut Vec::new())
+}
+
+/// [`trimmed_mean`] with a caller-provided scratch buffer (no allocation
+/// once warmed up). Bit-identical to [`trimmed_mean`].
+///
+/// # Errors
+///
+/// As [`trimmed_mean`].
+pub fn trimmed_mean_with(
+    xs: &[f64],
+    trim: usize,
+    scratch: &mut Vec<f64>,
+) -> Result<f64, TensorError> {
     if xs.len() < 2 * trim + 1 {
         return Err(TensorError::Empty);
     }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
-    mean(&v[trim..v.len() - trim])
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    scratch.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    mean(&scratch[trim..xs.len() - trim])
 }
 
 /// Mean of the `k` elements closest to `center` (the scalar core of the
@@ -111,17 +141,35 @@ pub fn trimmed_mean(xs: &[f64], trim: usize) -> Result<f64, TensorError> {
 ///
 /// Returns [`TensorError::Empty`] if `k == 0` or `k > xs.len()`.
 pub fn mean_around(xs: &[f64], center: f64, k: usize) -> Result<f64, TensorError> {
+    mean_around_with(xs, center, k, &mut Vec::new())
+}
+
+/// [`mean_around`] with a caller-provided scratch buffer (no allocation
+/// once warmed up). Uses the same *stable* sort as [`mean_around`], so
+/// distance ties at the selection boundary resolve identically — the two
+/// are bit-identical.
+///
+/// # Errors
+///
+/// As [`mean_around`].
+pub fn mean_around_with(
+    xs: &[f64],
+    center: f64,
+    k: usize,
+    scratch: &mut Vec<f64>,
+) -> Result<f64, TensorError> {
     if k == 0 || k > xs.len() {
         return Err(TensorError::Empty);
     }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| {
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    scratch.sort_by(|a, b| {
         (a - center)
             .abs()
             .partial_cmp(&(b - center).abs())
             .expect("NaN in mean_around input")
     });
-    mean(&v[..k])
+    mean(&scratch[..k])
 }
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
@@ -334,6 +382,29 @@ mod tests {
         assert_eq!(mean_around(&xs, 0.5, 2).unwrap(), 0.5);
         assert!(mean_around(&xs, 0.0, 0).is_err());
         assert!(mean_around(&xs, 0.0, 5).is_err());
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_bitwise() {
+        let xs = [3.5, -1.0, 7.25, 0.0, 2.5, 2.5, -1.0, 9.0];
+        let mut scratch = vec![42.0; 2]; // dirty
+        assert_eq!(
+            median(&xs).unwrap().to_bits(),
+            median_with(&xs, &mut scratch).unwrap().to_bits()
+        );
+        assert_eq!(
+            trimmed_mean(&xs, 2).unwrap().to_bits(),
+            trimmed_mean_with(&xs, 2, &mut scratch).unwrap().to_bits()
+        );
+        assert_eq!(
+            mean_around(&xs, 2.0, 4).unwrap().to_bits(),
+            mean_around_with(&xs, 2.0, 4, &mut scratch)
+                .unwrap()
+                .to_bits()
+        );
+        assert!(median_with(&[], &mut scratch).is_err());
+        assert!(trimmed_mean_with(&xs, 4, &mut scratch).is_err());
+        assert!(mean_around_with(&xs, 0.0, 0, &mut scratch).is_err());
     }
 
     #[test]

@@ -131,6 +131,18 @@ impl Vector {
         self.l2_distance_squared(other).sqrt()
     }
 
+    /// Squared Euclidean distance `‖self − other‖₂²` — alias of
+    /// [`Vector::l2_distance_squared`] under the kernel-suite name used by
+    /// the zero-copy aggregation hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[inline]
+    pub fn squared_distance(&self, other: &Vector) -> f64 {
+        self.l2_distance_squared(other)
+    }
+
     /// Squared Euclidean distance `‖self − other‖₂²`.
     ///
     /// # Panics
@@ -254,6 +266,39 @@ impl Vector {
                 .all(|(a, b)| (a - b).abs() <= tol)
     }
 
+    /// Sets every coordinate to `value` — the allocation-free counterpart
+    /// of [`Vector::filled`] for an existing buffer.
+    pub fn fill(&mut self, value: f64) {
+        self.0.fill(value);
+    }
+
+    /// Resizes to `dim` coordinates, filling any *new* coordinates with
+    /// `value` (existing coordinates are kept). Reuses the allocation when
+    /// the capacity suffices.
+    pub fn resize(&mut self, dim: usize, value: f64) {
+        self.0.resize(dim, value);
+    }
+
+    /// Overwrites `self` with the coordinates of `other`, adapting the
+    /// dimension if needed. Reuses the existing allocation whenever the
+    /// capacity suffices, so at steady state (equal dimensions) this is a
+    /// pure `memcpy` — the zero-copy engine's buffer-refill primitive.
+    pub fn copy_from(&mut self, other: &Vector) {
+        self.0.clear();
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Writes `self − other` into `out` without allocating (when `out`
+    /// already has capacity). Bit-identical to `&self - &other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn sub_into(&self, other: &Vector, out: &mut Vector) {
+        out.copy_from(self);
+        out.axpy(-1.0, other);
+    }
+
     /// The arithmetic mean of a non-empty slice of equal-dimension vectors.
     ///
     /// # Errors
@@ -261,9 +306,24 @@ impl Vector {
     /// Returns [`TensorError::Empty`] for an empty slice and
     /// [`TensorError::DimensionMismatch`] if dimensions disagree.
     pub fn mean(vectors: &[Vector]) -> Result<Vector, TensorError> {
+        let mut acc = Vector::default();
+        Self::mean_into(vectors, &mut acc)?;
+        Ok(acc)
+    }
+
+    /// Writes the arithmetic mean of `vectors` into `out` without
+    /// allocating (when `out` already has capacity). Bit-identical to
+    /// [`Vector::mean`]: same accumulation order, same final scaling.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vector::mean`]; on error `out` is left in an unspecified but
+    /// valid state.
+    pub fn mean_into(vectors: &[Vector], out: &mut Vector) -> Result<(), TensorError> {
         let first = vectors.first().ok_or(TensorError::Empty)?;
         let dim = first.dim();
-        let mut acc = Vector::zeros(dim);
+        out.0.clear();
+        out.0.resize(dim, 0.0);
         for v in vectors {
             if v.dim() != dim {
                 return Err(TensorError::DimensionMismatch {
@@ -271,10 +331,10 @@ impl Vector {
                     actual: v.dim(),
                 });
             }
-            acc.axpy(1.0, v);
+            out.axpy(1.0, v);
         }
-        acc.scale(1.0 / vectors.len() as f64);
-        Ok(acc)
+        out.scale(1.0 / vectors.len() as f64);
+        Ok(())
     }
 }
 
@@ -474,6 +534,49 @@ mod tests {
             Vector::mean(&bad),
             Err(TensorError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn fill_copy_from_sub_into() {
+        let mut v = Vector::from(vec![1.0, 2.0, 3.0]);
+        v.fill(0.25);
+        assert_eq!(v.as_slice(), &[0.25, 0.25, 0.25]);
+
+        // copy_from adapts the dimension and reuses capacity.
+        let src = Vector::from(vec![9.0, -9.0]);
+        v.copy_from(&src);
+        assert_eq!(v, src);
+        let longer = Vector::from(vec![1.0, 2.0, 3.0, 4.0]);
+        v.copy_from(&longer);
+        assert_eq!(v, longer);
+
+        let a = Vector::from(vec![5.0, 7.0]);
+        let b = Vector::from(vec![1.0, 2.0]);
+        let mut out = Vector::zeros(0);
+        a.sub_into(&b, &mut out);
+        assert_eq!(out, &a - &b);
+    }
+
+    #[test]
+    fn mean_into_matches_mean_bitwise() {
+        let mut rng = crate::Prng::seed_from_u64(5);
+        let vs: Vec<Vector> = (0..7).map(|_| rng.normal_vector(9, 1.3)).collect();
+        let allocating = Vector::mean(&vs).unwrap();
+        let mut reused = Vector::from(vec![999.0; 3]); // dirty, wrong dim
+        Vector::mean_into(&vs, &mut reused).unwrap();
+        for (a, b) in allocating.iter().zip(reused.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(Vector::mean_into(&[], &mut reused).is_err());
+        let ragged = vec![Vector::zeros(2), Vector::zeros(3)];
+        assert!(Vector::mean_into(&ragged, &mut reused).is_err());
+    }
+
+    #[test]
+    fn squared_distance_aliases_l2() {
+        let a = Vector::from(vec![0.0, 0.0]);
+        let b = Vector::from(vec![3.0, 4.0]);
+        assert_eq!(a.squared_distance(&b), a.l2_distance_squared(&b));
     }
 
     #[test]

@@ -9,12 +9,21 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Target measurement window per benchmark.
 const MEASURE_WINDOW: Duration = Duration::from_millis(200);
 /// Warm-up window per benchmark.
 const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Whether the binary was invoked with `--test` (real criterion's smoke
+/// mode, used by CI via `cargo bench -- --test`): every benchmark closure
+/// runs exactly once, with no warm-up or measurement loop.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Times one closure over many iterations.
 pub struct Bencher {
@@ -23,8 +32,16 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly and records the mean wall-clock time.
+    /// Runs `f` repeatedly and records the mean wall-clock time. Under
+    /// `--test` (smoke mode) the closure runs exactly once.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.total = start.elapsed();
+            self.iterations = 1;
+            return;
+        }
         // Warm-up: run until the warm-up window elapses.
         let warm_start = Instant::now();
         while warm_start.elapsed() < WARMUP_WINDOW {

@@ -1,0 +1,127 @@
+//! Allocation bound for the zero-copy round engine: after warm-up, a
+//! training round performs **zero** heap allocations for the `average`,
+//! `krum`, and `median` cells with the Gaussian mechanism.
+//!
+//! A counting global allocator snapshots the cumulative allocation count
+//! at every step (via a passive observer); the per-round deltas over the
+//! back half of the run must all be zero. Any clone-per-round regression
+//! in the worker loop, the server's round processing, the VN diagnostics,
+//! or the GAR scratch path fails this test immediately.
+
+use dpbyz::data::sampler::{BatchSource, DatasetSource, SamplingMode};
+use dpbyz::data::synthetic;
+use dpbyz::dp::{GaussianMechanism, Mechanism};
+use dpbyz::gars::{Average, CoordinateMedian, Gar, Krum};
+use dpbyz::models::{LogisticRegression, LossKind};
+use dpbyz::server::{FnObserver, Trainer, TrainingConfig};
+use dpbyz::tensor::Prng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counts every allocation event (alloc, alloc_zeroed, realloc) while
+/// delegating to the system allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const STEPS: u32 = 40;
+
+/// Runs one cell and returns the cumulative allocation count observed at
+/// the end of every step.
+fn per_step_allocation_counts(gar: Arc<dyn Gar>) -> Vec<u64> {
+    let n = 5;
+    let mut rng = Prng::seed_from_u64(11);
+    let ds = Arc::new(synthetic::phishing_like(&mut rng, 400));
+    let model = Arc::new(LogisticRegression::new(68, LossKind::SigmoidMse));
+    let config = TrainingConfig::builder()
+        .workers(n, 0)
+        .batch_size(10)
+        .steps(STEPS)
+        .eval_every(0)
+        .build()
+        .unwrap();
+    let sources: Vec<Box<dyn BatchSource>> = (0..n)
+        .map(|_| {
+            Box::new(DatasetSource::new(
+                ds.clone(),
+                SamplingMode::WithReplacement,
+            )) as Box<dyn BatchSource>
+        })
+        .collect();
+    // The snapshot buffer is pre-reserved so the observer itself never
+    // allocates on the hot path.
+    let snapshots: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(STEPS as usize)));
+    let sink = snapshots.clone();
+    let trainer = Trainer::new(config, model, sources, None)
+        .gar(gar)
+        .mechanism(Arc::new(GaussianMechanism::with_sigma(0.01).unwrap()) as Arc<dyn Mechanism>)
+        .observer(Box::new(FnObserver::new(move |_m| {
+            sink.lock().unwrap().push(allocation_count());
+        })));
+    trainer.run(1).unwrap();
+    Arc::try_unwrap(snapshots).unwrap().into_inner().unwrap()
+}
+
+fn assert_steady_state_allocation_free(name: &str, counts: &[u64]) {
+    assert_eq!(counts.len(), STEPS as usize);
+    // Warm-up (first rounds) may allocate: buffers grow to the topology's
+    // sizes. From mid-run on, every per-round delta must be exactly zero.
+    let tail = &counts[counts.len() / 2..];
+    for (i, pair) in tail.windows(2).enumerate() {
+        assert_eq!(
+            pair[1] - pair[0],
+            0,
+            "{name}: round {} allocated {} time(s) at steady state \
+             (full counts: {counts:?})",
+            counts.len() / 2 + i + 1,
+            pair[1] - pair[0],
+        );
+    }
+}
+
+#[test]
+fn average_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts(Arc::new(Average::new()));
+    assert_steady_state_allocation_free("average/gaussian", &counts);
+}
+
+#[test]
+fn krum_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts(Arc::new(Krum::new()));
+    assert_steady_state_allocation_free("krum/gaussian", &counts);
+}
+
+#[test]
+fn median_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts(Arc::new(CoordinateMedian::new()));
+    assert_steady_state_allocation_free("median/gaussian", &counts);
+}

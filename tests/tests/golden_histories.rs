@@ -1,0 +1,200 @@
+//! Golden-history pins for the zero-copy round-engine refactor.
+//!
+//! The digests below were recorded on the *pre-refactor* engine (the
+//! allocating clone-per-round hot path). The buffer-reusing engine must
+//! reproduce every one of them byte-for-byte, on both the sequential and
+//! the threaded engine — this is the "bit-identical histories" acceptance
+//! gate of the refactor.
+
+use dpbyz_attacks::{Attack, FallOfEmpires, LittleIsEnough};
+use dpbyz_data::sampler::{BatchSource, DatasetSource, SamplingMode};
+use dpbyz_data::synthetic;
+use dpbyz_dp::{GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise};
+use dpbyz_gars::{Bulyan, CoordinateMedian, Gar, Krum, Mda, MultiKrum};
+use dpbyz_models::{LogisticRegression, LossKind};
+use dpbyz_server::{
+    MomentumMode, RunHistory, ThreadedTrainer, Trainer, TrainingConfig, TrainingConfigBuilder,
+};
+use dpbyz_tensor::Prng;
+use std::sync::Arc;
+
+/// FNV-1a over every recorded float's bit pattern — a full-history digest.
+fn digest(h: &RunHistory) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            acc ^= b as u64;
+            acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(h.seed);
+    for x in &h.train_loss {
+        eat(x.to_bits());
+    }
+    for &(t, a) in &h.test_accuracy {
+        eat(t as u64);
+        eat(a.to_bits());
+    }
+    for x in &h.vn_submitted {
+        eat(x.to_bits());
+    }
+    for x in &h.vn_clean {
+        eat(x.to_bits());
+    }
+    for x in &h.grad_norm {
+        eat(x.to_bits());
+    }
+    for x in h.final_params.iter() {
+        eat(x.to_bits());
+    }
+    acc
+}
+
+struct CellSpec {
+    name: &'static str,
+    n: usize,
+    f: usize,
+    config: fn(TrainingConfigBuilder) -> TrainingConfigBuilder,
+    gar: fn() -> Arc<dyn Gar>,
+    mechanism: fn() -> Arc<dyn Mechanism>,
+    attack: Option<fn() -> Arc<dyn Attack>>,
+}
+
+fn cells() -> Vec<CellSpec> {
+    vec![
+        CellSpec {
+            name: "average/gaussian/clean",
+            n: 5,
+            f: 0,
+            config: |b| b,
+            gar: || Arc::new(dpbyz_gars::Average::new()),
+            mechanism: || Arc::new(GaussianMechanism::with_sigma(0.05).unwrap()),
+            attack: None,
+        },
+        CellSpec {
+            name: "krum/none/alie",
+            n: 9,
+            f: 2,
+            config: |b| b,
+            gar: || Arc::new(Krum::new()),
+            mechanism: || Arc::new(NoNoise),
+            attack: Some(|| Arc::new(LittleIsEnough::default())),
+        },
+        CellSpec {
+            name: "multi-krum/gaussian/alie",
+            n: 9,
+            f: 2,
+            config: |b| b,
+            gar: || Arc::new(MultiKrum::new()),
+            mechanism: || Arc::new(GaussianMechanism::with_sigma(0.02).unwrap()),
+            attack: Some(|| Arc::new(LittleIsEnough::default())),
+        },
+        CellSpec {
+            name: "median/gaussian/foe",
+            n: 7,
+            f: 3,
+            config: |b| b,
+            gar: || Arc::new(CoordinateMedian::new()),
+            mechanism: || Arc::new(GaussianMechanism::with_sigma(0.03).unwrap()),
+            attack: Some(|| Arc::new(FallOfEmpires::default())),
+        },
+        CellSpec {
+            name: "mda/gaussian/alie/worker-momentum",
+            n: 11,
+            f: 5,
+            config: |b| b.momentum_mode(MomentumMode::Worker),
+            gar: || Arc::new(Mda::new()),
+            mechanism: || Arc::new(GaussianMechanism::with_sigma(0.01).unwrap()),
+            attack: Some(|| Arc::new(LittleIsEnough::default())),
+        },
+        CellSpec {
+            name: "bulyan/laplace/foe",
+            n: 11,
+            f: 2,
+            config: |b| b,
+            gar: || Arc::new(Bulyan::new()),
+            mechanism: || Arc::new(LaplaceMechanism::calibrate(5.0, 0.01).unwrap()),
+            attack: Some(|| Arc::new(FallOfEmpires::default())),
+        },
+        CellSpec {
+            name: "average/none/drops+ema",
+            n: 5,
+            f: 0,
+            config: |b| b.drop_rate(0.3).gradient_ema(0.9),
+            gar: || Arc::new(dpbyz_gars::Average::new()),
+            mechanism: || Arc::new(NoNoise),
+            attack: None,
+        },
+        CellSpec {
+            name: "trimmed-mean/gaussian/batch-growth",
+            n: 7,
+            f: 2,
+            config: |b| b.batch_growth(1.1, 40),
+            gar: || Arc::new(dpbyz_gars::TrimmedMean::new()),
+            mechanism: || Arc::new(GaussianMechanism::with_sigma(0.02).unwrap()),
+            attack: Some(|| Arc::new(FallOfEmpires::default())),
+        },
+    ]
+}
+
+fn build_trainer(spec: &CellSpec) -> Trainer {
+    let mut rng = Prng::seed_from_u64(41);
+    let ds = Arc::new(synthetic::phishing_like(&mut rng, 400));
+    let (train, test) = ds.split(0.8, &mut rng).unwrap();
+    let (train, test) = (Arc::new(train), Arc::new(test));
+    let model = Arc::new(LogisticRegression::new(68, LossKind::SigmoidMse));
+    let builder = TrainingConfig::builder()
+        .workers(spec.n, spec.f)
+        .batch_size(10)
+        .steps(20)
+        .eval_every(7);
+    let config = (spec.config)(builder).build().unwrap();
+    let sources: Vec<Box<dyn BatchSource>> = (0..spec.n)
+        .map(|_| {
+            Box::new(DatasetSource::new(
+                train.clone(),
+                SamplingMode::WithReplacement,
+            )) as Box<dyn BatchSource>
+        })
+        .collect();
+    let mut trainer = Trainer::new(config, model, sources, Some(test))
+        .gar((spec.gar)())
+        .mechanism((spec.mechanism)());
+    if let Some(attack) = spec.attack {
+        trainer = trainer.attack(attack());
+    }
+    trainer
+}
+
+/// Digests recorded on the pre-refactor (clone-per-round) engine.
+const GOLDEN: [(&str, u64); 8] = [
+    ("average/gaussian/clean", 0xbe5edf6262fca64f),
+    ("krum/none/alie", 0x85d8237bae796a9f),
+    ("multi-krum/gaussian/alie", 0x9a197544de465cc2),
+    ("median/gaussian/foe", 0xc3153c303acd0ac0),
+    ("mda/gaussian/alie/worker-momentum", 0x6c2b0a7fc8612cfa),
+    ("bulyan/laplace/foe", 0xa25cf2d6e242ade7),
+    ("average/none/drops+ema", 0xd954052ece8dab6e),
+    ("trimmed-mean/gaussian/batch-growth", 0x09e0c686041d3706),
+];
+
+#[test]
+fn refactored_engine_reproduces_pre_refactor_histories() {
+    let specs = cells();
+    assert_eq!(specs.len(), GOLDEN.len());
+    for (spec, &(name, expected)) in specs.iter().zip(&GOLDEN) {
+        assert_eq!(spec.name, name);
+        let seq = build_trainer(spec).run(3).unwrap();
+        assert_eq!(
+            digest(&seq),
+            expected,
+            "{name}: sequential engine diverged from the pre-refactor history"
+        );
+        let thr = ThreadedTrainer::from(build_trainer(spec)).run(3).unwrap();
+        assert_eq!(
+            digest(&thr),
+            expected,
+            "{name}: threaded engine diverged from the pre-refactor history"
+        );
+    }
+}

@@ -115,6 +115,62 @@ fn sweep_covers_both_engines_identically() {
 }
 
 #[test]
+fn zero_copy_engine_is_bit_identical_across_gars_engines_and_pool_sizes() {
+    // Determinism gate for the buffer-reusing round engine: cells chosen
+    // to exercise every scratch path (mean_into, the shared Krum distance
+    // matrix, Bulyan's index-based selection, MDA's subset search, the
+    // coordinate statistics) plus the in-place Gaussian mechanism and
+    // forged-vector reuse, on both engines, serial and pools 1/2/8.
+    let cells: [(&str, &str, usize); 5] = [
+        ("average", "", 0),
+        ("krum", "alie", 2),
+        ("median", "foe", 3),
+        ("mda", "alie", 4),
+        ("bulyan", "foe", 2),
+    ];
+    for (gar, attack, f) in cells {
+        for threaded in [false, true] {
+            let mut builder = Experiment::builder()
+                .steps(5)
+                .dataset_size(250)
+                .gar(gar)
+                .byzantine(f)
+                .epsilon(0.3)
+                .threaded(threaded);
+            if !attack.is_empty() {
+                builder = builder.attack(attack);
+            }
+            let exp = builder.build().unwrap();
+            let serial = exp.run_seeds(&SEEDS).unwrap();
+            for pool in POOL_SIZES {
+                let parallel = exp.run_seeds_parallel(&SEEDS, Some(pool)).unwrap();
+                assert_eq!(
+                    serial, parallel,
+                    "{gar}/{attack}: pool {pool}, threaded {threaded}"
+                );
+            }
+        }
+        // Sequential and threaded engines agree on the same cell.
+        let mut seq_builder = Experiment::builder()
+            .steps(5)
+            .dataset_size(250)
+            .gar(gar)
+            .byzantine(f)
+            .epsilon(0.3);
+        let mut thr_builder = seq_builder.clone().threaded(true);
+        if !attack.is_empty() {
+            seq_builder = seq_builder.attack(attack);
+            thr_builder = thr_builder.attack(attack);
+        }
+        assert_eq!(
+            seq_builder.build().unwrap().run_seeds(&SEEDS).unwrap(),
+            thr_builder.build().unwrap().run_seeds(&SEEDS).unwrap(),
+            "{gar}/{attack}: engines disagree"
+        );
+    }
+}
+
+#[test]
 fn observers_stream_without_perturbing_parallel_results() {
     let exp = attacked_experiment(false);
     let serial = exp.run_seeds(&SEEDS).unwrap();

@@ -249,3 +249,82 @@ fn custom_attack_and_mechanism_register_end_to_end() {
     // The custom mechanism injects noise: submitted VN exceeds clean VN.
     assert!(h.mean_vn_submitted() > h.mean_vn_clean());
 }
+
+#[test]
+fn third_party_budget_calibrated_mechanism_degrades_without_budget() {
+    // A third-party mechanism that calibrates its sigma from the injected
+    // privacy budget, registered with the `requires_budget` capability —
+    // it must get the same no-budget degradation to the identity
+    // mechanism as the built-in `gaussian`/`laplace`.
+    struct BudgetNoise(f64);
+    impl dpbyz::dp::Mechanism for BudgetNoise {
+        fn perturb(&self, gradient: &Vector, rng: &mut dpbyz::tensor::Prng) -> Vector {
+            gradient + &rng.normal_vector(gradient.dim(), self.0)
+        }
+        fn per_coordinate_std(&self) -> f64 {
+            self.0
+        }
+        fn total_noise_variance(&self, dim: usize) -> f64 {
+            dim as f64 * self.0 * self.0
+        }
+        fn name(&self) -> &'static str {
+            "budget-noise"
+        }
+    }
+    register_mechanism_with(
+        "budget-noise",
+        MechanismCapabilities::budget_calibrated(),
+        |spec| {
+            let epsilon = spec.f64("epsilon").ok_or_else(|| RegistryError::Build {
+                id: "budget-noise".into(),
+                message: "missing required parameter `epsilon`".into(),
+            })?;
+            Ok(Arc::new(BudgetNoise(0.01 / epsilon)))
+        },
+    )
+    .expect("registers");
+
+    let base = || {
+        Experiment::builder()
+            .steps(6)
+            .dataset_size(300)
+            .gar("average")
+    };
+    // No budget: the spec degrades to the identity mechanism instead of
+    // failing calibration, exactly like the built-in no-DP baselines.
+    let no_budget = base().mechanism("budget-noise").build().unwrap();
+    let baseline = base().mechanism("none").build().unwrap();
+    assert_eq!(no_budget.run(2).unwrap(), baseline.run(2).unwrap());
+
+    // With a budget the custom mechanism runs (and injects noise).
+    let with_budget = base()
+        .mechanism("budget-noise")
+        .epsilon(0.2)
+        .build()
+        .unwrap();
+    let h = with_budget.run(2).unwrap();
+    assert_ne!(h, baseline.run(2).unwrap());
+    assert!(h.mean_vn_submitted() > h.mean_vn_clean());
+
+    // A capability-free custom mechanism is NOT degraded: it resolves as
+    // specified even without a budget.
+    struct AlwaysNoise;
+    impl dpbyz::dp::Mechanism for AlwaysNoise {
+        fn perturb(&self, gradient: &Vector, rng: &mut dpbyz::tensor::Prng) -> Vector {
+            gradient + &rng.normal_vector(gradient.dim(), 0.05)
+        }
+        fn per_coordinate_std(&self) -> f64 {
+            0.05
+        }
+        fn total_noise_variance(&self, dim: usize) -> f64 {
+            dim as f64 * 0.05 * 0.05
+        }
+        fn name(&self) -> &'static str {
+            "always-noise"
+        }
+    }
+    register_mechanism("always-noise", |_| Ok(Arc::new(AlwaysNoise))).expect("registers");
+    let plain = base().mechanism("always-noise").build().unwrap();
+    let h = plain.run(2).unwrap();
+    assert!(h.mean_vn_submitted() > h.mean_vn_clean());
+}

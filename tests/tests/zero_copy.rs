@@ -1,0 +1,244 @@
+//! Equivalence suite for the zero-copy hot path: every `_into`/in-place
+//! kernel must match its allocating counterpart **bit for bit**, with the
+//! scratch state deliberately reused (dirty) across calls — exactly how
+//! the round engine drives it.
+
+use dpbyz::attacks::{
+    Attack, AttackContext, FallOfEmpires, LargeNorm, LittleIsEnough, Mimic, RandomNoise, SignFlip,
+    Zero,
+};
+use dpbyz::dp::{GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise};
+use dpbyz::gars::{all_gars, Gar, GarScratch};
+use dpbyz::tensor::{Prng, Vector};
+use proptest::prelude::*;
+
+fn bits_equal(a: &Vector, b: &Vector) -> bool {
+    a.dim() == b.dim()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn random_gradients(seed: u64, n: usize, dim: usize) -> Vec<Vector> {
+    let mut rng = Prng::seed_from_u64(seed);
+    (0..n).map(|_| rng.normal_vector(dim, 1.0)).collect()
+}
+
+/// `(n, f)` tolerated by every GAR in `all_gars()` (Bulyan is the
+/// tightest: n ≥ 4f + 3).
+fn tolerated_f(name: &str) -> usize {
+    match name {
+        "average" => 0,
+        "krum" | "multi-krum" => 4,
+        "bulyan" => 2,
+        _ => 5,
+    }
+}
+
+#[test]
+fn aggregate_into_matches_aggregate_for_every_gar_with_dirty_scratch() {
+    // One scratch and one output buffer REUSED across every rule and every
+    // round — the server's usage pattern. Any state leaking between calls
+    // would break the bitwise match.
+    let mut scratch = GarScratch::new();
+    let mut out = Vector::from(vec![99.0; 3]);
+    for round in 0..8u64 {
+        let grads = random_gradients(round, 11, 17);
+        for gar in all_gars() {
+            let f = tolerated_f(gar.name());
+            let allocating = gar.aggregate(&grads, f).unwrap();
+            gar.aggregate_into(&grads, f, &mut scratch, &mut out)
+                .unwrap();
+            assert!(
+                bits_equal(&allocating, &out),
+                "{} diverged on round {round}",
+                gar.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregate_into_matches_on_adversarial_inputs() {
+    // Duplicated vectors, exact ties, extreme outliers: the tie-breaking
+    // paths must agree too.
+    let mut base = random_gradients(7, 5, 4);
+    base.push(base[0].clone()); // exact duplicate
+    base.push(base[1].clone());
+    base.push(Vector::filled(4, 1e9)); // far outlier
+    base.push(Vector::filled(4, -1e9));
+    base.push(Vector::zeros(4));
+    base.push(Vector::zeros(4)); // duplicate zero
+    let mut scratch = GarScratch::new();
+    let mut out = Vector::default();
+    for gar in all_gars() {
+        let f = tolerated_f(gar.name());
+        let allocating = gar.aggregate(&base, f).unwrap();
+        gar.aggregate_into(&base, f, &mut scratch, &mut out)
+            .unwrap();
+        assert!(bits_equal(&allocating, &out), "{} diverged", gar.name());
+    }
+}
+
+#[test]
+fn aggregate_into_error_contract_matches_aggregate() {
+    let mut scratch = GarScratch::new();
+    let mut out = Vector::default();
+    for gar in all_gars() {
+        // Empty input.
+        assert_eq!(
+            gar.aggregate(&[], 0).unwrap_err(),
+            gar.aggregate_into(&[], 0, &mut scratch, &mut out)
+                .unwrap_err(),
+            "{}: empty-input errors differ",
+            gar.name()
+        );
+        // Ragged input.
+        let ragged = vec![Vector::zeros(2), Vector::zeros(3)];
+        assert_eq!(
+            gar.aggregate(&ragged, 0).unwrap_err(),
+            gar.aggregate_into(&ragged, 0, &mut scratch, &mut out)
+                .unwrap_err(),
+            "{}: ragged-input errors differ",
+            gar.name()
+        );
+        // Intolerable f.
+        let grads = vec![Vector::zeros(1); 5];
+        let too_many = 3;
+        assert_eq!(
+            gar.aggregate(&grads, too_many).unwrap_err(),
+            gar.aggregate_into(&grads, too_many, &mut scratch, &mut out)
+                .unwrap_err(),
+            "{}: tolerance errors differ",
+            gar.name()
+        );
+    }
+}
+
+#[test]
+fn default_aggregate_into_delegates_to_aggregate() {
+    // An out-of-tree GAR that only implements `aggregate` must get the
+    // default `aggregate_into` for free, bit-identically.
+    struct FirstVector;
+    impl Gar for FirstVector {
+        fn name(&self) -> &'static str {
+            "first-vector"
+        }
+        fn aggregate(
+            &self,
+            gradients: &[Vector],
+            _f: usize,
+        ) -> Result<Vector, dpbyz::gars::GarError> {
+            gradients
+                .first()
+                .cloned()
+                .ok_or(dpbyz::gars::GarError::Empty)
+        }
+        fn kappa(&self, _n: usize, _f: usize) -> Option<f64> {
+            None
+        }
+        fn max_byzantine(&self, _n: usize) -> usize {
+            0
+        }
+    }
+    let grads = random_gradients(3, 4, 6);
+    let mut scratch = GarScratch::new();
+    let mut out = Vector::from(vec![5.0]); // dirty, wrong dim
+    FirstVector
+        .aggregate_into(&grads, 0, &mut scratch, &mut out)
+        .unwrap();
+    assert!(bits_equal(&grads[0], &out));
+    assert!(matches!(
+        FirstVector.aggregate_into(&[], 0, &mut scratch, &mut out),
+        Err(dpbyz::gars::GarError::Empty)
+    ));
+}
+
+proptest! {
+    #[test]
+    fn prop_aggregate_into_equivalence(seed in 0u64..500, dim in 1usize..24) {
+        let grads = random_gradients(seed, 11, dim);
+        let mut scratch = GarScratch::new();
+        let mut out = Vector::default();
+        for gar in all_gars() {
+            let f = tolerated_f(gar.name());
+            let allocating = gar.aggregate(&grads, f).unwrap();
+            gar.aggregate_into(&grads, f, &mut scratch, &mut out).unwrap();
+            prop_assert!(
+                bits_equal(&allocating, &out),
+                "{} diverged at seed {seed}, dim {dim}", gar.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_perturb_in_place_equivalence(seed in 0u64..500, dim in 1usize..48) {
+        let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(NoNoise),
+            Box::new(GaussianMechanism::with_sigma(0.3).unwrap()),
+            Box::new(LaplaceMechanism::calibrate(0.7, 1.0).unwrap()),
+        ];
+        let g = Prng::seed_from_u64(seed).normal_vector(dim, 2.0);
+        for m in &mechanisms {
+            let allocating = m.perturb(&g, &mut Prng::seed_from_u64(seed ^ 0xABCD));
+            let mut in_place = g.clone();
+            m.perturb_in_place(&mut in_place, &mut Prng::seed_from_u64(seed ^ 0xABCD));
+            prop_assert!(
+                bits_equal(&allocating, &in_place),
+                "{} diverged at seed {seed}, dim {dim}", m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_forge_into_equivalence(seed in 0u64..500, n in 1usize..8, dim in 1usize..16) {
+        let honest = random_gradients(seed, n, dim);
+        let ctx = AttackContext::new(&honest, seed as usize);
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(LittleIsEnough::default()),
+            Box::new(FallOfEmpires::default()),
+            Box::new(SignFlip),
+            Box::new(RandomNoise::new(1.3)),
+            Box::new(Zero),
+            Box::new(LargeNorm::default()),
+            Box::new(Mimic::new(seed as usize)),
+        ];
+        let mut out = Vector::from(vec![-1.0; 2]); // dirty buffer, reused
+        for attack in &attacks {
+            let allocating = attack.forge(&ctx, &mut Prng::seed_from_u64(seed));
+            attack.forge_into(&ctx, &mut Prng::seed_from_u64(seed), &mut out);
+            prop_assert!(
+                bits_equal(&allocating, &out),
+                "{} diverged at seed {seed}", attack.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_vector_kernel_equivalence(seed in 0u64..500, n in 1usize..10, dim in 1usize..32) {
+        let vs = random_gradients(seed, n, dim);
+        // mean_into vs mean.
+        let mut out = Vector::from(vec![3.25; 5]);
+        Vector::mean_into(&vs, &mut out).unwrap();
+        prop_assert!(bits_equal(&Vector::mean(&vs).unwrap(), &out));
+        // sub_into vs operator.
+        if n >= 2 {
+            let mut diff = Vector::default();
+            vs[0].sub_into(&vs[1], &mut diff);
+            prop_assert!(bits_equal(&(&vs[0] - &vs[1]), &diff));
+        }
+        // copy_from round-trip and fill.
+        let mut buf = Vector::zeros(1);
+        buf.copy_from(&vs[0]);
+        prop_assert!(bits_equal(&vs[0], &buf));
+        buf.fill(0.0);
+        prop_assert!(bits_equal(&Vector::zeros(dim), &buf));
+        // squared_distance alias.
+        if n >= 2 {
+            prop_assert_eq!(
+                vs[0].squared_distance(&vs[1]).to_bits(),
+                vs[0].l2_distance_squared(&vs[1]).to_bits()
+            );
+        }
+    }
+}
