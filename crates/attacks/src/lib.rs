@@ -11,8 +11,11 @@
 //!   (`a_t = −g_t`); default `ν = 1.1` (i.e. `ν′ = 0.1` in the original
 //!   paper's notation).
 //!
-//! Baselines [`SignFlip`], [`RandomNoise`], [`Zero`] and [`LargeNorm`] are
-//! included for sweeps.
+//! Beyond the paper's pair, the zoo carries
+//! [`InnerProductManipulation`] (the ε-form of FoE's descent-direction
+//! reversal) and the norm-[`Rescaling`] probe for radius-tuned defenses,
+//! plus baselines [`SignFlip`], [`RandomNoise`], [`Zero`], [`LargeNorm`]
+//! and [`Mimic`] for sweeps.
 //!
 //! Attackers are *omniscient colluders*: they observe the gradients the
 //! honest workers submit in the current round (the strongest standard
@@ -344,6 +347,106 @@ impl Attack for Mimic {
     }
 }
 
+/// Inner-product manipulation (Xie, Koyejo, Gupta — UAI 2020): submit
+/// `−ε·mean(honest)`, a *small* negated multiple of the coalition's
+/// gradient estimate. The goal is not to be an outlier — the forged
+/// vector sits well inside the honest cluster for small ε — but to tip
+/// the inner product `⟨F(…), ∇Q⟩` negative so the descent direction
+/// reverses without tripping distance-based filters.
+///
+/// This is the ε-parameterized canonical form of the same paper's
+/// [`FallOfEmpires`] (`foe` with ν = 1 + ε submits the identical vector);
+/// the two ids are kept distinct because the literature sweeps them on
+/// different scales: FoE's ν near 1, IPM's ε from 0.1 (stealthy) to ≫ 1
+/// (norm-amplified).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InnerProductManipulation {
+    /// Negative-scaling factor ε (stealthy default 0.1).
+    pub epsilon: f64,
+}
+
+impl InnerProductManipulation {
+    /// Creates the attack with an explicit ε.
+    pub fn new(epsilon: f64) -> Self {
+        InnerProductManipulation { epsilon }
+    }
+}
+
+impl Default for InnerProductManipulation {
+    /// The stealthy literature baseline: ε = 0.1.
+    fn default() -> Self {
+        InnerProductManipulation { epsilon: 0.1 }
+    }
+}
+
+impl Attack for InnerProductManipulation {
+    fn name(&self) -> &'static str {
+        "ipm"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        ctx.honest_mean().scaled(-self.epsilon)
+    }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        ctx.honest_mean_into(out);
+        out.scale(-self.epsilon);
+    }
+}
+
+/// Norm-rescaling attack: submit the honest-mean *direction* rescaled to
+/// a fixed L2 norm `|norm|` (reversed when `norm` is negative, the
+/// default). Unlike the multiplicative [`LargeNorm`], the forged norm is
+/// *absolute* — independent of the honest gradients' scale — which is
+/// what makes it the natural probe for radius-tuned defenses like
+/// centered clipping: a submission placed exactly at the clipping radius
+/// evades shrinking entirely while biasing the aggregate maximally.
+///
+/// A zero honest mean forges the zero vector (no direction to rescale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rescaling {
+    /// Target L2 norm; the sign selects the direction (negative =
+    /// opposing the honest mean).
+    pub norm: f64,
+}
+
+impl Rescaling {
+    /// Creates the attack with an explicit signed target norm.
+    pub fn new(norm: f64) -> Self {
+        Rescaling { norm }
+    }
+}
+
+impl Default for Rescaling {
+    /// Unit norm, opposing the honest mean.
+    fn default() -> Self {
+        Rescaling { norm: -1.0 }
+    }
+}
+
+impl Attack for Rescaling {
+    fn name(&self) -> &'static str {
+        "rescaling"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>, _rng: &mut Prng) -> Vector {
+        let mut g = ctx.honest_mean();
+        let n = g.l2_norm();
+        if n > 0.0 {
+            g.scale(self.norm / n);
+        }
+        g
+    }
+
+    fn forge_into(&self, ctx: &AttackContext<'_>, _rng: &mut Prng, out: &mut Vector) {
+        ctx.honest_mean_into(out);
+        let n = out.l2_norm();
+        if n > 0.0 {
+            out.scale(self.norm / n);
+        }
+    }
+}
+
 /// Submits the honest mean blown up by a large factor — the naive attack
 /// every robust GAR defeats trivially (a sanity baseline).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -482,6 +585,54 @@ mod tests {
     }
 
     #[test]
+    fn ipm_is_small_negated_mean() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        // −0.1·[2, 0] = [−0.2, 0].
+        let forged = InnerProductManipulation::default().forge(&ctx, &mut rng);
+        assert!(forged.approx_eq(&Vector::from(vec![-0.2, 0.0]), 1e-12));
+        // Negative inner product with the honest mean: the defining goal.
+        let dot: f64 = forged
+            .iter()
+            .zip(ctx.honest_mean().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(dot < 0.0);
+        // ε-form equivalence with FoE: ipm(ε) ≡ foe(1 + ε).
+        let foe = FallOfEmpires::new(1.1).forge(&ctx, &mut rng);
+        assert!(forged.approx_eq(&foe, 1e-12));
+    }
+
+    #[test]
+    fn rescaling_fixes_the_forged_norm() {
+        let h = honest();
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = Rescaling::new(-3.0).forge(&ctx, &mut rng);
+        // Absolute norm 3, direction opposing the mean [2, 0].
+        assert!((forged.l2_norm() - 3.0).abs() < 1e-12);
+        assert!(forged.approx_eq(&Vector::from(vec![-3.0, 0.0]), 1e-12));
+        // The norm is independent of the honest scale (unlike LargeNorm).
+        let scaled: Vec<Vector> = h.iter().map(|g| g.scaled(100.0)).collect();
+        let ctx = AttackContext::new(&scaled, 0);
+        let forged = Rescaling::new(-3.0).forge(&ctx, &mut rng);
+        assert!((forged.l2_norm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescaling_zero_mean_forges_zero() {
+        let h = vec![Vector::from(vec![1.0, 0.0]), Vector::from(vec![-1.0, 0.0])];
+        let ctx = AttackContext::new(&h, 0);
+        let mut rng = Prng::seed_from_u64(0);
+        let forged = Rescaling::default().forge(&ctx, &mut rng);
+        assert_eq!(forged.as_slice(), &[0.0, 0.0]);
+        let mut out = Vector::from(vec![5.0]);
+        Rescaling::default().forge_into(&ctx, &mut Prng::seed_from_u64(0), &mut out);
+        assert_eq!(out.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
     fn zero_and_large_norm() {
         let h = honest();
         let ctx = AttackContext::new(&h, 0);
@@ -527,6 +678,8 @@ mod tests {
             Box::new(Zero),
             Box::new(LargeNorm::default()),
             Box::new(Mimic::new(2)),
+            Box::new(InnerProductManipulation::default()),
+            Box::new(Rescaling::new(-0.25)),
         ];
         for attack in &attacks {
             let allocating = attack.forge(&ctx, &mut Prng::seed_from_u64(5));
@@ -564,10 +717,12 @@ mod tests {
             Box::new(Zero),
             Box::new(LargeNorm::default()),
             Box::new(Mimic::default()),
+            Box::new(InnerProductManipulation::default()),
+            Box::new(Rescaling::default()),
         ];
         let mut names: Vec<&str> = attacks.iter().map(|a| a.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 9);
     }
 }

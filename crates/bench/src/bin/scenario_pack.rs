@@ -1,0 +1,94 @@
+//! Run a registered scenario pack end-to-end on the parallel sweep
+//! executor and print / CSV its per-cell tail losses.
+//!
+//! The pack system is the registry for *studies*: `paper-core` replays
+//! the seed §5 grid, `attack-zoo` crosses every registered GAR with every
+//! registered attack, `clipping-study` probes the radius-tuned defenses.
+//! See `docs/SCENARIOS.md` (or the `dpbyz::scenarios` rustdoc module) for
+//! the full catalog.
+//!
+//! Usage:
+//!   cargo run --release -p dpbyz-bench --bin scenario_pack -- --list
+//!   cargo run --release -p dpbyz-bench --bin scenario_pack [-- --pack ID] [--quick] [--pool N] [--dp]
+//!
+//! `--dp` arms the paper's (0.2, 1e-6) per-step budget on the *base*
+//! experiment. Cells that pin their own privacy stance keep it —
+//! `paper-core`'s `/dp` cells pin ε = 0.2 and its `/nodp` cells clear
+//! the budget outright — while cells that say nothing about DP (the
+//! whole `attack-zoo`) inherit the flag.
+
+use dpbyz::prelude::*;
+use dpbyz::report::csv;
+use dpbyz_bench::{arg_present, arg_value, write_csv};
+
+fn main() {
+    if arg_present("--list") {
+        println!("registered scenario packs:");
+        for id in scenario_pack_ids() {
+            let pack = scenario_pack(&id).expect("listed pack resolves");
+            println!(
+                "  {id:<18} {} cells — {}",
+                pack.cells.len(),
+                pack.description
+            );
+        }
+        return;
+    }
+
+    let pack_id = arg_value("--pack").unwrap_or_else(|| "paper-core".to_string());
+    let quick = arg_present("--quick");
+    let pool: Option<usize> = arg_value("--pool").map(|v| match v.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => panic!("--pool takes a positive integer, e.g. --pool 8 (got `{v}`)"),
+    });
+    let (steps, size, seeds): (u32, usize, Vec<u64>) = if quick {
+        (60, 1000, vec![1])
+    } else {
+        (400, 6000, vec![1, 2, 3])
+    };
+
+    let pack = match scenario_pack(&pack_id) {
+        Ok(pack) => pack,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "pack `{}` — {} ({} cells × {} seeds, {} steps)",
+        pack.id,
+        pack.description,
+        pack.cells.len(),
+        seeds.len(),
+        steps
+    );
+
+    let mut base = Experiment::builder().steps(steps).dataset_size(size);
+    if arg_present("--dp") {
+        base = base.epsilon(0.2);
+    }
+    let mut sweep = SweepBuilder::over(base)
+        .with_pack(&pack_id)
+        .seeds(&seeds)
+        .progress(|e| eprintln!("  [{}/{}] {}", e.completed, e.total, e.job.label));
+    if let Some(pool) = pool {
+        sweep = sweep.pool_size(pool);
+    }
+    let results = sweep.run().expect("pack cells run");
+
+    let tail = |run: &CellRun| {
+        let k = (steps as usize / 20).max(1);
+        run.histories.iter().map(|h| h.tail_loss(k)).sum::<f64>() / run.histories.len() as f64
+    };
+    println!("\n{:<42} {:>12}", "cell", "tail loss");
+    let mut rows = Vec::new();
+    for cell in &results.cells {
+        let loss = tail(cell);
+        println!("{:<42} {loss:>12.6}", cell.label);
+        rows.push(vec![cell.label.clone(), format!("{loss}")]);
+    }
+    write_csv(
+        &format!("scenario_pack_{}.csv", pack.id),
+        &csv(&["cell", "tail_loss"], &rows),
+    );
+}

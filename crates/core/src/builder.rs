@@ -117,7 +117,10 @@ impl ExperimentBuilder {
     }
 
     /// Replaces the entire training configuration (overrides every knob
-    /// below).
+    /// below that was set *before* this call; topology and batch knobs
+    /// set *afterwards* — e.g. by a scenario-pack cell pinning its
+    /// Byzantine count over this base — write through into it, so the
+    /// last call always wins).
     #[must_use]
     pub fn config(mut self, config: TrainingConfig) -> Self {
         self.config = Some(config);
@@ -127,13 +130,30 @@ impl ExperimentBuilder {
     /// Sets `n` total and `f` Byzantine workers.
     #[must_use]
     pub fn workers(mut self, n: usize, f: usize) -> Self {
+        if let Some(config) = &mut self.config {
+            config.n_workers = n;
+            config.n_byzantine = f;
+        }
         self.workers = (n, f);
+        self
+    }
+
+    /// Sets the total worker count `n` only.
+    #[must_use]
+    pub fn n_workers(mut self, n: usize) -> Self {
+        if let Some(config) = &mut self.config {
+            config.n_workers = n;
+        }
+        self.workers.0 = n;
         self
     }
 
     /// Sets the Byzantine count `f` only.
     #[must_use]
     pub fn byzantine(mut self, f: usize) -> Self {
+        if let Some(config) = &mut self.config {
+            config.n_byzantine = f;
+        }
         self.workers.1 = f;
         self
     }
@@ -141,6 +161,9 @@ impl ExperimentBuilder {
     /// Sets the per-worker batch size `b`.
     #[must_use]
     pub fn batch_size(mut self, b: usize) -> Self {
+        if let Some(config) = &mut self.config {
+            config.batch_size = b;
+        }
         self.batch_size = b;
         self
     }
@@ -203,6 +226,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Disarms any attack (undoes [`attack`](Self::attack)): every worker
+    /// is honest again. Scenario packs use this so an explicitly clean
+    /// cell stays clean even over an attack-carrying base.
+    #[must_use]
+    pub fn unattacked(mut self) -> Self {
+        self.attack = None;
+        self
+    }
+
     /// Sets the noise mechanism by registry id, `MechanismKind`, or full
     /// spec. The budget-calibrated built-ins (`gaussian`, `laplace`)
     /// degrade to the identity mechanism while no budget is set; a custom
@@ -233,6 +265,17 @@ impl ExperimentBuilder {
     #[must_use]
     pub fn budget(mut self, budget: PrivacyBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Clears any privacy budget (undoes [`epsilon`](Self::epsilon) /
+    /// [`budget`](Self::budget)): the experiment runs noise-free. Scenario
+    /// packs use this so an explicitly no-DP cell stays no-DP even over a
+    /// DP-carrying base.
+    #[must_use]
+    pub fn no_dp(mut self) -> Self {
+        self.epsilon = None;
+        self.budget = None;
         self
     }
 
@@ -297,7 +340,16 @@ impl ExperimentBuilder {
         };
 
         let config = match self.config {
-            Some(config) => config,
+            Some(mut config) => {
+                // The same normalization the knob path applies: with no
+                // attack armed, every worker is honest — a nonzero
+                // `n_byzantine` left in an explicit config would make the
+                // GAR trim (or reject) honest submissions on step 1.
+                if self.attack.is_none() {
+                    config.n_byzantine = 0;
+                }
+                config
+            }
             None => {
                 let (n, f) = self.workers;
                 // An unarmed attack means every worker is honest.
@@ -486,5 +538,59 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(exp.config, config);
+    }
+
+    #[test]
+    fn topology_knobs_after_explicit_config_write_through() {
+        // Scenario-pack cells pin workers/byzantine/batch over arbitrary
+        // bases, including ones assembled from a full TrainingConfig:
+        // knobs set AFTER config() must win.
+        let config = TrainingConfig::builder()
+            .workers(7, 3)
+            .batch_size(4)
+            .steps(9)
+            .build()
+            .unwrap();
+        let exp = Experiment::builder()
+            .config(config)
+            .attack("alie")
+            .n_workers(11)
+            .byzantine(5)
+            .batch_size(16)
+            .build()
+            .unwrap();
+        assert_eq!(exp.config.n_workers, 11);
+        assert_eq!(exp.config.n_byzantine, 5);
+        assert_eq!(exp.config.batch_size, 16);
+        assert_eq!(exp.config.steps, 9); // untouched knob kept
+    }
+
+    #[test]
+    fn unarmed_explicit_config_zeroes_byzantine_count() {
+        // The knob path's "no attack ⇒ every worker honest" rule applies
+        // to explicit configs too: otherwise a clean cell over a
+        // config-carrying base keeps f > 0 and averaging rejects (or a
+        // robust rule trims) honest submissions on step 1.
+        let config = TrainingConfig::builder()
+            .workers(11, 5)
+            .batch_size(8)
+            .steps(2)
+            .build()
+            .unwrap();
+        let clean = Experiment::builder()
+            .dataset_size(200)
+            .config(config.clone())
+            .build()
+            .unwrap();
+        assert_eq!(clean.config.n_byzantine, 0);
+        assert!(clean.run(1).is_ok());
+        // With an attack armed the config's f is preserved.
+        let armed = Experiment::builder()
+            .dataset_size(200)
+            .config(config)
+            .attack("alie")
+            .build()
+            .unwrap();
+        assert_eq!(armed.config.n_byzantine, 5);
     }
 }

@@ -21,6 +21,8 @@
 //!   [`pipeline::Experiment::paper_figure`]);
 //! * [`analysis`] — feasibility frontiers (minimum batch size, maximum
 //!   Byzantine fraction) and the ResNet-50 worked example;
+//! * [`pack`] — scenario packs: named, registry-resolvable bundles of
+//!   labelled sweep cells ([`sweep::SweepBuilder::with_pack`]);
 //! * [`report`] — CSV / Markdown emitters used by the bench harness.
 //!
 //! # Quickstart
@@ -48,6 +50,7 @@
 pub mod analysis;
 mod builder;
 mod kinds;
+pub mod pack;
 pub mod pipeline;
 pub mod registry;
 pub mod report;
@@ -56,6 +59,7 @@ pub mod theory;
 
 pub use builder::ExperimentBuilder;
 pub use kinds::{AttackKind, GarKind, MechanismKind};
+pub use pack::{PackCell, ScenarioPack};
 pub use pipeline::Experiment;
 pub use registry::{ComponentSpec, ParamValue, Registry, RegistryError};
 pub use sweep::{CellRun, SweepBuilder, SweepResults};
@@ -74,6 +78,10 @@ pub use sweep::{CellRun, SweepBuilder, SweepResults};
 /// assert_eq!(exp.gar, GarKind::Average);
 /// ```
 pub mod prelude {
+    pub use crate::pack::{
+        register_scenario_pack, register_scenario_pack_with, scenario_pack, scenario_pack_ids,
+        PackCell, ScenarioPack,
+    };
     pub use crate::pipeline::{Experiment, FigureConfig, PipelineError, Workload};
     pub use crate::registry::{
         register_attack, register_gar, register_mechanism, register_mechanism_with, ComponentSpec,

@@ -125,7 +125,7 @@ pub struct Experiment {
     /// `None`, mechanisms whose factory declared the `requires_budget`
     /// capability (the built-in `gaussian`/`laplace`, or any third-party
     /// mechanism registered via
-    /// [`registry::register_mechanism_with`](crate::registry::register_mechanism_with)
+    /// [`registry::register_mechanism_with`]
     /// with [`MechanismCapabilities::budget_calibrated`](crate::registry::MechanismCapabilities::budget_calibrated))
     /// degrade to the identity mechanism (the paper's no-DP baselines);
     /// all other registered ids are always resolved as specified.

@@ -40,12 +40,13 @@
 //! ```
 
 use dpbyz_attacks::{
-    Attack, FallOfEmpires, LargeNorm, LittleIsEnough, Mimic, RandomNoise, SignFlip, Zero,
+    Attack, FallOfEmpires, InnerProductManipulation, LargeNorm, LittleIsEnough, Mimic, RandomNoise,
+    Rescaling, SignFlip, Zero,
 };
 use dpbyz_dp::{GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise, PrivacyBudget};
 use dpbyz_gars::{
-    Average, Bulyan, CoordinateMedian, Gar, GeometricMedian, Krum, Mda, Meamed, MultiKrum, Phocas,
-    TrimmedMean,
+    Average, Bucketing, Bulyan, CenteredClipping, CoordinateMedian, Gar, GeometricMedian, Krum,
+    Mda, Meamed, MultiKrum, Phocas, TrimmedMean,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -53,12 +54,15 @@ use std::fmt;
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// A scalar component parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ParamValue {
     /// A floating-point parameter (e.g. ALIE's ν).
     F64(f64),
     /// An unsigned integer parameter (e.g. Mimic's target index).
     U64(u64),
+    /// A string parameter (e.g. the inner rule id of the `bucketing`
+    /// meta-GAR) — lets one registered component reference another by id.
+    Str(String),
 }
 
 impl From<f64> for ParamValue {
@@ -76,6 +80,18 @@ impl From<u64> for ParamValue {
 impl From<usize> for ParamValue {
     fn from(v: usize) -> Self {
         ParamValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
     }
 }
 
@@ -114,12 +130,12 @@ impl ComponentSpec {
         self.params.entry(key.to_string()).or_insert(value.into());
     }
 
-    /// Reads a parameter as `f64` (integers widen).
+    /// Reads a parameter as `f64` (integers widen; strings don't).
     pub fn f64(&self, key: &str) -> Option<f64> {
         match self.params.get(key) {
             Some(ParamValue::F64(v)) => Some(*v),
             Some(ParamValue::U64(v)) => Some(*v as f64),
-            None => None,
+            _ => None,
         }
     }
 
@@ -140,6 +156,82 @@ impl ComponentSpec {
     /// Reads a parameter as `u64` with a default.
     pub fn u64_or(&self, key: &str, default: u64) -> u64 {
         self.u64(key).unwrap_or(default)
+    }
+
+    /// Reads a string parameter.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.params.get(key) {
+            Some(ParamValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Reads a string parameter with a default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.str(key).unwrap_or(default)
+    }
+
+    fn wrong_type(&self, key: &str, expected: &str) -> RegistryError {
+        RegistryError::Build {
+            id: self.id.clone(),
+            message: format!(
+                "parameter `{key}` must be {expected}, got {:?}",
+                self.params.get(key)
+            ),
+        }
+    }
+
+    /// Like [`ComponentSpec::f64_or`], but a *present* value of the wrong
+    /// type (e.g. a string under a numeric key) is a
+    /// [`RegistryError::Build`] instead of a silent fall-back to the
+    /// default — the contract built-in factories use, so a mistyped
+    /// parameter fails the build rather than quietly running with an
+    /// untuned component.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Build`] when the key is present but not numeric.
+    pub fn f64_or_reject(&self, key: &str, default: f64) -> Result<f64, RegistryError> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(_) => self
+                .f64(key)
+                .ok_or_else(|| self.wrong_type(key, "a number")),
+        }
+    }
+
+    /// [`ComponentSpec::u64_or`] with the same present-but-wrong-type
+    /// rejection as [`ComponentSpec::f64_or_reject`].
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Build`] when the key is present but not an
+    /// unsigned integer.
+    pub fn u64_or_reject(&self, key: &str, default: u64) -> Result<u64, RegistryError> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(_) => self
+                .u64(key)
+                .ok_or_else(|| self.wrong_type(key, "an unsigned integer")),
+        }
+    }
+
+    /// [`ComponentSpec::str_or`] with the same present-but-wrong-type
+    /// rejection as [`ComponentSpec::f64_or_reject`].
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Build`] when the key is present but not a string.
+    pub fn str_or_reject<'a>(
+        &'a self,
+        key: &str,
+        default: &'a str,
+    ) -> Result<&'a str, RegistryError> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Str(s)) => Ok(s),
+            Some(_) => Err(self.wrong_type(key, "a string id")),
+        }
     }
 }
 
@@ -245,14 +337,26 @@ impl<T: ?Sized> Registry<T> {
     /// [`RegistryError::UnknownId`] (listing every available id) or the
     /// factory's own [`RegistryError::Build`].
     pub fn create(&self, spec: &ComponentSpec) -> Result<Arc<T>, RegistryError> {
-        let factory = self
-            .entries
-            .get(&spec.id)
+        self.factory(&spec.id)?(spec)
+    }
+
+    /// The factory registered under `id` (a cheap `Arc` clone). The global
+    /// `build_*` helpers fetch the factory under the registry lock but
+    /// *invoke* it after releasing, so a factory may itself resolve other
+    /// components (the `bucketing` meta-GAR builds its inner rule this
+    /// way) without re-entering the lock.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownId`] listing every available id.
+    pub fn factory(&self, id: &str) -> Result<Factory<T>, RegistryError> {
+        self.entries
+            .get(id)
+            .cloned()
             .ok_or_else(|| RegistryError::UnknownId {
-                id: spec.id.clone(),
+                id: id.to_string(),
                 available: self.ids(),
-            })?;
-        factory(spec)
+            })
     }
 
     /// Whether an id is registered.
@@ -367,23 +471,64 @@ fn built_in_gars() -> Registry<dyn Gar> {
         Ok(Arc::new(GeometricMedian::new()) as Arc<dyn Gar>)
     })
     .expect("fresh registry");
+    r.register("centered-clipping", |spec| {
+        let tau = spec.f64_or_reject("tau", 1.0)?;
+        // NaN must take the Build-error path too, not the constructor's
+        // assert.
+        if tau.is_nan() || tau <= 0.0 {
+            return Err(RegistryError::Build {
+                id: "centered-clipping".into(),
+                message: format!("`tau` must be strictly positive, got {tau}"),
+            });
+        }
+        let iters = spec.u64_or_reject("iters", 3)? as usize;
+        Ok(Arc::new(CenteredClipping::new(tau, iters)) as Arc<dyn Gar>)
+    })
+    .expect("fresh registry");
+    r.register("bucketing", |spec| {
+        let s = spec.u64_or_reject("s", 2)?;
+        if s == 0 {
+            return Err(RegistryError::Build {
+                id: "bucketing".into(),
+                message: "bucket size `s` must be at least 1".into(),
+            });
+        }
+        // The inner rule is itself resolved through the registry, so any
+        // registered GAR — built-in or third-party — can sit under the
+        // bucketing wrapper by id. Every parameter except bucketing's own
+        // (`s`, `inner`) is forwarded to the inner factory, so e.g.
+        // `bucketing{inner: "centered-clipping", tau: 0.01}` tunes the
+        // inner radius instead of silently dropping it.
+        let mut inner_spec = ComponentSpec::new(spec.str_or_reject("inner", "median")?);
+        for (key, value) in &spec.params {
+            if key != "s" && key != "inner" {
+                inner_spec.params.insert(key.clone(), value.clone());
+            }
+        }
+        let inner = build_gar(&inner_spec).map_err(|e| RegistryError::Build {
+            id: "bucketing".into(),
+            message: format!("inner rule failed to resolve: {e}"),
+        })?;
+        Ok(Arc::new(Bucketing::new(inner, s as usize)) as Arc<dyn Gar>)
+    })
+    .expect("fresh registry");
     r
 }
 
 fn built_in_attacks() -> Registry<dyn Attack> {
     let mut r = Registry::new();
     r.register("alie", |spec| {
-        Ok(Arc::new(LittleIsEnough::new(spec.f64_or("nu", 1.5))) as Arc<dyn Attack>)
+        Ok(Arc::new(LittleIsEnough::new(spec.f64_or_reject("nu", 1.5)?)) as Arc<dyn Attack>)
     })
     .expect("fresh registry");
     r.register("foe", |spec| {
-        Ok(Arc::new(FallOfEmpires::new(spec.f64_or("nu", 1.1))) as Arc<dyn Attack>)
+        Ok(Arc::new(FallOfEmpires::new(spec.f64_or_reject("nu", 1.1)?)) as Arc<dyn Attack>)
     })
     .expect("fresh registry");
     r.register("sign-flip", |_| Ok(Arc::new(SignFlip) as Arc<dyn Attack>))
         .expect("fresh registry");
     r.register("random-noise", |spec| {
-        let std = spec.f64_or("std", 1.0);
+        let std = spec.f64_or_reject("std", 1.0)?;
         if std < 0.0 {
             return Err(RegistryError::Build {
                 id: "random-noise".into(),
@@ -396,11 +541,21 @@ fn built_in_attacks() -> Registry<dyn Attack> {
     r.register("zero", |_| Ok(Arc::new(Zero) as Arc<dyn Attack>))
         .expect("fresh registry");
     r.register("large-norm", |spec| {
-        Ok(Arc::new(LargeNorm::new(spec.f64_or("scale", 1e6))) as Arc<dyn Attack>)
+        Ok(Arc::new(LargeNorm::new(spec.f64_or_reject("scale", 1e6)?)) as Arc<dyn Attack>)
     })
     .expect("fresh registry");
     r.register("mimic", |spec| {
-        Ok(Arc::new(Mimic::new(spec.u64_or("target", 0) as usize)) as Arc<dyn Attack>)
+        Ok(Arc::new(Mimic::new(spec.u64_or_reject("target", 0)? as usize)) as Arc<dyn Attack>)
+    })
+    .expect("fresh registry");
+    r.register("ipm", |spec| {
+        Ok(Arc::new(InnerProductManipulation::new(
+            spec.f64_or_reject("epsilon", 0.1)?,
+        )) as Arc<dyn Attack>)
+    })
+    .expect("fresh registry");
+    r.register("rescaling", |spec| {
+        Ok(Arc::new(Rescaling::new(spec.f64_or_reject("norm", -1.0)?)) as Arc<dyn Attack>)
     })
     .expect("fresh registry");
     r
@@ -579,7 +734,13 @@ pub fn mechanism_capabilities(id: &str) -> MechanismCapabilities {
 ///
 /// Panics if the registry lock is poisoned.
 pub fn build_gar(spec: &ComponentSpec) -> Result<Arc<dyn Gar>, RegistryError> {
-    gar_registry().read().expect("registry lock").create(spec)
+    // Fetch under the lock, invoke outside it: factories may recursively
+    // resolve other ids (meta-rules like `bucketing`).
+    let factory = gar_registry()
+        .read()
+        .expect("registry lock")
+        .factory(&spec.id)?;
+    factory(spec)
 }
 
 /// Resolves an attack spec through the global registry.
@@ -592,10 +753,11 @@ pub fn build_gar(spec: &ComponentSpec) -> Result<Arc<dyn Gar>, RegistryError> {
 ///
 /// Panics if the registry lock is poisoned.
 pub fn build_attack(spec: &ComponentSpec) -> Result<Arc<dyn Attack>, RegistryError> {
-    attack_registry()
+    let factory = attack_registry()
         .read()
         .expect("registry lock")
-        .create(spec)
+        .factory(&spec.id)?;
+    factory(spec)
 }
 
 /// Resolves a mechanism spec through the global registry.
@@ -608,10 +770,11 @@ pub fn build_attack(spec: &ComponentSpec) -> Result<Arc<dyn Attack>, RegistryErr
 ///
 /// Panics if the registry lock is poisoned.
 pub fn build_mechanism(spec: &ComponentSpec) -> Result<Arc<dyn Mechanism>, RegistryError> {
-    mechanism_registry()
+    let factory = mechanism_registry()
         .read()
         .expect("registry lock")
-        .create(spec)
+        .factory(&spec.id)?;
+    factory(spec)
 }
 
 /// All registered GAR ids.
@@ -658,11 +821,13 @@ mod tests {
             "phocas",
             "bulyan",
             "geometric-median",
+            "centered-clipping",
+            "bucketing",
         ] {
             let gar = build_gar(&ComponentSpec::new(id)).unwrap();
             assert_eq!(gar.name(), id);
         }
-        assert!(gar_ids().len() >= 10);
+        assert!(gar_ids().len() >= 12);
     }
 
     #[test]
@@ -671,9 +836,82 @@ mod tests {
         assert_eq!(alie.name(), "alie");
         let mimic = build_attack(&ComponentSpec::new("mimic").with("target", 3u64)).unwrap();
         assert_eq!(mimic.name(), "mimic");
-        for id in ["foe", "sign-flip", "random-noise", "zero", "large-norm"] {
+        for id in [
+            "foe",
+            "sign-flip",
+            "random-noise",
+            "zero",
+            "large-norm",
+            "ipm",
+            "rescaling",
+        ] {
             assert_eq!(build_attack(&ComponentSpec::new(id)).unwrap().name(), id);
         }
+    }
+
+    #[test]
+    fn centered_clipping_params_reach_the_factory() {
+        let gar = build_gar(
+            &ComponentSpec::new("centered-clipping")
+                .with("tau", 0.25)
+                .with("iters", 5u64),
+        )
+        .unwrap();
+        assert_eq!(gar.name(), "centered-clipping");
+        // A non-positive (or NaN) radius is a build error, not a panic.
+        for bad_tau in [-1.0, 0.0, f64::NAN] {
+            let err = build_gar(&ComponentSpec::new("centered-clipping").with("tau", bad_tau))
+                .err()
+                .unwrap();
+            assert!(matches!(err, RegistryError::Build { .. }), "{err}");
+        }
+        // A string under the numeric key is rejected, not silently
+        // replaced by the untuned default radius.
+        let err = build_gar(&ComponentSpec::new("centered-clipping").with("tau", "0.01"))
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("tau"), "{err}");
+    }
+
+    #[test]
+    fn bucketing_factory_resolves_inner_rule_by_string_param() {
+        // Default inner: the coordinate median at the bucketed topology.
+        let default = build_gar(&ComponentSpec::new("bucketing")).unwrap();
+        assert_eq!(default.max_byzantine(11), 2); // median at ⌈11/2⌉ = 6
+
+        // Inner selected via a string param, recursively through the
+        // registry (the factory re-enters `build_gar` — no deadlock).
+        let krum_inner = build_gar(&ComponentSpec::new("bucketing").with("inner", "krum")).unwrap();
+        assert_eq!(krum_inner.max_byzantine(11), 1); // krum at 6: (6−3)/2
+
+        // An unresolvable inner id surfaces as a build error naming it.
+        let err = build_gar(&ComponentSpec::new("bucketing").with("inner", "nope"))
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("nope"), "{err}");
+
+        // Non-bucketing params reach the inner factory: an invalid inner
+        // tau errors instead of being silently dropped.
+        let err = build_gar(
+            &ComponentSpec::new("bucketing")
+                .with("inner", "centered-clipping")
+                .with("tau", -1.0),
+        )
+        .err()
+        .unwrap();
+        assert!(err.to_string().contains("tau"), "{err}");
+        assert!(build_gar(
+            &ComponentSpec::new("bucketing")
+                .with("inner", "centered-clipping")
+                .with("tau", 0.01),
+        )
+        .is_ok());
+
+        // s = 0 is rejected.
+        let err = build_gar(&ComponentSpec::new("bucketing").with("s", 0u64))
+            .err()
+            .unwrap();
+        assert!(matches!(err, RegistryError::Build { .. }));
     }
 
     #[test]
@@ -770,12 +1008,31 @@ mod tests {
 
     #[test]
     fn spec_param_accessors() {
-        let spec = ComponentSpec::new("x").with("a", 1.5).with("b", 7u64);
+        let spec = ComponentSpec::new("x")
+            .with("a", 1.5)
+            .with("b", 7u64)
+            .with("c", "krum");
         assert_eq!(spec.f64("a"), Some(1.5));
         assert_eq!(spec.f64("b"), Some(7.0));
         assert_eq!(spec.u64("b"), Some(7));
         assert_eq!(spec.u64("a"), None); // 1.5 is not integral
         assert_eq!(spec.f64_or("missing", 9.0), 9.0);
+        assert_eq!(spec.str("c"), Some("krum"));
+        assert_eq!(spec.str("a"), None); // numbers don't read as strings
+        assert_eq!(spec.f64("c"), None); // strings don't read as numbers
+        assert_eq!(spec.str_or("missing", "mda"), "mda");
+        // The strict accessors: absent falls back, wrong type rejects.
+        assert_eq!(spec.f64_or_reject("missing", 2.5).unwrap(), 2.5);
+        assert_eq!(spec.f64_or_reject("a", 0.0).unwrap(), 1.5);
+        assert_eq!(spec.str_or_reject("c", "mda").unwrap(), "krum");
+        for err in [
+            spec.f64_or_reject("c", 0.0).unwrap_err(),
+            spec.u64_or_reject("c", 0).unwrap_err(),
+            spec.str_or_reject("a", "mda").unwrap_err(),
+        ] {
+            assert!(matches!(err, RegistryError::Build { .. }), "{err}");
+            assert!(err.to_string().contains("must be"), "{err}");
+        }
         let mut spec = spec;
         spec.default_param("a", 99.0);
         assert_eq!(spec.f64("a"), Some(1.5)); // not clobbered

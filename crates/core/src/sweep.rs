@@ -135,20 +135,22 @@ impl SweepResults {
 /// Builder for a parallel experiment sweep.
 ///
 /// A sweep is a grid of cells crossed with a seed list. Cells come from
-/// two sources, freely combined:
+/// three sources, freely combined:
 ///
 /// * **axes** over a base [`ExperimentBuilder`] — GARs, attacks,
 ///   mechanisms, privacy budgets, batch sizes. The grid is their cross
 ///   product, expanded outer-to-inner in the fixed order *gars → attacks
 ///   → mechanisms → epsilons → batch sizes* (elements in the order they
 ///   were added to each axis);
+/// * **scenario packs** ([`SweepBuilder::with_pack`]) — registered,
+///   labelled cell bundles expanded over the base, after the grid cells;
 /// * **explicit cells** ([`SweepBuilder::cell`]) for anything the axes
 ///   cannot express (per-cell worker counts, mutated configs, different
-///   workloads). Explicit cells run after the grid cells.
+///   workloads). Explicit cells run last.
 ///
-/// If no axis is set and no explicit cell is added, the base builder
-/// itself is the single cell. Seeds default to the paper's
-/// [`Experiment::PAPER_SEEDS`].
+/// If no axis is set, no pack is named, and no explicit cell is added,
+/// the base builder itself is the single cell. Seeds default to the
+/// paper's [`Experiment::PAPER_SEEDS`].
 ///
 /// Determinism: results are keyed by (cell, seed) index, so
 /// [`SweepBuilder::run`] returns the exact histories — bit for bit — that
@@ -160,6 +162,7 @@ pub struct SweepBuilder {
     mechanisms: Vec<ComponentSpec>,
     epsilons: Vec<Option<f64>>,
     batch_sizes: Vec<usize>,
+    packs: Vec<String>,
     explicit: Vec<SweepCell>,
     seeds: Option<Vec<u64>>,
     pool_size: Option<usize>,
@@ -189,6 +192,7 @@ impl SweepBuilder {
             mechanisms: Vec::new(),
             epsilons: Vec::new(),
             batch_sizes: Vec::new(),
+            packs: Vec::new(),
             explicit: Vec::new(),
             seeds: None,
             pool_size: None,
@@ -266,8 +270,22 @@ impl SweepBuilder {
         self
     }
 
+    /// Expands a registered [`ScenarioPack`](crate::pack::ScenarioPack)
+    /// over the base: every cell of the pack is the base builder with the
+    /// cell's pinned components/axis values applied, labelled
+    /// `"{pack}/{cell}"`. Pack cells run after the grid cells (in
+    /// `with_pack` call order) and before explicit cells. The id resolves
+    /// when the sweep expands — [`SweepBuilder::cells`] or
+    /// [`SweepBuilder::run`] — so an unknown pack fails there, listing
+    /// every registered pack.
+    #[must_use]
+    pub fn with_pack(mut self, id: impl Into<String>) -> Self {
+        self.packs.push(id.into());
+        self
+    }
+
     /// Appends an explicit, fully assembled cell (run after every grid
-    /// cell, in insertion order).
+    /// and pack cell, in insertion order).
     #[must_use]
     pub fn cell(mut self, label: impl Into<String>, experiment: Experiment) -> Self {
         self.explicit.push(SweepCell {
@@ -332,7 +350,7 @@ impl SweepBuilder {
             && self.mechanisms.is_empty()
             && self.epsilons.is_empty()
             && self.batch_sizes.is_empty());
-        if has_axes || self.explicit.is_empty() {
+        if has_axes || (self.explicit.is_empty() && self.packs.is_empty()) {
             // An unset axis contributes one pass-through element.
             fn axis<T>(values: &[T]) -> Vec<Option<&T>> {
                 if values.is_empty() {
@@ -391,6 +409,22 @@ impl SweepBuilder {
                         }
                     }
                 }
+            }
+        }
+        for pack_id in &self.packs {
+            let pack = crate::pack::scenario_pack(pack_id)?;
+            for cell in &pack.cells {
+                // Labelled with the id the caller swept, not the pack's
+                // self-declared one: `results.get("{id}/…")` must find
+                // the cells even if a factory's pack carries a different
+                // internal id.
+                let label = format!("{pack_id}/{}", cell.label);
+                let experiment = cell.apply(self.base.clone()).build().map_err(|e| {
+                    // Name the failing cell: in a ~100-cell pack a bare
+                    // build error is unactionable.
+                    PipelineError::Spec(format!("pack cell `{label}` failed to build: {e}"))
+                })?;
+                cells.push(SweepCell { label, experiment });
             }
         }
         cells.extend(self.explicit.iter().cloned());
@@ -690,6 +724,100 @@ mod tests {
         assert_eq!(results.total_runs(), 8);
         assert!(results.get("eps0.2/b20").is_some());
         assert!(results.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn with_pack_expands_over_the_base_with_prefixed_labels() {
+        let cells = SweepBuilder::over(quick_base())
+            .with_pack("paper-core")
+            .cells()
+            .unwrap();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "paper-core/clean/nodp",
+                "paper-core/clean/dp",
+                "paper-core/mda/alie/nodp",
+                "paper-core/mda/alie/dp",
+                "paper-core/mda/foe/nodp",
+                "paper-core/mda/foe/dp",
+            ]
+        );
+        // Pack cells inherit the base's quick scale…
+        assert_eq!(cells[0].experiment.config.steps, 4);
+        // …and pin their own components/axis values on top.
+        assert!(cells[0].experiment.budget.is_none());
+        assert_eq!(cells[1].experiment.budget.unwrap().epsilon(), 0.2);
+        assert_eq!(cells[2].experiment.gar.id, "mda");
+        assert_eq!(cells[2].experiment.config.n_byzantine, 5);
+    }
+
+    #[test]
+    fn packs_combine_with_grid_and_explicit_cells_in_order() {
+        let explicit = quick_base().build().unwrap();
+        let cells = SweepBuilder::over(quick_base())
+            .batch_sizes(&[10])
+            .with_pack("clipping-study")
+            .cell("tail", explicit)
+            .cells()
+            .unwrap();
+        assert_eq!(cells[0].label, "b10"); // grid first
+        assert!(cells[1].label.starts_with("clipping-study/")); // packs next
+        assert_eq!(cells.last().unwrap().label, "tail"); // explicit last
+        assert_eq!(cells.len(), 1 + 9 + 1);
+    }
+
+    #[test]
+    fn pack_labels_use_the_swept_id_even_if_the_factory_disagrees() {
+        // A factory may (wrongly) produce a pack whose self-declared id
+        // differs from its registered one; result labels must still be
+        // findable under the id the caller swept.
+        crate::pack::register_scenario_pack_with("sweep-alias-v2", |_| {
+            Ok(std::sync::Arc::new(
+                crate::pack::ScenarioPack::new("sweep-alias", "internal id differs")
+                    .cell(crate::pack::PackCell::new("only").gar("median")),
+            ))
+        })
+        .unwrap();
+        let cells = SweepBuilder::over(quick_base())
+            .with_pack("sweep-alias-v2")
+            .cells()
+            .unwrap();
+        assert_eq!(cells[0].label, "sweep-alias-v2/only");
+    }
+
+    #[test]
+    fn unknown_pack_id_fails_at_expansion_listing_available() {
+        let err = SweepBuilder::over(quick_base())
+            .with_pack("no-such-pack")
+            .cells()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("no-such-pack") && message.contains("paper-core"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn pack_runs_end_to_end_bit_identically_across_pool_sizes() {
+        let base = quick_base();
+        let run = |pool: usize| {
+            SweepBuilder::over(base.clone())
+                .with_pack("paper-core")
+                .seeds(&[1, 2])
+                .pool_size(pool)
+                .run()
+                .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.histories, b.histories, "cell {}", a.label);
+        }
     }
 
     #[test]

@@ -82,6 +82,26 @@
 //!     .unwrap();
 //! assert_eq!(exp.run(1).unwrap().train_loss.len(), 3);
 //! ```
+//!
+//! # Scenario packs
+//!
+//! Curated GAR × attack studies resolve by id too: a
+//! [`ScenarioPack`] is a registered bundle of labelled cells that
+//! [`SweepBuilder::with_pack`](sweep::SweepBuilder::with_pack) expands
+//! over any base experiment (see the [`scenarios`] catalog for every
+//! built-in pack and component id):
+//!
+//! ```
+//! use dpbyz::prelude::*;
+//!
+//! let results = SweepBuilder::over(Experiment::builder().steps(3).dataset_size(200))
+//!     .with_pack("paper-core") // the seed §5 grid: clean/ALIE/FoE × DP on/off
+//!     .seeds(&[1])
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(results.cells.len(), 6);
+//! assert!(results.get("paper-core/mda/alie/dp").is_some());
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -96,6 +116,10 @@ pub mod sweep {
         CellRun, JobInfo, ObserverFactory, SweepBuilder, SweepCell, SweepEvent, SweepResults,
     };
 }
+pub use dpbyz_core::pack::{
+    register_scenario_pack, register_scenario_pack_with, scenario_pack, scenario_pack_ids,
+    PackCell, ScenarioPack,
+};
 pub use dpbyz_core::pipeline::{FigureConfig, PipelineError, Workload};
 pub use dpbyz_core::registry::{
     self, attack_ids, build_attack, build_gar, build_mechanism, gar_ids, mechanism_capabilities,
@@ -106,6 +130,13 @@ pub use dpbyz_core::{
     AttackKind, ComponentSpec, Experiment, ExperimentBuilder, GarKind, MechanismKind, ParamValue,
     Registry, RegistryError,
 };
+
+/// The scenario catalog (`docs/SCENARIOS.md`, rendered as rustdoc): every
+/// registered GAR, attack, mechanism, and scenario pack — ids,
+/// parameters, semantics, paper references — with runnable snippets that
+/// `cargo test --doc` executes, so the catalog cannot go stale.
+#[doc = include_str!("../../../docs/SCENARIOS.md")]
+pub mod scenarios {}
 
 // ---- engines and telemetry ----------------------------------------------
 pub use dpbyz_server::{
@@ -141,10 +172,12 @@ pub use dpbyz_tensor as tensor;
 pub mod prelude {
     pub use crate::sweep::{CellRun, SweepBuilder, SweepEvent, SweepResults};
     pub use crate::{
-        register_attack, register_gar, register_mechanism, register_mechanism_with, AttackKind,
-        ComponentSpec, Experiment, ExperimentBuilder, FigureConfig, FnObserver, GarKind,
-        LrSchedule, MechanismCapabilities, MechanismKind, MomentumMode, PipelineError,
-        PrivacyBudget, RunHistory, RunObserver, SeedSummary, StepMetrics, TrainingConfig, Workload,
+        register_attack, register_gar, register_mechanism, register_mechanism_with,
+        register_scenario_pack, register_scenario_pack_with, scenario_pack, scenario_pack_ids,
+        AttackKind, ComponentSpec, Experiment, ExperimentBuilder, FigureConfig, FnObserver,
+        GarKind, LrSchedule, MechanismCapabilities, MechanismKind, MomentumMode, PackCell,
+        PipelineError, PrivacyBudget, RunHistory, RunObserver, ScenarioPack, SeedSummary,
+        StepMetrics, TrainingConfig, Workload,
     };
 }
 

@@ -42,7 +42,9 @@
 #![forbid(unsafe_code)]
 
 mod average;
+mod bucketing;
 mod bulyan;
+mod centered_clipping;
 mod error;
 mod geometric_median;
 mod krum;
@@ -55,7 +57,9 @@ mod trimmed_mean;
 pub mod vn;
 
 pub use average::Average;
+pub use bucketing::Bucketing;
 pub use bulyan::Bulyan;
+pub use centered_clipping::CenteredClipping;
 pub use error::GarError;
 pub use geometric_median::GeometricMedian;
 pub use krum::{Krum, MultiKrum};
@@ -140,6 +144,8 @@ pub(crate) fn check_input(gradients: &[Vector]) -> Result<usize, GarError> {
 }
 
 /// Every GAR in this crate, boxed — convenient for sweeps over rules.
+/// Parameterized rules carry neutral defaults (centered clipping at τ = 1,
+/// bucketing over the coordinate median with s = 2).
 pub fn all_gars() -> Vec<Box<dyn Gar>> {
     vec![
         Box::new(Average::new()),
@@ -151,6 +157,11 @@ pub fn all_gars() -> Vec<Box<dyn Gar>> {
         Box::new(Phocas::new()),
         Box::new(Bulyan::new()),
         Box::new(GeometricMedian::new()),
+        Box::new(CenteredClipping::default()),
+        Box::new(Bucketing::new(
+            std::sync::Arc::new(CoordinateMedian::new()),
+            2,
+        )),
     ]
 }
 
@@ -174,8 +185,8 @@ mod tests {
     }
 
     #[test]
-    fn all_gars_lists_nine() {
-        assert_eq!(all_gars().len(), 9);
+    fn all_gars_lists_eleven() {
+        assert_eq!(all_gars().len(), 11);
     }
 
     #[test]

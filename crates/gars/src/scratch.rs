@@ -41,8 +41,15 @@ pub struct GarScratch {
     /// Sorting scratch for the scalar statistics (median, trimmed mean,
     /// mean-around).
     pub(crate) sort_buf: Vec<f64>,
-    /// General vector scratch (candidate subset means, Weiszfeld iterate).
+    /// General vector scratch (candidate subset means, Weiszfeld iterate,
+    /// centered clipping's accumulated update).
     pub(crate) vec_a: Vector,
+    /// Per-bucket means for the bucketing meta-rule (only the first
+    /// `⌈n/s⌉` entries are live in any call).
+    pub(crate) buckets: Vec<Vector>,
+    /// Nested scratch handed to a meta-rule's inner GAR (boxed so the
+    /// recursive type has a fixed size; allocated once, reused forever).
+    pub(crate) nested: Option<Box<GarScratch>>,
     /// Extension buffers reserved for out-of-tree implementations.
     ext_scalars: Vec<f64>,
     ext_indices: Vec<usize>,

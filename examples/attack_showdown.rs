@@ -1,97 +1,90 @@
-//! Attack showdown: every robust GAR against every attack, with and
-//! without DP noise.
+//! Attack showdown: every registered GAR against every registered
+//! attack, with and without DP noise — driven by the `attack-zoo`
+//! scenario pack.
 //!
 //! Reproduces the qualitative claim behind Fig. 2 across the *whole* GAR
 //! zoo rather than just MDA: without DP, the robust rules keep training
-//! under ALIE/FoE; with the paper's (0.2, 1e-6) budget at b = 50, their
-//! protection collapses.
+//! under the attacks; with the paper's (0.2, 1e-6) budget at b = 50,
+//! their protection collapses.
 //!
-//! The grid is driven entirely by registry ids — registering a custom GAR
-//! or attack (see `dpbyz::register_gar`) makes it sweepable here with one
-//! string added to the arrays — and every cell runs concurrently on the
-//! parallel sweep executor (`dpbyz::sweep`), with results read back in
-//! deterministic label order.
+//! The grid is one line per block: `with_pack("attack-zoo")` expands
+//! every registered GAR that tolerates f ≥ 1 at n = 11 (Byzantine count
+//! clamped per rule) against every registered attack, computed at
+//! resolve time — registering a custom GAR or attack (see
+//! `dpbyz::register_gar`) grows the matrix with **zero** edits here. The
+//! same pack runs twice over two bases: a plain one and one carrying the
+//! paper's budget.
 //!
 //! Run with: `cargo run --release -p dpbyz-examples --bin attack_showdown`
 
 use dpbyz::prelude::*;
 
-const GARS: [&str; 7] = [
-    "mda",
-    "krum",
-    "median",
-    "trimmed-mean",
-    "meamed",
-    "phocas",
-    "bulyan",
-];
-const ATTACKS: [&str; 2] = ["alie", "foe"];
-
-fn cell(gar: &str, attack: &str, epsilon: Option<f64>) -> Experiment {
-    // The paper protocol with the GAR swapped in; the Byzantine count is
-    // clamped to each rule's tolerance (Krum: 4, Bulyan: 2 at n = 11) so
-    // every rule is compared at full declared strength.
-    let f = 5.min(
-        dpbyz::build_gar(&gar.into())
-            .expect("registered gar")
-            .max_byzantine(11),
-    );
-    let mut builder = Experiment::builder()
+fn run_block(epsilon: Option<f64>) -> SweepResults {
+    let mut base = Experiment::builder()
         .batch_size(50)
         .steps(200)
-        .dataset_size(2000)
-        .gar(gar)
-        .attack(attack)
-        .byzantine(f);
+        .dataset_size(2000);
     if let Some(epsilon) = epsilon {
-        builder = builder.epsilon(epsilon);
+        base = base.epsilon(epsilon);
     }
-    builder.build().expect("valid configuration")
+    SweepBuilder::over(base)
+        .with_pack("attack-zoo")
+        .seeds(&[1])
+        .run()
+        .expect("attack-zoo runs")
 }
 
 fn main() {
-    // All 28 (GAR × attack × DP) cells in one parallel executor run.
-    let mut sweep = SweepBuilder::new().seeds(&[1]);
-    for (tag, eps) in [("nodp", None), ("dp", Some(0.2))] {
-        for gar in GARS {
-            for attack in ATTACKS {
-                sweep = sweep.cell(format!("{gar}/{attack}/{tag}"), cell(gar, attack, eps));
-            }
+    // The axis labels come from the pack itself, so the table tracks the
+    // registry: cell labels are "attack-zoo/{gar}/{attack}".
+    let zoo = scenario_pack("attack-zoo").expect("built-in pack");
+    let mut gars: Vec<String> = Vec::new();
+    let mut attacks: Vec<String> = Vec::new();
+    for cell in &zoo.cells {
+        let (gar, attack) = cell.label.split_once('/').expect("gar/attack label");
+        if !gars.iter().any(|g| g == gar) {
+            gars.push(gar.to_string());
+        }
+        if !attacks.iter().any(|a| a == attack) {
+            attacks.push(attack.to_string());
         }
     }
-    let results = sweep.run().expect("showdown cells run");
-    let tail = |gar: &str, attack: &str, tag: &str| {
-        results
-            .get(&format!("{gar}/{attack}/{tag}"))
-            .expect("cell ran")
-            .histories[0]
-            .tail_loss(20)
-    };
 
-    println!("final training loss after 200 steps (b = 50, n = 11, reduced scale)");
+    println!(
+        "final training loss after 200 steps (b = 50, n = 11, reduced scale); \
+         {} GARs x {} attacks",
+        gars.len(),
+        attacks.len()
+    );
     println!("lower is better; compare the two blocks column-wise\n");
 
-    for (title, tag) in [
-        ("WITHOUT DP noise", "nodp"),
-        ("WITH DP noise (ε = 0.2)", "dp"),
+    for (title, eps) in [
+        ("WITHOUT DP noise", None),
+        ("WITH DP noise (ε = 0.2)", Some(0.2)),
     ] {
+        let results = run_block(eps);
         println!("== {title}");
-        print!("{:<14}", "GAR \\ attack");
-        for a in ATTACKS {
-            print!(" {a:>10}");
+        print!("{:<18}", "GAR \\ attack");
+        for a in &attacks {
+            print!(" {a:>12}");
         }
         println!();
-        for gar in GARS {
-            print!("{gar:<14}");
-            for attack in ATTACKS {
-                print!(" {:>10.5}", tail(gar, attack, tag));
+        for gar in &gars {
+            print!("{gar:<18}");
+            for attack in &attacks {
+                let tail = results
+                    .get(&format!("attack-zoo/{gar}/{attack}"))
+                    .expect("cell ran")
+                    .histories[0]
+                    .tail_loss(20);
+                print!(" {tail:>12.5}");
             }
             println!();
         }
         println!();
     }
 
-    println!("Expected shape: the left block stays low (robustness without privacy");
-    println!("works); the right block rises across the board — DP noise at this");
+    println!("Expected shape: the top block stays low (robustness without privacy");
+    println!("works); the bottom block rises across the board — DP noise at this");
     println!("batch size removes the GARs' protection (the paper's antagonism).");
 }

@@ -6,11 +6,13 @@
 //! the threaded engine — this is the "bit-identical histories" acceptance
 //! gate of the refactor.
 
-use dpbyz_attacks::{Attack, FallOfEmpires, LittleIsEnough};
+use dpbyz_attacks::{Attack, FallOfEmpires, InnerProductManipulation, LittleIsEnough, Rescaling};
 use dpbyz_data::sampler::{BatchSource, DatasetSource, SamplingMode};
 use dpbyz_data::synthetic;
 use dpbyz_dp::{GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise};
-use dpbyz_gars::{Bulyan, CoordinateMedian, Gar, Krum, Mda, MultiKrum};
+use dpbyz_gars::{
+    Bucketing, Bulyan, CenteredClipping, CoordinateMedian, Gar, Krum, Mda, MultiKrum,
+};
 use dpbyz_models::{LogisticRegression, LossKind};
 use dpbyz_server::{
     MomentumMode, RunHistory, ThreadedTrainer, Trainer, TrainingConfig, TrainingConfigBuilder,
@@ -134,6 +136,45 @@ fn cells() -> Vec<CellSpec> {
             mechanism: || Arc::new(GaussianMechanism::with_sigma(0.02).unwrap()),
             attack: Some(|| Arc::new(FallOfEmpires::default())),
         },
+        // The four components added with the scenario-pack subsystem:
+        // digests recorded at introduction, pinning their behavior for
+        // every future refactor.
+        CellSpec {
+            name: "centered-clipping/gaussian/ipm",
+            n: 11,
+            f: 5,
+            config: |b| b,
+            gar: || Arc::new(CenteredClipping::new(0.05, 3)),
+            mechanism: || Arc::new(GaussianMechanism::with_sigma(0.02).unwrap()),
+            attack: Some(|| Arc::new(InnerProductManipulation::default())),
+        },
+        CellSpec {
+            name: "centered-clipping/laplace/rescaling",
+            n: 7,
+            f: 3,
+            config: |b| b,
+            gar: || Arc::new(CenteredClipping::new(0.1, 4)),
+            mechanism: || Arc::new(LaplaceMechanism::calibrate(5.0, 0.01).unwrap()),
+            attack: Some(|| Arc::new(Rescaling::new(-0.1))),
+        },
+        CellSpec {
+            name: "bucketing-median/none/rescaling",
+            n: 11,
+            f: 2,
+            config: |b| b,
+            gar: || Arc::new(Bucketing::new(Arc::new(CoordinateMedian::new()), 2)),
+            mechanism: || Arc::new(NoNoise),
+            attack: Some(|| Arc::new(Rescaling::new(-0.05))),
+        },
+        CellSpec {
+            name: "bucketing-krum/gaussian/alie",
+            n: 11,
+            f: 1,
+            config: |b| b,
+            gar: || Arc::new(Bucketing::new(Arc::new(Krum::new()), 2)),
+            mechanism: || Arc::new(GaussianMechanism::with_sigma(0.01).unwrap()),
+            attack: Some(|| Arc::new(LittleIsEnough::default())),
+        },
     ]
 }
 
@@ -166,8 +207,10 @@ fn build_trainer(spec: &CellSpec) -> Trainer {
     trainer
 }
 
-/// Digests recorded on the pre-refactor (clone-per-round) engine.
-const GOLDEN: [(&str, u64); 8] = [
+/// Digests recorded on the pre-refactor (clone-per-round) engine; the
+/// last four were recorded when their components were introduced (the
+/// zero-copy engine was already current).
+const GOLDEN: [(&str, u64); 12] = [
     ("average/gaussian/clean", 0xbe5edf6262fca64f),
     ("krum/none/alie", 0x85d8237bae796a9f),
     ("multi-krum/gaussian/alie", 0x9a197544de465cc2),
@@ -176,6 +219,10 @@ const GOLDEN: [(&str, u64); 8] = [
     ("bulyan/laplace/foe", 0xa25cf2d6e242ade7),
     ("average/none/drops+ema", 0xd954052ece8dab6e),
     ("trimmed-mean/gaussian/batch-growth", 0x09e0c686041d3706),
+    ("centered-clipping/gaussian/ipm", 0xca3b4b6438b3b161),
+    ("centered-clipping/laplace/rescaling", 0x3da350bc8e95af2d),
+    ("bucketing-median/none/rescaling", 0x91c2bc70cc404473),
+    ("bucketing-krum/gaussian/alie", 0xa96d5493fe533959),
 ];
 
 #[test]

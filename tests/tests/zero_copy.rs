@@ -4,8 +4,8 @@
 //! the round engine drives it.
 
 use dpbyz::attacks::{
-    Attack, AttackContext, FallOfEmpires, LargeNorm, LittleIsEnough, Mimic, RandomNoise, SignFlip,
-    Zero,
+    Attack, AttackContext, FallOfEmpires, InnerProductManipulation, LargeNorm, LittleIsEnough,
+    Mimic, RandomNoise, Rescaling, SignFlip, Zero,
 };
 use dpbyz::dp::{GaussianMechanism, LaplaceMechanism, Mechanism, NoNoise};
 use dpbyz::gars::{all_gars, Gar, GarScratch};
@@ -24,15 +24,12 @@ fn random_gradients(seed: u64, n: usize, dim: usize) -> Vec<Vector> {
     (0..n).map(|_| rng.normal_vector(dim, 1.0)).collect()
 }
 
-/// `(n, f)` tolerated by every GAR in `all_gars()` (Bulyan is the
-/// tightest: n ≥ 4f + 3).
-fn tolerated_f(name: &str) -> usize {
-    match name {
-        "average" => 0,
-        "krum" | "multi-krum" => 4,
-        "bulyan" => 2,
-        _ => 5,
-    }
+/// The paper-topology `f` each rule is exercised at: its own declared
+/// tolerance at n = 11, capped at the protocol's f = 5 — computed from
+/// the rule itself so newly added GARs are automatically tested at a
+/// valid Byzantine count.
+fn tolerated_f(gar: &dyn Gar) -> usize {
+    gar.max_byzantine(11).min(5)
 }
 
 #[test]
@@ -45,7 +42,7 @@ fn aggregate_into_matches_aggregate_for_every_gar_with_dirty_scratch() {
     for round in 0..8u64 {
         let grads = random_gradients(round, 11, 17);
         for gar in all_gars() {
-            let f = tolerated_f(gar.name());
+            let f = tolerated_f(gar.as_ref());
             let allocating = gar.aggregate(&grads, f).unwrap();
             gar.aggregate_into(&grads, f, &mut scratch, &mut out)
                 .unwrap();
@@ -72,7 +69,7 @@ fn aggregate_into_matches_on_adversarial_inputs() {
     let mut scratch = GarScratch::new();
     let mut out = Vector::default();
     for gar in all_gars() {
-        let f = tolerated_f(gar.name());
+        let f = tolerated_f(gar.as_ref());
         let allocating = gar.aggregate(&base, f).unwrap();
         gar.aggregate_into(&base, f, &mut scratch, &mut out)
             .unwrap();
@@ -161,7 +158,7 @@ proptest! {
         let mut scratch = GarScratch::new();
         let mut out = Vector::default();
         for gar in all_gars() {
-            let f = tolerated_f(gar.name());
+            let f = tolerated_f(gar.as_ref());
             let allocating = gar.aggregate(&grads, f).unwrap();
             gar.aggregate_into(&grads, f, &mut scratch, &mut out).unwrap();
             prop_assert!(
@@ -202,6 +199,8 @@ proptest! {
             Box::new(Zero),
             Box::new(LargeNorm::default()),
             Box::new(Mimic::new(seed as usize)),
+            Box::new(InnerProductManipulation::default()),
+            Box::new(Rescaling::default()),
         ];
         let mut out = Vector::from(vec![-1.0; 2]); // dirty buffer, reused
         for attack in &attacks {
