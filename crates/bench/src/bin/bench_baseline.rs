@@ -1,7 +1,7 @@
-//! Emits `results/BENCH_baseline.json`: a quick, fixed-seed micro-run of
-//! the round-engine hot paths, so CI can archive one small artifact per
-//! commit and future PRs can track the perf trajectory without re-running
-//! the full criterion suite.
+//! Emits `results/BENCH_baseline.json` and `results/BENCH_kernels.json`:
+//! quick, fixed-seed micro-runs of the round-engine and kernel hot paths,
+//! so CI can archive small artifacts per commit and future PRs can track
+//! the perf trajectory without re-running the full criterion suite.
 //!
 //! Every measured workload is seeded and fixed-shape; the JSON keys are
 //! stable so baselines diff cleanly. Timings are wall-clock medians of
@@ -15,7 +15,7 @@ use dpbyz::gars::GarScratch;
 use dpbyz::registry::build_gar;
 use dpbyz::ComponentSpec;
 use dpbyz_bench::{cell_experiment, results_dir, Cell};
-use dpbyz_tensor::{Prng, Vector};
+use dpbyz_tensor::{kernels, Prng, Vector};
 use std::time::Instant;
 
 const REPEATS: usize = 5;
@@ -31,6 +31,102 @@ fn time_median(mut f: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     samples[REPEATS / 2]
+}
+
+/// Hand-rolled JSON with a stable key order, no serializer dependency.
+fn write_json(file: &str, schema: &str, entries: &[(String, f64)]) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"schema\": \"{schema}\",\n"));
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str("  \"seconds\": {\n");
+    for (i, (key, secs)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{key}\": {secs:.9}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    let path = results_dir().join(file);
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("wrote {}", path.display());
+    print!("{json}");
+}
+
+/// The kernel-layer micro-baseline: scalar reference vs 4-lane blocked
+/// kernel, per kernel, plus the batched distance-matrix fill the
+/// Krum-family scratch drives (n = 11). Inner repetition counts are fixed
+/// so every entry lands in a robustly timeable range.
+/// A two-slice kernel under measurement (one-slice kernels ignore `b`).
+type SliceKernel<'a> = &'a dyn Fn(&[f64], &[f64]) -> f64;
+
+fn kernel_entries() -> Vec<(String, f64)> {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    // Times `reps` calls of a two-slice kernel and records the median.
+    let entry = |entries: &mut Vec<(String, f64)>,
+                 key: String,
+                 reps: usize,
+                 kernel: SliceKernel<'_>,
+                 a: &[f64],
+                 b: &[f64]| {
+        let secs = time_median(|| {
+            for _ in 0..reps {
+                std::hint::black_box(kernel(std::hint::black_box(a), b));
+            }
+        });
+        entries.push((key, secs));
+    };
+    for dim in [10usize, 1_000, 100_000] {
+        let reps = 20_000_000 / dim.max(1);
+        let mut rng = Prng::seed_from_u64(7);
+        let a = rng.normal_vector(dim, 1.0).into_vec();
+        let b = rng.normal_vector(dim, 1.0).into_vec();
+        let cases: [(&str, SliceKernel<'_>); 6] = [
+            ("dot/scalar", &|x, y| kernels::reference::dot(x, y)),
+            ("dot/vectorized", &kernels::dot),
+            ("squared_distance/scalar", &|x, y| {
+                kernels::reference::squared_distance(x, y)
+            }),
+            ("squared_distance/vectorized", &kernels::squared_distance),
+            ("l2_norm_squared/scalar", &|x, _| {
+                kernels::reference::sum_squares(x)
+            }),
+            ("l2_norm_squared/vectorized", &|x, _| {
+                kernels::sum_squares(x)
+            }),
+        ];
+        for (name, kernel) in cases {
+            let (stem, variant) = name.split_once('/').expect("name has a variant");
+            entry(
+                &mut entries,
+                format!("{stem}_d{dim}/{variant}"),
+                reps,
+                kernel,
+                &a,
+                &b,
+            );
+        }
+    }
+
+    // The batched all-pairs distance-matrix fill vs the per-pair scalar
+    // path (n = 11, d = 1000, 50 rounds per sample — the Krum-family
+    // round shape).
+    let mut rng = Prng::seed_from_u64(9);
+    let grads: Vec<Vector> = (0..11).map(|_| rng.normal_vector(1_000, 1.0)).collect();
+    let members: Vec<usize> = (0..grads.len()).collect();
+    let mut out = Vec::new();
+    let secs = time_median(|| {
+        for _ in 0..50 {
+            kernels::reference::pairwise_squared_distances(&grads, &members, &mut out);
+            std::hint::black_box(out.last());
+        }
+    });
+    entries.push(("distance_matrix_50rounds_n11_d1000/scalar".into(), secs));
+    let secs = time_median(|| {
+        for _ in 0..50 {
+            kernels::pairwise_squared_distances(&grads, &members, &mut out);
+            std::hint::black_box(out.last());
+        }
+    });
+    entries.push(("distance_matrix_50rounds_n11_d1000/vectorized".into(), secs));
+    entries
 }
 
 fn main() {
@@ -78,19 +174,11 @@ fn main() {
         entries.push((format!("gar_50rounds_d1000/{id}/scratch"), secs));
     }
 
-    // Hand-rolled JSON: stable key order, no serializer dependency.
-    let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"dpbyz-bench-baseline/v1\",\n");
-    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
-    json.push_str("  \"seconds\": {\n");
-    for (i, (key, secs)) in entries.iter().enumerate() {
-        let comma = if i + 1 < entries.len() { "," } else { "" };
-        json.push_str(&format!("    \"{key}\": {secs:.6}{comma}\n"));
-    }
-    json.push_str("  }\n}\n");
+    write_json("BENCH_baseline.json", "dpbyz-bench-baseline/v1", &entries);
 
-    let path = results_dir().join("BENCH_baseline.json");
-    std::fs::write(&path, &json).expect("write baseline json");
-    println!("wrote {}", path.display());
-    print!("{json}");
+    // The kernel-layer companion artifact: scalar vs vectorized per
+    // kernel, so the perf trajectory of the innermost loops accumulates
+    // alongside the end-to-end baseline.
+    let kernel = kernel_entries();
+    write_json("BENCH_kernels.json", "dpbyz-bench-kernels/v1", &kernel);
 }

@@ -10,8 +10,8 @@ use dpbyz_dp::{DpError, PrivacyBudget};
 use dpbyz_gars::GarError;
 use dpbyz_models::{LogisticRegression, LossKind, Model, QuadraticMean};
 use dpbyz_server::{
-    ConfigError, LrSchedule, MomentumMode, RunHistory, RunObserver, ThreadedTrainer, Trainer,
-    TrainingConfig,
+    ConfigError, LrSchedule, MomentumMode, RunHistory, RunObserver, RunScratch, ThreadedTrainer,
+    Trainer, TrainingConfig,
 };
 use dpbyz_tensor::{Prng, Vector};
 use std::fmt;
@@ -317,7 +317,7 @@ impl Experiment {
     ///
     /// See [`PipelineError`].
     pub fn run(&self, seed: u64) -> Result<RunHistory, PipelineError> {
-        self.run_inner(seed, None)
+        self.run_inner(seed, None, &mut RunScratch::new())
     }
 
     /// Runs the experiment with one seed, streaming per-step metrics into
@@ -332,13 +332,31 @@ impl Experiment {
         seed: u64,
         observer: Box<dyn RunObserver>,
     ) -> Result<RunHistory, PipelineError> {
-        self.run_inner(seed, Some(observer))
+        self.run_inner(seed, Some(observer), &mut RunScratch::new())
     }
 
-    fn run_inner(
+    /// Runs the experiment with one seed, recycling the engine buffers in
+    /// `scratch` — the cross-job hot path the sweep executor's pool
+    /// workers and [`Experiment::run_seeds`] drive. Bit-identical to
+    /// [`Experiment::run`] regardless of what a previous run (even of a
+    /// different experiment) left in the scratch.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_with_scratch(
+        &self,
+        seed: u64,
+        scratch: &mut RunScratch,
+    ) -> Result<RunHistory, PipelineError> {
+        self.run_inner(seed, None, scratch)
+    }
+
+    pub(crate) fn run_inner(
         &self,
         seed: u64,
         observer: Option<Box<dyn RunObserver>>,
+        scratch: &mut RunScratch,
     ) -> Result<RunHistory, PipelineError> {
         let (model, sources, test): WorkloadParts = match &self.workload {
             Workload::PhishingLike { data_seed, size } => {
@@ -413,9 +431,9 @@ impl Experiment {
         }
 
         let history = if self.threaded {
-            ThreadedTrainer::from(trainer).run(seed)?
+            ThreadedTrainer::from(trainer).run_with_scratch(seed, scratch)?
         } else {
-            trainer.run(seed)?
+            trainer.run_with_scratch(seed, scratch)?
         };
         Ok(history)
     }
@@ -430,7 +448,13 @@ impl Experiment {
     /// on the first erroring seed.
     pub fn run_seeds(&self, seeds: &[u64]) -> Result<Vec<RunHistory>, PipelineError> {
         check_seeds(seeds)?;
-        seeds.iter().map(|&s| self.run(s)).collect()
+        // One scratch across the whole seed loop: consecutive runs reuse
+        // the working set (bit-invisible — see `run_with_scratch`).
+        let mut scratch = RunScratch::new();
+        seeds
+            .iter()
+            .map(|&s| self.run_with_scratch(s, &mut scratch))
+            .collect()
     }
 
     /// Runs the experiment across several seeds in parallel on a

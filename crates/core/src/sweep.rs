@@ -45,7 +45,7 @@ use crate::builder::ExperimentBuilder;
 use crate::pipeline::{check_seeds, Experiment, PipelineError};
 use crate::registry::ComponentSpec;
 use crossbeam::channel;
-use dpbyz_server::{RunHistory, RunObserver};
+use dpbyz_server::{RunHistory, RunObserver, RunScratch};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -553,24 +553,28 @@ fn execute(
             let done_tx = done_tx.clone();
             let error_watermark = &error_watermark;
             scope.spawn(move || {
+                // One engine scratch per pool worker, reused across every
+                // (cell × seed) job this worker pulls: consecutive jobs
+                // recycle the round buffers, output slots, and (threaded)
+                // frame arena instead of rebuilding them per job. Reuse
+                // is bit-invisible, so results stay identical to fresh
+                // per-job construction at any pool size.
+                let mut scratch = RunScratch::new();
                 while let Ok(job) = job_rx.recv() {
                     let outcome =
                         if flat(job.cell, job.slot) > error_watermark.load(Ordering::Relaxed) {
                             JobOutcome::Skipped
                         } else {
                             let cell = &cells[job.cell];
-                            let result = match observer_factory {
-                                Some(factory) => {
-                                    let info = JobInfo {
-                                        cell: job.cell,
-                                        label: &cell.label,
-                                        seed: job.seed,
-                                    };
-                                    cell.experiment.run_with_observer(job.seed, factory(&info))
-                                }
-                                None => cell.experiment.run(job.seed),
-                            };
-                            match result {
+                            let observer = observer_factory.map(|factory| {
+                                let info = JobInfo {
+                                    cell: job.cell,
+                                    label: &cell.label,
+                                    seed: job.seed,
+                                };
+                                factory(&info)
+                            });
+                            match cell.experiment.run_inner(job.seed, observer, &mut scratch) {
                                 Ok(history) => JobOutcome::Done(history),
                                 Err(error) => JobOutcome::Failed(error),
                             }

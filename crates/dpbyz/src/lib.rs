@@ -141,7 +141,7 @@ pub mod scenarios {}
 // ---- engines and telemetry ----------------------------------------------
 pub use dpbyz_server::{
     AttackVisibility, BatchGrowth, ConfigError, FnObserver, LrSchedule, MomentumMode, RunHistory,
-    RunObserver, SeedSummary, StepMetrics, ThreadedTrainer, Trainer, TrainingConfig,
+    RunObserver, RunScratch, SeedSummary, StepMetrics, ThreadedTrainer, Trainer, TrainingConfig,
     TrainingConfigBuilder,
 };
 

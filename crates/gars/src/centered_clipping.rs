@@ -264,7 +264,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_hot_path_matches_reference_bitwise(
+        fn prop_hot_path_matches_reference(
             seed in 0u64..300,
             tau in 0.05f64..5.0,
             iters in 0usize..5,
@@ -281,8 +281,15 @@ mod tests {
                 .aggregate_into(&grads, 4, &mut scratch, &mut out)
                 .unwrap();
             prop_assert_eq!(out.dim(), expected.len());
+            // The reference computes residual norms with a sequential
+            // scalar fold while the hot path uses the 4-lane blocked
+            // distance kernel, so the comparison carries the kernel
+            // layer's equivalence contract: ≤ 1e-12 relative error (the
+            // clip weights are the only place the reordered reduction
+            // enters; everything else is elementwise and exact).
             for (a, b) in out.iter().zip(&expected) {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+                let scale = a.abs().max(b.abs()).max(1.0);
+                prop_assert!((a - b).abs() / scale <= 1e-12, "{a} vs {b}");
             }
         }
     }

@@ -9,7 +9,7 @@
 //! O(n²·d) part of their cost is computed once per call into reused
 //! storage instead of a fresh `Vec<Vec<f64>>` per round.
 
-use dpbyz_tensor::Vector;
+use dpbyz_tensor::{kernels, Vector};
 
 /// Scratch buffers for [`Gar::aggregate_into`](crate::Gar::aggregate_into).
 ///
@@ -91,18 +91,12 @@ impl GarScratch {
     }
 
     /// Fills the flat symmetric squared-distance matrix over the gradients
-    /// listed in `active`.
+    /// listed in `active` — one batched all-pairs call into the tensor
+    /// layer's blocked distance kernel
+    /// ([`kernels::pairwise_squared_distances`]), reusing the flat
+    /// storage across rounds.
     pub(crate) fn fill_dist2_active(&mut self, gradients: &[Vector]) {
-        let m = self.active.len();
-        self.dist2.clear();
-        self.dist2.resize(m * m, 0.0);
-        for a in 0..m {
-            for b in (a + 1)..m {
-                let d = gradients[self.active[a]].squared_distance(&gradients[self.active[b]]);
-                self.dist2[a * m + b] = d;
-                self.dist2[b * m + a] = d;
-            }
-        }
+        kernels::pairwise_squared_distances(gradients, &self.active, &mut self.dist2);
     }
 
     /// Computes the Krum score of every member in `active` (sum of squared

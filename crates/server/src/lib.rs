@@ -18,7 +18,14 @@
 //!   with crossbeam channels, exchanging the serialized
 //!   [`message::GradientMessage`] wire format (integrity-tagged, as
 //!   Remark 1's channels are); shares `ServerCore` and the workers'
-//!   buffer recycling, paying allocations only for the wire frames.
+//!   buffer recycling, and leases its wire frames from a per-worker
+//!   frame arena recycled round-trip through the channels — steady-state
+//!   rounds allocate nothing on this engine either.
+//!
+//! Both engines additionally accept a [`RunScratch`]
+//! (`run_with_scratch`), recycling the whole working set across
+//! *consecutive runs* — how the sweep executor's pool workers process
+//! their (cell × seed) jobs.
 //!
 //! # Example
 //!
@@ -75,5 +82,5 @@ pub use metrics::{RunHistory, SeedSummary};
 pub use observer::{FnObserver, RunObserver, StepMetrics};
 pub use schedule::LrSchedule;
 pub use threaded::ThreadedTrainer;
-pub use trainer::Trainer;
+pub use trainer::{RunScratch, Trainer};
 pub use worker::HonestWorker;

@@ -11,7 +11,7 @@
 //! where `tag` is an FNV-1a integrity checksum over everything before it —
 //! detecting corruption, not providing secrecy.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use dpbyz_tensor::Vector;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -71,17 +71,27 @@ impl GradientMessage {
 
     /// Encodes to a framed byte buffer with integrity tag.
     pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER + self.gradient.dim() * 8 + TAG);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes into a caller-provided buffer — the frame-arena hot path
+    /// the threaded engine drives every round. The buffer is cleared
+    /// first and its allocation is reused, so at steady state (same
+    /// dimension every round) encoding performs no heap allocation.
+    /// Byte-identical to [`GradientMessage::encode`], tag included.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.clear();
         let dim = self.gradient.dim();
-        let mut buf = BytesMut::with_capacity(HEADER + dim * 8 + TAG);
         buf.put_u32_le(self.worker_id);
         buf.put_u32_le(self.step);
         buf.put_u32_le(dim as u32);
         for &x in self.gradient.iter() {
             buf.put_f64_le(x);
         }
-        let tag = fnv1a(&buf);
+        let tag = fnv1a(buf);
         buf.put_u64_le(tag);
-        buf.freeze()
     }
 
     /// Decodes and verifies a framed byte buffer.
@@ -90,31 +100,52 @@ impl GradientMessage {
     ///
     /// [`MessageError::Truncated`] on short frames,
     /// [`MessageError::BadChecksum`] if the integrity tag mismatches.
-    pub fn decode(mut frame: Bytes) -> Result<Self, MessageError> {
+    pub fn decode(frame: Bytes) -> Result<Self, MessageError> {
+        let mut gradient = Vector::default();
+        let (worker_id, step) = Self::decode_into(&frame, &mut gradient)?;
+        Ok(GradientMessage {
+            worker_id,
+            step,
+            gradient,
+        })
+    }
+
+    /// Decodes and verifies a frame into a caller-provided gradient
+    /// buffer, returning the `(worker_id, step)` header fields — the
+    /// allocation-free counterpart of [`GradientMessage::decode`]: the
+    /// live [`Vector`] is resized in place (a no-op at steady state) and
+    /// refilled coordinate by coordinate. Checksum semantics are
+    /// identical: the FNV-1a tag covers header and payload, and a
+    /// mismatch rejects the frame after parsing, exactly as `decode`
+    /// does. On error the gradient buffer is left in an unspecified but
+    /// valid state.
+    ///
+    /// # Errors
+    ///
+    /// As [`GradientMessage::decode`].
+    pub fn decode_into(frame: &[u8], gradient: &mut Vector) -> Result<(u32, u32), MessageError> {
         if frame.len() < HEADER + TAG {
             return Err(MessageError::Truncated);
         }
         let body_len = frame.len() - TAG;
         let expected = fnv1a(&frame[..body_len]);
-        let worker_id = frame.get_u32_le();
-        let step = frame.get_u32_le();
-        let dim = frame.get_u32_le() as usize;
-        if frame.len() != dim * 8 + TAG {
+        let le_u32 = |at: usize| u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes"));
+        let worker_id = le_u32(0);
+        let step = le_u32(4);
+        let dim = le_u32(8) as usize;
+        if frame.len() != HEADER + dim * 8 + TAG {
             return Err(MessageError::Truncated);
         }
-        let mut coords = Vec::with_capacity(dim);
-        for _ in 0..dim {
-            coords.push(frame.get_f64_le());
+        gradient.resize(dim, 0.0);
+        for (j, coord) in gradient.as_mut_slice().iter_mut().enumerate() {
+            let at = HEADER + j * 8;
+            *coord = f64::from_le_bytes(frame[at..at + 8].try_into().expect("8 bytes"));
         }
-        let tag = frame.get_u64_le();
+        let tag = u64::from_le_bytes(frame[body_len..].try_into().expect("8 bytes"));
         if tag != expected {
             return Err(MessageError::BadChecksum);
         }
-        Ok(GradientMessage {
-            worker_id,
-            step,
-            gradient: Vector::from(coords),
-        })
+        Ok((worker_id, step))
     }
 }
 
@@ -131,20 +162,56 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_roundtrip_reuses_buffers() {
+        // The frame-arena path: encode into a recycled BytesMut, decode
+        // into a dirty live Vector — byte- and bit-identical to the
+        // allocating encode/decode pair.
+        let msg = GradientMessage::new(3, 42, Vector::from(vec![1.5, -2.25, 0.0]));
+        let mut frame = BytesMut::with_capacity(4);
+        frame.put_u32_le(0xDEAD_BEEF); // dirty: encode_into must clear
+        msg.encode_into(&mut frame);
+        assert_eq!(&frame[..], &msg.encode()[..]);
+        let mut gradient = Vector::from(vec![9.0; 7]); // dirty, wrong dim
+        let (id, step) = GradientMessage::decode_into(&frame, &mut gradient).unwrap();
+        assert_eq!((id, step), (3, 42));
+        assert_eq!(gradient, msg.gradient);
+        // Second round through the SAME buffers.
+        let msg2 = GradientMessage::new(4, 43, Vector::from(vec![0.25, 7.0, -1.0]));
+        msg2.encode_into(&mut frame);
+        let (id, step) = GradientMessage::decode_into(&frame, &mut gradient).unwrap();
+        assert_eq!((id, step), (4, 43));
+        assert_eq!(gradient, msg2.gradient);
+    }
+
+    #[test]
     fn empty_gradient_roundtrip() {
         let msg = GradientMessage::new(0, 0, Vector::zeros(0));
         assert_eq!(GradientMessage::decode(msg.encode()).unwrap(), msg);
+        let mut gradient = Vector::from(vec![1.0]);
+        let mut frame = BytesMut::default();
+        msg.encode_into(&mut frame);
+        assert_eq!(
+            GradientMessage::decode_into(&frame, &mut gradient).unwrap(),
+            (0, 0)
+        );
+        assert!(gradient.is_empty());
     }
 
     #[test]
     fn detects_truncation() {
         let msg = GradientMessage::new(1, 2, Vector::from(vec![1.0, 2.0]));
-        let enc = msg.encode();
-        let short = enc.slice(..enc.len() - 9);
+        let mut frame = BytesMut::default();
+        msg.encode_into(&mut frame);
+        let mut gradient = Vector::default();
         assert!(matches!(
-            GradientMessage::decode(short),
+            GradientMessage::decode_into(&frame[..frame.len() - 9], &mut gradient),
             Err(MessageError::Truncated) | Err(MessageError::BadChecksum)
         ));
+        assert_eq!(
+            GradientMessage::decode_into(b"xy", &mut gradient),
+            Err(MessageError::Truncated)
+        );
+        // The legacy Bytes-consuming path reports the same.
         assert_eq!(
             GradientMessage::decode(Bytes::from_static(b"xy")),
             Err(MessageError::Truncated)
@@ -154,10 +221,12 @@ mod tests {
     #[test]
     fn detects_corruption() {
         let msg = GradientMessage::new(1, 2, Vector::from(vec![1.0, 2.0]));
-        let mut bytes = msg.encode().to_vec();
-        bytes[HEADER + 3] ^= 0xFF; // flip a payload bit
+        let mut frame = BytesMut::default();
+        msg.encode_into(&mut frame);
+        frame[HEADER + 3] ^= 0xFF; // flip a payload bit in the arena
+        let mut gradient = Vector::default();
         assert_eq!(
-            GradientMessage::decode(Bytes::from(bytes)),
+            GradientMessage::decode_into(&frame, &mut gradient),
             Err(MessageError::BadChecksum)
         );
     }
@@ -167,10 +236,12 @@ mod tests {
         // Flipping the worker id must break the tag: authentication-ish
         // integrity over the whole frame.
         let msg = GradientMessage::new(1, 2, Vector::from(vec![1.0]));
-        let mut bytes = msg.encode().to_vec();
-        bytes[0] ^= 0x01;
+        let mut frame = BytesMut::default();
+        msg.encode_into(&mut frame);
+        frame[0] ^= 0x01;
+        let mut gradient = Vector::default();
         assert_eq!(
-            GradientMessage::decode(Bytes::from(bytes)),
+            GradientMessage::decode_into(&frame, &mut gradient),
             Err(MessageError::BadChecksum)
         );
     }
@@ -189,7 +260,14 @@ mod tests {
             coords in proptest::collection::vec(-1e9..1e9f64, 0..64),
         ) {
             let msg = GradientMessage::new(id, step, Vector::from(coords));
-            prop_assert_eq!(GradientMessage::decode(msg.encode()).unwrap(), msg);
+            prop_assert_eq!(GradientMessage::decode(msg.encode()).unwrap(), msg.clone());
+            // The buffer-reusing path agrees bit for bit.
+            let mut frame = BytesMut::default();
+            msg.encode_into(&mut frame);
+            let mut gradient = Vector::from(vec![5.0; 3]);
+            let header = GradientMessage::decode_into(&frame, &mut gradient).unwrap();
+            prop_assert_eq!(header, (msg.worker_id, msg.step));
+            prop_assert_eq!(gradient, msg.gradient);
         }
     }
 }

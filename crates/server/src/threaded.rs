@@ -5,13 +5,30 @@
 //! both engines share [`ServerCore`](crate::trainer::ServerCore) and the
 //! RNG-stream derivation, and the server collects submissions in worker-id
 //! order regardless of thread scheduling.
+//!
+//! # The frame arena
+//!
+//! Every buffer that crosses a channel is **recycled round-trip** instead
+//! of freshly allocated per round: the server owns, per worker, one wire
+//! frame (`BytesMut`), one broadcast-parameter `Vector`, and one
+//! `pre_noise` diagnostics `Vector`. Each round they travel server →
+//! worker inside [`Command::Step`], come back refilled inside the reply,
+//! and are stored for the next round — the command/reply channel pair
+//! doubles as the arena's return channel. Gradients cross the wire only
+//! as bytes: the worker encodes with
+//! [`GradientMessage::encode_into`] into its leased frame and the server
+//! decodes with [`GradientMessage::decode_into`] straight into the
+//! long-lived per-worker output slot. At steady state a threaded round —
+//! wire frames included — performs **zero** heap allocations
+//! (`tests/tests/alloc_steady_state.rs` pins it with a counting global
+//! allocator).
 
 use crate::config::MomentumMode;
 use crate::message::GradientMessage;
 use crate::metrics::RunHistory;
-use crate::trainer::{derive_streams, ServerCore, Trainer};
+use crate::trainer::{derive_streams, RunScratch, ServerCore, Trainer};
 use crate::worker::{HonestWorker, WorkerOutput};
-use bytes::Bytes;
+use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dpbyz_gars::GarError;
 use dpbyz_tensor::Vector;
@@ -19,21 +36,28 @@ use dpbyz_tensor::Vector;
 /// One round-trip of the worker protocol.
 enum Command {
     /// Compute step `t` against the broadcast parameters with the given
-    /// per-step batch size (dynamic under batch growth).
+    /// per-step batch size (dynamic under batch growth). Carries the
+    /// worker's leased arena buffers: the wire frame to encode into, the
+    /// parameter buffer to read, and the recycled `pre_noise` slot to
+    /// refill — all returned in the reply.
     Step {
         t: u32,
         params: Vector,
         batch_size: usize,
+        frame: BytesMut,
+        pre_noise: Vector,
     },
     /// Shut down.
     Stop,
 }
 
 /// What a worker thread returns each round: the submitted gradient as an
-/// integrity-tagged wire frame, plus the simulator-only diagnostics that
-/// never cross the real network.
+/// integrity-tagged wire frame (in the leased arena buffer), the
+/// simulator-only diagnostics that never cross the real network, and the
+/// parameter buffer handed back for the server to refill next round.
 struct RoundReply {
-    frame: Bytes,
+    frame: BytesMut,
+    params: Vector,
     pre_noise: Vector,
     batch_loss: f64,
 }
@@ -66,6 +90,27 @@ impl ThreadedTrainer {
     /// Panics if a worker thread dies or a wire frame fails its integrity
     /// check (both indicate simulator bugs, not run-time conditions).
     pub fn run(self, seed: u64) -> Result<RunHistory, GarError> {
+        self.run_with_scratch(seed, &mut RunScratch::new())
+    }
+
+    /// Runs the full training, recycling the server-side buffers in
+    /// `scratch` (round buffers, output slots, frame arena) — worker
+    /// threads and their internal buffers are still spawned per run. The
+    /// history is bit-identical to [`ThreadedTrainer::run`]'s regardless
+    /// of what a previous run left in the scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trainer::run`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ThreadedTrainer::run`].
+    pub fn run_with_scratch(
+        self,
+        seed: u64,
+        scratch: &mut RunScratch,
+    ) -> Result<RunHistory, GarError> {
         let trainer = self.inner;
         let config = trainer.config;
         let n = config.n_workers;
@@ -91,6 +136,7 @@ impl ThreadedTrainer {
             params,
             attack_rng,
             fault_rng,
+            std::mem::take(&mut scratch.round),
         );
         core.set_observer(trainer.observer);
 
@@ -120,8 +166,9 @@ impl ThreadedTrainer {
             let handle = std::thread::spawn(move || {
                 // Recycled across rounds: the worker refills this output
                 // in place (its batch/gradient buffers live inside the
-                // worker). Only the wire frame and the diagnostics that
-                // leave the thread are fresh per round.
+                // worker); the wire frame, parameter, and pre_noise
+                // buffers are leased from the server's arena each round
+                // and returned in the reply.
                 let mut out = WorkerOutput::default();
                 while let Ok(cmd) = cmd_rx.recv() {
                     match cmd {
@@ -129,16 +176,24 @@ impl ThreadedTrainer {
                             t,
                             params,
                             batch_size,
+                            mut frame,
+                            pre_noise,
                         } => {
+                            out.pre_noise = pre_noise;
                             worker.compute_into(&params, batch_size, &mut out);
-                            let frame = GradientMessage::new(
+                            // Encode from the recycled submission buffer:
+                            // the vector moves through the message and
+                            // back — bytes travel, not the Vector.
+                            let msg = GradientMessage::new(
                                 worker.id(),
                                 t,
                                 std::mem::take(&mut out.submitted),
-                            )
-                            .encode();
+                            );
+                            msg.encode_into(&mut frame);
+                            out.submitted = msg.gradient;
                             let reply = RoundReply {
                                 frame,
+                                params,
                                 pre_noise: std::mem::take(&mut out.pre_noise),
                                 batch_loss: out.batch_loss,
                             };
@@ -156,30 +211,42 @@ impl ThreadedTrainer {
         }
 
         let mut result = Ok(());
-        // Persistent server-side round state: one output slot per worker,
-        // refilled by move from each round's replies.
-        let mut outputs: Vec<WorkerOutput> =
-            (0..n_honest).map(|_| WorkerOutput::default()).collect();
+        // Persistent server-side round state, taken from the scratch: one
+        // output slot, one frame, and one parameter buffer per worker,
+        // refilled round-trip through the channels.
+        let mut outputs = std::mem::take(&mut scratch.outputs);
+        outputs.resize_with(n_honest, WorkerOutput::default);
+        let mut frames = std::mem::take(&mut scratch.frames);
+        frames.resize_with(n_honest, BytesMut::default);
+        let mut params_pool = std::mem::take(&mut scratch.params_pool);
+        params_pool.resize_with(n_honest, Vector::default);
         'training: for t in 1..=config.steps {
-            let params = core.params().clone();
             let batch_size = config.batch_at(t);
-            for tx in &cmd_txs {
+            for (i, tx) in cmd_txs.iter().enumerate() {
+                let mut params = std::mem::take(&mut params_pool[i]);
+                params.copy_from(core.params());
                 tx.send(Command::Step {
                     t,
-                    params: params.clone(),
+                    params,
                     batch_size,
+                    frame: std::mem::take(&mut frames[i]),
+                    pre_noise: std::mem::take(&mut outputs[i].pre_noise),
                 })
                 .expect("worker thread alive");
             }
             // Collect in worker-id order: determinism independent of
             // scheduling.
-            for (rx, out) in reply_rxs.iter().zip(outputs.iter_mut()) {
+            for (i, (rx, out)) in reply_rxs.iter().zip(outputs.iter_mut()).enumerate() {
                 let reply = rx.recv().expect("worker thread alive");
-                let msg = GradientMessage::decode(reply.frame).expect("wire integrity verified");
-                debug_assert_eq!(msg.step, t);
+                let (worker_id, step) =
+                    GradientMessage::decode_into(&reply.frame, &mut out.submitted)
+                        .expect("wire integrity verified");
+                debug_assert_eq!(step, t);
+                debug_assert_eq!(worker_id as usize, i);
                 out.pre_noise = reply.pre_noise;
-                out.submitted = msg.gradient;
                 out.batch_loss = reply.batch_loss;
+                frames[i] = reply.frame;
+                params_pool[i] = reply.params;
             }
             if let Err(e) = core.process_round(t, &mut outputs) {
                 result = Err(e);
@@ -195,6 +262,10 @@ impl ThreadedTrainer {
             h.join().expect("worker thread panicked");
         }
 
+        scratch.outputs = outputs;
+        scratch.frames = frames;
+        scratch.params_pool = params_pool;
+        scratch.round = core.take_buffers();
         result.map(|()| core.finish(seed))
     }
 }
@@ -269,5 +340,46 @@ mod tests {
         let (_, thr) = build(5, 1, 10);
         let res = ThreadedTrainer::from(thr.attack(Arc::new(FallOfEmpires::default()))).run(1);
         assert!(matches!(res, Err(GarError::TooManyByzantine { .. })));
+    }
+
+    #[test]
+    fn dirty_scratch_reuse_is_bit_invisible_across_topologies() {
+        // One scratch reused across a 4-worker honest run, an 11-worker
+        // attacked run, and back — the sweep-executor usage pattern. Every
+        // history must equal its fresh-scratch counterpart exactly.
+        let mut scratch = RunScratch::new();
+        let (_, a) = build(4, 0, 12);
+        let (_, b) = build(11, 5, 8);
+        let fresh_a = {
+            let (_, t) = build(4, 0, 12);
+            ThreadedTrainer::from(t).run(3).unwrap()
+        };
+        let fresh_b = {
+            let (_, t) = build(11, 5, 8);
+            ThreadedTrainer::from(
+                t.gar(Arc::new(Mda::new()))
+                    .attack(Arc::new(FallOfEmpires::default())),
+            )
+            .run(4)
+            .unwrap()
+        };
+        let first = ThreadedTrainer::from(a)
+            .run_with_scratch(3, &mut scratch)
+            .unwrap();
+        assert_eq!(first, fresh_a);
+        let second = ThreadedTrainer::from(
+            b.gar(Arc::new(Mda::new()))
+                .attack(Arc::new(FallOfEmpires::default())),
+        )
+        .run_with_scratch(4, &mut scratch)
+        .unwrap();
+        assert_eq!(second, fresh_b);
+        let third = {
+            let (_, t) = build(4, 0, 12);
+            ThreadedTrainer::from(t)
+                .run_with_scratch(3, &mut scratch)
+                .unwrap()
+        };
+        assert_eq!(third, fresh_a);
     }
 }

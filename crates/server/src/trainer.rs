@@ -17,7 +17,8 @@ use std::sync::Arc;
 /// of the zero-copy hot path. Every round refills these in place instead
 /// of re-allocating the vector set: at steady state `process_round`
 /// performs no heap allocation.
-struct RoundBuffers {
+#[derive(Default)]
+pub(crate) struct RoundBuffers {
     /// The final submission set the GAR aggregates: honest submissions in
     /// worker-id order, then `n_byzantine` copies of the forged vector.
     submissions: Vec<Vector>,
@@ -36,18 +37,6 @@ struct RoundBuffers {
 }
 
 impl RoundBuffers {
-    fn new(dim: usize) -> Self {
-        RoundBuffers {
-            submissions: Vec::new(),
-            pre_noise: Vec::new(),
-            forged: Vector::default(),
-            mean: Vector::default(),
-            aggregated: Vector::default(),
-            gar_scratch: GarScratch::new(),
-            dim,
-        }
-    }
-
     /// Adjusts the slot counts to this round's shape. The shape is fixed
     /// for the life of a run (worker count and attack are set at build),
     /// so this grows once on the first round and is a no-op afterwards.
@@ -82,6 +71,39 @@ pub(crate) struct ServerCore {
     observer: Option<Box<dyn RunObserver>>,
 }
 
+/// Reusable cross-run scratch: every long-lived buffer either engine
+/// keeps for the duration of one run, extracted so *consecutive* runs —
+/// e.g. the (cell × seed) jobs a sweep-executor pool worker processes
+/// back to back, or the seeds of a serial `run_seeds` loop — recycle one
+/// working set instead of rebuilding it per job.
+///
+/// Holds the server's round buffers (submission set, forged/mean/
+/// aggregated vectors, GAR scratch), the per-worker output slots, the
+/// broadcast-parameter buffer, and — for the threaded engine — the frame
+/// arena (one recycled wire-frame `BytesMut` and one parameter `Vector`
+/// per worker). Buffer shapes adapt in place when the next run has a
+/// different topology or dimension; reuse is **bit-invisible** — a run
+/// with a dirty scratch produces exactly the history a fresh one does
+/// (every buffer is overwritten before it is read).
+#[derive(Default)]
+pub struct RunScratch {
+    pub(crate) round: RoundBuffers,
+    pub(crate) outputs: Vec<WorkerOutput>,
+    pub(crate) params: Vector,
+    /// Threaded engine only: per-worker wire-frame arena.
+    pub(crate) frames: Vec<bytes::BytesMut>,
+    /// Threaded engine only: per-worker broadcast-parameter buffers.
+    pub(crate) params_pool: Vec<Vector>,
+}
+
+impl RunScratch {
+    /// An empty scratch; buffers grow to the first run's shape and are
+    /// recycled afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ServerCore {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
@@ -93,8 +115,10 @@ impl ServerCore {
         params: Vector,
         attack_rng: Prng,
         fault_rng: Prng,
+        mut buffers: RoundBuffers,
     ) -> Self {
         let dim = params.dim();
+        buffers.dim = dim;
         let steps = config.steps as usize;
         // Pre-reserve the eval curve too (0 when evaluation is disabled),
         // so steady-state rounds never grow a metrics vector.
@@ -113,7 +137,7 @@ impl ServerCore {
             ema: Vector::zeros(dim),
             attack_rng,
             fault_rng,
-            buffers: RoundBuffers::new(dim),
+            buffers,
             train_loss: Vec::with_capacity(steps),
             test_accuracy: Vec::with_capacity(evals),
             vn_submitted: Vec::with_capacity(steps),
@@ -132,6 +156,12 @@ impl ServerCore {
 
     pub(crate) fn params(&self) -> &Vector {
         &self.params
+    }
+
+    /// Takes the round buffers back out (for reclamation into a
+    /// [`RunScratch`] before [`ServerCore::finish`] consumes the core).
+    pub(crate) fn take_buffers(&mut self) -> RoundBuffers {
+        std::mem::take(&mut self.buffers)
     }
 
     /// Consumes one synchronous round of honest outputs (in worker-id
@@ -411,6 +441,23 @@ impl Trainer {
     /// `config.n_byzantine` among `config.n_workers` (a configuration
     /// mistake surfaced on the first step).
     pub fn run(self, seed: u64) -> Result<RunHistory, GarError> {
+        self.run_with_scratch(seed, &mut RunScratch::new())
+    }
+
+    /// Runs the full training, recycling the buffers in `scratch` —
+    /// the cross-run hot path for callers that execute many runs back to
+    /// back (the sweep executor's pool workers, serial seed loops). The
+    /// history is bit-identical to [`Trainer::run`]'s regardless of what
+    /// a previous run left in the scratch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trainer::run`].
+    pub fn run_with_scratch(
+        self,
+        seed: u64,
+        scratch: &mut RunScratch,
+    ) -> Result<RunHistory, GarError> {
         let config = self.config;
         let n = config.n_workers;
         let (mut init_rng, worker_rngs, attack_rng, fault_rng) = derive_streams(seed, n);
@@ -454,23 +501,32 @@ impl Trainer {
             params,
             attack_rng,
             fault_rng,
+            std::mem::take(&mut scratch.round),
         );
         core.set_observer(self.observer);
 
         // Long-lived round state: one output buffer per worker and one
-        // broadcast-parameter buffer, refilled in place every step.
-        let mut outputs: Vec<WorkerOutput> =
-            (0..n_honest).map(|_| WorkerOutput::default()).collect();
-        let mut params = Vector::default();
+        // broadcast-parameter buffer, refilled in place every step —
+        // taken from the scratch so consecutive runs reuse one set.
+        let mut outputs = std::mem::take(&mut scratch.outputs);
+        outputs.resize_with(n_honest, WorkerOutput::default);
+        let mut params = std::mem::take(&mut scratch.params);
+        let mut result = Ok(());
         for t in 1..=config.steps {
             params.copy_from(core.params());
             let batch = config.batch_at(t);
             for (w, out) in workers.iter_mut().zip(outputs.iter_mut()) {
                 w.compute_into(&params, batch, out);
             }
-            core.process_round(t, &mut outputs)?;
+            if let Err(e) = core.process_round(t, &mut outputs) {
+                result = Err(e);
+                break;
+            }
         }
-        Ok(core.finish(seed))
+        scratch.outputs = outputs;
+        scratch.params = params;
+        scratch.round = core.take_buffers();
+        result.map(|()| core.finish(seed))
     }
 }
 

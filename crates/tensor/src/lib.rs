@@ -10,7 +10,10 @@
 //!
 //! * [`Vector`] is a thin newtype over `Vec<f64>` with the arithmetic needed
 //!   by SGD (axpy, dot, norms, clipping) implemented directly; no BLAS is
-//!   used so the whole stack stays auditable and reproducible.
+//!   used so the whole stack stays auditable and reproducible. The inner
+//!   loops live in the explicit [`kernels`] layer — 4-lane blocked
+//!   reductions and lane-unrolled elementwise kernels with fixed,
+//!   machine-independent summation order.
 //! * The normal and Laplace samplers in [`rng`] are implemented in-tree
 //!   (polar Box–Muller, inverse CDF) because they sit on the
 //!   differential-privacy critical path and must be reviewable.
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 mod error;
+pub mod kernels;
 mod matrix;
 mod pool;
 pub mod rng;

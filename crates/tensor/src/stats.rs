@@ -5,9 +5,13 @@
 //! Mean, Phocas, Meamed), and empirical variance estimates (the VN-ratio
 //! condition, Eq. 2 / Eq. 8 of the paper).
 
-use crate::{TensorError, Vector};
+use crate::{kernels, TensorError, Vector};
 
 /// Arithmetic mean of a slice.
+///
+/// Sums through the 4-lane blocked [`kernels::sum`] — the same kernel
+/// every coordinate-statistics GAR column reduction (trimmed mean,
+/// mean-around) bottoms out in.
 ///
 /// # Errors
 ///
@@ -16,7 +20,7 @@ pub fn mean(xs: &[f64]) -> Result<f64, TensorError> {
     if xs.is_empty() {
         return Err(TensorError::Empty);
     }
-    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+    Ok(kernels::sum(xs) / xs.len() as f64)
 }
 
 /// Unbiased (n−1) sample variance.

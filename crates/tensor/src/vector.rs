@@ -1,7 +1,7 @@
 //! Dense `R^d` vectors — the representation of model parameters and
 //! gradients throughout the workspace.
 
-use crate::TensorError;
+use crate::{kernels, TensorError};
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
@@ -99,12 +99,12 @@ impl Vector {
             self.dim(),
             other.dim()
         );
-        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+        kernels::dot(&self.0, &other.0)
     }
 
     /// Squared Euclidean norm `‖self‖²`.
     pub fn l2_norm_squared(&self) -> f64 {
-        self.0.iter().map(|x| x * x).sum()
+        kernels::sum_squares(&self.0)
     }
 
     /// Euclidean norm `‖self‖₂`.
@@ -156,11 +156,7 @@ impl Vector {
             self.dim(),
             other.dim()
         );
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        kernels::squared_distance(&self.0, &other.0)
     }
 
     /// Returns `self * scalar` as a new vector.
@@ -170,9 +166,7 @@ impl Vector {
 
     /// Multiplies every coordinate by `scalar` in place.
     pub fn scale(&mut self, scalar: f64) {
-        for x in &mut self.0 {
-            *x *= scalar;
-        }
+        kernels::scale(&mut self.0, scalar);
     }
 
     /// In-place `self += alpha * other` (the BLAS `axpy` primitive — the
@@ -189,9 +183,7 @@ impl Vector {
             self.dim(),
             other.dim()
         );
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
-            *a += alpha * b;
-        }
+        kernels::axpy(&mut self.0, alpha, &other.0);
     }
 
     /// Coordinate-wise (Hadamard) product.
@@ -200,6 +192,19 @@ impl Vector {
     ///
     /// Panics if dimensions differ.
     pub fn hadamard(&self, other: &Vector) -> Vector {
+        let mut out = Vector::default();
+        self.hadamard_into(other, &mut out);
+        out
+    }
+
+    /// Writes the coordinate-wise product `self ⊙ other` into `out`
+    /// without allocating (when `out` already has capacity) — the
+    /// in-place counterpart of [`Vector::hadamard`], bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn hadamard_into(&self, other: &Vector, out: &mut Vector) {
         assert_eq!(
             self.dim(),
             other.dim(),
@@ -207,18 +212,22 @@ impl Vector {
             self.dim(),
             other.dim()
         );
-        Vector(
-            self.0
-                .iter()
-                .zip(other.0.iter())
-                .map(|(a, b)| a * b)
-                .collect(),
-        )
+        out.0.resize(self.dim(), 0.0);
+        kernels::hadamard(&self.0, &other.0, &mut out.0);
     }
 
     /// Applies `f` to every coordinate, returning a new vector.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
         Vector(self.0.iter().map(|&x| f(x)).collect())
+    }
+
+    /// Applies `f` to every coordinate in place — the allocation-free
+    /// counterpart of [`Vector::map`], bit-identical to it (same
+    /// per-coordinate expression, no reordering).
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.0 {
+            *x = f(*x);
+        }
     }
 
     /// Projects the vector onto the L2 ball of radius `max_norm`, returning
@@ -269,7 +278,7 @@ impl Vector {
     /// Sets every coordinate to `value` — the allocation-free counterpart
     /// of [`Vector::filled`] for an existing buffer.
     pub fn fill(&mut self, value: f64) {
-        self.0.fill(value);
+        kernels::fill(&mut self.0, value);
     }
 
     /// Resizes to `dim` coordinates, filling any *new* coordinates with
@@ -284,19 +293,26 @@ impl Vector {
     /// capacity suffices, so at steady state (equal dimensions) this is a
     /// pure `memcpy` — the zero-copy engine's buffer-refill primitive.
     pub fn copy_from(&mut self, other: &Vector) {
-        self.0.clear();
-        self.0.extend_from_slice(&other.0);
+        kernels::copy(&other.0, &mut self.0);
     }
 
     /// Writes `self − other` into `out` without allocating (when `out`
-    /// already has capacity). Bit-identical to `&self - &other`.
+    /// already has capacity). Bit-identical to `&self - &other` (IEEE
+    /// negation is exact, so `a − b` and `a + (−1)·b` agree bitwise).
     ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
     pub fn sub_into(&self, other: &Vector, out: &mut Vector) {
-        out.copy_from(self);
-        out.axpy(-1.0, other);
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "sub_into: dimension mismatch {} vs {}",
+            self.dim(),
+            other.dim()
+        );
+        out.0.resize(self.dim(), 0.0);
+        kernels::sub(&self.0, &other.0, &mut out.0);
     }
 
     /// The arithmetic mean of a non-empty slice of equal-dimension vectors.

@@ -186,6 +186,13 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Clears the buffer, keeping its allocation — the frame-arena
+    /// recycling primitive: a cleared `BytesMut` re-encodes the next
+    /// frame into the same storage.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {
@@ -193,6 +200,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

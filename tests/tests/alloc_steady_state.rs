@@ -1,19 +1,22 @@
 //! Allocation bound for the zero-copy round engine: after warm-up, a
 //! training round performs **zero** heap allocations for the `average`,
-//! `krum`, and `median` cells with the Gaussian mechanism.
+//! `krum`, and `median` cells with the Gaussian mechanism — on **both**
+//! engines. The threaded cases cover the whole transport too: encoding
+//! into the recycled frame arena, the channel hop, and decoding straight
+//! into the server's output slots all stay allocation-free once warm.
 //!
 //! A counting global allocator snapshots the cumulative allocation count
 //! at every step (via a passive observer); the per-round deltas over the
 //! back half of the run must all be zero. Any clone-per-round regression
-//! in the worker loop, the server's round processing, the VN diagnostics,
-//! or the GAR scratch path fails this test immediately.
+//! in the worker loop, the wire codec, the server's round processing, the
+//! VN diagnostics, or the GAR scratch path fails this test immediately.
 
 use dpbyz::data::sampler::{BatchSource, DatasetSource, SamplingMode};
 use dpbyz::data::synthetic;
 use dpbyz::dp::{GaussianMechanism, Mechanism};
 use dpbyz::gars::{Average, CoordinateMedian, Gar, Krum};
 use dpbyz::models::{LogisticRegression, LossKind};
-use dpbyz::server::{FnObserver, Trainer, TrainingConfig};
+use dpbyz::server::{FnObserver, ThreadedTrainer, Trainer, TrainingConfig};
 use dpbyz::tensor::Prng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,6 +61,13 @@ const STEPS: u32 = 40;
 /// Runs one cell and returns the cumulative allocation count observed at
 /// the end of every step.
 fn per_step_allocation_counts(gar: Arc<dyn Gar>) -> Vec<u64> {
+    per_step_allocation_counts_on(gar, false)
+}
+
+/// [`per_step_allocation_counts`] with engine selection: `threaded`
+/// exercises the full wire transport (frame arena encode → channel →
+/// decode) under the counting allocator.
+fn per_step_allocation_counts_on(gar: Arc<dyn Gar>, threaded: bool) -> Vec<u64> {
     let n = 5;
     let mut rng = Prng::seed_from_u64(11);
     let ds = Arc::new(synthetic::phishing_like(&mut rng, 400));
@@ -87,7 +97,11 @@ fn per_step_allocation_counts(gar: Arc<dyn Gar>) -> Vec<u64> {
         .observer(Box::new(FnObserver::new(move |_m| {
             sink.lock().unwrap().push(allocation_count());
         })));
-    trainer.run(1).unwrap();
+    if threaded {
+        ThreadedTrainer::from(trainer).run(1).unwrap();
+    } else {
+        trainer.run(1).unwrap();
+    }
     Arc::try_unwrap(snapshots).unwrap().into_inner().unwrap()
 }
 
@@ -124,4 +138,28 @@ fn krum_cell_is_allocation_free_at_steady_state() {
 fn median_cell_is_allocation_free_at_steady_state() {
     let counts = per_step_allocation_counts(Arc::new(CoordinateMedian::new()));
     assert_steady_state_allocation_free("median/gaussian", &counts);
+}
+
+// The threaded engine reaches the same zero-allocations-per-round steady
+// state as the serial one — **including the wire frames**: the per-worker
+// `BytesMut` arena, the broadcast-parameter buffers, and the pre-noise
+// diagnostics all recycle round-trip through the channels, and
+// `encode_into`/`decode_into` reuse live buffers on both ends.
+
+#[test]
+fn threaded_average_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts_on(Arc::new(Average::new()), true);
+    assert_steady_state_allocation_free("threaded/average/gaussian", &counts);
+}
+
+#[test]
+fn threaded_krum_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts_on(Arc::new(Krum::new()), true);
+    assert_steady_state_allocation_free("threaded/krum/gaussian", &counts);
+}
+
+#[test]
+fn threaded_median_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts_on(Arc::new(CoordinateMedian::new()), true);
+    assert_steady_state_allocation_free("threaded/median/gaussian", &counts);
 }

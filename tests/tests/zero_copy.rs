@@ -240,4 +240,42 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn prop_hadamard_into_and_map_in_place_equivalence(
+        seed in 0u64..500,
+        dim in 1usize..48,
+    ) {
+        // The last two formerly allocating-only Vector kernels: the
+        // in-place variants must match their allocating counterparts bit
+        // for bit, with dirty reused output buffers (the engine's usage
+        // pattern).
+        let vs = random_gradients(seed, 2, dim);
+        let mut out = Vector::from(vec![7.5; 3]); // dirty, wrong dim
+        vs[0].hadamard_into(&vs[1], &mut out);
+        prop_assert!(bits_equal(&vs[0].hadamard(&vs[1]), &out));
+        // Reuse the SAME buffer again (capacity now warm).
+        vs[1].hadamard_into(&vs[0], &mut out);
+        prop_assert!(bits_equal(&vs[1].hadamard(&vs[0]), &out));
+
+        let f = |x: f64| (x * 1.7 - 0.25).abs().sqrt();
+        let mut in_place = vs[0].clone();
+        in_place.map_in_place(f);
+        prop_assert!(bits_equal(&vs[0].map(f), &in_place));
+    }
+
+    #[test]
+    #[allow(clippy::redundant_clone)]
+    fn prop_hadamard_into_dimension_contract(seed in 0u64..100, dim in 1usize..16) {
+        // Same panic contract as the allocating hadamard: mismatched
+        // dimensions are a programming error. (Checked via catch_unwind
+        // so the proptest harness sees a clean assertion.)
+        let vs = random_gradients(seed, 2, dim);
+        let short = Vector::zeros(dim + 1);
+        let result = std::panic::catch_unwind(|| {
+            let mut out = Vector::default();
+            vs[0].hadamard_into(&short, &mut out);
+        });
+        prop_assert!(result.is_err());
+    }
 }
