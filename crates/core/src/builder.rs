@@ -49,7 +49,7 @@ pub struct ExperimentBuilder {
     epsilon: Option<f64>,
     delta: f64,
     budget: Option<PrivacyBudget>,
-    threaded: bool,
+    backend: ComponentSpec,
     dp_reference_g_max: Option<f64>,
 }
 
@@ -86,7 +86,7 @@ impl Default for ExperimentBuilder {
             epsilon: None,
             delta: 1e-6,
             budget: None,
-            threaded: false,
+            backend: ComponentSpec::new("sequential"),
             dp_reference_g_max: None,
         }
     }
@@ -279,13 +279,25 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Selects the execution backend by registry id (`"sequential"`,
+    /// `"threaded"`, `"tcp"`, or any registered id, optionally with
+    /// parameters via a full [`ComponentSpec`]). All backends are
+    /// bit-identical on clean runs. The id is resolved at *run* time, not
+    /// here: backends registered after `build()` (e.g. `dpbyz-net`'s
+    /// `install()`) still work, and an unknown id surfaces from `run` as
+    /// a spec error naming the available backends.
+    #[must_use]
+    pub fn backend(mut self, backend: impl Into<ComponentSpec>) -> Self {
+        self.backend = backend.into();
+        self
+    }
+
     /// Runs on the threaded engine instead of the sequential one (the two
     /// are bit-identical; threaded pays thread overhead but exercises the
-    /// wire format).
+    /// wire format). Sugar over [`backend`](Self::backend).
     #[must_use]
-    pub fn threaded(mut self, threaded: bool) -> Self {
-        self.threaded = threaded;
-        self
+    pub fn threaded(self, threaded: bool) -> Self {
+        self.backend(if threaded { "threaded" } else { "sequential" })
     }
 
     /// Calibrates DP noise at a reference `G_max` different from the clip
@@ -393,7 +405,7 @@ impl ExperimentBuilder {
             attack: self.attack,
             budget,
             mechanism: self.mechanism,
-            threaded: self.threaded,
+            backend: self.backend,
             dp_reference_g_max: self.dp_reference_g_max,
         })
     }
@@ -413,7 +425,7 @@ mod tests {
         assert_eq!(exp.config.n_byzantine, 0); // no attack armed
         assert_eq!(exp.config.batch_size, 50);
         assert!(exp.budget.is_none());
-        assert!(!exp.threaded);
+        assert_eq!(exp.backend.id, "sequential");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 pub mod analysis;
 mod builder;
+pub mod engine;
 mod kinds;
 pub mod pack;
 pub mod pipeline;
@@ -58,6 +59,7 @@ pub mod sweep;
 pub mod theory;
 
 pub use builder::ExperimentBuilder;
+pub use engine::EngineBackend;
 pub use kinds::{AttackKind, GarKind, MechanismKind};
 pub use pack::{PackCell, ScenarioPack};
 pub use pipeline::Experiment;
@@ -78,6 +80,7 @@ pub use sweep::{CellRun, SweepBuilder, SweepResults};
 /// assert_eq!(exp.gar, GarKind::Average);
 /// ```
 pub mod prelude {
+    pub use crate::engine::{backend_ids, register_backend, EngineBackend};
     pub use crate::pack::{
         register_scenario_pack, register_scenario_pack_with, scenario_pack, scenario_pack_ids,
         PackCell, ScenarioPack,

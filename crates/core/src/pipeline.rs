@@ -10,8 +10,8 @@ use dpbyz_dp::{DpError, PrivacyBudget};
 use dpbyz_gars::GarError;
 use dpbyz_models::{LogisticRegression, LossKind, Model, QuadraticMean};
 use dpbyz_server::{
-    ConfigError, LrSchedule, MomentumMode, RunHistory, RunObserver, RunScratch, ThreadedTrainer,
-    Trainer, TrainingConfig,
+    ConfigError, LrSchedule, MomentumMode, RunHistory, RunObserver, RunScratch, Trainer,
+    TrainingConfig,
 };
 use dpbyz_tensor::{Prng, Vector};
 use std::fmt;
@@ -130,8 +130,14 @@ pub struct Experiment {
     /// degrade to the identity mechanism (the paper's no-DP baselines);
     /// all other registered ids are always resolved as specified.
     pub mechanism: ComponentSpec,
-    /// Run on the threaded engine instead of the sequential one.
-    pub threaded: bool,
+    /// Execution backend, resolved through the engine-backend registry at
+    /// run time (`"sequential"`, `"threaded"`, or any registered id —
+    /// e.g. `"tcp"` once `dpbyz-net`'s `install()` has run). Resolution
+    /// is deliberately deferred to `run`: backends registered after this
+    /// experiment was built still resolve, and an unknown id surfaces as
+    /// a [`PipelineError::Spec`] naming the available backends instead of
+    /// a panic.
+    pub backend: ComponentSpec,
     /// `G_max` reference used to *calibrate* the DP noise, when different
     /// from the actual clip threshold (`None` ⇒ use `config.clip`, the
     /// faithful clip-then-noise protocol). The Theorem 1 workload sets
@@ -224,7 +230,7 @@ impl Experiment {
             attack: fig.attack.map(AttackKind::spec),
             budget,
             mechanism: MechanismKind::Gaussian.spec(),
-            threaded: false,
+            backend: ComponentSpec::new("sequential"),
             dp_reference_g_max: None,
         })
     }
@@ -271,7 +277,7 @@ impl Experiment {
             attack: None,
             budget,
             mechanism: MechanismKind::Gaussian.spec(),
-            threaded: false,
+            backend: ComponentSpec::new("sequential"),
             dp_reference_g_max: Some(2.0),
         })
     }
@@ -358,6 +364,32 @@ impl Experiment {
         observer: Option<Box<dyn RunObserver>>,
         scratch: &mut RunScratch,
     ) -> Result<RunHistory, PipelineError> {
+        let backend = crate::engine::build_backend(&self.backend).map_err(|e| match e {
+            RegistryError::UnknownId { id, available } => PipelineError::Spec(format!(
+                "unknown engine backend `{id}`; available backends: [{}] \
+                 (in-process engines are built in; out-of-process backends \
+                 register at startup, e.g. dpbyz-net's install() for `tcp`)",
+                available.join(", ")
+            )),
+            other => other.into(),
+        })?;
+        backend.run(self, seed, observer, scratch)
+    }
+
+    /// Materializes the experiment into a ready-to-run [`Trainer`]: the
+    /// workload's datasets, model, and per-worker batch sources, the
+    /// GAR/attack resolved through their registries, and the noise
+    /// mechanism calibrated against the budget (or degraded to the
+    /// identity for budget-calibrated mechanisms without one). This is
+    /// the single construction path every execution backend shares — an
+    /// engine that dismantles the returned trainer (e.g. via
+    /// `Trainer::into_distributed_parts`) is guaranteed the same
+    /// components, in the same order, as the in-process engines.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn build_trainer(&self) -> Result<Trainer, PipelineError> {
         let (model, sources, test): WorkloadParts = match &self.workload {
             Workload::PhishingLike { data_seed, size } => {
                 let mut rng = Prng::seed_from_u64(*data_seed);
@@ -426,16 +458,7 @@ impl Experiment {
         if let Some(attack) = &self.attack {
             trainer = trainer.attack(registry::build_attack(attack)?);
         }
-        if let Some(observer) = observer {
-            trainer = trainer.observer(observer);
-        }
-
-        let history = if self.threaded {
-            ThreadedTrainer::from(trainer).run_with_scratch(seed, scratch)?
-        } else {
-            trainer.run_with_scratch(seed, scratch)?
-        };
-        Ok(history)
+        Ok(trainer)
     }
 
     /// Runs the experiment across several seeds (the paper repeats each
@@ -567,12 +590,26 @@ mod tests {
     }
 
     #[test]
-    fn threaded_flag_matches_sequential() {
+    fn threaded_backend_matches_sequential() {
         let mut exp = quick_fig(10, Some(0.2), Some(AttackKind::PAPER_FOE), 8);
         let seq = exp.run(2).unwrap();
-        exp.threaded = true;
+        exp.backend = "threaded".into();
         let thr = exp.run(2).unwrap();
         assert_eq!(seq, thr);
+    }
+
+    #[test]
+    fn unknown_backend_is_a_spec_error_naming_available_ids() {
+        let mut exp = quick_fig(10, None, None, 3);
+        exp.backend = "smoke-signals".into();
+        match exp.run(1) {
+            Err(PipelineError::Spec(msg)) => {
+                assert!(msg.contains("smoke-signals"), "{msg}");
+                assert!(msg.contains("sequential"), "{msg}");
+                assert!(msg.contains("threaded"), "{msg}");
+            }
+            other => panic!("expected Spec error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -648,7 +685,7 @@ mod tests {
             attack: None,
             budget: None,
             mechanism: MechanismKind::Gaussian.spec(),
-            threaded: false,
+            backend: ComponentSpec::new("sequential"),
             dp_reference_g_max: None,
         };
         let h = exp.run(1).unwrap();

@@ -162,6 +162,10 @@ pub use dpbyz_dp as dp;
 pub use dpbyz_gars as gars;
 /// Differentiable models and losses.
 pub use dpbyz_models as models;
+/// The multi-process distributed engine: TCP coordinator/worker
+/// deployment behind the `"tcp"` backend id (call
+/// [`net::install`] once to register it).
+pub use dpbyz_net as net;
 /// The parameter-server simulator crate.
 pub use dpbyz_server as server;
 /// Dense linear algebra, statistics, and seeded randomness.
@@ -233,7 +237,7 @@ mod tests {
             .build()
             .unwrap();
         let seq = exp.run(2).unwrap();
-        exp.threaded = true;
+        exp.backend = "threaded".into();
         let steps = Arc::new(Mutex::new(0u32));
         let counter = steps.clone();
         let thr = exp

@@ -1,0 +1,440 @@
+//! The coordinator process: a single-threaded nonblocking socket loop
+//! driving the [`RoundStateMachine`] and the shared [`ServerCore`].
+//!
+//! Division of labour:
+//!
+//! * the **machine** decides *when* — joins, warmups, step advances,
+//!   straggler drops, aborts — from events and virtual time alone;
+//! * the **core** decides *what* — forgeries, fault semantics,
+//!   aggregation, the model update — exactly as the in-process engines
+//!   drive it, which is what makes the TCP run's history bit-identical;
+//! * this loop only moves bytes between the two.
+//!
+//! The loop is allocation-disciplined: per-connection [`FrameReader`]s,
+//! one broadcast scratch [`BytesMut`], the output slots from the shared
+//! [`RunScratch`], and the machine's recycled action/straggler buffers
+//! are all reused round after round. The counting-allocator integration
+//! test pins the steady state (tolerating only what the OS charges for
+//! socket buffering).
+
+use crate::machine::{Action, Event, MachineConfig, Phase, RoundStateMachine};
+use crate::protocol::{
+    begin_frame, elapsed_ms, end_frame, write_all_frame, FrameReader, KIND_ABORT, KIND_DONE,
+    KIND_GRAD, KIND_JOIN, KIND_READY, KIND_STEP, KIND_WARMUP,
+};
+use bytes::{BufMut, BytesMut};
+use dpbyz_gars::GarError;
+use dpbyz_server::message::{GradientMessage, StepMessage};
+use dpbyz_server::{RunHistory, RunScratch, ServerCore};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a coordinated run failed.
+#[derive(Debug)]
+pub enum CoordinatorError {
+    /// Listener/socket failure.
+    Io(io::Error),
+    /// The aggregation rule rejected the topology mid-run.
+    Gar(GarError),
+    /// The state machine aborted (below `min_workers`, below quorum);
+    /// reason attached.
+    Aborted(String),
+}
+
+impl fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorError::Io(e) => write!(f, "transport: {e}"),
+            CoordinatorError::Gar(e) => write!(f, "aggregation: {e}"),
+            CoordinatorError::Aborted(reason) => write!(f, "run aborted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {}
+
+impl From<io::Error> for CoordinatorError {
+    fn from(e: io::Error) -> Self {
+        CoordinatorError::Io(e)
+    }
+}
+
+/// Deployment knobs of one coordinated run.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorConfig {
+    /// Joins required at the join deadline (and readies at the warmup
+    /// deadline); below this the run aborts.
+    pub min_workers: usize,
+    /// Reports required at a step deadline; at or above this the round
+    /// advances and the stragglers are dropped (their submissions zeroed,
+    /// the fault-injection semantics), below it the run aborts.
+    pub quorum: usize,
+    /// Join-phase deadline.
+    pub join_timeout: Duration,
+    /// Warmup-phase deadline.
+    pub warmup_timeout: Duration,
+    /// Per-step deadline, measured from the step broadcast.
+    pub step_timeout: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            min_workers: 0, // resolved to n_honest by the backend
+            quorum: 0,      // resolved likewise
+            join_timeout: Duration::from_secs(10),
+            warmup_timeout: Duration::from_secs(10),
+            step_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One joined connection: the socket plus its reassembly buffer.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+}
+
+/// The TCP parameter server. Bind first (so workers have an address to
+/// connect to), then [`TcpCoordinator::run`] one training run over it.
+pub struct TcpCoordinator {
+    listener: TcpListener,
+    cfg: CoordinatorConfig,
+}
+
+impl TcpCoordinator {
+    /// Binds the listening socket. `127.0.0.1:0` picks a free local port
+    /// — read it back with [`TcpCoordinator::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Socket-level bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: CoordinatorConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpCoordinator { listener, cfg })
+    }
+
+    /// The bound address workers must connect to.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpListener::local_addr`].
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs one training run over the wire: accepts `n_honest` worker
+    /// sessions, walks the state machine through
+    /// `WaitingForWorkers → Warmup → (Train → Aggregate)* → Done`, and
+    /// seals the [`RunHistory`].
+    ///
+    /// `core` comes from
+    /// [`Trainer::into_distributed_parts`](dpbyz_server::Trainer::into_distributed_parts);
+    /// buffers recycle through `scratch` exactly as the in-process
+    /// engines do.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoordinatorError`].
+    pub fn run(
+        self,
+        mut core: ServerCore,
+        n_honest: usize,
+        seed: u64,
+        scratch: &mut RunScratch,
+    ) -> Result<RunHistory, CoordinatorError> {
+        let machine_cfg = MachineConfig {
+            n_workers: n_honest,
+            min_workers: self.cfg.min_workers,
+            quorum: self.cfg.quorum,
+            steps: core.config().steps,
+            join_deadline_ms: self.cfg.join_timeout.as_millis() as u64,
+            warmup_deadline_ms: self.cfg.warmup_timeout.as_millis() as u64,
+            step_deadline_ms: self.cfg.step_timeout.as_millis() as u64,
+        };
+        let start = Instant::now();
+        let mut machine = RoundStateMachine::new(machine_cfg, 0);
+
+        let mut conns: Vec<Option<Conn>> = (0..n_honest).map(|_| None).collect();
+        let mut pending: Vec<Conn> = Vec::new();
+        let mut outputs = scratch.take_outputs();
+        outputs.resize_with(n_honest, Default::default);
+        let mut actions: Vec<Action> = Vec::with_capacity(4);
+        let mut send = BytesMut::with_capacity(4096);
+        let mut step_msg = BytesMut::with_capacity(4096);
+        let dim = core.params().dim();
+
+        let result = loop {
+            let now = elapsed_ms(start);
+            let mut progressed = false;
+
+            // Accept new connections while the join gate is open.
+            if machine.phase() == Phase::WaitingForWorkers {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            if let Ok(conn) = Conn::new(stream) {
+                                pending.push(conn);
+                                progressed = true;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+
+            // Pending connections speak JOIN first or get dropped.
+            let mut i = 0;
+            while i < pending.len() {
+                match poll_join(&mut pending[i]) {
+                    JoinPoll::Waiting => i += 1,
+                    JoinPoll::Dead => {
+                        pending.swap_remove(i);
+                    }
+                    JoinPoll::Joined(id) => {
+                        let conn = pending.swap_remove(i);
+                        let slot = id as usize;
+                        if slot < n_honest && conns[slot].is_none() {
+                            conns[slot] = Some(conn);
+                            machine.on_event(Event::Joined(id), now, &mut actions);
+                            progressed = true;
+                        }
+                        // Out-of-range or duplicate id: connection dropped.
+                    }
+                }
+            }
+
+            // Drain every joined connection.
+            for id in 0..n_honest {
+                let Some(conn) = conns[id].as_mut() else {
+                    continue;
+                };
+                let mut dead = false;
+                loop {
+                    match conn.reader.fill(&mut conn.stream) {
+                        Ok(0) => break,
+                        Ok(_) => progressed = true,
+                        Err(_) => {
+                            // EOF or socket error: the quorum/deadline
+                            // logic decides what the loss means.
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    match conn.reader.next_frame() {
+                        Ok(None) => break,
+                        Ok(Some((kind, payload))) => match kind {
+                            KIND_READY => {
+                                machine.on_event(Event::Ready(id as u32), now, &mut actions);
+                            }
+                            KIND_GRAD => match decode_grad(payload, id as u32, &mut outputs[id]) {
+                                Some(step) => machine.on_event(
+                                    Event::Gradient {
+                                        id: id as u32,
+                                        step,
+                                    },
+                                    now,
+                                    &mut actions,
+                                ),
+                                None => {
+                                    dead = true;
+                                    break;
+                                }
+                            },
+                            // A late JOIN re-send is harmless; anything
+                            // else is a protocol violation.
+                            KIND_JOIN => {}
+                            _ => {
+                                dead = true;
+                                break;
+                            }
+                        },
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                if dead {
+                    conns[id] = None;
+                }
+            }
+
+            machine.tick(now, &mut actions);
+
+            // Process actions by index: `on_aggregated` appends while we
+            // walk (Action is Copy, so no borrow of the Vec is held).
+            let mut finished = false;
+            let mut a = 0;
+            while a < actions.len() {
+                match actions[a] {
+                    Action::StartWarmup => {
+                        begin_frame(&mut send, KIND_WARMUP);
+                        end_frame(&mut send);
+                        broadcast(&mut conns, &send);
+                    }
+                    Action::BroadcastStep(t) => {
+                        let batch = core.config().batch_at(t) as u32;
+                        StepMessage::encode_frame(t, batch, core.params(), &mut step_msg);
+                        begin_frame(&mut send, KIND_STEP);
+                        send.put_slice(&step_msg);
+                        end_frame(&mut send);
+                        broadcast(&mut conns, &send);
+                    }
+                    Action::Aggregate(t) => {
+                        // Absent submissions — stragglers this round, or
+                        // workers that never joined a short-handed run —
+                        // become zero vectors at the server, reusing the
+                        // fault-injection semantics of §2.1.
+                        for (id, out) in outputs.iter_mut().enumerate() {
+                            let absent = !machine.is_joined(id as u32)
+                                || machine.dropped().contains(&(id as u32));
+                            if absent {
+                                out.submitted.resize(dim, 0.0);
+                                out.submitted.fill(0.0);
+                                out.pre_noise.resize(dim, 0.0);
+                                out.pre_noise.fill(0.0);
+                                out.batch_loss = 0.0;
+                            }
+                        }
+                        if let Err(e) = core.process_round(t, &mut outputs) {
+                            break_run(&mut conns, &mut send, &e.to_string());
+                            scratch.restore_outputs(outputs);
+                            core.reclaim_scratch(scratch);
+                            return Err(CoordinatorError::Gar(e));
+                        }
+                        machine.on_aggregated(now, &mut actions);
+                    }
+                    Action::Finish => {
+                        begin_frame(&mut send, KIND_DONE);
+                        end_frame(&mut send);
+                        broadcast(&mut conns, &send);
+                        finished = true;
+                    }
+                    Action::Abort => {
+                        let reason = machine
+                            .abort_reason()
+                            .unwrap_or("state machine aborted")
+                            .to_string();
+                        break_run(&mut conns, &mut send, &reason);
+                        scratch.restore_outputs(outputs);
+                        core.reclaim_scratch(scratch);
+                        return Err(CoordinatorError::Aborted(reason));
+                    }
+                }
+                progressed = true;
+                a += 1;
+            }
+            actions.clear();
+
+            if finished {
+                break Ok(());
+            }
+            if !progressed {
+                // Single-core-friendly idle nap: long enough to let the
+                // worker threads run, short against the ms deadlines.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        };
+
+        scratch.restore_outputs(outputs);
+        core.reclaim_scratch(scratch);
+        result.map(|()| core.finish(seed))
+    }
+}
+
+enum JoinPoll {
+    Waiting,
+    Joined(u32),
+    Dead,
+}
+
+/// Reads a pending connection until its first frame arrives; anything but
+/// a well-formed JOIN kills it.
+fn poll_join(conn: &mut Conn) -> JoinPoll {
+    loop {
+        match conn.reader.fill(&mut conn.stream) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => return JoinPoll::Dead,
+        }
+    }
+    match conn.reader.next_frame() {
+        Ok(None) => JoinPoll::Waiting,
+        Ok(Some((KIND_JOIN, payload))) if payload.len() == 4 => {
+            JoinPoll::Joined(u32::from_le_bytes(payload.try_into().expect("4 bytes")))
+        }
+        _ => JoinPoll::Dead,
+    }
+}
+
+/// Decodes a GRAD payload into the worker's output slot, returning the
+/// reported step, or `None` if the frame is malformed or misattributed.
+///
+/// Late (stale) reports land here too: they clobber the slot, which is
+/// harmless — the machine ignores the stale event, and if the worker
+/// stays silent for the *current* step it is dropped and the slot zeroed
+/// before aggregation.
+fn decode_grad(
+    payload: &[u8],
+    expect_id: u32,
+    out: &mut dpbyz_server::WorkerOutput,
+) -> Option<u32> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let batch_loss = f64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let sub_len = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+    let rest = &payload[12..];
+    if sub_len > rest.len() {
+        return None;
+    }
+    let (sub, pre) = rest.split_at(sub_len);
+    let (wid, step) = GradientMessage::decode_into(sub, &mut out.submitted).ok()?;
+    let (wid2, step2) = GradientMessage::decode_into(pre, &mut out.pre_noise).ok()?;
+    if wid != expect_id || wid2 != expect_id || step != step2 {
+        return None;
+    }
+    out.batch_loss = batch_loss;
+    Some(step)
+}
+
+/// Best-effort broadcast to every live connection; write failures drop
+/// the connection (the quorum logic owns the consequences).
+fn broadcast(conns: &mut [Option<Conn>], frame: &[u8]) {
+    for slot in conns.iter_mut() {
+        let dead = match slot {
+            Some(conn) => write_all_frame(&mut conn.stream, frame).is_err(),
+            None => false,
+        };
+        if dead {
+            *slot = None;
+        }
+    }
+}
+
+/// Broadcasts ABORT with a reason (best effort).
+fn break_run(conns: &mut [Option<Conn>], send: &mut BytesMut, reason: &str) {
+    begin_frame(send, KIND_ABORT);
+    send.put_slice(reason.as_bytes());
+    end_frame(send);
+    broadcast(conns, send);
+}

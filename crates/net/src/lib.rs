@@ -1,0 +1,66 @@
+//! `dpbyz-net` — the multi-process distributed engine: a TCP
+//! coordinator/worker deployment behind the same
+//! [`EngineBackend`](dpbyz_core::EngineBackend) trait as the in-process
+//! engines.
+//!
+//! The parameter-server topology of the paper's §2 becomes real
+//! processes: a **coordinator** hosts the
+//! [`ServerCore`](dpbyz_server::ServerCore) (aggregation, Byzantine
+//! forgeries, fault injection, the model update) and walks an explicit
+//! round state machine —
+//!
+//! ```text
+//! WaitingForWorkers → Warmup → (Train → Aggregate)* → Done
+//! ```
+//!
+//! — while **workers** connect over TCP, each hosting one
+//! [`HonestWorker`](dpbyz_server::HonestWorker) (sampling, clipping, DP
+//! noise) and speaking length-prefixed, integrity-tagged frames.
+//!
+//! The deployment is *bit-faithful*: RNG streams derive from the same
+//! seed contract ([`dpbyz_server::derive_streams`]), components
+//! materialize through the same
+//! [`Experiment::build_trainer`](dpbyz_core::pipeline::Experiment::build_trainer)
+//! path, and the coordinator feeds
+//! [`ServerCore::process_round`](dpbyz_server::ServerCore::process_round)
+//! exactly what the in-process engines would — so a fixed-seed TCP run
+//! reproduces the sequential engine's
+//! [`RunHistory`](dpbyz_server::RunHistory) byte for byte (the
+//! integration tests and the CI smoke step pin the digest).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpbyz_core::pipeline::{Experiment, FigureConfig};
+//!
+//! dpbyz_net::install(); // register the "tcp" backend
+//! let mut exp = Experiment::paper_figure(FigureConfig {
+//!     steps: 3,
+//!     dataset_size: 300,
+//!     ..FigureConfig::default()
+//! })
+//! .unwrap();
+//! let in_process = exp.run(1).unwrap();
+//! exp.backend = "tcp".into();
+//! let over_tcp = exp.run(1).unwrap();
+//! assert_eq!(in_process, over_tcp);
+//! ```
+//!
+//! For separate OS processes, see the `coordinator` and `worker`
+//! binaries (`crates/net/src/bin/`) and `docs/DEPLOYMENT.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod coordinator;
+pub mod machine;
+pub mod protocol;
+pub mod spec;
+pub mod worker;
+
+pub use backend::{install, TcpBackend};
+pub use coordinator::{CoordinatorConfig, CoordinatorError, TcpCoordinator};
+pub use machine::{Action, Event, MachineConfig, Phase, RoundStateMachine};
+pub use spec::{JobSpec, WorkloadSpec};
+pub use worker::{run_worker, WorkerConfig, WorkerError};

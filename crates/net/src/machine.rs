@@ -1,0 +1,584 @@
+//! The coordinator's round state machine — pure and transport-free.
+//!
+//! The machine owns *when* things happen; the transport owns *how*. It is
+//! driven by two inputs only — [`RoundStateMachine::on_event`] for
+//! messages the transport decoded, and [`RoundStateMachine::tick`] for
+//! the passage of (virtual, millisecond) time — and communicates back via
+//! [`Action`]s pushed into a caller-owned buffer. That makes the whole
+//! protocol testable with an in-memory transport double and no sockets
+//! (see this module's tests), and keeps the hot path allocation-free:
+//! the action buffer and the straggler list are recycled.
+//!
+//! Phases follow the tick-driven coordinator shape:
+//!
+//! ```text
+//! WaitingForWorkers ── all joined, or deadline with ≥ min_workers ──▶ Warmup
+//!        │ deadline with < min_workers                                  │ all ready, or deadline
+//!        ▼                                                              ▼
+//!     Aborted ◀── deadline with < quorum reports ────────────── Train{t} ◀─┐
+//!                                                                    │     │ next step
+//!                                                all reported, or    ▼     │
+//!                                                deadline ≥ quorum  Aggregate{t}
+//!                                                                    │
+//!                                                       t == steps   ▼
+//!                                                              ─▶  Done
+//! ```
+//!
+//! Straggler handling reuses the fault-injection semantics the server
+//! already has: when the step deadline passes with at least `quorum`
+//! (witness-style, the round's `n − f` budget) reports, the round
+//! *advances anyway* and the non-reporters are listed in
+//! [`RoundStateMachine::dropped`] — the coordinator zeroes their
+//! submissions exactly as the in-process fault injector does, so a
+//! dropped worker costs the round its contribution, not the run.
+
+/// Where the coordinator is in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accepting connections; waiting for `JOIN`s.
+    WaitingForWorkers,
+    /// All (or enough) workers joined; waiting for `READY`s.
+    Warmup,
+    /// Step `step` broadcast; collecting gradient reports.
+    Train {
+        /// The in-flight training step (1-based).
+        step: u32,
+    },
+    /// Step `step` has enough reports; the driver is aggregating.
+    Aggregate {
+        /// The step being aggregated.
+        step: u32,
+    },
+    /// All steps aggregated; the run is complete.
+    Done,
+    /// The run died (below `min_workers`, below quorum, or protocol
+    /// violation); see [`RoundStateMachine::abort_reason`].
+    Aborted,
+}
+
+/// A transport message, already decoded, attributed to a worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Worker `id` joined (sent `JOIN`).
+    Joined(u32),
+    /// Worker `id` finished warmup (sent `READY`).
+    Ready(u32),
+    /// Worker `id` delivered a gradient frame for `step`. Stale steps are
+    /// ignored (a straggler's late report must not corrupt the current
+    /// round).
+    Gradient {
+        /// Reporting worker.
+        id: u32,
+        /// The step the report is for.
+        step: u32,
+    },
+}
+
+/// What the transport must do next. Data-free by design (the machine
+/// never touches payloads), so the action buffer recycles with no
+/// allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Broadcast `WARMUP` to all joined workers.
+    StartWarmup,
+    /// Broadcast the `STEP` frame for this step to all joined workers.
+    BroadcastStep(u32),
+    /// Enough reports for this step: zero the submissions of
+    /// [`RoundStateMachine::dropped`] workers and run the server round.
+    /// Confirm with [`RoundStateMachine::on_aggregated`].
+    Aggregate(u32),
+    /// All steps aggregated: broadcast `DONE` and seal the history.
+    Finish,
+    /// Broadcast `ABORT` (reason in [`RoundStateMachine::abort_reason`])
+    /// and tear down.
+    Abort,
+}
+
+/// Deadlines and quorum knobs. Times are in milliseconds of *virtual*
+/// time — the machine never reads a clock; the driver passes `now_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Honest worker slots (ids `0..n_workers` may join).
+    pub n_workers: usize,
+    /// Minimum joins required when the join deadline fires; below this
+    /// the run aborts instead of starting short-handed.
+    pub min_workers: usize,
+    /// Reports required when a step deadline fires: with at least this
+    /// many the round advances and the rest are dropped (zeroed);
+    /// below it the run aborts. The engine sets this to the same `n − f`
+    /// budget the GARs defend.
+    pub quorum: usize,
+    /// Total training steps.
+    pub steps: u32,
+    /// Deadline for the join phase, ms after machine start.
+    pub join_deadline_ms: u64,
+    /// Deadline for the warmup phase, ms after warmup start.
+    pub warmup_deadline_ms: u64,
+    /// Per-step deadline, ms after the step broadcast.
+    pub step_deadline_ms: u64,
+}
+
+/// The coordinator's explicit round state machine. See the module docs
+/// for the phase diagram and driving contract.
+#[derive(Debug)]
+pub struct RoundStateMachine {
+    cfg: MachineConfig,
+    phase: Phase,
+    /// Virtual time the current phase started.
+    phase_start_ms: u64,
+    joined: Vec<bool>,
+    n_joined: usize,
+    ready: Vec<bool>,
+    n_ready: usize,
+    reported: Vec<bool>,
+    n_reported: usize,
+    /// Stragglers of the most recent [`Action::Aggregate`] (recycled).
+    dropped: Vec<u32>,
+    abort_reason: Option<String>,
+}
+
+impl RoundStateMachine {
+    /// Creates the machine in `WaitingForWorkers`, with the join deadline
+    /// measured from `now_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_workers` or `quorum` exceeds `n_workers`, or
+    /// `steps == 0` — driver bugs, not run-time conditions (the engine
+    /// validates user-supplied values into [`PipelineError::Spec`]
+    /// upstream).
+    ///
+    /// [`PipelineError::Spec`]: dpbyz_core::pipeline::PipelineError::Spec
+    pub fn new(cfg: MachineConfig, now_ms: u64) -> Self {
+        assert!(cfg.min_workers <= cfg.n_workers, "min_workers > n_workers");
+        assert!(cfg.quorum <= cfg.n_workers, "quorum > n_workers");
+        assert!(cfg.steps > 0, "steps == 0");
+        RoundStateMachine {
+            phase: Phase::WaitingForWorkers,
+            phase_start_ms: now_ms,
+            joined: vec![false; cfg.n_workers],
+            n_joined: 0,
+            ready: vec![false; cfg.n_workers],
+            n_ready: 0,
+            reported: vec![false; cfg.n_workers],
+            n_reported: 0,
+            dropped: Vec::with_capacity(cfg.n_workers),
+            abort_reason: None,
+            cfg,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Workers dropped (to be zeroed) by the most recent
+    /// [`Action::Aggregate`], ascending by id.
+    pub fn dropped(&self) -> &[u32] {
+        &self.dropped
+    }
+
+    /// Why the machine aborted, once it has.
+    pub fn abort_reason(&self) -> Option<&str> {
+        self.abort_reason.as_deref()
+    }
+
+    /// Whether worker `id` has joined.
+    pub fn is_joined(&self, id: u32) -> bool {
+        self.joined.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Feeds a decoded transport message. Appends any resulting
+    /// [`Action`]s to `out` (which the driver drains; the machine never
+    /// clears it).
+    pub fn on_event(&mut self, event: Event, now_ms: u64, out: &mut Vec<Action>) {
+        match (self.phase, event) {
+            (Phase::WaitingForWorkers, Event::Joined(id)) => {
+                let slot = id as usize;
+                if slot >= self.cfg.n_workers || self.joined[slot] {
+                    return; // out-of-range or duplicate: idempotent
+                }
+                self.joined[slot] = true;
+                self.n_joined += 1;
+                if self.n_joined == self.cfg.n_workers {
+                    self.start_warmup(now_ms, out);
+                }
+            }
+            (Phase::Warmup, Event::Ready(id)) => {
+                let slot = id as usize;
+                if slot >= self.cfg.n_workers || !self.joined[slot] || self.ready[slot] {
+                    return;
+                }
+                self.ready[slot] = true;
+                self.n_ready += 1;
+                if self.n_ready == self.n_joined {
+                    self.start_step(1, now_ms, out);
+                }
+            }
+            (Phase::Train { step }, Event::Gradient { id, step: s }) => {
+                let slot = id as usize;
+                if s != step || slot >= self.cfg.n_workers || !self.joined[slot] {
+                    return; // stale or bogus report: ignore
+                }
+                if self.reported[slot] {
+                    return;
+                }
+                self.reported[slot] = true;
+                self.n_reported += 1;
+                if self.n_reported == self.n_joined {
+                    self.start_aggregate(step, now_ms, out);
+                }
+            }
+            // Anything else (late gradients during Aggregate, READY after
+            // warmup, JOIN after the gate closed, …) is dropped: the
+            // machine advances on its own schedule.
+            _ => {}
+        }
+    }
+
+    /// Advances virtual time: fires phase deadlines. Call at every driver
+    /// iteration; cheap when nothing expires.
+    pub fn tick(&mut self, now_ms: u64, out: &mut Vec<Action>) {
+        match self.phase {
+            Phase::WaitingForWorkers => {
+                if now_ms.saturating_sub(self.phase_start_ms) >= self.cfg.join_deadline_ms {
+                    if self.n_joined >= self.cfg.min_workers && self.n_joined > 0 {
+                        self.start_warmup(now_ms, out);
+                    } else {
+                        self.abort(
+                            format!(
+                                "below min_workers at join deadline: {} of {} joined, need {}",
+                                self.n_joined, self.cfg.n_workers, self.cfg.min_workers
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+            Phase::Warmup => {
+                if now_ms.saturating_sub(self.phase_start_ms) >= self.cfg.warmup_deadline_ms {
+                    if self.n_ready >= self.cfg.min_workers && self.n_ready > 0 {
+                        // Non-ready workers stay joined; they become
+                        // stragglers of every round they miss.
+                        self.start_step(1, now_ms, out);
+                    } else {
+                        self.abort(
+                            format!(
+                                "below min_workers at warmup deadline: {} of {} ready, need {}",
+                                self.n_ready, self.n_joined, self.cfg.min_workers
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+            Phase::Train { step } => {
+                if now_ms.saturating_sub(self.phase_start_ms) >= self.cfg.step_deadline_ms {
+                    if self.n_reported >= self.cfg.quorum && self.n_reported > 0 {
+                        self.start_aggregate(step, now_ms, out);
+                    } else {
+                        self.abort(
+                            format!(
+                                "below quorum at step {step} deadline: {} of {} reported, need {}",
+                                self.n_reported, self.n_joined, self.cfg.quorum
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+            Phase::Aggregate { .. } | Phase::Done | Phase::Aborted => {}
+        }
+    }
+
+    /// Confirms the driver finished the [`Action::Aggregate`] round:
+    /// moves to the next step's broadcast, or to `Done` after the last.
+    pub fn on_aggregated(&mut self, now_ms: u64, out: &mut Vec<Action>) {
+        let Phase::Aggregate { step } = self.phase else {
+            return;
+        };
+        if step == self.cfg.steps {
+            self.phase = Phase::Done;
+            out.push(Action::Finish);
+        } else {
+            self.start_step(step + 1, now_ms, out);
+        }
+    }
+
+    fn start_warmup(&mut self, now_ms: u64, out: &mut Vec<Action>) {
+        self.phase = Phase::Warmup;
+        self.phase_start_ms = now_ms;
+        out.push(Action::StartWarmup);
+    }
+
+    fn start_step(&mut self, step: u32, now_ms: u64, out: &mut Vec<Action>) {
+        self.phase = Phase::Train { step };
+        self.phase_start_ms = now_ms;
+        self.reported.iter_mut().for_each(|r| *r = false);
+        self.n_reported = 0;
+        out.push(Action::BroadcastStep(step));
+    }
+
+    fn start_aggregate(&mut self, step: u32, now_ms: u64, out: &mut Vec<Action>) {
+        self.phase = Phase::Aggregate { step };
+        self.phase_start_ms = now_ms;
+        self.dropped.clear();
+        for id in 0..self.cfg.n_workers {
+            if self.joined[id] && !self.reported[id] {
+                self.dropped.push(id as u32);
+            }
+        }
+        out.push(Action::Aggregate(step));
+    }
+
+    fn abort(&mut self, reason: String, out: &mut Vec<Action>) {
+        self.phase = Phase::Aborted;
+        self.abort_reason = Some(reason);
+        out.push(Action::Abort);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, min: usize, quorum: usize, steps: u32) -> MachineConfig {
+        MachineConfig {
+            n_workers: n,
+            min_workers: min,
+            quorum,
+            steps,
+            join_deadline_ms: 100,
+            warmup_deadline_ms: 100,
+            step_deadline_ms: 100,
+        }
+    }
+
+    /// A deterministic in-memory transport double: a script of
+    /// `(virtual_time_ms, event)` pairs played into the machine in time
+    /// order, ticking at every millisecond in between — exactly what the
+    /// socket loop does, minus the sockets. Returns every action with the
+    /// virtual time it fired, auto-confirming aggregations the way the
+    /// coordinator does after running the server round.
+    struct ScriptedTransport {
+        script: Vec<(u64, Event)>,
+    }
+
+    impl ScriptedTransport {
+        fn new(mut script: Vec<(u64, Event)>) -> Self {
+            script.sort_by_key(|&(t, _)| t);
+            ScriptedTransport { script }
+        }
+
+        fn drive(&self, machine: &mut RoundStateMachine, until_ms: u64) -> Vec<(u64, Action)> {
+            let mut fired = Vec::new();
+            let mut out = Vec::new();
+            let mut next = 0;
+            for now in 0..=until_ms {
+                while next < self.script.len() && self.script[next].0 <= now {
+                    machine.on_event(self.script[next].1, now, &mut out);
+                    next += 1;
+                }
+                machine.tick(now, &mut out);
+                // Drain with index (not iterator): `on_aggregated` may
+                // append while we walk — same loop shape the real
+                // coordinator uses.
+                let mut i = 0;
+                while i < out.len() {
+                    let action = out[i];
+                    fired.push((now, action));
+                    if let Action::Aggregate(_) = action {
+                        machine.on_aggregated(now, &mut out);
+                    }
+                    i += 1;
+                }
+                out.clear();
+                if matches!(machine.phase(), Phase::Done | Phase::Aborted) {
+                    break;
+                }
+            }
+            fired
+        }
+    }
+
+    fn actions(fired: &[(u64, Action)]) -> Vec<Action> {
+        fired.iter().map(|&(_, a)| a).collect()
+    }
+
+    #[test]
+    fn clean_run_walks_every_phase_to_done() {
+        // 4 workers, 2 steps, everyone punctual: the full
+        // WaitingForWorkers → Warmup → Train → Aggregate → … → Done walk.
+        let mut m = RoundStateMachine::new(cfg(4, 4, 3, 2), 0);
+        assert_eq!(m.phase(), Phase::WaitingForWorkers);
+        let script: Vec<(u64, Event)> = (0..4)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..4).map(|i| (10 + i as u64, Event::Ready(i))))
+            .chain((0..4).map(|i| (20 + i as u64, Event::Gradient { id: i, step: 1 })))
+            .chain((0..4).map(|i| (30 + i as u64, Event::Gradient { id: i, step: 2 })))
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 1000);
+        assert_eq!(
+            actions(&fired),
+            vec![
+                Action::StartWarmup,
+                Action::BroadcastStep(1),
+                Action::Aggregate(1),
+                Action::BroadcastStep(2),
+                Action::Aggregate(2),
+                Action::Finish,
+            ]
+        );
+        assert_eq!(m.phase(), Phase::Done);
+        assert!(m.dropped().is_empty());
+        // Everything advanced opportunistically, well before deadlines.
+        assert!(fired.last().unwrap().0 < 40);
+    }
+
+    #[test]
+    fn straggler_is_dropped_at_step_deadline_and_round_advances() {
+        // Worker 3 reports step 1 late (after the deadline) and step 2
+        // never: both rounds advance on quorum 3, dropping it.
+        let mut m = RoundStateMachine::new(cfg(4, 4, 3, 2), 0);
+        let script: Vec<(u64, Event)> = (0..4)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..4).map(|i| (10 + i as u64, Event::Ready(i))))
+            .chain((0..3).map(|i| (20 + i as u64, Event::Gradient { id: i, step: 1 })))
+            // Stale report for step 1 arriving mid-step-2: ignored.
+            .chain([(120, Event::Gradient { id: 3, step: 1 })])
+            .chain((0..3).map(|i| (125 + i as u64, Event::Gradient { id: i, step: 2 })))
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        // Step 1 aggregated at its deadline (phase started at t=13 when
+        // the last READY landed; deadline 100 ms later).
+        let agg1 = fired
+            .iter()
+            .find(|(_, a)| *a == Action::Aggregate(1))
+            .expect("step 1 aggregated");
+        assert_eq!(agg1.0, 113);
+        // Step 2 also advances at its deadline with worker 3 dropped.
+        assert!(actions(&fired).contains(&Action::Aggregate(2)));
+        assert_eq!(m.dropped(), &[3]);
+        assert_eq!(m.phase(), Phase::Done);
+    }
+
+    #[test]
+    fn below_min_workers_aborts_at_join_deadline() {
+        let mut m = RoundStateMachine::new(cfg(4, 3, 3, 2), 0);
+        // Only one worker ever joins.
+        let fired = ScriptedTransport::new(vec![(5, Event::Joined(0))]).drive(&mut m, 1000);
+        assert_eq!(actions(&fired), vec![Action::Abort]);
+        assert_eq!(fired[0].0, 100, "abort fires exactly at the deadline");
+        assert_eq!(m.phase(), Phase::Aborted);
+        let reason = m.abort_reason().unwrap();
+        assert!(reason.contains("min_workers"), "{reason}");
+        assert!(reason.contains("1 of 4"), "{reason}");
+    }
+
+    #[test]
+    fn join_deadline_with_quorum_starts_short_handed() {
+        // 3 of 4 join; min_workers 3 lets the run proceed without the
+        // fourth, which is then dropped from every round.
+        let mut m = RoundStateMachine::new(cfg(4, 3, 3, 1), 0);
+        let script: Vec<(u64, Event)> = (0..3)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..3).map(|i| (110 + i as u64, Event::Ready(i))))
+            .chain((0..3).map(|i| (120 + i as u64, Event::Gradient { id: i, step: 1 })))
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        assert_eq!(
+            actions(&fired),
+            vec![
+                Action::StartWarmup,
+                Action::BroadcastStep(1),
+                Action::Aggregate(1),
+                Action::Finish,
+            ]
+        );
+        // Warmup only began at the join deadline (not everyone was there).
+        assert_eq!(fired[0].0, 100);
+        // The never-joined worker is not in dropped (it has no slot to
+        // zero: the engine sizes outputs by joined workers' reports, and
+        // a never-joined worker's output slot was never dirtied) —
+        // dropped lists *joined* non-reporters only.
+        assert!(m.dropped().is_empty());
+        assert_eq!(m.phase(), Phase::Done);
+    }
+
+    #[test]
+    fn below_quorum_at_step_deadline_aborts() {
+        let mut m = RoundStateMachine::new(cfg(4, 4, 3, 2), 0);
+        let script: Vec<(u64, Event)> = (0..4)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..4).map(|i| (10 + i as u64, Event::Ready(i))))
+            // Only 2 of 4 report step 1 — below quorum 3.
+            .chain((0..2).map(|i| (20 + i as u64, Event::Gradient { id: i, step: 1 })))
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        assert_eq!(*actions(&fired).last().unwrap(), Action::Abort);
+        assert_eq!(m.phase(), Phase::Aborted);
+        let reason = m.abort_reason().unwrap();
+        assert!(reason.contains("quorum"), "{reason}");
+        assert!(reason.contains("step 1"), "{reason}");
+    }
+
+    #[test]
+    fn warmup_timeout_aborts_below_min_ready() {
+        let mut m = RoundStateMachine::new(cfg(3, 2, 2, 1), 0);
+        let script: Vec<(u64, Event)> = (0..3)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain([(10, Event::Ready(0))]) // only one ever readies
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        assert_eq!(*actions(&fired).last().unwrap(), Action::Abort);
+        assert!(
+            m.abort_reason().unwrap().contains("warmup"),
+            "{:?}",
+            m.abort_reason()
+        );
+    }
+
+    #[test]
+    fn duplicate_and_bogus_events_are_idempotent() {
+        let mut m = RoundStateMachine::new(cfg(2, 2, 2, 1), 0);
+        let mut out = Vec::new();
+        m.on_event(Event::Joined(0), 1, &mut out);
+        m.on_event(Event::Joined(0), 2, &mut out); // duplicate
+        m.on_event(Event::Joined(7), 3, &mut out); // out of range
+        assert!(out.is_empty());
+        assert_eq!(m.phase(), Phase::WaitingForWorkers);
+        m.on_event(Event::Joined(1), 4, &mut out);
+        assert_eq!(out, vec![Action::StartWarmup]);
+        out.clear();
+        // Gradient reports during warmup are ignored.
+        m.on_event(Event::Gradient { id: 0, step: 1 }, 5, &mut out);
+        assert!(out.is_empty());
+        m.on_event(Event::Ready(0), 6, &mut out);
+        m.on_event(Event::Ready(0), 7, &mut out); // duplicate ready
+        assert!(out.is_empty());
+        m.on_event(Event::Ready(1), 8, &mut out);
+        assert_eq!(out, vec![Action::BroadcastStep(1)]);
+    }
+
+    #[test]
+    fn dropped_list_recycles_between_rounds() {
+        // Worker 1 misses step 1 but reports step 2; worker 2 does the
+        // opposite — `dropped()` must describe only the *latest* round.
+        let mut m = RoundStateMachine::new(cfg(3, 3, 1, 2), 0);
+        let script: Vec<(u64, Event)> = (0..3)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..3).map(|i| (5 + i as u64, Event::Ready(i))))
+            .chain([
+                (10, Event::Gradient { id: 0, step: 1 }),
+                (11, Event::Gradient { id: 2, step: 1 }),
+                // step 2 begins at the step-1 deadline (t = 107)
+                (120, Event::Gradient { id: 0, step: 2 }),
+                (121, Event::Gradient { id: 1, step: 2 }),
+            ])
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        assert!(actions(&fired).contains(&Action::Finish));
+        assert_eq!(m.dropped(), &[2], "latest round dropped worker 2 only");
+    }
+}

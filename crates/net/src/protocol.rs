@@ -1,0 +1,413 @@
+//! The TCP session layer: length-prefixed frames over `std::net`.
+//!
+//! Every message between coordinator and worker is one frame:
+//!
+//! ```text
+//! [len: u32 LE][kind: u8][payload: len − 1 bytes]
+//! ```
+//!
+//! where `len` counts everything after the length word (so a payload-free
+//! frame has `len = 1`). Payloads reuse the integrity-tagged vector
+//! layouts of [`dpbyz_server::message::GradientMessage`] /
+//! [`dpbyz_server::message::StepMessage`] wherever a vector travels, so transport
+//! corruption is caught by the same typed
+//! [`MessageError`](dpbyz_server::message::MessageError)s the in-process engines
+//! test against.
+//!
+//! Reading is built for the coordinator's nonblocking single-threaded
+//! loop: [`FrameReader`] owns one recycled `Vec<u8>`, fills it from the
+//! socket without blocking, and pops complete frames as index ranges into
+//! that buffer — steady-state reception allocates nothing once the buffer
+//! has grown to the session's frame size.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Worker → coordinator: "worker `id` is connected". Payload: `[id: u32 LE]`.
+pub const KIND_JOIN: u8 = 1;
+/// Coordinator → workers: "all (or enough) workers joined; warm up".
+/// Payload: empty.
+pub const KIND_WARMUP: u8 = 2;
+/// Worker → coordinator: "warmed up". Payload: `[id: u32 LE]`.
+pub const KIND_READY: u8 = 3;
+/// Coordinator → workers: the round broadcast. Payload: one
+/// [`StepMessage`](dpbyz_server::message::StepMessage) frame carrying
+/// `(step, batch_size, params)`.
+pub const KIND_STEP: u8 = 4;
+/// Worker → coordinator: the round report. Payload:
+/// `[batch_loss: f64 LE][sub_len: u32 LE]` followed by the *submitted*
+/// [`GradientMessage`](dpbyz_server::message::GradientMessage) frame (`sub_len`
+/// bytes, carrying `(worker_id, step)`) and the *pre-noise* gradient
+/// frame (the remainder — the simulator-only VN diagnostic channel; a
+/// real deployment would omit it, see `docs/DEPLOYMENT.md`).
+pub const KIND_GRAD: u8 = 5;
+/// Coordinator → workers: "all steps aggregated; exit cleanly".
+/// Payload: empty.
+pub const KIND_DONE: u8 = 6;
+/// Coordinator → workers: "the run died". Payload: UTF-8 reason.
+pub const KIND_ABORT: u8 = 7;
+
+/// Largest acceptable frame `len`: the `GRAD` layout at
+/// [`MAX_WIRE_DIM`](dpbyz_server::message::MAX_WIRE_DIM) coordinates — two vector
+/// frames plus the loss/length prelude. A corrupted or hostile length
+/// prefix above this is rejected before any buffering happens.
+pub const MAX_FRAME_LEN: usize = 2 * (12 + dpbyz_server::message::MAX_WIRE_DIM * 8 + 8) + 13;
+
+/// A frame whose length word is implausible — the session-layer analogue
+/// of [`MessageError::LengthOverflow`](dpbyz_server::message::MessageError).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The declared frame length exceeds [`MAX_FRAME_LEN`].
+    TooLong {
+        /// Length the frame declared.
+        declared: usize,
+        /// The reader's cap.
+        limit: usize,
+    },
+    /// The declared length is zero — every frame carries at least a kind
+    /// byte.
+    Empty,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLong { declared, limit } => {
+                write!(f, "frame declares {declared} bytes, above the {limit} cap")
+            }
+            FrameError::Empty => write!(f, "zero-length frame (missing kind byte)"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame reassembly over one recycled buffer.
+///
+/// The coordinator keeps one `FrameReader` per connection for the life of
+/// the run: [`FrameReader::fill`] appends whatever the (nonblocking)
+/// socket has, [`FrameReader::next_frame`] pops complete frames in
+/// arrival order. Consumed bytes are reclaimed by index bookkeeping plus
+/// an occasional `copy_within` compaction — no per-frame allocation.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// First unconsumed byte.
+    start: usize,
+    /// One past the last received byte.
+    filled: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameReader {
+    /// A reader with a small initial buffer (grows to the session's frame
+    /// size and then stays put).
+    pub fn new() -> Self {
+        FrameReader {
+            buf: vec![0; 4096],
+            start: 0,
+            filled: 0,
+        }
+    }
+
+    /// Pulls available bytes from `stream` into the buffer.
+    ///
+    /// Returns the number of bytes read; `Ok(0)` means the read would
+    /// block (try again next loop iteration).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::UnexpectedEof`] when the peer closed the
+    /// connection; any other socket error as-is.
+    pub fn fill(&mut self, stream: &mut impl Read) -> io::Result<usize> {
+        if self.filled == self.buf.len() {
+            if self.start > 0 {
+                // Reclaim consumed space before growing.
+                self.buf.copy_within(self.start..self.filled, 0);
+                self.filled -= self.start;
+                self.start = 0;
+            } else {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+        }
+        match stream.read(&mut self.buf[self.filled..]) {
+            Ok(0) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed the connection",
+            )),
+            Ok(n) => {
+                self.filled += n;
+                Ok(n)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(0)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Pops the next complete frame, if one has fully arrived, as
+    /// `(kind, payload)`. The payload borrows the reader's buffer — copy
+    /// or decode it before the next `fill`/`next_frame` call.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the length word is implausible; the connection
+    /// should be dropped (resynchronization is impossible).
+    pub fn next_frame(&mut self) -> Result<Option<(u8, &[u8])>, FrameError> {
+        let avail = self.filled - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if len == 0 {
+            return Err(FrameError::Empty);
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLong {
+                declared: len,
+                limit: MAX_FRAME_LEN,
+            });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let kind = self.buf[self.start + 4];
+        let payload_start = self.start + 5;
+        let payload_end = self.start + 4 + len;
+        self.start = payload_end;
+        if self.start == self.filled {
+            self.start = 0;
+            self.filled = 0;
+        }
+        Ok(Some((kind, &self.buf[payload_start..payload_end])))
+    }
+}
+
+/// Opens a frame in a recycled buffer: clears it, reserves the length
+/// word, writes the kind byte. Append the payload, then seal with
+/// [`end_frame`].
+pub fn begin_frame(buf: &mut bytes::BytesMut, kind: u8) {
+    use bytes::BufMut;
+    buf.clear();
+    buf.put_u32_le(0); // patched by end_frame
+    buf.put_slice(&[kind]);
+}
+
+/// Seals a frame begun with [`begin_frame`]: patches the length word to
+/// cover everything after it.
+///
+/// # Panics
+///
+/// Panics if the frame (kind + payload) exceeds `u32::MAX` bytes.
+pub fn end_frame(buf: &mut bytes::BytesMut) {
+    let len = u32::try_from(buf.len() - 4).expect("frame fits u32");
+    buf[0..4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Writes `data` fully to a possibly-nonblocking stream, napping through
+/// `WouldBlock` (the OS socket buffer is momentarily full — localhost
+/// broadcasts of this repo's frame sizes essentially never hit this).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::WriteZero`] if the peer stopped accepting bytes; any
+/// other socket error as-is.
+pub fn write_all_frame(stream: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    let mut rest = data;
+    while !rest.is_empty() {
+        match stream.write(rest) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes",
+                ))
+            }
+            Ok(n) => rest = &rest[n..],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                ) =>
+            {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Blocking `read_exact` with the caller's deadline semantics delegated
+/// to the socket's read timeout — the worker-side receive path.
+///
+/// # Errors
+///
+/// As [`Read::read_exact`].
+pub fn read_exact_frame(stream: &mut impl Read, buf: &mut Vec<u8>, n: usize) -> io::Result<()> {
+    buf.resize(n, 0);
+    stream.read_exact(buf)
+}
+
+/// Millisecond virtual time since `start` — what the coordinator feeds
+/// the state machine's `now_ms`.
+pub fn elapsed_ms(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory stream double: reads drain a script in caller-chosen
+    /// chunk sizes, mimicking TCP's arbitrary segmentation.
+    struct ChunkedStream {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for ChunkedStream {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.data.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "drained"));
+            }
+            let n = self.chunk.min(out.len()).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut buf = bytes::BytesMut::with_capacity(5 + payload.len());
+        begin_frame(&mut buf, kind);
+        bytes::BufMut::put_slice(&mut buf, payload);
+        end_frame(&mut buf);
+        buf.to_vec()
+    }
+
+    #[test]
+    fn frames_reassemble_across_arbitrary_segmentation() {
+        let mut wire = Vec::new();
+        wire.extend(frame(KIND_JOIN, &7u32.to_le_bytes()));
+        wire.extend(frame(KIND_WARMUP, &[]));
+        wire.extend(frame(KIND_GRAD, &[9; 100]));
+        for chunk in [1, 2, 3, 7, 64, 4096] {
+            let mut stream = ChunkedStream {
+                data: wire.clone(),
+                pos: 0,
+                chunk,
+            };
+            let mut reader = FrameReader::new();
+            let mut seen = Vec::new();
+            loop {
+                let n = reader.fill(&mut stream).unwrap();
+                while let Some((kind, payload)) = reader.next_frame().unwrap() {
+                    seen.push((kind, payload.to_vec()));
+                }
+                if n == 0 && stream.pos == stream.data.len() {
+                    break;
+                }
+            }
+            assert_eq!(
+                seen,
+                vec![
+                    (KIND_JOIN, 7u32.to_le_bytes().to_vec()),
+                    (KIND_WARMUP, Vec::new()),
+                    (KIND_GRAD, vec![9; 100]),
+                ],
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_buffering() {
+        let mut reader = FrameReader::new();
+        let mut stream = ChunkedStream {
+            data: (u32::MAX).to_le_bytes().to_vec(),
+            pos: 0,
+            chunk: 64,
+        };
+        reader.fill(&mut stream).unwrap();
+        let before = reader.buf.len();
+        match reader.next_frame() {
+            Err(FrameError::TooLong { declared, limit }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(limit, MAX_FRAME_LEN);
+            }
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        assert_eq!(reader.buf.len(), before, "no allocation for hostile length");
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let mut reader = FrameReader::new();
+        let mut stream = ChunkedStream {
+            data: 0u32.to_le_bytes().to_vec(),
+            pos: 0,
+            chunk: 4,
+        };
+        reader.fill(&mut stream).unwrap();
+        assert_eq!(reader.next_frame(), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn eof_surfaces_as_unexpected_eof() {
+        struct Closed;
+        impl Read for Closed {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+        }
+        let err = FrameReader::new().fill(&mut Closed).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn steady_state_reception_reuses_the_buffer() {
+        // Feed many identical frames; after the first few, the buffer's
+        // pointer and capacity must never change (index bookkeeping only).
+        let one = frame(KIND_GRAD, &[3; 600]);
+        let mut reader = FrameReader::new();
+        let mut baseline = None;
+        for round in 0..50 {
+            let mut stream = ChunkedStream {
+                data: one.clone(),
+                pos: 0,
+                chunk: 128,
+            };
+            loop {
+                let n = reader.fill(&mut stream).unwrap();
+                if n == 0 {
+                    break;
+                }
+            }
+            let got = reader.next_frame().unwrap().expect("whole frame fed");
+            assert_eq!(got.0, KIND_GRAD);
+            assert_eq!(got.1.len(), 600);
+            let fingerprint = (reader.buf.as_ptr(), reader.buf.capacity());
+            match baseline {
+                None => baseline = Some(fingerprint),
+                Some(b) if round > 2 => assert_eq!(fingerprint, b, "round {round} reallocated"),
+                Some(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The worker process's event loop: connect, join, warm up, then compute
+//! one gradient per `STEP` broadcast until `DONE`.
+//!
+//! The loop is deliberately dumb — all scheduling intelligence lives in
+//! the coordinator's state machine. A worker connects (with retry, since
+//! worker processes may launch before the coordinator's listener), sends
+//! `JOIN`, answers `WARMUP` with `READY`, and then for every `STEP` frame
+//! decodes the broadcast parameters, runs
+//! [`HonestWorker::compute_into`], and replies with a `GRAD` frame. The
+//! worker's RNG stream, clip, and momentum come from
+//! [`Trainer::into_worker`](dpbyz_server::Trainer::into_worker), so its
+//! submissions are bit-identical to its in-process twin's.
+//!
+//! All buffers (parameter vector, output slot, frame scratch) are
+//! recycled across rounds: a steady-state round allocates nothing.
+
+use crate::protocol::{
+    begin_frame, end_frame, read_exact_frame, write_all_frame, KIND_ABORT, KIND_DONE, KIND_GRAD,
+    KIND_JOIN, KIND_READY, KIND_STEP, KIND_WARMUP, MAX_FRAME_LEN,
+};
+use bytes::{BufMut, BytesMut};
+use dpbyz_server::message::{GradientMessage, MessageError, StepMessage};
+use dpbyz_server::{HonestWorker, WorkerOutput};
+use dpbyz_tensor::Vector;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Why a worker's session ended unsuccessfully.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Socket-level failure (connect, read, write).
+    Io(io::Error),
+    /// A received frame failed to decode or verify.
+    Message(MessageError),
+    /// The coordinator broadcast `ABORT` (reason attached).
+    Aborted(String),
+    /// The coordinator violated the protocol (message explains).
+    Protocol(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Io(e) => write!(f, "transport: {e}"),
+            WorkerError::Message(e) => write!(f, "frame: {e}"),
+            WorkerError::Aborted(reason) => write!(f, "coordinator aborted: {reason}"),
+            WorkerError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<io::Error> for WorkerError {
+    fn from(e: io::Error) -> Self {
+        WorkerError::Io(e)
+    }
+}
+
+impl From<MessageError> for WorkerError {
+    fn from(e: MessageError) -> Self {
+        WorkerError::Message(e)
+    }
+}
+
+/// Worker-side knobs. Defaults suit both in-process deployment threads
+/// and localhost child processes.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// Keep retrying the initial connect for this long (the coordinator
+    /// may not be listening yet when a process fleet launches).
+    pub connect_timeout: Duration,
+    /// Per-frame receive timeout. An orphaned worker (coordinator died
+    /// without `ABORT`) exits with an error instead of lingering forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Runs one worker session to completion. Returns `Ok(steps_served)` on a
+/// clean `DONE`.
+///
+/// # Errors
+///
+/// See [`WorkerError`].
+pub fn run_worker(
+    addr: SocketAddr,
+    mut worker: HonestWorker,
+    cfg: WorkerConfig,
+) -> Result<u32, WorkerError> {
+    let mut stream = connect_with_retry(addr, cfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    let id = worker.id();
+
+    // Recycled session buffers.
+    let mut send = BytesMut::with_capacity(4096);
+    let mut sub_frame = BytesMut::with_capacity(4096);
+    let mut pre_frame = BytesMut::with_capacity(4096);
+    let mut recv = Vec::new();
+    let mut params = Vector::default();
+    let mut out = WorkerOutput::default();
+    let mut steps_served = 0u32;
+
+    begin_frame(&mut send, KIND_JOIN);
+    send.put_u32_le(id);
+    end_frame(&mut send);
+    write_all_frame(&mut stream, &send)?;
+
+    loop {
+        let (kind, len) = read_header(&mut stream, &mut recv)?;
+        read_exact_frame(&mut stream, &mut recv, len)?;
+        match kind {
+            KIND_WARMUP => {
+                begin_frame(&mut send, KIND_READY);
+                send.put_u32_le(id);
+                end_frame(&mut send);
+                write_all_frame(&mut stream, &send)?;
+            }
+            KIND_STEP => {
+                let (step, batch_size) = StepMessage::decode_into(&recv, &mut params)?;
+                worker.compute_into(&params, batch_size as usize, &mut out);
+                steps_served += 1;
+
+                GradientMessage::encode_frame(id, step, &out.submitted, &mut sub_frame);
+                GradientMessage::encode_frame(id, step, &out.pre_noise, &mut pre_frame);
+                begin_frame(&mut send, KIND_GRAD);
+                send.put_f64_le(out.batch_loss);
+                send.put_u32_le(sub_frame.len() as u32);
+                send.put_slice(&sub_frame);
+                send.put_slice(&pre_frame);
+                end_frame(&mut send);
+                write_all_frame(&mut stream, &send)?;
+            }
+            KIND_DONE => return Ok(steps_served),
+            KIND_ABORT => {
+                return Err(WorkerError::Aborted(
+                    String::from_utf8_lossy(&recv).into_owned(),
+                ))
+            }
+            other => {
+                return Err(WorkerError::Protocol(format!(
+                    "unexpected frame kind {other} from coordinator"
+                )))
+            }
+        }
+    }
+}
+
+/// Reads and validates one frame header, returning `(kind, payload_len)`.
+fn read_header(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> Result<(u8, usize), WorkerError> {
+    read_exact_frame(stream, scratch, 5)?;
+    let len = u32::from_le_bytes(scratch[0..4].try_into().expect("4 bytes")) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WorkerError::Protocol(format!(
+            "implausible frame length {len} from coordinator"
+        )));
+    }
+    Ok((scratch[4], len - 1))
+}
+
+fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}

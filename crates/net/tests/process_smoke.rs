@@ -1,0 +1,58 @@
+//! The real thing: coordinator and workers as separate OS processes.
+//!
+//! Spawns the `coordinator` binary with `--spawn --verify`, which forks
+//! four `worker` processes, trains over localhost TCP, and compares the
+//! resulting digest against an in-process sequential run of the same
+//! experiment. This is the same invocation the CI `distributed-smoke`
+//! step runs.
+
+use std::process::Command;
+
+#[test]
+fn spawned_worker_processes_reproduce_the_in_process_digest() {
+    let out = Command::new(env!("CARGO_BIN_EXE_coordinator"))
+        .args([
+            "--spawn",
+            "--workers",
+            "4",
+            "--steps",
+            "10",
+            "--seed",
+            "1",
+            "--dataset-size",
+            "300",
+            "--verify",
+        ])
+        .output()
+        .expect("coordinator binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "coordinator exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status.code()
+    );
+    assert!(stdout.contains("verify OK"), "stdout:\n{stdout}");
+    assert!(stdout.contains("digest "), "stdout:\n{stdout}");
+}
+
+#[test]
+fn worker_binary_rejects_a_byzantine_index() {
+    // n = 11, f = 5 in this spec ⇒ honest slots 0..6; index 7 must be
+    // refused before any socket traffic.
+    let spec = r#"{"workload":{"PhishingLike":{"data_seed":1,"size":100}},"config":{"n_workers":11,"n_byzantine":5,"batch_size":10,"steps":2,"lr":{"Constant":2.0},"momentum":0.99,"momentum_mode":"Worker","clip":0.01,"eval_every":0,"attack_visibility":"Submitted","drop_rate":0.0,"gradient_ema":null,"batch_growth":null},"gar":{"id":"mda","params":{}},"attack":{"id":"alie","params":{}},"budget":null,"mechanism":{"id":"gaussian","params":{}},"dp_reference_g_max":null,"seed":1}"#;
+    let out = Command::new(env!("CARGO_BIN_EXE_worker"))
+        .args([
+            "--connect",
+            "127.0.0.1:9",
+            "--index",
+            "7",
+            "--spec-json",
+            spec,
+        ])
+        .output()
+        .expect("worker binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("honest"), "stderr:\n{stderr}");
+}

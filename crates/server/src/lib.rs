@@ -82,5 +82,5 @@ pub use metrics::{RunHistory, SeedSummary};
 pub use observer::{FnObserver, RunObserver, StepMetrics};
 pub use schedule::LrSchedule;
 pub use threaded::ThreadedTrainer;
-pub use trainer::{RunScratch, Trainer};
-pub use worker::HonestWorker;
+pub use trainer::{derive_streams, RunScratch, ServerCore, Trainer};
+pub use worker::{HonestWorker, WorkerOutput};

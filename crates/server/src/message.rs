@@ -1,15 +1,26 @@
-//! Wire format for worker→server gradient messages.
+//! Wire format for worker→server gradient messages and server→worker
+//! step broadcasts.
 //!
 //! The paper's channels guarantee "only integrity and authentication"
 //! (Remark 1) — gradients travel in the clear (which is exactly why the
-//! curious server is a privacy threat). The frame layout is:
+//! curious server is a privacy threat). Both frame layouts share one
+//! shape, two `u32` header words followed by a length-prefixed vector:
 //!
 //! ```text
-//! [worker_id: u32 LE][step: u32 LE][dim: u32 LE][coords: dim × f64 LE][tag: u64 LE]
+//! [a: u32 LE][b: u32 LE][dim: u32 LE][coords: dim × f64 LE][tag: u64 LE]
 //! ```
 //!
 //! where `tag` is an FNV-1a integrity checksum over everything before it —
-//! detecting corruption, not providing secrecy.
+//! detecting corruption, not providing secrecy. [`GradientMessage`] fills
+//! the header with `(worker_id, step)`; [`StepMessage`] (the coordinator's
+//! parameter broadcast) fills it with `(step, batch_size)`.
+//!
+//! Decode failures are typed ([`MessageError`]) so transports can
+//! distinguish a frame that merely arrived short ([`MessageError::ShortRead`])
+//! from one whose declared length is implausible
+//! ([`MessageError::LengthOverflow`] — a corrupted length prefix would
+//! otherwise ask the decoder to allocate gigabytes) from one that parsed
+//! but failed integrity ([`MessageError::BadChecksum`]).
 
 use bytes::{BufMut, Bytes, BytesMut};
 use dpbyz_tensor::Vector;
@@ -27,11 +38,48 @@ pub struct GradientMessage {
     pub gradient: Vector,
 }
 
-/// Decode failures.
+/// The server→worker broadcast opening a round: the current model
+/// parameters plus the step and batch size the worker must compute with.
+/// Same framing and integrity discipline as [`GradientMessage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepMessage {
+    /// Training step `t` this broadcast opens.
+    pub step: u32,
+    /// Batch size the worker must sample this step (the schedule lives on
+    /// the server, so growing-batch configs need it on the wire).
+    pub batch_size: u32,
+    /// The broadcast model parameters.
+    pub params: Vector,
+}
+
+/// Largest coordinate count a decoder will accept. Caps what a corrupted
+/// or hostile length prefix can make `decode_into` allocate (2²⁴ × 8 B =
+/// 128 MiB) — far above any model this repo trains, far below a `u32`'s
+/// worth of `f64`s.
+pub const MAX_WIRE_DIM: usize = 1 << 24;
+
+/// Decode failures, typed by cause so transports can react differently:
+/// a short read may mean "wait for more bytes", a length overflow or bad
+/// checksum means the frame (and probably the peer) is garbage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MessageError {
-    /// The frame was shorter than its header or payload requires.
-    Truncated,
+    /// The frame's byte count does not match what its layout requires —
+    /// either below the fixed header+tag minimum, or inconsistent with
+    /// the declared coordinate count.
+    ShortRead {
+        /// Bytes the layout requires.
+        needed: usize,
+        /// Bytes actually presented.
+        got: usize,
+    },
+    /// The declared coordinate count exceeds [`MAX_WIRE_DIM`] — treated
+    /// as corruption before any allocation happens.
+    LengthOverflow {
+        /// Coordinate count the frame declared.
+        declared: usize,
+        /// The decoder's cap ([`MAX_WIRE_DIM`]).
+        limit: usize,
+    },
     /// The integrity tag did not match.
     BadChecksum,
 }
@@ -39,7 +87,18 @@ pub enum MessageError {
 impl fmt::Display for MessageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MessageError::Truncated => write!(f, "truncated gradient frame"),
+            MessageError::ShortRead { needed, got } => {
+                write!(
+                    f,
+                    "truncated frame: layout requires {needed} bytes, got {got}"
+                )
+            }
+            MessageError::LengthOverflow { declared, limit } => {
+                write!(
+                    f,
+                    "frame declares {declared} coordinates, above the {limit} cap"
+                )
+            }
             MessageError::BadChecksum => write!(f, "integrity check failed"),
         }
     }
@@ -57,6 +116,60 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// Encodes the shared `[a][b][dim][coords][tag]` layout into a cleared,
+/// recycled buffer.
+fn encode_vec_frame(a: u32, b: u32, v: &Vector, buf: &mut BytesMut) {
+    buf.clear();
+    buf.put_u32_le(a);
+    buf.put_u32_le(b);
+    buf.put_u32_le(v.dim() as u32);
+    for &x in v.iter() {
+        buf.put_f64_le(x);
+    }
+    let tag = fnv1a(buf);
+    buf.put_u64_le(tag);
+}
+
+/// Decodes the shared layout into a caller-provided vector, returning the
+/// two header words. See [`GradientMessage::decode_into`] for semantics.
+fn decode_vec_frame(frame: &[u8], v: &mut Vector) -> Result<(u32, u32), MessageError> {
+    if frame.len() < HEADER + TAG {
+        return Err(MessageError::ShortRead {
+            needed: HEADER + TAG,
+            got: frame.len(),
+        });
+    }
+    let body_len = frame.len() - TAG;
+    let expected = fnv1a(&frame[..body_len]);
+    let le_u32 = |at: usize| u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes"));
+    let a = le_u32(0);
+    let b = le_u32(4);
+    let dim = le_u32(8) as usize;
+    if dim > MAX_WIRE_DIM {
+        return Err(MessageError::LengthOverflow {
+            declared: dim,
+            limit: MAX_WIRE_DIM,
+        });
+    }
+    let needed = HEADER + dim * 8 + TAG;
+    if frame.len() != needed {
+        return Err(MessageError::ShortRead {
+            needed,
+            got: frame.len(),
+        });
+    }
+    v.resize(dim, 0.0);
+    for (j, coord) in v.as_mut_slice().iter_mut().enumerate() {
+        let at = HEADER + j * 8;
+        *coord = f64::from_le_bytes(frame[at..at + 8].try_into().expect("8 bytes"));
+    }
+    let tag = u64::from_le_bytes(frame[body_len..].try_into().expect("8 bytes"));
+    if tag != expected {
+        return Err(MessageError::BadChecksum);
+    }
+    Ok((a, b))
 }
 
 impl GradientMessage {
@@ -82,24 +195,25 @@ impl GradientMessage {
     /// dimension every round) encoding performs no heap allocation.
     /// Byte-identical to [`GradientMessage::encode`], tag included.
     pub fn encode_into(&self, buf: &mut BytesMut) {
-        buf.clear();
-        let dim = self.gradient.dim();
-        buf.put_u32_le(self.worker_id);
-        buf.put_u32_le(self.step);
-        buf.put_u32_le(dim as u32);
-        for &x in self.gradient.iter() {
-            buf.put_f64_le(x);
-        }
-        let tag = fnv1a(buf);
-        buf.put_u64_le(tag);
+        Self::encode_frame(self.worker_id, self.step, &self.gradient, buf);
+    }
+
+    /// Encodes a frame without owning the gradient — the by-reference
+    /// counterpart of [`GradientMessage::encode_into`], byte-identical to
+    /// it. The TCP transport drives this so a live [`Vector`] can be
+    /// framed without moving it out of its arena.
+    pub fn encode_frame(worker_id: u32, step: u32, gradient: &Vector, buf: &mut BytesMut) {
+        encode_vec_frame(worker_id, step, gradient, buf);
     }
 
     /// Decodes and verifies a framed byte buffer.
     ///
     /// # Errors
     ///
-    /// [`MessageError::Truncated`] on short frames,
-    /// [`MessageError::BadChecksum`] if the integrity tag mismatches.
+    /// [`MessageError::ShortRead`] on length-inconsistent frames,
+    /// [`MessageError::LengthOverflow`] if the declared coordinate count
+    /// exceeds [`MAX_WIRE_DIM`], [`MessageError::BadChecksum`] if the
+    /// integrity tag mismatches.
     pub fn decode(frame: Bytes) -> Result<Self, MessageError> {
         let mut gradient = Vector::default();
         let (worker_id, step) = Self::decode_into(&frame, &mut gradient)?;
@@ -124,28 +238,65 @@ impl GradientMessage {
     ///
     /// As [`GradientMessage::decode`].
     pub fn decode_into(frame: &[u8], gradient: &mut Vector) -> Result<(u32, u32), MessageError> {
-        if frame.len() < HEADER + TAG {
-            return Err(MessageError::Truncated);
+        decode_vec_frame(frame, gradient)
+    }
+}
+
+impl StepMessage {
+    /// Creates a broadcast message.
+    pub fn new(step: u32, batch_size: u32, params: Vector) -> Self {
+        StepMessage {
+            step,
+            batch_size,
+            params,
         }
-        let body_len = frame.len() - TAG;
-        let expected = fnv1a(&frame[..body_len]);
-        let le_u32 = |at: usize| u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes"));
-        let worker_id = le_u32(0);
-        let step = le_u32(4);
-        let dim = le_u32(8) as usize;
-        if frame.len() != HEADER + dim * 8 + TAG {
-            return Err(MessageError::Truncated);
-        }
-        gradient.resize(dim, 0.0);
-        for (j, coord) in gradient.as_mut_slice().iter_mut().enumerate() {
-            let at = HEADER + j * 8;
-            *coord = f64::from_le_bytes(frame[at..at + 8].try_into().expect("8 bytes"));
-        }
-        let tag = u64::from_le_bytes(frame[body_len..].try_into().expect("8 bytes"));
-        if tag != expected {
-            return Err(MessageError::BadChecksum);
-        }
-        Ok((worker_id, step))
+    }
+
+    /// Encodes to a framed byte buffer with integrity tag.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER + self.params.dim() * 8 + TAG);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes into a caller-provided (cleared, recycled) buffer —
+    /// byte-identical to [`StepMessage::encode`].
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        Self::encode_frame(self.step, self.batch_size, &self.params, buf);
+    }
+
+    /// Encodes a frame without owning the parameters — what the
+    /// coordinator drives every round, framing the server's live
+    /// parameter vector straight out of the trainer core.
+    pub fn encode_frame(step: u32, batch_size: u32, params: &Vector, buf: &mut BytesMut) {
+        encode_vec_frame(step, batch_size, params, buf);
+    }
+
+    /// Decodes and verifies a framed byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`GradientMessage::decode`].
+    pub fn decode(frame: Bytes) -> Result<Self, MessageError> {
+        let mut params = Vector::default();
+        let (step, batch_size) = Self::decode_into(&frame, &mut params)?;
+        Ok(StepMessage {
+            step,
+            batch_size,
+            params,
+        })
+    }
+
+    /// Decodes and verifies a frame into a caller-provided parameter
+    /// buffer, returning `(step, batch_size)` — the worker-loop hot path,
+    /// allocation-free at steady state like
+    /// [`GradientMessage::decode_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GradientMessage::decode`].
+    pub fn decode_into(frame: &[u8], params: &mut Vector) -> Result<(u32, u32), MessageError> {
+        decode_vec_frame(frame, params)
     }
 }
 
@@ -184,6 +335,16 @@ mod tests {
     }
 
     #[test]
+    fn encode_frame_matches_encode_into() {
+        let msg = GradientMessage::new(9, 17, Vector::from(vec![0.5, -0.5]));
+        let mut owned = BytesMut::default();
+        msg.encode_into(&mut owned);
+        let mut borrowed = BytesMut::default();
+        GradientMessage::encode_frame(9, 17, &msg.gradient, &mut borrowed);
+        assert_eq!(&owned[..], &borrowed[..]);
+    }
+
+    #[test]
     fn empty_gradient_roundtrip() {
         let msg = GradientMessage::new(0, 0, Vector::zeros(0));
         assert_eq!(GradientMessage::decode(msg.encode()).unwrap(), msg);
@@ -198,24 +359,117 @@ mod tests {
     }
 
     #[test]
+    fn step_message_roundtrip() {
+        let msg = StepMessage::new(7, 25, Vector::from(vec![1.0, -0.125, 3.5]));
+        assert_eq!(StepMessage::decode(msg.encode()).unwrap(), msg);
+        // Buffer-reusing path agrees bit for bit.
+        let mut frame = BytesMut::default();
+        msg.encode_into(&mut frame);
+        let mut params = Vector::from(vec![0.0; 9]); // dirty, wrong dim
+        let (step, batch) = StepMessage::decode_into(&frame, &mut params).unwrap();
+        assert_eq!((step, batch), (7, 25));
+        assert_eq!(params, msg.params);
+        // By-reference framing is byte-identical.
+        let mut by_ref = BytesMut::default();
+        StepMessage::encode_frame(7, 25, &msg.params, &mut by_ref);
+        assert_eq!(&frame[..], &by_ref[..]);
+    }
+
+    #[test]
+    fn step_and_gradient_frames_share_layout() {
+        // Same header words + same vector ⇒ same bytes: the two codecs
+        // are one layout, so transport-level buffer handling is shared.
+        let v = Vector::from(vec![2.0, 4.0]);
+        let g = GradientMessage::new(1, 2, v.clone()).encode();
+        let s = StepMessage::new(1, 2, v).encode();
+        assert_eq!(&g[..], &s[..]);
+    }
+
+    #[test]
     fn detects_truncation() {
         let msg = GradientMessage::new(1, 2, Vector::from(vec![1.0, 2.0]));
         let mut frame = BytesMut::default();
         msg.encode_into(&mut frame);
         let mut gradient = Vector::default();
-        assert!(matches!(
+        // Cut inside the payload: the declared dim no longer fits.
+        assert_eq!(
             GradientMessage::decode_into(&frame[..frame.len() - 9], &mut gradient),
-            Err(MessageError::Truncated) | Err(MessageError::BadChecksum)
-        ));
+            Err(MessageError::ShortRead {
+                needed: frame.len(),
+                got: frame.len() - 9
+            })
+        );
+        // Below even the fixed header+tag minimum.
         assert_eq!(
             GradientMessage::decode_into(b"xy", &mut gradient),
-            Err(MessageError::Truncated)
+            Err(MessageError::ShortRead { needed: 20, got: 2 })
         );
         // The legacy Bytes-consuming path reports the same.
         assert_eq!(
             GradientMessage::decode(Bytes::from_static(b"xy")),
-            Err(MessageError::Truncated)
+            Err(MessageError::ShortRead { needed: 20, got: 2 })
         );
+    }
+
+    #[test]
+    fn detects_length_overflow() {
+        // A corrupted length prefix claiming a huge payload must be
+        // rejected before the decoder allocates for it. Build a frame
+        // whose dim field is absurd but whose total length passes the
+        // header+tag minimum.
+        let msg = GradientMessage::new(1, 2, Vector::from(vec![1.0, 2.0]));
+        let mut frame = BytesMut::default();
+        msg.encode_into(&mut frame);
+        frame[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut gradient = Vector::default();
+        assert_eq!(
+            GradientMessage::decode_into(&frame, &mut gradient),
+            Err(MessageError::LengthOverflow {
+                declared: u32::MAX as usize,
+                limit: MAX_WIRE_DIM,
+            })
+        );
+        // The dirty target buffer was never resized toward the bogus dim.
+        assert!(gradient.is_empty());
+    }
+
+    #[test]
+    fn corrupting_each_field_is_detected() {
+        // Walk every field of an encoded frame, corrupt it in isolation,
+        // and check the typed rejection. Length-affecting corruption
+        // surfaces as ShortRead/LengthOverflow (caught before the
+        // checksum); value corruption surfaces as BadChecksum.
+        let msg = GradientMessage::new(5, 11, Vector::from(vec![1.0, -2.0]));
+        let clean = msg.encode();
+        let mut gradient = Vector::default();
+        let mut corrupt = |at: usize, bit: u8| {
+            let mut frame = clean.to_vec();
+            frame[at] ^= bit;
+            GradientMessage::decode_into(&frame, &mut gradient).unwrap_err()
+        };
+        // worker_id (byte 0), step (byte 4): values covered by the tag.
+        assert_eq!(corrupt(0, 0x01), MessageError::BadChecksum);
+        assert_eq!(corrupt(4, 0x01), MessageError::BadChecksum);
+        // dim low byte (byte 8): the frame length no longer matches.
+        assert_eq!(
+            corrupt(8, 0x01),
+            MessageError::ShortRead {
+                needed: HEADER + 3 * 8 + TAG,
+                got: clean.len(),
+            }
+        );
+        // dim high byte (byte 11): the declared count blows past the cap.
+        assert_eq!(
+            corrupt(11, 0x80),
+            MessageError::LengthOverflow {
+                declared: 2 + (0x80 << 24),
+                limit: MAX_WIRE_DIM,
+            }
+        );
+        // A payload coordinate (first byte of coord 1).
+        assert_eq!(corrupt(HEADER + 8, 0xFF), MessageError::BadChecksum);
+        // The tag itself (last byte).
+        assert_eq!(corrupt(clean.len() - 1, 0x01), MessageError::BadChecksum);
     }
 
     #[test]
@@ -248,7 +502,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(MessageError::Truncated.to_string().contains("truncated"));
+        assert!(MessageError::ShortRead { needed: 20, got: 2 }
+            .to_string()
+            .contains("truncated"));
+        assert!(MessageError::LengthOverflow {
+            declared: 1 << 30,
+            limit: MAX_WIRE_DIM
+        }
+        .to_string()
+        .contains("cap"));
         assert!(MessageError::BadChecksum.to_string().contains("integrity"));
     }
 

@@ -59,6 +59,45 @@ impl PartialEq for RunHistory {
 }
 
 impl RunHistory {
+    /// FNV-1a digest over every bit the history records: the seed, then
+    /// the bit patterns of every recorded float in field order
+    /// (`train_loss`, `test_accuracy` as `(step, accuracy)` pairs,
+    /// `vn_submitted`, `vn_clean`, `grad_norm`, `final_params`). Two
+    /// histories digest equal iff they are `==` under the bitwise
+    /// [`PartialEq`] above — a compact fingerprint for cross-engine and
+    /// cross-process reproducibility checks (the golden-history pins and
+    /// the distributed smoke test both compare these).
+    pub fn digest(&self) -> u64 {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                acc ^= b as u64;
+                acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.seed);
+        for x in &self.train_loss {
+            eat(x.to_bits());
+        }
+        for &(t, a) in &self.test_accuracy {
+            eat(t as u64);
+            eat(a.to_bits());
+        }
+        for x in &self.vn_submitted {
+            eat(x.to_bits());
+        }
+        for x in &self.vn_clean {
+            eat(x.to_bits());
+        }
+        for x in &self.grad_norm {
+            eat(x.to_bits());
+        }
+        for x in self.final_params.iter() {
+            eat(x.to_bits());
+        }
+        acc
+    }
+
     /// Final (last-step) training loss.
     pub fn final_loss(&self) -> f64 {
         *self.train_loss.last().expect("at least one step")

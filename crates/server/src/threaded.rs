@@ -22,6 +22,19 @@
 //! wire frames included — performs **zero** heap allocations
 //! (`tests/tests/alloc_steady_state.rs` pins it with a counting global
 //! allocator).
+//!
+//! # The persistent worker pool
+//!
+//! Worker OS threads are not respawned per run: they live in a
+//! [`WorkerPool`] stored inside the [`RunScratch`], so consecutive
+//! `run_with_scratch` calls (the sweep executor's job loops) reuse one
+//! set of parked threads. Each run *loads* a fresh [`HonestWorker`]
+//! engine into every pooled thread (worker state is per-run; threads are
+//! not), drives the rounds, and *unloads* at the end — releasing the
+//! run's dataset/model handles while the threads stay parked on their
+//! channels. The pool is invisible to the histories: loading workers is
+//! exactly the construction `Trainer` performs, so the golden digests
+//! pin bit-identity across pooled and fresh-thread runs.
 
 use crate::config::MomentumMode;
 use crate::message::GradientMessage;
@@ -35,6 +48,10 @@ use dpbyz_tensor::Vector;
 
 /// One round-trip of the worker protocol.
 enum Command {
+    /// Install a fresh worker engine for the coming run. The thread keeps
+    /// it until [`Command::Unload`] — pooled threads persist across runs,
+    /// worker state does not.
+    Load(Box<HonestWorker>),
     /// Compute step `t` against the broadcast parameters with the given
     /// per-step batch size (dynamic under batch growth). Carries the
     /// worker's leased arena buffers: the wire frame to encode into, the
@@ -47,7 +64,10 @@ enum Command {
         frame: BytesMut,
         pre_noise: Vector,
     },
-    /// Shut down.
+    /// Drop the loaded worker (releasing its dataset/model handles) but
+    /// keep the thread parked for the next run.
+    Unload,
+    /// Shut down the thread.
     Stop,
 }
 
@@ -60,6 +80,119 @@ struct RoundReply {
     params: Vector,
     pre_noise: Vector,
     batch_loss: f64,
+}
+
+/// A pool of persistent worker threads, stored inside [`RunScratch`] so
+/// the threads outlive individual runs. Each pooled thread parks on its
+/// command channel between runs holding no worker state; a run loads one
+/// [`HonestWorker`] per thread, streams [`Command::Step`]s, and unloads.
+/// Dropping the pool (i.e. the scratch) stops and joins the threads.
+#[derive(Default)]
+pub(crate) struct WorkerPool {
+    threads: Vec<PoolThread>,
+}
+
+struct PoolThread {
+    cmd_tx: Sender<Command>,
+    reply_rx: Receiver<RoundReply>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Grows the pool to at least `n` parked threads (a no-op once warm —
+    /// thread spawning happens only when a run needs more workers than
+    /// any previous run on this scratch).
+    fn ensure(&mut self, n: usize) {
+        while self.threads.len() < n {
+            let (cmd_tx, cmd_rx) = bounded::<Command>(1);
+            let (reply_tx, reply_rx) = bounded::<RoundReply>(1);
+            let handle = std::thread::spawn(move || {
+                // The thread's long-lived state: the currently loaded
+                // worker engine (per-run) and an output whose submission
+                // buffer is recycled across rounds *and* runs (its
+                // pre_noise slot is leased from the server each round).
+                let mut worker: Option<HonestWorker> = None;
+                let mut out = WorkerOutput::default();
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        Command::Load(w) => worker = Some(*w),
+                        Command::Step {
+                            t,
+                            params,
+                            batch_size,
+                            mut frame,
+                            pre_noise,
+                        } => {
+                            let worker = worker.as_mut().expect("Step before Load");
+                            out.pre_noise = pre_noise;
+                            worker.compute_into(&params, batch_size, &mut out);
+                            // Encode from the recycled submission buffer:
+                            // the vector moves through the message and
+                            // back — bytes travel, not the Vector.
+                            let msg = GradientMessage::new(
+                                worker.id(),
+                                t,
+                                std::mem::take(&mut out.submitted),
+                            );
+                            msg.encode_into(&mut frame);
+                            out.submitted = msg.gradient;
+                            let reply = RoundReply {
+                                frame,
+                                params,
+                                pre_noise: std::mem::take(&mut out.pre_noise),
+                                batch_loss: out.batch_loss,
+                            };
+                            if reply_tx.send(reply).is_err() {
+                                break;
+                            }
+                        }
+                        Command::Unload => worker = None,
+                        Command::Stop => break,
+                    }
+                }
+            });
+            self.threads.push(PoolThread {
+                cmd_tx,
+                reply_rx,
+                handle: Some(handle),
+            });
+        }
+    }
+
+    fn send(&self, i: usize, cmd: Command) {
+        self.threads[i]
+            .cmd_tx
+            .send(cmd)
+            .expect("worker thread alive");
+    }
+
+    fn recv(&self, i: usize) -> RoundReply {
+        self.threads[i]
+            .reply_rx
+            .recv()
+            .expect("worker thread alive")
+    }
+
+    /// Unloads the first `n` threads' workers, releasing the finished
+    /// run's dataset/model handles while the threads stay parked.
+    fn unload(&self, n: usize) {
+        for thread in self.threads.iter().take(n) {
+            let _ = thread.cmd_tx.send(Command::Unload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for thread in &self.threads {
+            let _ = thread.cmd_tx.send(Command::Stop);
+        }
+        for thread in &mut self.threads {
+            if let Some(handle) = thread.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 /// Multi-threaded engine wrapping a [`Trainer`] specification.
@@ -94,8 +227,9 @@ impl ThreadedTrainer {
     }
 
     /// Runs the full training, recycling the server-side buffers in
-    /// `scratch` (round buffers, output slots, frame arena) — worker
-    /// threads and their internal buffers are still spawned per run. The
+    /// `scratch` (round buffers, output slots, frame arena) **and** the
+    /// scratch's persistent worker thread pool — consecutive runs on one
+    /// scratch reuse parked OS threads instead of respawning them. The
     /// history is bit-identical to [`ThreadedTrainer::run`]'s regardless
     /// of what a previous run left in the scratch.
     ///
@@ -140,11 +274,10 @@ impl ThreadedTrainer {
         );
         core.set_observer(trainer.observer);
 
-        // Wire up one (command, reply) channel pair per honest worker.
-        let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n_honest);
-        let mut reply_rxs: Vec<Receiver<RoundReply>> = Vec::with_capacity(n_honest);
-        let mut handles = Vec::with_capacity(n_honest);
-
+        // Load this run's worker engines into the scratch's persistent
+        // thread pool (spawning threads only if this run needs more than
+        // any previous run on this scratch).
+        scratch.pool.ensure(n_honest);
         for (i, (source, rng)) in trainer
             .sources
             .into_iter()
@@ -152,9 +285,7 @@ impl ThreadedTrainer {
             .take(n_honest)
             .enumerate()
         {
-            let (cmd_tx, cmd_rx) = bounded::<Command>(1);
-            let (reply_tx, reply_rx) = bounded::<RoundReply>(1);
-            let mut worker = HonestWorker::new(
+            let worker = HonestWorker::new(
                 i as u32,
                 trainer.model.clone(),
                 source,
@@ -163,51 +294,7 @@ impl ThreadedTrainer {
                 worker_momentum,
                 rng,
             );
-            let handle = std::thread::spawn(move || {
-                // Recycled across rounds: the worker refills this output
-                // in place (its batch/gradient buffers live inside the
-                // worker); the wire frame, parameter, and pre_noise
-                // buffers are leased from the server's arena each round
-                // and returned in the reply.
-                let mut out = WorkerOutput::default();
-                while let Ok(cmd) = cmd_rx.recv() {
-                    match cmd {
-                        Command::Step {
-                            t,
-                            params,
-                            batch_size,
-                            mut frame,
-                            pre_noise,
-                        } => {
-                            out.pre_noise = pre_noise;
-                            worker.compute_into(&params, batch_size, &mut out);
-                            // Encode from the recycled submission buffer:
-                            // the vector moves through the message and
-                            // back — bytes travel, not the Vector.
-                            let msg = GradientMessage::new(
-                                worker.id(),
-                                t,
-                                std::mem::take(&mut out.submitted),
-                            );
-                            msg.encode_into(&mut frame);
-                            out.submitted = msg.gradient;
-                            let reply = RoundReply {
-                                frame,
-                                params,
-                                pre_noise: std::mem::take(&mut out.pre_noise),
-                                batch_loss: out.batch_loss,
-                            };
-                            if reply_tx.send(reply).is_err() {
-                                break;
-                            }
-                        }
-                        Command::Stop => break,
-                    }
-                }
-            });
-            cmd_txs.push(cmd_tx);
-            reply_rxs.push(reply_rx);
-            handles.push(handle);
+            scratch.pool.send(i, Command::Load(Box::new(worker)));
         }
 
         let mut result = Ok(());
@@ -222,22 +309,24 @@ impl ThreadedTrainer {
         params_pool.resize_with(n_honest, Vector::default);
         'training: for t in 1..=config.steps {
             let batch_size = config.batch_at(t);
-            for (i, tx) in cmd_txs.iter().enumerate() {
+            for i in 0..n_honest {
                 let mut params = std::mem::take(&mut params_pool[i]);
                 params.copy_from(core.params());
-                tx.send(Command::Step {
-                    t,
-                    params,
-                    batch_size,
-                    frame: std::mem::take(&mut frames[i]),
-                    pre_noise: std::mem::take(&mut outputs[i].pre_noise),
-                })
-                .expect("worker thread alive");
+                scratch.pool.send(
+                    i,
+                    Command::Step {
+                        t,
+                        params,
+                        batch_size,
+                        frame: std::mem::take(&mut frames[i]),
+                        pre_noise: std::mem::take(&mut outputs[i].pre_noise),
+                    },
+                );
             }
             // Collect in worker-id order: determinism independent of
             // scheduling.
-            for (i, (rx, out)) in reply_rxs.iter().zip(outputs.iter_mut()).enumerate() {
-                let reply = rx.recv().expect("worker thread alive");
+            for (i, out) in outputs.iter_mut().enumerate() {
+                let reply = scratch.pool.recv(i);
                 let (worker_id, step) =
                     GradientMessage::decode_into(&reply.frame, &mut out.submitted)
                         .expect("wire integrity verified");
@@ -254,13 +343,9 @@ impl ThreadedTrainer {
             }
         }
 
-        for tx in &cmd_txs {
-            let _ = tx.send(Command::Stop);
-        }
-        drop(cmd_txs);
-        for h in handles {
-            h.join().expect("worker thread panicked");
-        }
+        // Release the run's worker state; the threads stay parked in the
+        // scratch's pool for the next run.
+        scratch.pool.unload(n_honest);
 
         scratch.outputs = outputs;
         scratch.frames = frames;
@@ -340,6 +425,39 @@ mod tests {
         let (_, thr) = build(5, 1, 10);
         let res = ThreadedTrainer::from(thr.attack(Arc::new(FallOfEmpires::default()))).run(1);
         assert!(matches!(res, Err(GarError::TooManyByzantine { .. })));
+    }
+
+    #[test]
+    fn pool_threads_persist_across_runs() {
+        // Two consecutive runs on one scratch must not respawn threads:
+        // the pool's size is the high-water mark of worker counts, and
+        // histories stay bit-identical to fresh-pool runs.
+        let mut scratch = RunScratch::new();
+        let (_, a) = build(4, 0, 10);
+        let first = ThreadedTrainer::from(a)
+            .run_with_scratch(3, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.pool.threads.len(), 4);
+        let spawned: Vec<_> = scratch
+            .pool
+            .threads
+            .iter()
+            .map(|t| t.handle.as_ref().map(std::thread::JoinHandle::thread))
+            .map(|t| t.expect("thread alive").id())
+            .collect();
+        let (_, b) = build(4, 0, 10);
+        let second = ThreadedTrainer::from(b)
+            .run_with_scratch(3, &mut scratch)
+            .unwrap();
+        assert_eq!(first, second);
+        let reused: Vec<_> = scratch
+            .pool
+            .threads
+            .iter()
+            .map(|t| t.handle.as_ref().map(std::thread::JoinHandle::thread))
+            .map(|t| t.expect("thread alive").id())
+            .collect();
+        assert_eq!(spawned, reused, "threads were respawned between runs");
     }
 
     #[test]

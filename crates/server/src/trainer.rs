@@ -48,9 +48,19 @@ impl RoundBuffers {
     }
 }
 
-/// Server-side state and round logic shared by the sequential and threaded
-/// engines — this is what guarantees the two produce identical histories.
-pub(crate) struct ServerCore {
+/// Server-side state and round logic shared by every engine — the
+/// sequential and threaded in-process engines and the TCP coordinator all
+/// drive this same object, which is what guarantees they produce
+/// identical histories.
+///
+/// External engines obtain one via [`Trainer::into_distributed_parts`]
+/// and drive the round loop themselves: broadcast
+/// [`ServerCore::params`], collect one [`WorkerOutput`] per honest
+/// worker in worker-id order, call [`ServerCore::process_round`], and
+/// after the last step reclaim buffers
+/// ([`ServerCore::reclaim_scratch`]) and seal the run with
+/// [`ServerCore::finish`].
+pub struct ServerCore {
     config: TrainingConfig,
     model: Arc<dyn Model>,
     gar: Arc<dyn Gar>,
@@ -94,6 +104,10 @@ pub struct RunScratch {
     pub(crate) frames: Vec<bytes::BytesMut>,
     /// Threaded engine only: per-worker broadcast-parameter buffers.
     pub(crate) params_pool: Vec<Vector>,
+    /// Threaded engine only: the persistent worker thread pool. Threads
+    /// outlive individual runs — consecutive `run_with_scratch` calls
+    /// reuse them instead of respawning OS threads per run.
+    pub(crate) pool: crate::threaded::WorkerPool,
 }
 
 impl RunScratch {
@@ -101,6 +115,20 @@ impl RunScratch {
     /// recycled afterwards.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Takes the per-worker output slots out of the scratch (restored
+    /// with [`RunScratch::restore_outputs`]) — how an external engine
+    /// recycles the output set across runs, exactly as the in-process
+    /// engines do internally.
+    pub fn take_outputs(&mut self) -> Vec<WorkerOutput> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Returns output slots taken by [`RunScratch::take_outputs`] so the
+    /// next run reuses their allocations.
+    pub fn restore_outputs(&mut self, outputs: Vec<WorkerOutput>) {
+        self.outputs = outputs;
     }
 }
 
@@ -154,8 +182,16 @@ impl ServerCore {
         self.observer = observer;
     }
 
-    pub(crate) fn params(&self) -> &Vector {
+    /// The current model parameters — what an engine broadcasts to its
+    /// workers at the start of each round.
+    pub fn params(&self) -> &Vector {
         &self.params
+    }
+
+    /// The training configuration this core was built with — engines read
+    /// the step count and batch schedule from here.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
     }
 
     /// Takes the round buffers back out (for reclamation into a
@@ -164,20 +200,28 @@ impl ServerCore {
         std::mem::take(&mut self.buffers)
     }
 
+    /// Returns the core's round buffers to a [`RunScratch`] so the next
+    /// run reuses their allocations. Call after the last round, before
+    /// [`ServerCore::finish`] consumes the core.
+    pub fn reclaim_scratch(&mut self, scratch: &mut RunScratch) {
+        scratch.round = self.take_buffers();
+    }
+
     /// Consumes one synchronous round of honest outputs (in worker-id
     /// order), forges the Byzantine submissions, aggregates, and updates
     /// the model.
     ///
     /// The outputs hand their vectors over **by move**: each output's
     /// `pre_noise`/`submitted` buffers are swapped into the server's
-    /// long-lived [`RoundBuffers`], and the previous round's buffers are
+    /// long-lived `RoundBuffers`, and the previous round's buffers are
     /// swapped back out for the worker to refill — no per-round clone of
     /// the vector set, and at steady state no heap allocation at all.
-    pub(crate) fn process_round(
-        &mut self,
-        t: u32,
-        outputs: &mut [WorkerOutput],
-    ) -> Result<(), GarError> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GarError`] when the configured rule cannot tolerate
+    /// `n_byzantine` among the submissions.
+    pub fn process_round(&mut self, t: u32, outputs: &mut [WorkerOutput]) -> Result<(), GarError> {
         let n_honest = outputs.len();
         // The paper's training-loss metric: average loss over the batches
         // the honest workers sampled this step, at the pre-update model.
@@ -316,7 +360,9 @@ impl ServerCore {
         Ok(())
     }
 
-    pub(crate) fn finish(self, seed: u64) -> RunHistory {
+    /// Seals the run: consumes the core and assembles the [`RunHistory`]
+    /// (notifying the observer's `on_finish`).
+    pub fn finish(self, seed: u64) -> RunHistory {
         let ServerCore {
             mut observer,
             train_loss,
@@ -343,9 +389,12 @@ impl ServerCore {
     }
 }
 
-/// Derives the per-run RNG streams from the seed. Shared by both engines;
-/// the derivation order is part of the reproducibility contract.
-pub(crate) fn derive_streams(seed: u64, n_workers: usize) -> (Prng, Vec<Prng>, Prng, Prng) {
+/// Derives the per-run RNG streams from the seed, returning
+/// `(init_rng, worker_rngs, attack_rng, fault_rng)`. Shared by every
+/// engine — in-process and distributed alike; the derivation order is
+/// part of the reproducibility contract (a worker process must seed its
+/// RNG from the same stream index its in-process twin would).
+pub fn derive_streams(seed: u64, n_workers: usize) -> (Prng, Vec<Prng>, Prng, Prng) {
     let mut root = Prng::seed_from_u64(seed);
     let init_rng = root.derive(0);
     let worker_rngs: Vec<Prng> = (0..n_workers).map(|i| root.derive(1 + i as u64)).collect();
@@ -458,6 +507,49 @@ impl Trainer {
         seed: u64,
         scratch: &mut RunScratch,
     ) -> Result<RunHistory, GarError> {
+        let (mut core, mut workers) = self.into_distributed_parts(seed, scratch);
+
+        // Long-lived round state: one output buffer per worker and one
+        // broadcast-parameter buffer, refilled in place every step —
+        // taken from the scratch so consecutive runs reuse one set.
+        let mut outputs = std::mem::take(&mut scratch.outputs);
+        outputs.resize_with(workers.len(), WorkerOutput::default);
+        let mut params = std::mem::take(&mut scratch.params);
+        let mut result = Ok(());
+        for t in 1..=core.config().steps {
+            params.copy_from(core.params());
+            let batch = core.config().batch_at(t);
+            for (w, out) in workers.iter_mut().zip(outputs.iter_mut()) {
+                w.compute_into(&params, batch, out);
+            }
+            if let Err(e) = core.process_round(t, &mut outputs) {
+                result = Err(e);
+                break;
+            }
+        }
+        scratch.outputs = outputs;
+        scratch.params = params;
+        core.reclaim_scratch(scratch);
+        result.map(|()| core.finish(seed))
+    }
+
+    /// Dismantles the trainer into the server-side [`ServerCore`] and the
+    /// honest workers — the constructor external engines (the TCP
+    /// coordinator) drive. RNG-stream derivation, worker construction
+    /// order, and parameter initialization are exactly
+    /// [`Trainer::run_with_scratch`]'s, so an engine that feeds
+    /// [`ServerCore::process_round`] each round's outputs in worker-id
+    /// order reproduces the in-process histories bit for bit.
+    ///
+    /// The returned workers are honest only: with an attack armed, the
+    /// `n_byzantine` colluders have no worker-side computation — the core
+    /// forges their submissions server-side, as in both in-process
+    /// engines.
+    pub fn into_distributed_parts(
+        self,
+        seed: u64,
+        scratch: &mut RunScratch,
+    ) -> (ServerCore, Vec<HonestWorker>) {
         let config = self.config;
         let n = config.n_workers;
         let (mut init_rng, worker_rngs, attack_rng, fault_rng) = derive_streams(seed, n);
@@ -472,7 +564,7 @@ impl Trainer {
             MomentumMode::Server => 0.0,
         };
 
-        let mut workers: Vec<HonestWorker> = self
+        let workers: Vec<HonestWorker> = self
             .sources
             .into_iter()
             .zip(worker_rngs)
@@ -504,29 +596,22 @@ impl Trainer {
             std::mem::take(&mut scratch.round),
         );
         core.set_observer(self.observer);
+        (core, workers)
+    }
 
-        // Long-lived round state: one output buffer per worker and one
-        // broadcast-parameter buffer, refilled in place every step —
-        // taken from the scratch so consecutive runs reuse one set.
-        let mut outputs = std::mem::take(&mut scratch.outputs);
-        outputs.resize_with(n_honest, WorkerOutput::default);
-        let mut params = std::mem::take(&mut scratch.params);
-        let mut result = Ok(());
-        for t in 1..=config.steps {
-            params.copy_from(core.params());
-            let batch = config.batch_at(t);
-            for (w, out) in workers.iter_mut().zip(outputs.iter_mut()) {
-                w.compute_into(&params, batch, out);
-            }
-            if let Err(e) = core.process_round(t, &mut outputs) {
-                result = Err(e);
-                break;
-            }
+    /// Builds the single honest worker a standalone worker *process*
+    /// hosts: worker `index`'s engine with exactly the RNG stream, clip,
+    /// and momentum its in-process twin would get under this seed.
+    /// Returns `None` when `index` is not an honest worker slot (at or
+    /// beyond `n_honest`).
+    pub fn into_worker(self, seed: u64, index: usize) -> Option<HonestWorker> {
+        let mut scratch = RunScratch::new();
+        let (_core, mut workers) = self.into_distributed_parts(seed, &mut scratch);
+        if index < workers.len() {
+            Some(workers.swap_remove(index))
+        } else {
+            None
         }
-        scratch.outputs = outputs;
-        scratch.params = params;
-        scratch.round = core.take_buffers();
-        result.map(|()| core.finish(seed))
     }
 }
 

@@ -163,3 +163,99 @@ fn threaded_median_cell_is_allocation_free_at_steady_state() {
     let counts = per_step_allocation_counts_on(Arc::new(CoordinateMedian::new()), true);
     assert_steady_state_allocation_free("threaded/median/gaussian", &counts);
 }
+
+// ---- the TCP deployment -------------------------------------------------
+
+/// [`per_step_allocation_counts`] over the real socket transport: a
+/// [`TcpCoordinator`] round-trips every step through localhost TCP with
+/// one worker-session thread per honest worker. The counting allocator
+/// is process-global, so the snapshots include the worker sessions too.
+fn per_step_allocation_counts_tcp(gar: Arc<dyn Gar>) -> Vec<u64> {
+    use dpbyz::net::{run_worker, CoordinatorConfig, TcpCoordinator, WorkerConfig};
+    use dpbyz::RunScratch;
+
+    let n = 5;
+    let mut rng = Prng::seed_from_u64(11);
+    let ds = Arc::new(synthetic::phishing_like(&mut rng, 400));
+    let model = Arc::new(LogisticRegression::new(68, LossKind::SigmoidMse));
+    let config = TrainingConfig::builder()
+        .workers(n, 0)
+        .batch_size(10)
+        .steps(STEPS)
+        .eval_every(0)
+        .build()
+        .unwrap();
+    let sources: Vec<Box<dyn BatchSource>> = (0..n)
+        .map(|_| {
+            Box::new(DatasetSource::new(
+                ds.clone(),
+                SamplingMode::WithReplacement,
+            )) as Box<dyn BatchSource>
+        })
+        .collect();
+    let snapshots: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(STEPS as usize)));
+    let sink = snapshots.clone();
+    let trainer = Trainer::new(config, model, sources, None)
+        .gar(gar)
+        .mechanism(Arc::new(GaussianMechanism::with_sigma(0.01).unwrap()) as Arc<dyn Mechanism>)
+        .observer(Box::new(FnObserver::new(move |_m| {
+            sink.lock().unwrap().push(allocation_count());
+        })));
+
+    let mut scratch = RunScratch::new();
+    let (core, workers) = trainer.into_distributed_parts(1, &mut scratch);
+    let coordinator = TcpCoordinator::bind(
+        "127.0.0.1:0",
+        CoordinatorConfig {
+            min_workers: n,
+            quorum: n,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let handles: Vec<_> = workers
+        .into_iter()
+        .map(|w| std::thread::spawn(move || run_worker(addr, w, WorkerConfig::default())))
+        .collect();
+    coordinator.run(core, n, 1, &mut scratch).unwrap();
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+    Arc::try_unwrap(snapshots).unwrap().into_inner().unwrap()
+}
+
+/// The socket engine keeps per-round allocations bounded once warm: both
+/// endpoints recycle their frame buffers (`FrameReader` compacts in
+/// place, senders reuse one `BytesMut`), so the only tolerated residue is
+/// incidental — not proportional to rounds, dimension, or workers. The
+/// kernel's socket buffers live outside the global allocator and are
+/// invisible here.
+const TCP_STEADY_STATE_ALLOCS_PER_ROUND: u64 = 8;
+
+fn assert_steady_state_allocation_bounded(name: &str, counts: &[u64]) {
+    assert_eq!(counts.len(), STEPS as usize);
+    let tail = &counts[counts.len() / 2..];
+    for (i, pair) in tail.windows(2).enumerate() {
+        assert!(
+            pair[1] - pair[0] <= TCP_STEADY_STATE_ALLOCS_PER_ROUND,
+            "{name}: round {} allocated {} time(s) at steady state, \
+             above the {TCP_STEADY_STATE_ALLOCS_PER_ROUND}-allocation bound \
+             (full counts: {counts:?})",
+            counts.len() / 2 + i + 1,
+            pair[1] - pair[0],
+        );
+    }
+}
+
+#[test]
+fn tcp_average_cell_keeps_rounds_allocation_bounded() {
+    let counts = per_step_allocation_counts_tcp(Arc::new(Average::new()));
+    assert_steady_state_allocation_bounded("tcp/average/gaussian", &counts);
+}
+
+#[test]
+fn tcp_median_cell_keeps_rounds_allocation_bounded() {
+    let counts = per_step_allocation_counts_tcp(Arc::new(CoordinateMedian::new()));
+    assert_steady_state_allocation_bounded("tcp/median/gaussian", &counts);
+}

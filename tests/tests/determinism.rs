@@ -13,7 +13,7 @@ fn experiment(threaded: bool) -> Experiment {
         ..FigureConfig::default()
     })
     .expect("valid configuration");
-    exp.threaded = threaded;
+    exp.backend = if threaded { "threaded" } else { "sequential" }.into();
     exp
 }
 

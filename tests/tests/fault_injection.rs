@@ -49,7 +49,7 @@ fn threaded_equals_sequential_with_all_extensions() {
             factor: 1.05,
             max: 100,
         });
-        exp.threaded = threaded;
+        exp.backend = if threaded { "threaded" } else { "sequential" }.into();
         exp
     };
     for seed in [1u64, 13] {

@@ -32,11 +32,11 @@ fn run_spec_attack(gar: ComponentSpec, attack: ComponentSpec, f: usize) -> f64 {
         attack: Some(attack),
         budget: None,
         mechanism: MechanismKind::Gaussian.spec(),
-        threaded: false,
+        backend: "sequential".into(),
         dp_reference_g_max: None,
     };
     let sequential = exp.run(1).expect("runs");
-    exp.threaded = true;
+    exp.backend = "threaded".into();
     let threaded = exp.run(1).expect("threaded runs");
     assert_eq!(
         sequential,
@@ -78,7 +78,7 @@ fn run_gar_attack(gar: GarKind, attack: AttackKind, f: usize) -> f64 {
         attack: Some(attack.spec()),
         budget: None,
         mechanism: MechanismKind::Gaussian.spec(),
-        threaded: false,
+        backend: "sequential".into(),
         dp_reference_g_max: None,
     };
     exp.run(1).expect("runs").tail_loss(10)

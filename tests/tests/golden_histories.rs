@@ -14,43 +14,9 @@ use dpbyz_gars::{
     Bucketing, Bulyan, CenteredClipping, CoordinateMedian, Gar, Krum, Mda, MultiKrum,
 };
 use dpbyz_models::{LogisticRegression, LossKind};
-use dpbyz_server::{
-    MomentumMode, RunHistory, ThreadedTrainer, Trainer, TrainingConfig, TrainingConfigBuilder,
-};
+use dpbyz_server::{MomentumMode, ThreadedTrainer, Trainer, TrainingConfig, TrainingConfigBuilder};
 use dpbyz_tensor::Prng;
 use std::sync::Arc;
-
-/// FNV-1a over every recorded float's bit pattern — a full-history digest.
-fn digest(h: &RunHistory) -> u64 {
-    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bits: u64| {
-        for b in bits.to_le_bytes() {
-            acc ^= b as u64;
-            acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    eat(h.seed);
-    for x in &h.train_loss {
-        eat(x.to_bits());
-    }
-    for &(t, a) in &h.test_accuracy {
-        eat(t as u64);
-        eat(a.to_bits());
-    }
-    for x in &h.vn_submitted {
-        eat(x.to_bits());
-    }
-    for x in &h.vn_clean {
-        eat(x.to_bits());
-    }
-    for x in &h.grad_norm {
-        eat(x.to_bits());
-    }
-    for x in h.final_params.iter() {
-        eat(x.to_bits());
-    }
-    acc
-}
 
 struct CellSpec {
     name: &'static str,
@@ -241,13 +207,13 @@ fn refactored_engine_reproduces_pre_refactor_histories() {
         assert_eq!(spec.name, name);
         let seq = build_trainer(spec).run(3).unwrap();
         assert_eq!(
-            digest(&seq),
+            seq.digest(),
             expected,
             "{name}: sequential engine diverged from the recorded history"
         );
         let thr = ThreadedTrainer::from(build_trainer(spec)).run(3).unwrap();
         assert_eq!(
-            digest(&thr),
+            thr.digest(),
             expected,
             "{name}: threaded engine diverged from the recorded history"
         );

@@ -43,7 +43,7 @@ fn libsvm_roundtrip_preserves_training_behaviour() {
         attack: None,
         budget: None,
         mechanism: MechanismKind::Gaussian.spec(),
-        threaded: false,
+        backend: "sequential".into(),
         dp_reference_g_max: None,
     };
     let h = exp.run(1).expect("runs");

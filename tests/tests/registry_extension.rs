@@ -80,12 +80,12 @@ fn custom_gar_registers_and_runs_through_builder() {
 
     // Acceptance criterion: Trainer and ThreadedTrainer stay bit-identical
     // for the same seed with the custom component in the loop.
-    exp.threaded = true;
+    exp.backend = "threaded".into();
     let threaded = exp.run(7).expect("threaded run");
     assert_eq!(sequential, threaded);
 
     // Parameters reach the factory: a different blend changes the run.
-    exp.threaded = false;
+    exp.backend = "sequential".into();
     exp.gar = ComponentSpec::new("midrange-mix").with("blend", 0.75);
     let other = exp.run(7).expect("other blend runs");
     assert_ne!(sequential, other);
