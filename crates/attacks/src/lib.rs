@@ -85,6 +85,7 @@ impl<'a> AttackContext<'a> {
     ///
     /// Panics if no honest gradients are visible.
     pub fn honest_mean(&self) -> Vector {
+        // lint:allow(panic-unwrap, reason = "the engine invokes attacks only with a non-empty honest cohort (n > f is validated at configuration)")
         Vector::mean(self.observed()).expect("attack requires visible honest gradients")
     }
 
@@ -96,6 +97,7 @@ impl<'a> AttackContext<'a> {
     ///
     /// Panics if no honest gradients are visible.
     pub fn honest_mean_into(&self, out: &mut Vector) {
+        // lint:allow(panic-unwrap, reason = "the engine invokes attacks only with a non-empty honest cohort (n > f is validated at configuration)")
         Vector::mean_into(self.observed(), out).expect("attack requires visible honest gradients");
     }
 
@@ -106,7 +108,7 @@ impl<'a> AttackContext<'a> {
         if obs.len() < 2 {
             return Vector::zeros(obs.first().map_or(0, Vector::dim));
         }
-        stats::coordinate_std(obs).expect("validated input")
+        stats::coordinate_std(obs).expect("validated input") // lint:allow(panic-unwrap, reason = "the engine invokes attacks only with a non-empty honest cohort, so the std is defined")
     }
 }
 

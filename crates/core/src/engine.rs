@@ -104,14 +104,12 @@ impl EngineBackend for ThreadedBackend {
 
 fn built_in_backends() -> Registry<dyn EngineBackend> {
     let mut r = Registry::new();
-    r.register("sequential", |_| {
+    r.seed("sequential", |_| {
         Ok(Arc::new(SequentialBackend) as Arc<dyn EngineBackend>)
-    })
-    .expect("fresh registry");
-    r.register("threaded", |_| {
+    });
+    r.seed("threaded", |_| {
         Ok(Arc::new(ThreadedBackend) as Arc<dyn EngineBackend>)
-    })
-    .expect("fresh registry");
+    });
     r
 }
 
@@ -136,10 +134,7 @@ pub fn register_backend(
         + Sync
         + 'static,
 ) -> Result<(), RegistryError> {
-    backend_registry()
-        .write()
-        .expect("registry lock")
-        .register(id, factory)
+    crate::registry::write_guard(backend_registry()).register(id, factory)
 }
 
 /// Builds a backend from its spec.
@@ -153,10 +148,7 @@ pub fn register_backend(
 ///
 /// Panics if the registry lock is poisoned.
 pub fn build_backend(spec: &ComponentSpec) -> Result<Arc<dyn EngineBackend>, RegistryError> {
-    let factory = backend_registry()
-        .read()
-        .expect("registry lock")
-        .factory(&spec.id)?;
+    let factory = crate::registry::read_guard(backend_registry()).factory(&spec.id)?;
     factory(spec)
 }
 
@@ -166,7 +158,7 @@ pub fn build_backend(spec: &ComponentSpec) -> Result<Arc<dyn EngineBackend>, Reg
 ///
 /// Panics if the registry lock is poisoned.
 pub fn backend_ids() -> Vec<String> {
-    backend_registry().read().expect("registry lock").ids()
+    crate::registry::read_guard(backend_registry()).ids()
 }
 
 #[cfg(test)]

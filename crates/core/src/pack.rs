@@ -410,12 +410,9 @@ fn clipping_study_pack() -> ScenarioPack {
 
 fn built_in_packs() -> Registry<ScenarioPack> {
     let mut r = Registry::new();
-    r.register("paper-core", |_| Ok(Arc::new(paper_core_pack())))
-        .expect("fresh registry");
-    r.register("attack-zoo", |_| Ok(Arc::new(attack_zoo_pack())))
-        .expect("fresh registry");
-    r.register("clipping-study", |_| Ok(Arc::new(clipping_study_pack())))
-        .expect("fresh registry");
+    r.seed("paper-core", |_| Ok(Arc::new(paper_core_pack())));
+    r.seed("attack-zoo", |_| Ok(Arc::new(attack_zoo_pack())));
+    r.seed("clipping-study", |_| Ok(Arc::new(clipping_study_pack())));
     r
 }
 
@@ -456,10 +453,7 @@ pub fn register_scenario_pack_with(
     id: impl Into<String>,
     factory: impl Fn(&ComponentSpec) -> Result<Arc<ScenarioPack>, RegistryError> + Send + Sync + 'static,
 ) -> Result<(), RegistryError> {
-    pack_registry()
-        .write()
-        .expect("registry lock")
-        .register(id, factory)
+    crate::registry::write_guard(pack_registry()).register(id, factory)
 }
 
 /// Resolves a pack id through the global registry.
@@ -475,7 +469,7 @@ pub fn register_scenario_pack_with(
 pub fn scenario_pack(id: &str) -> Result<Arc<ScenarioPack>, RegistryError> {
     // Fetch under the lock, invoke outside it: pack factories read the
     // component registries (attack-zoo) or other packs.
-    let factory = pack_registry().read().expect("registry lock").factory(id)?;
+    let factory = crate::registry::read_guard(pack_registry()).factory(id)?;
     factory(&ComponentSpec::new(id))
 }
 
@@ -485,7 +479,7 @@ pub fn scenario_pack(id: &str) -> Result<Arc<ScenarioPack>, RegistryError> {
 ///
 /// Panics if the registry lock is poisoned.
 pub fn scenario_pack_ids() -> Vec<String> {
-    pack_registry().read().expect("registry lock").ids()
+    crate::registry::read_guard(pack_registry()).ids()
 }
 
 #[cfg(test)]

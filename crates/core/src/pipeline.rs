@@ -541,7 +541,7 @@ fn make_mean_estimation(dim: usize, sigma: f64, data_seed: u64) -> MeanEstimatio
     let mean: Vector = if norm > 0.0 {
         raw.scaled(1.0 / norm)
     } else {
-        Vector::basis(dim, 0).expect("dim >= 1")
+        Vector::basis(dim, 0).expect("dim >= 1") // lint:allow(panic-unwrap, reason = "dim >= 1 is validated by the experiment config before any instance is built")
     };
     MeanEstimation::new(mean, sigma)
 }

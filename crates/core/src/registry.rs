@@ -378,6 +378,39 @@ impl<T: ?Sized> Registry<T> {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// [`Registry::register`] for seeding built-ins into a registry under
+    /// construction. The built-in id set is a compile-time constant, so a
+    /// duplicate id is a programmer error, not a runtime condition — every
+    /// seeding site funnels through here so the policy (and its waiver)
+    /// lives in exactly one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn seed(
+        &mut self,
+        id: impl Into<String>,
+        factory: impl Fn(&ComponentSpec) -> Result<Arc<T>, RegistryError> + Send + Sync + 'static,
+    ) {
+        // lint:allow(panic-unwrap, reason = "seeding a fresh registry with compile-time-constant built-in ids; a duplicate is a programmer error every registry test catches immediately")
+        self.register(id, factory).expect("fresh registry");
+    }
+}
+
+/// Acquires the read side of a component-registry lock. Poisoning is
+/// fatal by design: these locks only guard id-map mutation, so a poisoned
+/// lock means another thread already panicked mid-registration, and every
+/// public caller documents the propagation under `# Panics`.
+pub(crate) fn read_guard<T: ?Sized>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    // lint:allow(panic-unwrap, reason = "lock poisoning means another thread already panicked; propagating is the documented registry policy")
+    lock.read().expect("registry lock")
+}
+
+/// The write-side counterpart of [`read_guard`], same poisoning policy.
+pub(crate) fn write_guard<T: ?Sized>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    // lint:allow(panic-unwrap, reason = "lock poisoning means another thread already panicked; propagating is the documented registry policy")
+    lock.write().expect("registry lock")
 }
 
 // ------------------------------------------------------------------------
@@ -443,35 +476,25 @@ fn mechanism_caps() -> &'static RwLock<BTreeMap<String, MechanismCapabilities>> 
 
 fn built_in_gars() -> Registry<dyn Gar> {
     let mut r = Registry::new();
-    r.register("average", |_| Ok(Arc::new(Average::new()) as Arc<dyn Gar>))
-        .expect("fresh registry");
-    r.register("krum", |_| Ok(Arc::new(Krum::new()) as Arc<dyn Gar>))
-        .expect("fresh registry");
-    r.register("multi-krum", |_| {
+    r.seed("average", |_| Ok(Arc::new(Average::new()) as Arc<dyn Gar>));
+    r.seed("krum", |_| Ok(Arc::new(Krum::new()) as Arc<dyn Gar>));
+    r.seed("multi-krum", |_| {
         Ok(Arc::new(MultiKrum::new()) as Arc<dyn Gar>)
-    })
-    .expect("fresh registry");
-    r.register("mda", |_| Ok(Arc::new(Mda::new()) as Arc<dyn Gar>))
-        .expect("fresh registry");
-    r.register("median", |_| {
+    });
+    r.seed("mda", |_| Ok(Arc::new(Mda::new()) as Arc<dyn Gar>));
+    r.seed("median", |_| {
         Ok(Arc::new(CoordinateMedian::new()) as Arc<dyn Gar>)
-    })
-    .expect("fresh registry");
-    r.register("trimmed-mean", |_| {
+    });
+    r.seed("trimmed-mean", |_| {
         Ok(Arc::new(TrimmedMean::new()) as Arc<dyn Gar>)
-    })
-    .expect("fresh registry");
-    r.register("meamed", |_| Ok(Arc::new(Meamed::new()) as Arc<dyn Gar>))
-        .expect("fresh registry");
-    r.register("phocas", |_| Ok(Arc::new(Phocas::new()) as Arc<dyn Gar>))
-        .expect("fresh registry");
-    r.register("bulyan", |_| Ok(Arc::new(Bulyan::new()) as Arc<dyn Gar>))
-        .expect("fresh registry");
-    r.register("geometric-median", |_| {
+    });
+    r.seed("meamed", |_| Ok(Arc::new(Meamed::new()) as Arc<dyn Gar>));
+    r.seed("phocas", |_| Ok(Arc::new(Phocas::new()) as Arc<dyn Gar>));
+    r.seed("bulyan", |_| Ok(Arc::new(Bulyan::new()) as Arc<dyn Gar>));
+    r.seed("geometric-median", |_| {
         Ok(Arc::new(GeometricMedian::new()) as Arc<dyn Gar>)
-    })
-    .expect("fresh registry");
-    r.register("centered-clipping", |spec| {
+    });
+    r.seed("centered-clipping", |spec| {
         let tau = spec.f64_or_reject("tau", 1.0)?;
         // NaN must take the Build-error path too, not the constructor's
         // assert.
@@ -483,9 +506,8 @@ fn built_in_gars() -> Registry<dyn Gar> {
         }
         let iters = spec.u64_or_reject("iters", 3)? as usize;
         Ok(Arc::new(CenteredClipping::new(tau, iters)) as Arc<dyn Gar>)
-    })
-    .expect("fresh registry");
-    r.register("bucketing", |spec| {
+    });
+    r.seed("bucketing", |spec| {
         let s = spec.u64_or_reject("s", 2)?;
         if s == 0 {
             return Err(RegistryError::Build {
@@ -510,24 +532,20 @@ fn built_in_gars() -> Registry<dyn Gar> {
             message: format!("inner rule failed to resolve: {e}"),
         })?;
         Ok(Arc::new(Bucketing::new(inner, s as usize)) as Arc<dyn Gar>)
-    })
-    .expect("fresh registry");
+    });
     r
 }
 
 fn built_in_attacks() -> Registry<dyn Attack> {
     let mut r = Registry::new();
-    r.register("alie", |spec| {
+    r.seed("alie", |spec| {
         Ok(Arc::new(LittleIsEnough::new(spec.f64_or_reject("nu", 1.5)?)) as Arc<dyn Attack>)
-    })
-    .expect("fresh registry");
-    r.register("foe", |spec| {
+    });
+    r.seed("foe", |spec| {
         Ok(Arc::new(FallOfEmpires::new(spec.f64_or_reject("nu", 1.1)?)) as Arc<dyn Attack>)
-    })
-    .expect("fresh registry");
-    r.register("sign-flip", |_| Ok(Arc::new(SignFlip) as Arc<dyn Attack>))
-        .expect("fresh registry");
-    r.register("random-noise", |spec| {
+    });
+    r.seed("sign-flip", |_| Ok(Arc::new(SignFlip) as Arc<dyn Attack>));
+    r.seed("random-noise", |spec| {
         let std = spec.f64_or_reject("std", 1.0)?;
         if std < 0.0 {
             return Err(RegistryError::Build {
@@ -536,28 +554,22 @@ fn built_in_attacks() -> Registry<dyn Attack> {
             });
         }
         Ok(Arc::new(RandomNoise::new(std)) as Arc<dyn Attack>)
-    })
-    .expect("fresh registry");
-    r.register("zero", |_| Ok(Arc::new(Zero) as Arc<dyn Attack>))
-        .expect("fresh registry");
-    r.register("large-norm", |spec| {
+    });
+    r.seed("zero", |_| Ok(Arc::new(Zero) as Arc<dyn Attack>));
+    r.seed("large-norm", |spec| {
         Ok(Arc::new(LargeNorm::new(spec.f64_or_reject("scale", 1e6)?)) as Arc<dyn Attack>)
-    })
-    .expect("fresh registry");
-    r.register("mimic", |spec| {
+    });
+    r.seed("mimic", |spec| {
         Ok(Arc::new(Mimic::new(spec.u64_or_reject("target", 0)? as usize)) as Arc<dyn Attack>)
-    })
-    .expect("fresh registry");
-    r.register("ipm", |spec| {
+    });
+    r.seed("ipm", |spec| {
         Ok(Arc::new(InnerProductManipulation::new(
             spec.f64_or_reject("epsilon", 0.1)?,
         )) as Arc<dyn Attack>)
-    })
-    .expect("fresh registry");
-    r.register("rescaling", |spec| {
+    });
+    r.seed("rescaling", |spec| {
         Ok(Arc::new(Rescaling::new(spec.f64_or_reject("norm", -1.0)?)) as Arc<dyn Attack>)
-    })
-    .expect("fresh registry");
+    });
     r
 }
 
@@ -581,9 +593,8 @@ fn built_in_mechanisms() -> Registry<dyn Mechanism> {
     }
 
     let mut r = Registry::new();
-    r.register("none", |_| Ok(Arc::new(NoNoise) as Arc<dyn Mechanism>))
-        .expect("fresh registry");
-    r.register("gaussian", |spec| {
+    r.seed("none", |_| Ok(Arc::new(NoNoise) as Arc<dyn Mechanism>));
+    r.seed("gaussian", |spec| {
         let id = "gaussian";
         let budget =
             PrivacyBudget::new(required(spec, id, "epsilon")?, required(spec, id, "delta")?)
@@ -595,9 +606,8 @@ fn built_in_mechanisms() -> Registry<dyn Mechanism> {
         let mech = GaussianMechanism::for_clipped_gradients(budget, g_max, batch as usize)
             .map_err(|e| build_err(id, e))?;
         Ok(Arc::new(mech) as Arc<dyn Mechanism>)
-    })
-    .expect("fresh registry");
-    r.register("laplace", |spec| {
+    });
+    r.seed("laplace", |spec| {
         let id = "laplace";
         let epsilon = required(spec, id, "epsilon")?;
         let g_max = required(spec, id, "g_max")?;
@@ -611,8 +621,7 @@ fn built_in_mechanisms() -> Registry<dyn Mechanism> {
             LaplaceMechanism::for_clipped_gradients(epsilon, g_max, batch as usize, dim as usize)
                 .map_err(|e| build_err(id, e))?;
         Ok(Arc::new(mech) as Arc<dyn Mechanism>)
-    })
-    .expect("fresh registry");
+    });
     r
 }
 
@@ -629,10 +638,7 @@ pub fn register_gar(
     id: impl Into<String>,
     factory: impl Fn(&ComponentSpec) -> Result<Arc<dyn Gar>, RegistryError> + Send + Sync + 'static,
 ) -> Result<(), RegistryError> {
-    gar_registry()
-        .write()
-        .expect("registry lock")
-        .register(id, factory)
+    write_guard(gar_registry()).register(id, factory)
 }
 
 /// Registers a Byzantine attack under a new id.
@@ -648,10 +654,7 @@ pub fn register_attack(
     id: impl Into<String>,
     factory: impl Fn(&ComponentSpec) -> Result<Arc<dyn Attack>, RegistryError> + Send + Sync + 'static,
 ) -> Result<(), RegistryError> {
-    attack_registry()
-        .write()
-        .expect("registry lock")
-        .register(id, factory)
+    write_guard(attack_registry()).register(id, factory)
 }
 
 /// Registers a noise mechanism under a new id, with default capabilities
@@ -698,14 +701,8 @@ pub fn register_mechanism_with(
         + 'static,
 ) -> Result<(), RegistryError> {
     let id = id.into();
-    mechanism_registry()
-        .write()
-        .expect("registry lock")
-        .register(id.clone(), factory)?;
-    mechanism_caps()
-        .write()
-        .expect("capability lock")
-        .insert(id, capabilities);
+    write_guard(mechanism_registry()).register(id.clone(), factory)?;
+    write_guard(mechanism_caps()).insert(id, capabilities);
     Ok(())
 }
 
@@ -716,9 +713,7 @@ pub fn register_mechanism_with(
 ///
 /// Panics if the capability lock is poisoned.
 pub fn mechanism_capabilities(id: &str) -> MechanismCapabilities {
-    mechanism_caps()
-        .read()
-        .expect("capability lock")
+    read_guard(mechanism_caps())
         .get(id)
         .copied()
         .unwrap_or_default()
@@ -736,10 +731,7 @@ pub fn mechanism_capabilities(id: &str) -> MechanismCapabilities {
 pub fn build_gar(spec: &ComponentSpec) -> Result<Arc<dyn Gar>, RegistryError> {
     // Fetch under the lock, invoke outside it: factories may recursively
     // resolve other ids (meta-rules like `bucketing`).
-    let factory = gar_registry()
-        .read()
-        .expect("registry lock")
-        .factory(&spec.id)?;
+    let factory = read_guard(gar_registry()).factory(&spec.id)?;
     factory(spec)
 }
 
@@ -753,10 +745,7 @@ pub fn build_gar(spec: &ComponentSpec) -> Result<Arc<dyn Gar>, RegistryError> {
 ///
 /// Panics if the registry lock is poisoned.
 pub fn build_attack(spec: &ComponentSpec) -> Result<Arc<dyn Attack>, RegistryError> {
-    let factory = attack_registry()
-        .read()
-        .expect("registry lock")
-        .factory(&spec.id)?;
+    let factory = read_guard(attack_registry()).factory(&spec.id)?;
     factory(spec)
 }
 
@@ -770,10 +759,7 @@ pub fn build_attack(spec: &ComponentSpec) -> Result<Arc<dyn Attack>, RegistryErr
 ///
 /// Panics if the registry lock is poisoned.
 pub fn build_mechanism(spec: &ComponentSpec) -> Result<Arc<dyn Mechanism>, RegistryError> {
-    let factory = mechanism_registry()
-        .read()
-        .expect("registry lock")
-        .factory(&spec.id)?;
+    let factory = read_guard(mechanism_registry()).factory(&spec.id)?;
     factory(spec)
 }
 
@@ -783,7 +769,7 @@ pub fn build_mechanism(spec: &ComponentSpec) -> Result<Arc<dyn Mechanism>, Regis
 ///
 /// Panics if the registry lock is poisoned.
 pub fn gar_ids() -> Vec<String> {
-    gar_registry().read().expect("registry lock").ids()
+    read_guard(gar_registry()).ids()
 }
 
 /// All registered attack ids.
@@ -792,7 +778,7 @@ pub fn gar_ids() -> Vec<String> {
 ///
 /// Panics if the registry lock is poisoned.
 pub fn attack_ids() -> Vec<String> {
-    attack_registry().read().expect("registry lock").ids()
+    read_guard(attack_registry()).ids()
 }
 
 /// All registered mechanism ids.
@@ -801,7 +787,7 @@ pub fn attack_ids() -> Vec<String> {
 ///
 /// Panics if the registry lock is poisoned.
 pub fn mechanism_ids() -> Vec<String> {
-    mechanism_registry().read().expect("registry lock").ids()
+    read_guard(mechanism_registry()).ids()
 }
 
 #[cfg(test)]

@@ -479,7 +479,7 @@ pub(crate) fn run_one_parallel(
         experiment: experiment.clone(),
     }];
     let mut grid = execute(&cells, seeds, pool_size, None, None)?;
-    Ok(grid.pop().expect("one cell in, one row out"))
+    Ok(grid.pop().expect("one cell in, one row out")) // lint:allow(panic-unwrap, reason = "one cell in, one row out: the grid passed above is a singleton")
 }
 
 fn default_pool_size() -> usize {
@@ -529,7 +529,7 @@ fn execute(
         for (slot, &seed) in seeds.iter().enumerate() {
             job_tx
                 .send(Job { cell, slot, seed })
-                .expect("job queue receiver alive");
+                .expect("job queue receiver alive"); // lint:allow(panic-unwrap, reason = "a send fails only when the worker pool hung up, which requires a worker panic; propagating is correct")
         }
     }
     drop(job_tx); // Workers drain the queue, then see the disconnect.
@@ -594,7 +594,7 @@ fn execute(
         let mut completed = 0;
         for _ in 0..total {
             let (cell, slot, seed, outcome) =
-                done_rx.recv().expect("a sweep worker thread panicked");
+                done_rx.recv().expect("a sweep worker thread panicked"); // lint:allow(panic-unwrap, reason = "a recv fails only when every worker vanished, which requires a worker panic; propagating is correct")
             match outcome {
                 JobOutcome::Done(history) => grid[cell][slot] = Some(history),
                 JobOutcome::Failed(error) => {
@@ -632,7 +632,7 @@ fn execute(
         .into_iter()
         .map(|row| {
             row.into_iter()
-                .map(|h| h.expect("every job completed"))
+                .map(|h| h.expect("every job completed")) // lint:allow(panic-unwrap, reason = "a vacant slot means a job never completed, which requires a worker panic; propagating is correct")
                 .collect()
         })
         .collect())

@@ -50,7 +50,10 @@ pub fn parse(text: &str, num_features: Option<usize>) -> Result<Dataset, DataErr
             continue;
         }
         let mut parts = line.split_whitespace();
-        let label_tok = parts.next().expect("non-empty line has a first token");
+        let label_tok = parts.next().ok_or_else(|| DataError::Parse {
+            line: lineno + 1,
+            message: "missing label token".into(),
+        })?;
         let label = parse_label(label_tok).ok_or_else(|| DataError::Parse {
             line: lineno + 1,
             message: format!("invalid label {label_tok:?}"),

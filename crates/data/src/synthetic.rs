@@ -81,7 +81,7 @@ pub fn phishing_like(rng: &mut Prng, n: usize) -> Dataset {
             features.set(i, j, q);
         }
     }
-    Dataset::new(features, labels).expect("lengths match by construction")
+    Dataset::new(features, labels).expect("lengths match by construction") // lint:allow(panic-unwrap, reason = "the generator builds feature and label arrays of identical length")
 }
 
 /// The full-size phishing stand-in (11 055 examples), pre-split into the
@@ -89,7 +89,7 @@ pub fn phishing_like(rng: &mut Prng, n: usize) -> Dataset {
 pub fn phishing_like_split(rng: &mut Prng) -> (Dataset, Dataset) {
     let ds = phishing_like(rng, PHISHING_SIZE);
     ds.split_at(PHISHING_TRAIN)
-        .expect("PHISHING_TRAIN < PHISHING_SIZE")
+        .expect("PHISHING_TRAIN < PHISHING_SIZE") // lint:allow(panic-unwrap, reason = "PHISHING_TRAIN < PHISHING_SIZE is a constant relationship checked by the dataset tests")
 }
 
 /// Two isotropic Gaussian blobs at `±(separation/2, 0, …, 0)`, labelled
@@ -111,7 +111,7 @@ pub fn gaussian_blobs(rng: &mut Prng, n: usize, dim: usize, separation: f64) -> 
         }
         labels.push(if y { 1.0 } else { 0.0 });
     }
-    Dataset::new(features, labels).expect("lengths match by construction")
+    Dataset::new(features, labels).expect("lengths match by construction") // lint:allow(panic-unwrap, reason = "the generator builds feature and label arrays of identical length")
 }
 
 /// Linear regression data `y = <w*, x> + N(0, noise²)` with `x ~ N(0, I)`.
@@ -129,7 +129,7 @@ pub fn linear_regression(rng: &mut Prng, n: usize, dim: usize, noise: f64) -> (D
         }
     }
     (
-        Dataset::new(features, labels).expect("lengths match by construction"),
+        Dataset::new(features, labels).expect("lengths match by construction"), // lint:allow(panic-unwrap, reason = "the generator builds feature and label arrays of identical length")
         w_star,
     )
 }

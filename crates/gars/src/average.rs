@@ -37,6 +37,7 @@ impl Gar for Average {
         _scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         check_input(gradients)?;
         if f > 0 {
             return Err(GarError::TooManyByzantine {
@@ -45,8 +46,9 @@ impl Gar for Average {
                 max: 0,
             });
         }
-        Vector::mean_into(gradients, out).expect("checked non-empty");
+        Vector::mean_into(gradients, out).expect("checked non-empty"); // lint:allow(panic-unwrap, reason = "check_input validated a non-empty cohort above")
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, _n: usize, _f: usize) -> Option<f64> {

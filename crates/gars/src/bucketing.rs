@@ -99,6 +99,7 @@ impl Gar for Bucketing {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         check_input(gradients)?;
         let n = gradients.len();
         let b = self.n_buckets(n);
@@ -112,6 +113,7 @@ impl Gar for Bucketing {
         }
         for (i, bucket) in scratch.buckets.iter_mut().take(b).enumerate() {
             let chunk = &gradients[i * self.s..((i + 1) * self.s).min(n)];
+            // lint:allow(panic-unwrap, reason = "chunks(s) with s >= 1 never yields an empty chunk")
             Vector::mean_into(chunk, bucket).expect("validated non-empty chunk");
         }
 
@@ -136,6 +138,7 @@ impl Gar for Bucketing {
             },
             other => other,
         })
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

@@ -52,6 +52,7 @@ impl Gar for Bulyan {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
@@ -96,10 +97,12 @@ impl Gar for Bulyan {
             for (i, &g) in selected.iter().enumerate() {
                 col[i] = gradients[g][j];
             }
-            let med = stats::median_with(col, sort_buf).expect("theta >= 1");
+            let med = stats::median_with(col, sort_buf).expect("theta >= 1"); // lint:allow(panic-unwrap, reason = "theta >= 1 is enforced by the tolerance check above")
+                                                                              // lint:allow(panic-unwrap, reason = "beta <= theta by construction from the same tolerance check")
             out[j] = stats::mean_around_with(col, med, beta, sort_buf).expect("beta <= theta");
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

@@ -105,6 +105,7 @@ impl Gar for CenteredClipping {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
@@ -124,7 +125,7 @@ impl Gar for CenteredClipping {
                 for (i, g) in gradients.iter().enumerate() {
                     col[i] = g[j];
                 }
-                out[j] = stats::median_with(col, sort_buf).expect("n >= 1");
+                out[j] = stats::median_with(col, sort_buf).expect("n >= 1"); // lint:allow(panic-unwrap, reason = "check_input validated a non-empty cohort above")
             }
         }
 
@@ -151,6 +152,7 @@ impl Gar for CenteredClipping {
             }
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, _n: usize, _f: usize) -> Option<f64> {

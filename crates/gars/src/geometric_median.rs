@@ -88,11 +88,12 @@ impl Gar for GeometricMedian {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         check_input(gradients)?;
         check_tolerance(gradients.len(), f)?;
         // Start from the coordinate-wise mean; iterate to fixed point,
         // ping-ponging between `out` and one scratch buffer.
-        Vector::mean_into(gradients, out).expect("validated input");
+        Vector::mean_into(gradients, out).expect("validated input"); // lint:allow(panic-unwrap, reason = "check_input validated a non-empty cohort above")
         let next = &mut scratch.vec_a;
         for _ in 0..MAX_ITERS {
             weiszfeld_step_into(gradients, out, next);
@@ -103,6 +104,7 @@ impl Gar for GeometricMedian {
             }
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, _n: usize, _f: usize) -> Option<f64> {

@@ -28,7 +28,7 @@ pub(crate) fn canonical_argmin_indexed(
 ) -> usize {
     let mut best = 0;
     for i in 1..scores.len() {
-        let ord = scores[i].partial_cmp(&scores[best]).expect("finite scores");
+        let ord = scores[i].partial_cmp(&scores[best]).expect("finite scores"); // lint:allow(panic-unwrap, reason = "scores are sums of squared distances of finite gradients; NaN is excluded by the kernel contract")
         if ord == std::cmp::Ordering::Less
             || (ord == std::cmp::Ordering::Equal
                 && lex_less(&gradients[members[i]], &gradients[members[best]]))
@@ -114,6 +114,7 @@ impl Gar for Krum {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         check_input(gradients)?;
         check_tolerance(gradients.len(), f)?;
         scratch.set_active_full(gradients.len());
@@ -121,6 +122,7 @@ impl Gar for Krum {
         let best = canonical_argmin_indexed(&scratch.scores, gradients, &scratch.active);
         out.copy_from(&gradients[scratch.active[best]]);
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {
@@ -165,6 +167,7 @@ impl Gar for MultiKrum {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         check_input(gradients)?;
         check_tolerance(gradients.len(), f)?;
         let n = gradients.len();
@@ -181,7 +184,7 @@ impl Gar for MultiKrum {
         order.sort_by(|&a, &b| {
             scores[a]
                 .partial_cmp(&scores[b])
-                .expect("finite scores")
+                .expect("finite scores") // lint:allow(panic-unwrap, reason = "scores are sums of squared distances of finite gradients; NaN is excluded by the kernel contract")
                 .then_with(|| {
                     if lex_less(&gradients[a], &gradients[b]) {
                         std::cmp::Ordering::Less
@@ -194,6 +197,7 @@ impl Gar for MultiKrum {
         });
         mean_indexed_into(gradients, &order[..m], out);
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

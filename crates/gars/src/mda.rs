@@ -189,7 +189,7 @@ fn greedy_min_diameter_mean(
         order.sort_by(|&a, &b| {
             dist2[anchor * n + a]
                 .partial_cmp(&dist2[anchor * n + b])
-                .expect("finite distances")
+                .expect("finite distances") // lint:allow(panic-unwrap, reason = "pairwise distances of finite gradients; NaN is excluded by the kernel contract")
                 .then_with(|| {
                     if lex_less(&gradients[a], &gradients[b]) {
                         std::cmp::Ordering::Less
@@ -240,6 +240,7 @@ impl Gar for Mda {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
@@ -262,6 +263,7 @@ impl Gar for Mda {
             greedy_min_diameter_mean(gradients, dist2, n, m, order, vec_a, out);
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

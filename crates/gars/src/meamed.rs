@@ -46,6 +46,7 @@ impl Gar for Meamed {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
@@ -62,10 +63,12 @@ impl Gar for Meamed {
             for (i, g) in gradients.iter().enumerate() {
                 col[i] = g[j];
             }
-            let med = stats::median_with(col, sort_buf).expect("n >= 1");
+            let med = stats::median_with(col, sort_buf).expect("n >= 1"); // lint:allow(panic-unwrap, reason = "check_input validated a non-empty cohort above")
+                                                                          // lint:allow(panic-unwrap, reason = "keep = n - f <= n by construction")
             out[j] = stats::mean_around_with(col, med, keep, sort_buf).expect("keep <= n");
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

@@ -45,6 +45,7 @@ impl Gar for CoordinateMedian {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
@@ -60,9 +61,10 @@ impl Gar for CoordinateMedian {
             for (i, g) in gradients.iter().enumerate() {
                 col[i] = g[j];
             }
-            out[j] = stats::median_with(col, sort_buf).expect("n >= 1");
+            out[j] = stats::median_with(col, sort_buf).expect("n >= 1"); // lint:allow(panic-unwrap, reason = "check_input validated a non-empty cohort above")
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

@@ -47,6 +47,7 @@ impl Gar for Phocas {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
@@ -63,10 +64,12 @@ impl Gar for Phocas {
             for (i, g) in gradients.iter().enumerate() {
                 col[i] = g[j];
             }
-            let tm = stats::trimmed_mean_with(col, f, sort_buf).expect("2f < n");
+            let tm = stats::trimmed_mean_with(col, f, sort_buf).expect("2f < n"); // lint:allow(panic-unwrap, reason = "2f < n is enforced by the tolerance check above")
+                                                                                  // lint:allow(panic-unwrap, reason = "keep = n - 2f <= n by construction")
             out[j] = stats::mean_around_with(col, tm, keep, sort_buf).expect("keep <= n");
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

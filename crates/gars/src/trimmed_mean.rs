@@ -46,6 +46,7 @@ impl Gar for TrimmedMean {
         scratch: &mut GarScratch,
         out: &mut Vector,
     ) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         let dim = check_input(gradients)?;
         let n = gradients.len();
         check_tolerance(n, f)?;
@@ -61,9 +62,11 @@ impl Gar for TrimmedMean {
             for (i, g) in gradients.iter().enumerate() {
                 col[i] = g[j];
             }
+            // lint:allow(panic-unwrap, reason = "2f < n is enforced by the tolerance check above")
             out[j] = stats::trimmed_mean_with(col, f, sort_buf).expect("2f < n");
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     fn kappa(&self, n: usize, f: usize) -> Option<f64> {

@@ -68,7 +68,7 @@ pub fn estimate_with(
             });
         }
     }
-    Vector::mean_into(honest_gradients, mean).expect("validated input");
+    Vector::mean_into(honest_gradients, mean).expect("validated input"); // lint:allow(panic-unwrap, reason = "the caller validated a non-empty honest cohort")
     let ss: f64 = honest_gradients
         .iter()
         .map(|v| v.l2_distance_squared(mean))

@@ -1,0 +1,10 @@
+//! A waiver without a reason is itself a violation and suppresses
+//! nothing.
+
+// lint:allow(panic-unwrap)
+pub fn boom(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// lint:allow(lint-marker, reason = "attempting to waive the waiver checker")
+pub fn probe() -> u32 { 1 } // lint:oops

@@ -1,0 +1,6 @@
+//! Registry fixture, first registration site.
+
+pub fn install(r: &mut Registry) {
+    r.register_gar("krum-fixture", make_krum);
+    r.register_gar("median-fixture", make_median);
+}

@@ -1,0 +1,5 @@
+//! Registry fixture, duplicate registration site.
+
+pub fn install_again(r: &mut Registry) {
+    r.register_gar("krum-fixture", make_krum);
+}

@@ -1,0 +1,12 @@
+//! Zero-copy fixture: allocation is legal outside the marked region and
+//! a violation inside it.
+
+pub fn aggregate_into(inputs: &[Vec<f64>], out: &mut Vec<f64>) {
+    let staged = inputs.to_vec();
+    // lint:begin(zero-copy)
+    let copied = staged.clone();
+    let mut scratch = Vec::new();
+    scratch.extend(copied.iter().flatten().copied());
+    // lint:end(zero-copy)
+    out.extend(scratch);
+}

@@ -1,0 +1,12 @@
+//! Hostile-input fixture: the pre-fix gradient decode, which trusted the
+//! peer-supplied payload length. A one-byte-short frame panics the
+//! coordinator. The analyzer must flag every unchecked access.
+
+pub fn decode_grad(payload: &[u8]) -> (f64, u32) {
+    let loss = f64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let sub_len = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+    if sub_len == 0 {
+        panic!("empty inner frame");
+    }
+    (loss, sub_len)
+}

@@ -1,0 +1,23 @@
+//! Determinism fixture: every banned construct below must be flagged.
+
+pub fn wall_clock_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+pub fn boot_time() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}
+
+pub fn ambient_draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m = std::collections::HashMap::new();
+    for &x in xs {
+        m.insert(x, ());
+    }
+    m.len()
+}

@@ -1,0 +1,441 @@
+//! A hand-rolled Rust tokenizer — just enough lexical structure for the
+//! invariant rules, with exact line/column spans.
+//!
+//! The build environment is offline, so `syn` (and a real parse tree) is
+//! off the table; the rules in [`crate::rules`] are deliberately designed
+//! to need only a faithful token stream: comments (for `// lint:`
+//! directives), string literals (for component ids), identifiers, and
+//! single-character punctuation. The lexer understands everything that
+//! could *confuse* a token matcher — nested block comments, raw strings
+//! with hash fences, byte strings, char literals vs lifetimes — so a rule
+//! never fires on the inside of a string or a doc comment.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`) — `text`
+    /// holds the *unquoted* content for plain strings, the raw content
+    /// for raw strings.
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// One punctuation character (`.`, `:`, `[`, …). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct,
+    /// `// …` comment, doc comments included; `text` holds the content
+    /// after the slashes.
+    LineComment,
+    /// `/* … */` comment (nested allowed); `text` holds the content.
+    BlockComment,
+}
+
+/// One lexed token with its position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// True for comment tokens (which carry directives but are not code).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// True when this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not continuation bytes, so columns are
+            // meaningful in files with non-ASCII comments.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`, comments included. The lexer is total: any byte
+/// sequence produces a token stream (unterminated literals simply run to
+/// end of file) — an analyzer must never crash on the code it audits.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos + 2;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                out.push(token(src, TokKind::LineComment, start, cur.pos, line, col));
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    match cur.peek() {
+                        None => {
+                            end = cur.pos;
+                            break;
+                        }
+                        Some(b'/') if cur.peek_at(1) == Some(b'*') => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        Some(b'*') if cur.peek_at(1) == Some(b'/') => {
+                            depth -= 1;
+                            end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        Some(_) => {
+                            cur.bump();
+                        }
+                    }
+                }
+                out.push(token(src, TokKind::BlockComment, start, end, line, col));
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                lex_raw_or_byte_string(src, &mut cur, &mut out, line, col);
+            }
+            b'"' => {
+                cur.bump();
+                let start = cur.pos;
+                let end = consume_string_body(&mut cur);
+                out.push(token(src, TokKind::Str, start, end, line, col));
+            }
+            b'\'' => {
+                lex_quote(src, &mut cur, &mut out, line, col);
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.push(token(src, TokKind::Ident, start, cur.pos, line, col));
+            }
+            _ if b.is_ascii_digit() => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    // Digits/`_`/exponent letters, plus a `.` leading more
+                    // digits (`1.5`, not the range in `0..8`).
+                    if is_ident_continue(c)
+                        || (c == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()))
+                    {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(token(src, TokKind::Number, start, cur.pos, line, col));
+            }
+            _ => {
+                let start = cur.pos;
+                cur.bump();
+                out.push(token(src, TokKind::Punct, start, cur.pos, line, col));
+            }
+        }
+    }
+    out
+}
+
+fn token(src: &str, kind: TokKind, start: usize, end: usize, line: usize, col: usize) -> Token {
+    Token {
+        kind,
+        text: src.get(start..end).unwrap_or_default().to_string(),
+        line,
+        col,
+    }
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `b"…"` all start a string; `r` or `b`
+/// followed by anything else is an identifier.
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let mut i = 0;
+    if cur.peek_at(i) == Some(b'b') {
+        i += 1;
+    }
+    if cur.peek_at(i) == Some(b'r') {
+        i += 1;
+        while cur.peek_at(i) == Some(b'#') {
+            i += 1;
+        }
+        return cur.peek_at(i) == Some(b'"');
+    }
+    i == 1 && cur.peek_at(i) == Some(b'"')
+}
+
+fn lex_raw_or_byte_string(
+    src: &str,
+    cur: &mut Cursor<'_>,
+    out: &mut Vec<Token>,
+    line: usize,
+    col: usize,
+) {
+    let raw = {
+        // Consume the prefix: `b`, `r`, or `br`, plus hash fence.
+        let mut raw = false;
+        if cur.peek() == Some(b'b') {
+            cur.bump();
+        }
+        if cur.peek() == Some(b'r') {
+            cur.bump();
+            raw = true;
+        }
+        raw
+    };
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    // The `"` itself.
+    cur.bump();
+    let start = cur.pos;
+    let end = if raw {
+        // Scan for `"` followed by `hashes` hash characters.
+        loop {
+            match cur.peek() {
+                None => break cur.pos,
+                Some(b'"') => {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if cur.peek_at(1 + k) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let end = cur.pos;
+                        cur.bump();
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break end;
+                    }
+                    cur.bump();
+                }
+                Some(_) => {
+                    cur.bump();
+                }
+            }
+        }
+    } else {
+        consume_string_body(cur)
+    };
+    out.push(token(src, TokKind::Str, start, end, line, col));
+}
+
+/// Consumes an escaped string body up to (and through) the closing quote,
+/// returning the byte offset of that quote.
+fn consume_string_body(cur: &mut Cursor<'_>) -> usize {
+    loop {
+        match cur.peek() {
+            None => return cur.pos,
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'"') => {
+                let end = cur.pos;
+                cur.bump();
+                return end;
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// A `'` starts either a char literal or a lifetime.
+fn lex_quote(src: &str, cur: &mut Cursor<'_>, out: &mut Vec<Token>, line: usize, col: usize) {
+    // Lifetime: 'ident NOT followed by a closing quote.
+    if cur.peek_at(1).is_some_and(is_ident_start) {
+        let mut i = 2;
+        while cur.peek_at(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if cur.peek_at(i) != Some(b'\'') {
+            cur.bump(); // '
+            let start = cur.pos;
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            out.push(token(src, TokKind::Lifetime, start, cur.pos, line, col));
+            return;
+        }
+    }
+    // Char literal: '<escape-or-char>'.
+    cur.bump(); // opening '
+    let start = cur.pos;
+    if cur.peek() == Some(b'\\') {
+        cur.bump();
+        cur.bump();
+    } else {
+        cur.bump();
+    }
+    let end = cur.pos;
+    if cur.peek() == Some(b'\'') {
+        cur.bump();
+    }
+    out.push(token(src, TokKind::Char, start, end, line, col));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Number, "42".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_carry_content() {
+        let toks = lex("a // lint:allow(x, reason = \"y\")\n/* block */ b");
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[1].text, " lint:allow(x, reason = \"y\")");
+        assert_eq!(toks[2].kind, TokKind::BlockComment);
+        assert_eq!(toks[2].text, " block ");
+        assert!(toks[3].is_ident("b"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ tail */ x");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        // `unwrap` inside a string must NOT surface as an identifier.
+        let toks = lex(r#"let s = "a.unwrap() \" quote";"#);
+        assert_eq!(toks.iter().filter(|t| t.is_ident("unwrap")).count(), 0);
+        assert_eq!(toks[3].kind, TokKind::Str);
+        assert_eq!(toks[3].text, "a.unwrap() \\\" quote");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = lex(r###"let s = r#"embedded "quote" and // not a comment"#;"###);
+        assert_eq!(toks[3].kind, TokKind::Str);
+        assert!(toks[3].text.contains("not a comment"));
+        assert!(toks[4].is_punct(';'));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_and_column_spans() {
+        let toks = lex("ab\n  cd.unwrap()");
+        let cd = toks
+            .iter()
+            .find(|t| t.is_ident("cd"))
+            .map(|t| (t.line, t.col));
+        assert_eq!(cd, Some((2, 3)));
+        let uw = toks
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .map(|t| (t.line, t.col));
+        assert_eq!(uw, Some((2, 6)));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let toks = lex(r#"let b = b"xy"; let r = br"zw";"#);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        assert!(!lex("let s = \"open").is_empty());
+        assert!(!lex("/* open").is_empty());
+        assert!(!lex("let s = r#\"open").is_empty());
+    }
+}

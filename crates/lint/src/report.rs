@@ -1,0 +1,127 @@
+//! Rendering: the human-readable finding list and the `--json` report
+//! (hand-rolled emitter — the analyzer is dependency-free by design).
+
+use crate::engine::Analysis;
+use crate::rules;
+use std::fmt::Write as _;
+
+/// `path:line:col: [rule] message` per finding, plus a summary line.
+pub fn human(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &analysis.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}] {}",
+            f.file, f.line, f.col, f.rule, f.message
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} file(s) scanned, {} violation(s), {} waived",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.waived
+    );
+    out
+}
+
+/// The machine-readable report CI archives as an artifact.
+pub fn json(analysis: &Analysis) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            escape(&f.rule),
+            escape(&f.file),
+            f.line,
+            f.col,
+            escape(&f.message)
+        );
+    }
+    if !analysis.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"summary\": {{\"files_scanned\": {}, \"violations\": {}, \"waived\": {}}}\n}}\n",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.waived
+    );
+    out
+}
+
+/// The `--list-rules` table.
+pub fn rule_list() -> String {
+    let mut out = String::new();
+    for rule in rules::ALL_RULES {
+        let _ = writeln!(out, "{rule:<26} {}", rules::rule_summary(rule));
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    fn one_finding() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                rule: "panic-unwrap".into(),
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 9,
+                message: "a \"quoted\" message".into(),
+            }],
+            waived: 2,
+            files_scanned: 5,
+        }
+    }
+
+    #[test]
+    fn human_format() {
+        let text = human(&one_finding());
+        assert!(text.contains("crates/x/src/lib.rs:3:9: [panic-unwrap] a \"quoted\" message"));
+        assert!(text.contains("5 file(s) scanned, 1 violation(s), 2 waived"));
+    }
+
+    #[test]
+    fn json_escapes_and_summarizes() {
+        let text = json(&one_finding());
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\"violations\": 1"));
+        assert!(text.contains("\"waived\": 2"));
+        assert!(text.contains("\"files_scanned\": 5"));
+    }
+
+    #[test]
+    fn rule_list_covers_all_rules() {
+        let text = rule_list();
+        for rule in rules::ALL_RULES {
+            assert!(text.contains(rule), "{rule} missing from --list-rules");
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Per-file analysis context: the token stream plus everything the rules
+//! need to interpret it — which tokens are test code, which lines sit in
+//! a `// lint:begin(..)` region, and which findings are waived by a
+//! `// lint:allow(..)` directive.
+//!
+//! ## Directive grammar
+//!
+//! Directives live in ordinary comments, anywhere a comment is legal:
+//!
+//! ```text
+//! // lint:allow(<rule-id>, reason = "<non-empty justification>")
+//! // lint:begin(<region-name>)
+//! // lint:end(<region-name>)
+//! ```
+//!
+//! A trailing `allow` (code before it on the same line) waives findings
+//! of that rule on its own line; a standalone `allow` waives the next
+//! line that carries code. A waiver without a reason is itself a
+//! violation (`lint-marker`) — the whole point of the waiver registry is
+//! that every exception is justified in place.
+
+use crate::lexer::{lex, Token};
+use crate::Finding;
+
+/// An inline exception: rule + mandatory justification.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id the waiver suppresses.
+    pub rule: String,
+    /// The justification text (non-empty by construction).
+    pub reason: String,
+    /// Line the directive sits on.
+    pub line: usize,
+    /// Line whose findings it suppresses.
+    pub target_line: usize,
+}
+
+/// A named `lint:begin`/`lint:end` line range (markers exclusive).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region name (e.g. `zero-copy`).
+    pub name: String,
+    /// Line of the `begin` marker.
+    pub start_line: usize,
+    /// Line of the `end` marker.
+    pub end_line: usize,
+}
+
+/// One tokenized source file with its directive state resolved.
+pub struct SourceFile {
+    /// Path relative to the workspace root, forward slashes.
+    pub rel_path: String,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Parallel to `tokens`: true for tokens inside `#[cfg(test)]` items
+    /// or `#[test]` functions.
+    pub in_test: Vec<bool>,
+    /// All parsed waivers.
+    pub waivers: Vec<Waiver>,
+    /// All closed regions.
+    pub regions: Vec<Region>,
+    /// Malformed/unbalanced directives (surfaced as `lint-marker`
+    /// findings — never waivable).
+    pub directive_errors: Vec<Finding>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and resolves directives. `known_rules` and
+    /// `known_regions` validate directive arguments so a typo'd waiver
+    /// cannot silently suppress nothing.
+    pub fn parse(rel_path: &str, src: &str, known_rules: &[&str], known_regions: &[&str]) -> Self {
+        let tokens = lex(src);
+        let in_test = test_mask(&tokens);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens,
+            in_test,
+            waivers: Vec::new(),
+            regions: Vec::new(),
+            directive_errors: Vec::new(),
+        };
+        file.resolve_directives(known_rules, known_regions);
+        file
+    }
+
+    /// True when `line` falls strictly inside a region named `name`.
+    pub fn in_region(&self, name: &str, line: usize) -> bool {
+        self.regions
+            .iter()
+            .any(|r| r.name == name && r.start_line < line && line < r.end_line)
+    }
+
+    fn error(&mut self, line: usize, col: usize, message: String) {
+        self.directive_errors.push(Finding {
+            rule: crate::rules::RULE_MARKER.to_string(),
+            file: self.rel_path.clone(),
+            line,
+            col,
+            message,
+        });
+    }
+
+    fn resolve_directives(&mut self, known_rules: &[&str], known_regions: &[&str]) {
+        // (name, begin-line) stack of currently open regions.
+        let mut open: Vec<(String, usize)> = Vec::new();
+        for i in 0..self.tokens.len() {
+            if !self.tokens[i].is_comment() {
+                continue;
+            }
+            let text = self.tokens[i].text.clone();
+            let (line, col) = (self.tokens[i].line, self.tokens[i].col);
+            // A directive must START the comment (`// lint:…`). Doc
+            // comments and prose that merely *mention* `lint:` (like this
+            // one) are not directives.
+            let Some(rest) = text.trim_start().strip_prefix("lint:") else {
+                continue;
+            };
+            let directive = rest.trim();
+            if let Some(args) = strip_call(directive, "allow") {
+                match parse_allow(args) {
+                    Ok((rule, reason)) => {
+                        if !known_rules.contains(&rule.as_str()) {
+                            self.error(
+                                line,
+                                col,
+                                format!(
+                                    "waiver names unknown rule `{rule}` (known: {})",
+                                    known_rules.join(", ")
+                                ),
+                            );
+                        } else {
+                            let target_line = self.waiver_target(i, line);
+                            self.waivers.push(Waiver {
+                                rule,
+                                reason,
+                                line,
+                                target_line,
+                            });
+                        }
+                    }
+                    Err(why) => self.error(
+                        line,
+                        col,
+                        format!("malformed waiver `lint:{directive}`: {why}"),
+                    ),
+                }
+            } else if let Some(name) = strip_call(directive, "begin") {
+                let name = name.trim();
+                if !known_regions.contains(&name) {
+                    self.error(
+                        line,
+                        col,
+                        format!(
+                            "region marker names unknown region `{name}` (known: {})",
+                            known_regions.join(", ")
+                        ),
+                    );
+                } else {
+                    open.push((name.to_string(), line));
+                }
+            } else if let Some(name) = strip_call(directive, "end") {
+                let name = name.trim();
+                match open.iter().rposition(|(n, _)| n == name) {
+                    Some(pos) => {
+                        let (n, start_line) = open.remove(pos);
+                        self.regions.push(Region {
+                            name: n,
+                            start_line,
+                            end_line: line,
+                        });
+                    }
+                    None => self.error(
+                        line,
+                        col,
+                        format!("lint:end({name}) without a matching lint:begin"),
+                    ),
+                }
+            } else {
+                self.error(
+                    line,
+                    col,
+                    format!(
+                        "unrecognized lint directive `lint:{directive}` \
+                         (expected allow/begin/end)"
+                    ),
+                );
+            }
+        }
+        for (name, start_line) in open {
+            self.error(
+                start_line,
+                1,
+                format!("lint:begin({name}) never closed by lint:end"),
+            );
+        }
+    }
+
+    /// A trailing waiver targets its own line; a standalone one targets
+    /// the next line carrying a code token.
+    fn waiver_target(&self, comment_idx: usize, line: usize) -> usize {
+        let trailing = self.tokens[..comment_idx]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == line)
+            .any(|t| !t.is_comment());
+        if trailing {
+            return line;
+        }
+        self.tokens[comment_idx + 1..]
+            .iter()
+            .find(|t| !t.is_comment())
+            .map(|t| t.line)
+            .unwrap_or(line)
+    }
+}
+
+/// `strip_call("allow(x, y)", "allow")` → `Some("x, y")`.
+fn strip_call<'a>(s: &'a str, name: &str) -> Option<&'a str> {
+    let rest = s.strip_prefix(name)?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.rfind(')')?;
+    inner.get(..close)
+}
+
+/// Parses `<rule>, reason = "<text>"`, rejecting empty reasons.
+fn parse_allow(args: &str) -> Result<(String, String), &'static str> {
+    let (rule, rest) = args.split_once(',').ok_or("missing `, reason = \"..\"`")?;
+    let rule = rule.trim().to_string();
+    if rule.is_empty() {
+        return Err("empty rule id");
+    }
+    let rest = rest.trim();
+    let value = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+        .ok_or("missing `reason = \"..\"`")?;
+    let quoted = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or("reason must be a quoted string")?;
+    if quoted.trim().is_empty() {
+        return Err("reason must not be empty");
+    }
+    Ok((rule, quoted.to_string()))
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item or a `#[test]`
+/// function. Heuristic but conservative: an attribute whose argument
+/// list contains the identifier `test` gates the item that follows it,
+/// through the item's matching close brace (or terminating semicolon).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut k = 0;
+    while k < code.len() {
+        if !is_test_attr_start(tokens, &code, k) {
+            k += 1;
+            continue;
+        }
+        let attr_start = k;
+        // Consume this attribute and any further attributes (test-gated
+        // or not) so `#[cfg(test)] #[derive(..)] struct X;` is one item.
+        while at_attr(tokens, &code, k) {
+            k = skip_attr(tokens, &code, k);
+        }
+        // Find the item's extent: first `{` at depth 0 opens the body
+        // (skip to matching `}`); a `;` first means a body-less item.
+        let mut depth = 0i32;
+        while k < code.len() {
+            let t = &tokens[code[k]];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth <= 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            k += 1;
+        }
+        let end = k.min(code.len().saturating_sub(1));
+        for &idx in code.get(attr_start..=end).unwrap_or(&[]) {
+            mask[idx] = true;
+        }
+        k += 1;
+    }
+    mask
+}
+
+/// Is code position `k` the `#` of an attribute?
+fn at_attr(tokens: &[Token], code: &[usize], k: usize) -> bool {
+    let p = |off: usize| code.get(k + off).map(|&i| &tokens[i]);
+    match (p(0), p(1), p(2)) {
+        (Some(a), Some(b), _) if a.is_punct('#') && b.is_punct('[') => true,
+        (Some(a), Some(b), Some(c)) => a.is_punct('#') && b.is_punct('!') && c.is_punct('['),
+        _ => false,
+    }
+}
+
+/// Is code position `k` an attribute whose bracket content mentions the
+/// identifier `test` (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]`)?
+fn is_test_attr_start(tokens: &[Token], code: &[usize], k: usize) -> bool {
+    if !at_attr(tokens, code, k) {
+        return false;
+    }
+    let end = skip_attr(tokens, code, k);
+    code.get(k..end)
+        .unwrap_or(&[])
+        .iter()
+        .any(|&i| tokens[i].is_ident("test"))
+}
+
+/// Returns the code position just past the attribute starting at `k`.
+fn skip_attr(tokens: &[Token], code: &[usize], k: usize) -> usize {
+    // Move to the opening `[`.
+    let mut j = k;
+    while j < code.len() && !tokens[code[j]].is_punct('[') {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::TokKind;
+
+    const RULES: &[&str] = &["panic-unwrap", "zero-copy-alloc"];
+    const REGIONS: &[&str] = &["zero-copy"];
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", src, RULES, REGIONS)
+    }
+
+    #[test]
+    fn trailing_waiver_targets_own_line() {
+        let f = parse("let x = a.unwrap(); // lint:allow(panic-unwrap, reason = \"test double\")");
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].target_line, 1);
+        assert_eq!(f.waivers[0].reason, "test double");
+        assert!(f.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let f = parse(
+            "// lint:allow(panic-unwrap, reason = \"startup only\")\n// another comment\nlet x = a.unwrap();",
+        );
+        assert_eq!(f.waivers[0].target_line, 3);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_rejected() {
+        let f = parse("// lint:allow(panic-unwrap)\nlet x = 1;");
+        assert!(f.waivers.is_empty());
+        assert_eq!(f.directive_errors.len(), 1);
+        assert!(f.directive_errors[0].message.contains("malformed waiver"));
+    }
+
+    #[test]
+    fn waiver_with_empty_reason_is_rejected() {
+        let f = parse("// lint:allow(panic-unwrap, reason = \"  \")\nlet x = 1;");
+        assert!(f.waivers.is_empty());
+        assert_eq!(f.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_rejected() {
+        let f = parse("// lint:allow(no-such-rule, reason = \"hm\")\nlet x = 1;");
+        assert!(f.waivers.is_empty());
+        assert!(f.directive_errors[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn regions_resolve_and_nest() {
+        let f =
+            parse("fn a() {\n// lint:begin(zero-copy)\nlet x = 1;\n// lint:end(zero-copy)\n}\n");
+        assert_eq!(f.regions.len(), 1);
+        assert!(f.in_region("zero-copy", 3));
+        assert!(!f.in_region("zero-copy", 2), "markers are exclusive");
+        assert!(!f.in_region("zero-copy", 5));
+    }
+
+    #[test]
+    fn unbalanced_regions_are_errors() {
+        let f = parse("// lint:begin(zero-copy)\nlet x = 1;\n");
+        assert!(f.directive_errors[0].message.contains("never closed"));
+        let f = parse("// lint:end(zero-copy)\n");
+        assert!(f.directive_errors[0].message.contains("without a matching"));
+    }
+
+    #[test]
+    fn unknown_region_is_an_error() {
+        let f = parse("// lint:begin(hot-zone)\n// lint:end(hot-zone)\n");
+        assert!(f.directive_errors[0].message.contains("unknown region"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { a.unwrap(); }\n}\nfn live2() {}\n";
+        let f = parse(src);
+        let masked: Vec<&str> = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, &m)| m && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"unwrap"));
+        assert!(!masked.contains(&"live"));
+        assert!(!masked.contains(&"live2"));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs_is_masked() {
+        let src = "#[test]\n#[ignore]\nfn probe() { x.unwrap(); }\nfn live() { }\n";
+        let f = parse(src);
+        let masked: Vec<&str> = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, &m)| m && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"unwrap"));
+        assert!(!masked.contains(&"live"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        // `#[cfg(feature = "x")]` must not mask; only `test` does.
+        let src = "#[cfg(feature = \"x\")]\nfn live() { a.unwrap(); }\n";
+        let f = parse(src);
+        assert!(f.in_test.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_masking() {
+        let src = "#[cfg(test)]\nmod tests { const S: &str = \"}\"; fn t() { a.unwrap(); } }\nfn live() {}\n";
+        let f = parse(src);
+        let live_masked = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .any(|(t, &m)| m && t.is_ident("live"));
+        assert!(!live_masked);
+    }
+}

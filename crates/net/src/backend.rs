@@ -133,7 +133,7 @@ impl EngineBackend for TcpBackend {
         for handle in handles {
             // Worker-side errors are subsumed by the coordinator's own
             // (abort/timeout) diagnosis; a panic is a bug worth surfacing.
-            let _ = handle.join().expect("worker session thread panicked");
+            let _ = handle.join().expect("worker session thread panicked"); // lint:allow(panic-unwrap, reason = "a join error means the worker session thread panicked; propagating is the designed response")
         }
         result.map_err(|e| match e {
             CoordinatorError::Gar(g) => PipelineError::Gar(g),

@@ -24,7 +24,7 @@ use crate::protocol::{
 };
 use bytes::{BufMut, BytesMut};
 use dpbyz_gars::GarError;
-use dpbyz_server::message::{GradientMessage, StepMessage};
+use dpbyz_server::message::{read_array, GradientMessage, MessageError, StepMessage};
 use dpbyz_server::{RunHistory, RunScratch, ServerCore};
 use std::fmt;
 use std::io;
@@ -201,28 +201,31 @@ impl TcpCoordinator {
 
             // Pending connections speak JOIN first or get dropped.
             let mut i = 0;
-            while i < pending.len() {
-                match poll_join(&mut pending[i]) {
+            while let Some(candidate) = pending.get_mut(i) {
+                match poll_join(candidate) {
                     JoinPoll::Waiting => i += 1,
                     JoinPoll::Dead => {
                         pending.swap_remove(i);
                     }
                     JoinPoll::Joined(id) => {
                         let conn = pending.swap_remove(i);
-                        let slot = id as usize;
-                        if slot < n_honest && conns[slot].is_none() {
-                            conns[slot] = Some(conn);
-                            machine.on_event(Event::Joined(id), now, &mut actions);
-                            progressed = true;
+                        match conns.get_mut(id as usize) {
+                            Some(entry) if entry.is_none() => {
+                                *entry = Some(conn);
+                                machine.on_event(Event::Joined(id), now, &mut actions);
+                                progressed = true;
+                            }
+                            // Out-of-range or duplicate id: connection
+                            // dropped.
+                            _ => {}
                         }
-                        // Out-of-range or duplicate id: connection dropped.
                     }
                 }
             }
 
             // Drain every joined connection.
-            for id in 0..n_honest {
-                let Some(conn) = conns[id].as_mut() else {
+            for (id, (slot, out)) in conns.iter_mut().zip(outputs.iter_mut()).enumerate() {
+                let Some(conn) = slot.as_mut() else {
                     continue;
                 };
                 let mut dead = false;
@@ -245,8 +248,8 @@ impl TcpCoordinator {
                             KIND_READY => {
                                 machine.on_event(Event::Ready(id as u32), now, &mut actions);
                             }
-                            KIND_GRAD => match decode_grad(payload, id as u32, &mut outputs[id]) {
-                                Some(step) => machine.on_event(
+                            KIND_GRAD => match decode_grad(payload, id as u32, out) {
+                                Ok(step) => machine.on_event(
                                     Event::Gradient {
                                         id: id as u32,
                                         step,
@@ -254,7 +257,9 @@ impl TcpCoordinator {
                                     now,
                                     &mut actions,
                                 ),
-                                None => {
+                                // Malformed or misattributed report:
+                                // the peer is garbage, drop it.
+                                Err(_) => {
                                     dead = true;
                                     break;
                                 }
@@ -274,7 +279,7 @@ impl TcpCoordinator {
                     }
                 }
                 if dead {
-                    conns[id] = None;
+                    *slot = None;
                 }
             }
 
@@ -284,8 +289,8 @@ impl TcpCoordinator {
             // walk (Action is Copy, so no borrow of the Vec is held).
             let mut finished = false;
             let mut a = 0;
-            while a < actions.len() {
-                match actions[a] {
+            while let Some(&action) = actions.get(a) {
+                match action {
                     Action::StartWarmup => {
                         begin_frame(&mut send, KIND_WARMUP);
                         end_frame(&mut send);
@@ -379,15 +384,36 @@ fn poll_join(conn: &mut Conn) -> JoinPoll {
     }
     match conn.reader.next_frame() {
         Ok(None) => JoinPoll::Waiting,
-        Ok(Some((KIND_JOIN, payload))) if payload.len() == 4 => {
-            JoinPoll::Joined(u32::from_le_bytes(payload.try_into().expect("4 bytes")))
-        }
+        Ok(Some((KIND_JOIN, payload))) if payload.len() == 4 => match read_array(payload, 0) {
+            Ok(bytes) => JoinPoll::Joined(u32::from_le_bytes(bytes)),
+            Err(_) => JoinPoll::Dead,
+        },
         _ => JoinPoll::Dead,
     }
 }
 
+/// Why a GRAD payload was rejected. Either way the connection is dropped;
+/// the typed split keeps hostile-frame handling testable field by field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GradDecodeError {
+    /// The prelude or an embedded vector frame was short, oversized, or
+    /// failed integrity.
+    Frame(MessageError),
+    /// Both embedded frames decoded but named another worker's id, or
+    /// disagreed on the step.
+    Misattributed,
+}
+
+impl From<MessageError> for GradDecodeError {
+    fn from(e: MessageError) -> Self {
+        GradDecodeError::Frame(e)
+    }
+}
+
 /// Decodes a GRAD payload into the worker's output slot, returning the
-/// reported step, or `None` if the frame is malformed or misattributed.
+/// reported step. Every field read is bounds-checked: a peer that
+/// truncates the loss/length prelude or either embedded vector frame gets
+/// a typed [`MessageError::ShortRead`], never a panic.
 ///
 /// Late (stale) reports land here too: they clobber the slot, which is
 /// harmless — the machine ignores the stale event, and if the worker
@@ -397,24 +423,23 @@ fn decode_grad(
     payload: &[u8],
     expect_id: u32,
     out: &mut dpbyz_server::WorkerOutput,
-) -> Option<u32> {
-    if payload.len() < 12 {
-        return None;
-    }
-    let batch_loss = f64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
-    let sub_len = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
-    let rest = &payload[12..];
-    if sub_len > rest.len() {
-        return None;
-    }
-    let (sub, pre) = rest.split_at(sub_len);
-    let (wid, step) = GradientMessage::decode_into(sub, &mut out.submitted).ok()?;
-    let (wid2, step2) = GradientMessage::decode_into(pre, &mut out.pre_noise).ok()?;
+) -> Result<u32, GradDecodeError> {
+    let batch_loss = f64::from_le_bytes(read_array(payload, 0)?);
+    let sub_len = u32::from_le_bytes(read_array(payload, 8)?) as usize;
+    let rest = payload.get(12..).unwrap_or_default();
+    let (sub, pre) = rest
+        .split_at_checked(sub_len)
+        .ok_or(MessageError::ShortRead {
+            needed: 12usize.saturating_add(sub_len),
+            got: payload.len(),
+        })?;
+    let (wid, step) = GradientMessage::decode_into(sub, &mut out.submitted)?;
+    let (wid2, step2) = GradientMessage::decode_into(pre, &mut out.pre_noise)?;
     if wid != expect_id || wid2 != expect_id || step != step2 {
-        return None;
+        return Err(GradDecodeError::Misattributed);
     }
     out.batch_loss = batch_loss;
-    Some(step)
+    Ok(step)
 }
 
 /// Best-effort broadcast to every live connection; write failures drop
@@ -437,4 +462,132 @@ fn break_run(conns: &mut [Option<Conn>], send: &mut BytesMut, reason: &str) {
     send.put_slice(reason.as_bytes());
     end_frame(send);
     broadcast(conns, send);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbyz_server::WorkerOutput;
+    use dpbyz_tensor::Vector;
+
+    /// A well-formed GRAD payload exactly as `run_worker` builds one:
+    /// `[batch_loss: f64][sub_len: u32]` + submitted frame + pre-noise
+    /// frame.
+    fn grad_payload(id: u32, step: u32, pre_id: u32, pre_step: u32) -> Vec<u8> {
+        let sub = Vector::from(vec![1.0, -2.0]);
+        let pre = Vector::from(vec![0.5, 0.25]);
+        let mut sub_frame = BytesMut::default();
+        let mut pre_frame = BytesMut::default();
+        GradientMessage::encode_frame(id, step, &sub, &mut sub_frame);
+        GradientMessage::encode_frame(pre_id, pre_step, &pre, &mut pre_frame);
+        let mut payload = BytesMut::default();
+        payload.put_f64_le(0.125);
+        payload.put_u32_le(sub_frame.len() as u32);
+        payload.put_slice(&sub_frame);
+        payload.put_slice(&pre_frame);
+        payload.to_vec()
+    }
+
+    #[test]
+    fn well_formed_grad_payload_decodes() {
+        let payload = grad_payload(3, 7, 3, 7);
+        let mut out = WorkerOutput::default();
+        assert_eq!(decode_grad(&payload, 3, &mut out), Ok(7));
+        assert_eq!(out.batch_loss, 0.125);
+        assert_eq!(out.submitted, Vector::from(vec![1.0, -2.0]));
+        assert_eq!(out.pre_noise, Vector::from(vec![0.5, 0.25]));
+    }
+
+    #[test]
+    fn short_prelude_is_a_typed_error_for_every_cut() {
+        // Cut the payload inside the loss (bytes 0..8) and inside the
+        // sub-length word (bytes 8..12): each prefix must surface
+        // ShortRead, never a panic.
+        let payload = grad_payload(3, 7, 3, 7);
+        for cut in 0..12 {
+            let needed = if cut < 8 { 8 } else { 12 };
+            let mut out = WorkerOutput::default();
+            assert_eq!(
+                decode_grad(&payload[..cut], 3, &mut out),
+                Err(GradDecodeError::Frame(MessageError::ShortRead {
+                    needed,
+                    got: cut
+                })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_inner_frames_are_typed_errors() {
+        let payload = grad_payload(3, 7, 3, 7);
+        let mut out = WorkerOutput::default();
+        // Truncating the trailing pre-noise frame: the embedded decoder
+        // reports the shortfall.
+        assert!(matches!(
+            decode_grad(&payload[..payload.len() - 3], 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
+        ));
+        // A sub_len word claiming more bytes than the payload carries.
+        let mut lying = payload.clone();
+        lying[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_grad(&lying, 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
+        ));
+        // A sub_len word splitting the submitted frame mid-layout.
+        let mut split = payload.clone();
+        split[8..12].copy_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            decode_grad(&split, 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
+        ));
+    }
+
+    #[test]
+    fn corrupted_inner_frame_fails_integrity() {
+        let mut payload = grad_payload(3, 7, 3, 7);
+        let at = payload.len() - 10; // inside the pre-noise frame
+        payload[at] ^= 0xFF;
+        let mut out = WorkerOutput::default();
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::BadChecksum))
+        );
+    }
+
+    #[test]
+    fn misattributed_reports_are_rejected() {
+        let mut out = WorkerOutput::default();
+        // Frames carrying another worker's id.
+        let payload = grad_payload(4, 7, 4, 7);
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Misattributed)
+        );
+        // Pre-noise frame naming a different worker than the submission.
+        let payload = grad_payload(3, 7, 4, 7);
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Misattributed)
+        );
+        // Frames disagreeing on the step.
+        let payload = grad_payload(3, 7, 3, 8);
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Misattributed)
+        );
+    }
+
+    #[test]
+    fn empty_payload_is_a_typed_error() {
+        let mut out = WorkerOutput::default();
+        assert_eq!(
+            decode_grad(&[], 0, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead {
+                needed: 8,
+                got: 0
+            }))
+        );
+    }
 }

@@ -135,7 +135,10 @@ impl FrameReader {
                 self.buf.resize(self.buf.len() * 2, 0);
             }
         }
-        match stream.read(&mut self.buf[self.filled..]) {
+        let Some(dst) = self.buf.get_mut(self.filled..) else {
+            return Ok(0);
+        };
+        match stream.read(dst) {
             Ok(0) => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "peer closed the connection",
@@ -165,15 +168,18 @@ impl FrameReader {
     /// [`FrameError`] when the length word is implausible; the connection
     /// should be dropped (resynchronization is impossible).
     pub fn next_frame(&mut self) -> Result<Option<(u8, &[u8])>, FrameError> {
-        let avail = self.filled - self.start;
+        let avail = self.filled.saturating_sub(self.start);
         if avail < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(
-            self.buf[self.start..self.start + 4]
-                .try_into()
-                .expect("4 bytes"),
-        ) as usize;
+        let Some(header) = self
+            .buf
+            .get(self.start..self.start + 4)
+            .and_then(|bytes| <[u8; 4]>::try_from(bytes).ok())
+        else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(header) as usize;
         if len == 0 {
             return Err(FrameError::Empty);
         }
@@ -186,15 +192,22 @@ impl FrameReader {
         if avail < 4 + len {
             return Ok(None);
         }
-        let kind = self.buf[self.start + 4];
         let payload_start = self.start + 5;
         let payload_end = self.start + 4 + len;
+        let (Some(&kind), Some(payload)) = (
+            self.buf.get(self.start + 4),
+            self.buf.get(payload_start..payload_end),
+        ) else {
+            // Unreachable while `filled <= buf.len()` holds, but a
+            // hostile-input path never indexes on faith.
+            return Ok(None);
+        };
         self.start = payload_end;
         if self.start == self.filled {
             self.start = 0;
             self.filled = 0;
         }
-        Ok(Some((kind, &self.buf[payload_start..payload_end])))
+        Ok(Some((kind, payload)))
     }
 }
 
@@ -215,8 +228,11 @@ pub fn begin_frame(buf: &mut bytes::BytesMut, kind: u8) {
 ///
 /// Panics if the frame (kind + payload) exceeds `u32::MAX` bytes.
 pub fn end_frame(buf: &mut bytes::BytesMut) {
+    // lint:allow(panic-unwrap, reason = "documented panic: locally built frames are capped by MAX_FRAME_LEN, far below u32::MAX")
     let len = u32::try_from(buf.len() - 4).expect("frame fits u32");
-    buf[0..4].copy_from_slice(&len.to_le_bytes());
+    if let Some(slot) = buf.get_mut(0..4) {
+        slot.copy_from_slice(&len.to_le_bytes());
+    }
 }
 
 /// Writes `data` fully to a possibly-nonblocking stream, napping through
@@ -237,7 +253,7 @@ pub fn write_all_frame(stream: &mut impl Write, data: &[u8]) -> io::Result<()> {
                     "peer stopped accepting bytes",
                 ))
             }
-            Ok(n) => rest = &rest[n..],
+            Ok(n) => rest = rest.get(n..).unwrap_or_default(),
             Err(e)
                 if matches!(
                     e.kind(),

@@ -19,11 +19,12 @@ use crate::protocol::{
     KIND_JOIN, KIND_READY, KIND_STEP, KIND_WARMUP, MAX_FRAME_LEN,
 };
 use bytes::{BufMut, BytesMut};
-use dpbyz_server::message::{GradientMessage, MessageError, StepMessage};
+use dpbyz_server::message::{read_array, GradientMessage, MessageError, StepMessage};
 use dpbyz_server::{HonestWorker, WorkerOutput};
 use dpbyz_tensor::Vector;
 use std::fmt;
 use std::io;
+use std::io::Read;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -157,15 +158,21 @@ pub fn run_worker(
 }
 
 /// Reads and validates one frame header, returning `(kind, payload_len)`.
-fn read_header(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> Result<(u8, usize), WorkerError> {
+/// Generic over [`Read`] so hostile-header handling is testable without a
+/// socket; every byte of the peer-supplied header is bounds-checked.
+fn read_header(stream: &mut impl Read, scratch: &mut Vec<u8>) -> Result<(u8, usize), WorkerError> {
     read_exact_frame(stream, scratch, 5)?;
-    let len = u32::from_le_bytes(scratch[0..4].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes(read_array(scratch, 0)?) as usize;
     if len == 0 || len > MAX_FRAME_LEN {
         return Err(WorkerError::Protocol(format!(
             "implausible frame length {len} from coordinator"
         )));
     }
-    Ok((scratch[4], len - 1))
+    let kind = *scratch.get(4).ok_or(MessageError::ShortRead {
+        needed: 5,
+        got: scratch.len(),
+    })?;
+    Ok((kind, len - 1))
 }
 
 fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
@@ -175,6 +182,58 @@ fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStre
             Ok(stream) => return Ok(stream),
             Err(e) if Instant::now() >= deadline => return Err(e),
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn header(len: u32, kind: u8) -> Vec<u8> {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.push(kind);
+        bytes
+    }
+
+    #[test]
+    fn valid_header_decodes() {
+        let mut scratch = Vec::new();
+        let got = read_header(&mut Cursor::new(header(10, KIND_STEP)), &mut scratch);
+        assert!(matches!(got, Ok((KIND_STEP, 9))));
+    }
+
+    #[test]
+    fn truncated_header_is_an_io_error_not_a_panic() {
+        // The coordinator dies mid-header: every prefix length must
+        // surface a typed error.
+        let full = header(10, KIND_STEP);
+        for cut in 0..full.len() {
+            let mut scratch = Vec::new();
+            let got = read_header(&mut Cursor::new(&full[..cut]), &mut scratch);
+            assert!(matches!(got, Err(WorkerError::Io(_))), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn zero_length_header_is_a_protocol_error() {
+        let mut scratch = Vec::new();
+        let got = read_header(&mut Cursor::new(header(0, KIND_STEP)), &mut scratch);
+        assert!(matches!(got, Err(WorkerError::Protocol(_))));
+    }
+
+    #[test]
+    fn hostile_length_header_is_a_protocol_error() {
+        // A corrupted or hostile length word must be rejected before any
+        // buffering happens, with the declared length in the message.
+        let mut scratch = Vec::new();
+        let got = read_header(&mut Cursor::new(header(u32::MAX, KIND_STEP)), &mut scratch);
+        match got {
+            Err(WorkerError::Protocol(msg)) => {
+                assert!(msg.contains(&u32::MAX.to_string()), "{msg}")
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
         }
     }
 }

@@ -118,9 +118,28 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Reads `N` bytes at offset `at` of a peer-supplied frame, reporting a
+/// typed [`MessageError::ShortRead`] instead of panicking when the frame
+/// is too short — the only slice-access pattern hostile-input decoders
+/// (here and in the TCP transport) are allowed to use.
+///
+/// # Errors
+///
+/// [`MessageError::ShortRead`] when `frame` ends before `at + N`.
+pub fn read_array<const N: usize>(frame: &[u8], at: usize) -> Result<[u8; N], MessageError> {
+    frame
+        .get(at..at.saturating_add(N))
+        .and_then(|bytes| <[u8; N]>::try_from(bytes).ok())
+        .ok_or(MessageError::ShortRead {
+            needed: at.saturating_add(N),
+            got: frame.len(),
+        })
+}
+
 /// Encodes the shared `[a][b][dim][coords][tag]` layout into a cleared,
 /// recycled buffer.
 fn encode_vec_frame(a: u32, b: u32, v: &Vector, buf: &mut BytesMut) {
+    // lint:begin(zero-copy)
     buf.clear();
     buf.put_u32_le(a);
     buf.put_u32_le(b);
@@ -130,11 +149,13 @@ fn encode_vec_frame(a: u32, b: u32, v: &Vector, buf: &mut BytesMut) {
     }
     let tag = fnv1a(buf);
     buf.put_u64_le(tag);
+    // lint:end(zero-copy)
 }
 
 /// Decodes the shared layout into a caller-provided vector, returning the
 /// two header words. See [`GradientMessage::decode_into`] for semantics.
 fn decode_vec_frame(frame: &[u8], v: &mut Vector) -> Result<(u32, u32), MessageError> {
+    // lint:begin(zero-copy)
     if frame.len() < HEADER + TAG {
         return Err(MessageError::ShortRead {
             needed: HEADER + TAG,
@@ -142,11 +163,10 @@ fn decode_vec_frame(frame: &[u8], v: &mut Vector) -> Result<(u32, u32), MessageE
         });
     }
     let body_len = frame.len() - TAG;
-    let expected = fnv1a(&frame[..body_len]);
-    let le_u32 = |at: usize| u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes"));
-    let a = le_u32(0);
-    let b = le_u32(4);
-    let dim = le_u32(8) as usize;
+    let expected = fnv1a(frame.get(..body_len).unwrap_or(frame));
+    let a = u32::from_le_bytes(read_array(frame, 0)?);
+    let b = u32::from_le_bytes(read_array(frame, 4)?);
+    let dim = u32::from_le_bytes(read_array(frame, 8)?) as usize;
     if dim > MAX_WIRE_DIM {
         return Err(MessageError::LengthOverflow {
             declared: dim,
@@ -162,13 +182,13 @@ fn decode_vec_frame(frame: &[u8], v: &mut Vector) -> Result<(u32, u32), MessageE
     }
     v.resize(dim, 0.0);
     for (j, coord) in v.as_mut_slice().iter_mut().enumerate() {
-        let at = HEADER + j * 8;
-        *coord = f64::from_le_bytes(frame[at..at + 8].try_into().expect("8 bytes"));
+        *coord = f64::from_le_bytes(read_array(frame, HEADER + j * 8)?);
     }
-    let tag = u64::from_le_bytes(frame[body_len..].try_into().expect("8 bytes"));
+    let tag = u64::from_le_bytes(read_array(frame, body_len)?);
     if tag != expected {
         return Err(MessageError::BadChecksum);
     }
+    // lint:end(zero-copy)
     Ok((a, b))
 }
 
@@ -497,6 +517,23 @@ mod tests {
         assert_eq!(
             GradientMessage::decode_into(&frame, &mut gradient),
             Err(MessageError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn read_array_reports_short_frames() {
+        assert_eq!(read_array::<4>(&[1, 0, 0, 0], 0), Ok([1, 0, 0, 0]));
+        assert_eq!(
+            read_array::<8>(&[0; 4], 0),
+            Err(MessageError::ShortRead { needed: 8, got: 4 })
+        );
+        // Offset near usize::MAX must not overflow into a bogus range.
+        assert_eq!(
+            read_array::<4>(&[0; 8], usize::MAX),
+            Err(MessageError::ShortRead {
+                needed: usize::MAX,
+                got: 8
+            })
         );
     }
 

@@ -100,7 +100,7 @@ impl RunHistory {
 
     /// Final (last-step) training loss.
     pub fn final_loss(&self) -> f64 {
-        *self.train_loss.last().expect("at least one step")
+        *self.train_loss.last().expect("at least one step") // lint:allow(panic-unwrap, reason = "the trainer records a loss every step before any reader observes the history")
     }
 
     /// Minimum training loss across steps.
@@ -164,7 +164,8 @@ impl RunHistory {
         use std::fmt::Write as _;
         let mut out =
             String::from("step,train_loss,vn_clean,vn_submitted,grad_norm,test_accuracy\n");
-        let acc: std::collections::HashMap<u32, f64> = self.test_accuracy.iter().copied().collect();
+        let acc: std::collections::BTreeMap<u32, f64> =
+            self.test_accuracy.iter().copied().collect();
         for (i, loss) in self.train_loss.iter().enumerate() {
             let step = i as u32 + 1;
             let a = acc.get(&step).map(|a| format!("{a}")).unwrap_or_default();

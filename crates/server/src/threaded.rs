@@ -123,7 +123,7 @@ impl WorkerPool {
                             mut frame,
                             pre_noise,
                         } => {
-                            let worker = worker.as_mut().expect("Step before Load");
+                            let worker = worker.as_mut().expect("Step before Load"); // lint:allow(panic-unwrap, reason = "the coordinator always sends Load before the first Step; a violation is a harness bug")
                             out.pre_noise = pre_noise;
                             worker.compute_into(&params, batch_size, &mut out);
                             // Encode from the recycled submission buffer:
@@ -163,14 +163,14 @@ impl WorkerPool {
         self.threads[i]
             .cmd_tx
             .send(cmd)
-            .expect("worker thread alive");
+            .expect("worker thread alive"); // lint:allow(panic-unwrap, reason = "a channel disconnect means a worker thread panicked; propagating is correct")
     }
 
     fn recv(&self, i: usize) -> RoundReply {
         self.threads[i]
             .reply_rx
             .recv()
-            .expect("worker thread alive")
+            .expect("worker thread alive") // lint:allow(panic-unwrap, reason = "a channel disconnect means a worker thread panicked; propagating is correct")
     }
 
     /// Unloads the first `n` threads' workers, releasing the finished
@@ -329,7 +329,7 @@ impl ThreadedTrainer {
                 let reply = scratch.pool.recv(i);
                 let (worker_id, step) =
                     GradientMessage::decode_into(&reply.frame, &mut out.submitted)
-                        .expect("wire integrity verified");
+                        .expect("wire integrity verified"); // lint:allow(panic-unwrap, reason = "decoding a frame this process encoded in the same round; integrity cannot fail")
                 debug_assert_eq!(step, t);
                 debug_assert_eq!(worker_id as usize, i);
                 out.pre_noise = reply.pre_noise;

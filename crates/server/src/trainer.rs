@@ -222,6 +222,7 @@ impl ServerCore {
     /// Propagates [`GarError`] when the configured rule cannot tolerate
     /// `n_byzantine` among the submissions.
     pub fn process_round(&mut self, t: u32, outputs: &mut [WorkerOutput]) -> Result<(), GarError> {
+        // lint:begin(zero-copy)
         let n_honest = outputs.len();
         // The paper's training-loss metric: average loss over the batches
         // the honest workers sampled this step, at the pre-update model.
@@ -350,14 +351,15 @@ impl ServerCore {
             observer.on_step(&StepMetrics {
                 step: t,
                 train_loss: loss,
-                vn_clean: *self.vn_clean.last().expect("pushed above"),
-                vn_submitted: *self.vn_submitted.last().expect("pushed above"),
+                vn_clean: *self.vn_clean.last().expect("pushed above"), // lint:allow(panic-unwrap, reason = "pushed above in the same round")
+                vn_submitted: *self.vn_submitted.last().expect("pushed above"), // lint:allow(panic-unwrap, reason = "pushed above in the same round")
                 grad_norm,
                 test_accuracy: eval_accuracy,
                 params: &self.params,
             });
         }
         Ok(())
+        // lint:end(zero-copy)
     }
 
     /// Seals the run: consumes the core and assembles the [`RunHistory`]

@@ -71,7 +71,7 @@ pub fn median_with(xs: &[f64], scratch: &mut Vec<f64>) -> Result<f64, TensorErro
     scratch.extend_from_slice(xs);
     let n = scratch.len();
     let mid = n / 2;
-    scratch.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input"));
+    scratch.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN in median input")); // lint:allow(panic-unwrap, reason = "documented panic: NaN violates the finite-input contract; failing loudly beats silently ordering NaN")
     let hi = scratch[mid];
     if n % 2 == 1 {
         Ok(hi)
@@ -100,7 +100,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64, TensorError> {
         return Err(TensorError::Empty);
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input")); // lint:allow(panic-unwrap, reason = "documented panic: NaN violates the finite-input contract; failing loudly beats silently ordering NaN")
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -134,7 +134,7 @@ pub fn trimmed_mean_with(
     }
     scratch.clear();
     scratch.extend_from_slice(xs);
-    scratch.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    scratch.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input")); // lint:allow(panic-unwrap, reason = "documented panic: NaN violates the finite-input contract; failing loudly beats silently ordering NaN")
     mean(&scratch[trim..xs.len() - trim])
 }
 
@@ -171,7 +171,7 @@ pub fn mean_around_with(
         (a - center)
             .abs()
             .partial_cmp(&(b - center).abs())
-            .expect("NaN in mean_around input")
+            .expect("NaN in mean_around input") // lint:allow(panic-unwrap, reason = "documented panic: NaN violates the finite-input contract; failing loudly beats silently ordering NaN")
     });
     mean(&scratch[..k])
 }
