@@ -43,6 +43,7 @@ pub struct ExperimentBuilder {
     momentum_mode: MomentumMode,
     clip: f64,
     eval_every: u32,
+    agg_threads: usize,
     gar: Option<ComponentSpec>,
     attack: Option<ComponentSpec>,
     mechanism: ComponentSpec,
@@ -80,6 +81,7 @@ impl Default for ExperimentBuilder {
             momentum_mode: MomentumMode::Worker,
             clip: 1e-2,
             eval_every: 50,
+            agg_threads: 1,
             gar: None,
             attack: None,
             mechanism: ComponentSpec::new("gaussian"),
@@ -207,6 +209,20 @@ impl ExperimentBuilder {
     #[must_use]
     pub fn eval_every(mut self, period: u32) -> Self {
         self.eval_every = period;
+        self
+    }
+
+    /// Sets the intra-round aggregation thread count (1 = serial, the
+    /// default). The GAR's coordinate and candidate loops shard over this
+    /// many threads; the parallel result is bit-identical to serial at
+    /// any count, so this is a pure throughput knob. Writes through into
+    /// an explicit [`config`](Self::config) like the topology knobs do.
+    #[must_use]
+    pub fn agg_threads(mut self, threads: usize) -> Self {
+        if let Some(config) = &mut self.config {
+            config.agg_threads = threads;
+        }
+        self.agg_threads = threads;
         self
     }
 
@@ -375,6 +391,7 @@ impl ExperimentBuilder {
                     .momentum_mode(self.momentum_mode)
                     .clip(self.clip)
                     .eval_every(self.eval_every)
+                    .agg_threads(self.agg_threads)
                     .build()?
             }
         };

@@ -1,9 +1,10 @@
 //! Bulyan (El Mhamdi et al., ICML 2018) — Krum selection followed by a
 //! per-coordinate trimmed aggregation.
 
+use crate::compute::{self, ShardOp};
 use crate::krum::{canonical_argmin_indexed, eta};
 use crate::{check_input, Gar, GarError, GarScratch};
-use dpbyz_tensor::{stats, Vector};
+use dpbyz_tensor::Vector;
 
 /// Bulyan over Krum.
 ///
@@ -82,25 +83,35 @@ impl Gar for Bulyan {
         }
 
         // Stage 2: per coordinate, mean of the β = θ − 2f values closest to
-        // the median of the selected set.
+        // the median of the selected set. Columns are independent, so the
+        // coordinate loop shards over the scratch's compute pool —
+        // bit-identical to the serial loop at any pool size.
         let beta = theta - 2 * f;
         out.resize(dim, 0.0);
         let GarScratch {
             ref selected,
+            ref mut pool,
             ref mut col,
             ref mut sort_buf,
             ..
         } = *scratch;
-        col.clear();
-        col.resize(theta, 0.0);
-        for j in 0..dim {
-            for (i, &g) in selected.iter().enumerate() {
-                col[i] = gradients[g][j];
-            }
-            let med = stats::median_with(col, sort_buf).expect("theta >= 1"); // lint:allow(panic-unwrap, reason = "theta >= 1 is enforced by the tolerance check above")
-                                                                              // lint:allow(panic-unwrap, reason = "beta <= theta by construction from the same tolerance check")
-            out[j] = stats::mean_around_with(col, med, beta, sort_buf).expect("beta <= theta");
-        }
+        compute::run_sharded(
+            pool,
+            col,
+            sort_buf,
+            ShardOp::MeanAroundMedian { keep: beta },
+            dim,
+            theta,
+            &|range, values| {
+                values.clear();
+                for j in range {
+                    for &g in selected {
+                        values.push(gradients[g][j]);
+                    }
+                }
+            },
+            out.as_mut_slice(),
+        );
         Ok(())
         // lint:end(zero-copy)
     }

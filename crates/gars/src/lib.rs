@@ -45,6 +45,7 @@ mod average;
 mod bucketing;
 mod bulyan;
 mod centered_clipping;
+mod compute;
 mod error;
 mod geometric_median;
 mod krum;

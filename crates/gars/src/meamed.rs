@@ -1,7 +1,8 @@
 //! Meamed — mean around the median (Xie et al., 2018).
 
+use crate::compute::{self, ShardOp};
 use crate::{check_input, Gar, GarError, GarScratch};
-use dpbyz_tensor::{stats, Vector};
+use dpbyz_tensor::Vector;
 
 /// Per coordinate: take the `n − f` values closest to the coordinate
 /// median, average them.
@@ -52,21 +53,32 @@ impl Gar for Meamed {
         check_tolerance(n, f)?;
         let keep = n - f;
         out.resize(dim, 0.0);
+        // Columns are independent, so the coordinate loop shards over the
+        // scratch's compute pool — bit-identical to the serial loop at any
+        // pool size.
         let GarScratch {
+            ref mut pool,
             ref mut col,
             ref mut sort_buf,
             ..
         } = *scratch;
-        col.clear();
-        col.resize(n, 0.0);
-        for j in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                col[i] = g[j];
-            }
-            let med = stats::median_with(col, sort_buf).expect("n >= 1"); // lint:allow(panic-unwrap, reason = "check_input validated a non-empty cohort above")
-                                                                          // lint:allow(panic-unwrap, reason = "keep = n - f <= n by construction")
-            out[j] = stats::mean_around_with(col, med, keep, sort_buf).expect("keep <= n");
-        }
+        compute::run_sharded(
+            pool,
+            col,
+            sort_buf,
+            ShardOp::MeanAroundMedian { keep },
+            dim,
+            n,
+            &|range, values| {
+                values.clear();
+                for j in range {
+                    for g in gradients {
+                        values.push(g[j]);
+                    }
+                }
+            },
+            out.as_mut_slice(),
+        );
         Ok(())
         // lint:end(zero-copy)
     }

@@ -1,7 +1,8 @@
 //! Coordinate-wise median (Yin et al., ICML 2018).
 
+use crate::compute::{self, ShardOp};
 use crate::{check_input, Gar, GarError, GarScratch};
-use dpbyz_tensor::{stats, Vector};
+use dpbyz_tensor::Vector;
 
 /// Coordinate-wise median of the submitted gradients.
 ///
@@ -50,19 +51,32 @@ impl Gar for CoordinateMedian {
         let n = gradients.len();
         check_tolerance(n, f)?;
         out.resize(dim, 0.0);
+        // Columns are independent, so the coordinate loop shards over the
+        // scratch's compute pool — bit-identical to the serial loop at any
+        // pool size (same packed column, same statistic, per coordinate).
         let GarScratch {
+            ref mut pool,
             ref mut col,
             ref mut sort_buf,
             ..
         } = *scratch;
-        col.clear();
-        col.resize(n, 0.0);
-        for j in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                col[i] = g[j];
-            }
-            out[j] = stats::median_with(col, sort_buf).expect("n >= 1"); // lint:allow(panic-unwrap, reason = "check_input validated a non-empty cohort above")
-        }
+        compute::run_sharded(
+            pool,
+            col,
+            sort_buf,
+            ShardOp::Median,
+            dim,
+            n,
+            &|range, values| {
+                values.clear();
+                for j in range {
+                    for g in gradients {
+                        values.push(g[j]);
+                    }
+                }
+            },
+            out.as_mut_slice(),
+        );
         Ok(())
         // lint:end(zero-copy)
     }

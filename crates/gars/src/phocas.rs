@@ -1,7 +1,8 @@
 //! Phocas (Xie et al., 2018) — trimmed mean around the trimmed mean.
 
+use crate::compute::{self, ShardOp};
 use crate::{check_input, Gar, GarError, GarScratch};
-use dpbyz_tensor::{stats, Vector};
+use dpbyz_tensor::Vector;
 
 /// Per coordinate: compute the `f`-trimmed mean, then average the `n − f`
 /// values closest to it.
@@ -53,21 +54,32 @@ impl Gar for Phocas {
         check_tolerance(n, f)?;
         let keep = n - f;
         out.resize(dim, 0.0);
+        // Columns are independent, so the coordinate loop shards over the
+        // scratch's compute pool — bit-identical to the serial loop at any
+        // pool size.
         let GarScratch {
+            ref mut pool,
             ref mut col,
             ref mut sort_buf,
             ..
         } = *scratch;
-        col.clear();
-        col.resize(n, 0.0);
-        for j in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                col[i] = g[j];
-            }
-            let tm = stats::trimmed_mean_with(col, f, sort_buf).expect("2f < n"); // lint:allow(panic-unwrap, reason = "2f < n is enforced by the tolerance check above")
-                                                                                  // lint:allow(panic-unwrap, reason = "keep = n - 2f <= n by construction")
-            out[j] = stats::mean_around_with(col, tm, keep, sort_buf).expect("keep <= n");
-        }
+        compute::run_sharded(
+            pool,
+            col,
+            sort_buf,
+            ShardOp::MeanAroundTrimmedMean { trim: f, keep },
+            dim,
+            n,
+            &|range, values| {
+                values.clear();
+                for j in range {
+                    for g in gradients {
+                        values.push(g[j]);
+                    }
+                }
+            },
+            out.as_mut_slice(),
+        );
         Ok(())
         // lint:end(zero-copy)
     }

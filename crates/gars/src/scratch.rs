@@ -9,7 +9,16 @@
 //! O(n²·d) part of their cost is computed once per call into reused
 //! storage instead of a fresh `Vec<Vec<f64>>` per round.
 
+use crate::compute::{self, ComputePool, ShardOp};
 use dpbyz_tensor::{kernels, Vector};
+
+/// Dimension at which the distance-matrix fill switches to the cache-tiled
+/// kernel ([`kernels::pairwise_squared_distances_tiled`]). The tiled fill
+/// is bit-identical to the untiled one at every dimension, so this is a
+/// pure performance knob: below it the whole cohort fits in cache and
+/// tiling only adds pass overhead; above it the rows stream through cache
+/// once per tile instead of once per pair.
+const TILED_MIN_DIM: usize = 8192;
 
 /// Scratch buffers for [`Gar::aggregate_into`](crate::Gar::aggregate_into).
 ///
@@ -25,8 +34,12 @@ pub struct GarScratch {
     pub(crate) dist2: Vec<f64>,
     /// Krum scores aligned with `active`.
     pub(crate) scores: Vec<f64>,
-    /// Neighbour-distance buffer for one row of the score computation.
-    pub(crate) neigh: Vec<f64>,
+    /// Per-pair lane accumulators for the cache-tiled distance fill.
+    pub(crate) pair_acc: Vec<[f64; kernels::LANES]>,
+    /// Intra-round parallel executor for the sharded per-item work
+    /// (coordinate statistics, Krum scoring). Size 1 — the default — is
+    /// the serial path and never spawns a thread.
+    pub(crate) pool: ComputePool,
     /// Indices of the gradients currently in play (the full set for Krum,
     /// the shrinking pool for Bulyan's iterated selection).
     pub(crate) active: Vec<usize>,
@@ -84,6 +97,15 @@ impl GarScratch {
         &mut self.ext_vector
     }
 
+    /// Sets the intra-round aggregation parallelism used by the sharded
+    /// GAR paths (coordinate statistics, Krum scoring). Clamped to ≥ 1;
+    /// size 1 — the default — is the serial path and never spawns a
+    /// thread. The parallel result is bit-identical to serial at any
+    /// size, so this is a pure throughput knob.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.pool.set_size(threads);
+    }
+
     /// Fills `active` with the identity member set `0..n`.
     pub(crate) fn set_active_full(&mut self, n: usize) {
         self.active.clear();
@@ -92,34 +114,66 @@ impl GarScratch {
 
     /// Fills the flat symmetric squared-distance matrix over the gradients
     /// listed in `active` — one batched all-pairs call into the tensor
-    /// layer's blocked distance kernel
-    /// ([`kernels::pairwise_squared_distances`]), reusing the flat
-    /// storage across rounds.
+    /// layer's blocked distance kernel, reusing the flat storage across
+    /// rounds. Large dimensions take the cache-tiled fill
+    /// ([`kernels::pairwise_squared_distances_tiled`]), which is
+    /// bit-identical to the untiled kernel
+    /// ([`kernels::pairwise_squared_distances`]) but streams the rows
+    /// through cache once per coordinate tile instead of once per pair.
     pub(crate) fn fill_dist2_active(&mut self, gradients: &[Vector]) {
-        kernels::pairwise_squared_distances(gradients, &self.active, &mut self.dist2);
+        let dim = gradients.first().map_or(0, Vector::dim);
+        if dim >= TILED_MIN_DIM {
+            kernels::pairwise_squared_distances_tiled(
+                gradients,
+                &self.active,
+                &mut self.dist2,
+                &mut self.pair_acc,
+            );
+        } else {
+            kernels::pairwise_squared_distances(gradients, &self.active, &mut self.dist2);
+        }
     }
 
     /// Computes the Krum score of every member in `active` (sum of squared
     /// distances to its `m − f − 2` nearest co-members), leaving the
-    /// scores in `self.scores` aligned with `active`. Bit-identical to the
-    /// historical allocating implementation: equal distances are equal
-    /// values, so the sorted prefix sum is independent of tie order.
+    /// scores in `self.scores` aligned with `active`. Per-candidate scores
+    /// are independent, so they shard over the compute pool; serial or
+    /// parallel, every candidate's neighbour distances are packed in the
+    /// same order and reduced by the same sorted-prefix sum —
+    /// bit-identical to the historical implementation at any pool size.
     pub(crate) fn compute_krum_scores(&mut self, gradients: &[Vector], f: usize) {
         self.fill_dist2_active(gradients);
         let m = self.active.len();
         let k = m - f - 2;
         self.scores.clear();
-        for a in 0..m {
-            self.neigh.clear();
-            for b in 0..m {
-                if b != a {
-                    self.neigh.push(self.dist2[a * m + b]);
+        self.scores.resize(m, 0.0);
+        let GarScratch {
+            ref dist2,
+            ref mut scores,
+            ref mut pool,
+            ref mut col,
+            ref mut sort_buf,
+            ..
+        } = *self;
+        compute::run_sharded(
+            pool,
+            col,
+            sort_buf,
+            ShardOp::KrumScores { k },
+            m,
+            m - 1,
+            &|range, values| {
+                values.clear();
+                for a in range {
+                    for b in 0..m {
+                        if b != a {
+                            values.push(dist2[a * m + b]);
+                        }
+                    }
                 }
-            }
-            self.neigh
-                .sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite distances")); // lint:allow(panic-unwrap, reason = "distances between finite gradients; NaN is excluded by the kernel contract")
-            self.scores.push(self.neigh[..k].iter().sum());
-        }
+            },
+            scores,
+        );
     }
 
     /// Krum scores for a *shrinking* pool over a pre-filled matrix: the
@@ -127,25 +181,44 @@ impl GarScratch {
     /// (`active` = identity at fill time, stride `n`), and members are
     /// looked up by their original index. Pairwise distances never change
     /// as a pool shrinks, so Bulyan's θ selection iterations share one
-    /// O(n²·d) fill instead of recomputing it every round. Bitwise the
-    /// same scores as re-filling per round: the same distance values feed
-    /// the same sorted prefix sums.
+    /// O(n²·d) fill instead of recomputing it every round. Sharded over
+    /// the compute pool like [`GarScratch::compute_krum_scores`], and
+    /// bitwise the same scores as re-filling per round: the same distance
+    /// values feed the same sorted prefix sums.
     pub(crate) fn compute_krum_scores_prefilled(&mut self, n: usize, f: usize) {
         let m = self.active.len();
         let k = m - f - 2;
         self.scores.clear();
-        for pos_a in 0..m {
-            self.neigh.clear();
-            let row = self.active[pos_a] * n;
-            for pos_b in 0..m {
-                if pos_b != pos_a {
-                    self.neigh.push(self.dist2[row + self.active[pos_b]]);
+        self.scores.resize(m, 0.0);
+        let GarScratch {
+            ref dist2,
+            ref active,
+            ref mut scores,
+            ref mut pool,
+            ref mut col,
+            ref mut sort_buf,
+            ..
+        } = *self;
+        compute::run_sharded(
+            pool,
+            col,
+            sort_buf,
+            ShardOp::KrumScores { k },
+            m,
+            m - 1,
+            &|range, values| {
+                values.clear();
+                for pos_a in range {
+                    let row = active[pos_a] * n;
+                    for (pos_b, &member_b) in active.iter().enumerate() {
+                        if pos_b != pos_a {
+                            values.push(dist2[row + member_b]);
+                        }
+                    }
                 }
-            }
-            self.neigh
-                .sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite distances")); // lint:allow(panic-unwrap, reason = "distances between finite gradients; NaN is excluded by the kernel contract")
-            self.scores.push(self.neigh[..k].iter().sum());
-        }
+            },
+            scores,
+        );
     }
 }
 

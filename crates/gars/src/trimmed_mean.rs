@@ -1,7 +1,8 @@
 //! Coordinate-wise trimmed mean (Yin et al., ICML 2018).
 
+use crate::compute::{self, ShardOp};
 use crate::{check_input, Gar, GarError, GarScratch};
-use dpbyz_tensor::{stats, Vector};
+use dpbyz_tensor::Vector;
 
 /// Coordinate-wise `f`-trimmed mean: per coordinate, drop the `f` smallest
 /// and `f` largest values and average the rest.
@@ -51,20 +52,32 @@ impl Gar for TrimmedMean {
         let n = gradients.len();
         check_tolerance(n, f)?;
         out.resize(dim, 0.0);
+        // Columns are independent, so the coordinate loop shards over the
+        // scratch's compute pool — bit-identical to the serial loop at any
+        // pool size.
         let GarScratch {
+            ref mut pool,
             ref mut col,
             ref mut sort_buf,
             ..
         } = *scratch;
-        col.clear();
-        col.resize(n, 0.0);
-        for j in 0..dim {
-            for (i, g) in gradients.iter().enumerate() {
-                col[i] = g[j];
-            }
-            // lint:allow(panic-unwrap, reason = "2f < n is enforced by the tolerance check above")
-            out[j] = stats::trimmed_mean_with(col, f, sort_buf).expect("2f < n");
-        }
+        compute::run_sharded(
+            pool,
+            col,
+            sort_buf,
+            ShardOp::TrimmedMean { trim: f },
+            dim,
+            n,
+            &|range, values| {
+                values.clear();
+                for j in range {
+                    for g in gradients {
+                        values.push(g[j]);
+                    }
+                }
+            },
+            out.as_mut_slice(),
+        );
         Ok(())
         // lint:end(zero-copy)
     }

@@ -135,6 +135,30 @@ fn marker_findings_cannot_be_waived() {
     assert_at(&a, rules::RULE_MARKER, "crates/core/src/lib.rs", 10);
 }
 
+/// The determinism rule set must cover the intra-round parallel
+/// aggregation files by path prefix — a new file under the GAR or kernel
+/// trees is in scope automatically, never by enumeration.
+#[test]
+fn determinism_rules_cover_the_parallel_aggregation_files() {
+    for file in [
+        "crates/gars/src/compute.rs",
+        "crates/gars/src/scratch.rs",
+        "crates/tensor/src/kernels.rs",
+    ] {
+        for rule in [
+            rules::RULE_WALL_CLOCK,
+            rules::RULE_AMBIENT_RNG,
+            rules::RULE_UNORDERED_MAP,
+        ] {
+            assert!(rules::rule_applies(rule, file), "{rule} must cover {file}");
+        }
+        assert!(
+            rules::rule_applies(rules::RULE_ZERO_COPY, file),
+            "zero-copy regions must be honoured in {file}"
+        );
+    }
+}
+
 /// The acceptance gate: the actual workspace lints clean. Every remaining
 /// unwrap/expect in library code carries a reasoned waiver and the wire
 /// surface is panic-free.

@@ -77,6 +77,8 @@ pub enum ConfigError {
         /// Offending cap.
         max: usize,
     },
+    /// Aggregation thread count must be positive.
+    ZeroAggThreads,
 }
 
 impl fmt::Display for ConfigError {
@@ -95,6 +97,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "batch growth requires factor >= 1 and max >= batch_size, got factor {factor}, max {max}"
             ),
+            ConfigError::ZeroAggThreads => {
+                write!(f, "aggregation thread count must be positive (1 = serial)")
+            }
         }
     }
 }
@@ -142,6 +147,12 @@ pub struct TrainingConfig {
     /// Dynamic batch-size growth (§7's "dynamic sampling"). `None` keeps
     /// the batch constant.
     pub batch_growth: Option<BatchGrowth>,
+    /// Intra-round aggregation parallelism: the GAR's coordinate and
+    /// candidate loops shard over this many threads (1 = serial, the
+    /// default). The parallel result is bit-identical to serial at any
+    /// count, so this is a pure throughput knob — it never changes a
+    /// training trajectory.
+    pub agg_threads: usize,
 }
 
 impl TrainingConfig {
@@ -196,6 +207,7 @@ impl Default for TrainingConfigBuilder {
                 drop_rate: 0.0,
                 gradient_ema: None,
                 batch_growth: None,
+                agg_threads: 1,
             },
         }
     }
@@ -275,6 +287,12 @@ impl TrainingConfigBuilder {
         self
     }
 
+    /// Sets the intra-round aggregation thread count (1 = serial).
+    pub fn agg_threads(mut self, threads: usize) -> Self {
+        self.config.agg_threads = threads;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -313,6 +331,9 @@ impl TrainingConfigBuilder {
                 return Err(ConfigError::BadBatchGrowth { factor, max });
             }
         }
+        if c.agg_threads == 0 {
+            return Err(ConfigError::ZeroAggThreads);
+        }
         Ok(c)
     }
 }
@@ -332,6 +353,7 @@ mod tests {
         assert_eq!(c.momentum, 0.99);
         assert_eq!(c.clip, 1e-2);
         assert_eq!(c.eval_every, 50);
+        assert_eq!(c.agg_threads, 1);
         assert_eq!(c.n_honest(), 6);
     }
 
@@ -347,11 +369,13 @@ mod tests {
             .eval_every(0)
             .lr(LrSchedule::InvT { gamma0: 1.0 })
             .attack_visibility(AttackVisibility::PreNoise)
+            .agg_threads(4)
             .build()
             .unwrap();
         assert_eq!(c.n_workers, 7);
         assert_eq!(c.momentum_mode, MomentumMode::Worker);
         assert_eq!(c.attack_visibility, AttackVisibility::PreNoise);
+        assert_eq!(c.agg_threads, 4);
     }
 
     #[test]
@@ -421,6 +445,10 @@ mod tests {
         assert!(matches!(
             TrainingConfig::builder().clip(0.0).build(),
             Err(ConfigError::BadClip(_))
+        ));
+        assert!(matches!(
+            TrainingConfig::builder().agg_threads(0).build(),
+            Err(ConfigError::ZeroAggThreads)
         ));
     }
 

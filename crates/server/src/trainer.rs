@@ -147,6 +147,10 @@ impl ServerCore {
     ) -> Self {
         let dim = params.dim();
         buffers.dim = dim;
+        // All three engines build their core here, so this single call
+        // plumbs the intra-round aggregation parallelism everywhere. 1 (the
+        // default) is the serial path; any count is bit-identical to it.
+        buffers.gar_scratch.set_parallelism(config.agg_threads);
         let steps = config.steps as usize;
         // Pre-reserve the eval curve too (0 when evaluation is disabled),
         // so steady-state rounds never grow a metrics vector.

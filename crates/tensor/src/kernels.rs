@@ -37,6 +37,23 @@
 /// summation order is part of the reproducibility contract.
 pub const LANES: usize = 4;
 
+/// Reduction lengths below this take the sequential scalar path. At small
+/// `d` the blocked loop's lane setup costs more than it saves — the
+/// committed `results/BENCH_kernels.json` baseline had `squared_distance`
+/// at `d = 10` *slower* vectorized than scalar (14.1 vs 10.9) — and
+/// inputs this short barely vectorize anyway. Applied to [`dot`],
+/// [`sum_squares`], and [`squared_distance`]; [`sum`] deliberately keeps
+/// the blocked path at every length because its dominant callers are the
+/// cohort-length coordinate statistics (`n ≲ 16` values per column) whose
+/// blocked summation order is pinned by the golden history digests.
+pub const SCALAR_CUTOFF: usize = 16;
+
+/// Coordinate tile width of [`pairwise_squared_distances_tiled`]: a
+/// multiple of [`LANES`] sized so one tile of every row in a typical
+/// cohort (n ≈ 11 workers, 8·`TILE` bytes per row) stays cache-resident
+/// while all O(n²) pairs consume it.
+const TILE: usize = 512;
+
 /// Scalar reference implementations: the historical sequential loops,
 /// kept as the ground truth for the equivalence suite and the
 /// scalar-vs-vectorized benchmarks. Do not route hot paths through these.
@@ -97,6 +114,9 @@ fn combine(acc: [f64; LANES]) -> f64 {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    if a.len() < SCALAR_CUTOFF {
+        return reference::dot(a, b);
+    }
     let mut acc = [-0.0; LANES];
     let blocks = a.len() / LANES * LANES;
     for (ab, bb) in a[..blocks]
@@ -137,6 +157,9 @@ pub fn sum(xs: &[f64]) -> f64 {
 /// 4-lane blocked sum of squares `Σ xᵢ²`.
 #[inline]
 pub fn sum_squares(xs: &[f64]) -> f64 {
+    if xs.len() < SCALAR_CUTOFF {
+        return reference::sum_squares(xs);
+    }
     let mut acc = [-0.0; LANES];
     let chunks = xs.chunks_exact(LANES);
     let rem = chunks.remainder();
@@ -161,6 +184,9 @@ pub fn sum_squares(xs: &[f64]) -> f64 {
 #[inline]
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    if a.len() < SCALAR_CUTOFF {
+        return reference::squared_distance(a, b);
+    }
     let mut acc = [-0.0; LANES];
     let blocks = a.len() / LANES * LANES;
     for (ab, bb) in a[..blocks]
@@ -209,6 +235,109 @@ pub fn pairwise_squared_distances<R: AsRef<[f64]>>(
             out[b * m + a] = d;
         }
     }
+}
+
+/// Cache-tiled variant of [`pairwise_squared_distances`] for large `d`:
+/// the coordinate range is processed in `TILE`-wide (512) blocks, and within
+/// each block every pair advances its own persistent `LANES` lane
+/// accumulators — so the `m` rows stream through cache **once per tile**
+/// (all O(m²) pairs consume a tile while it is resident) instead of once
+/// per pair. For every pair the lane accumulators see exactly the same
+/// block sequence in exactly the same order as the untiled
+/// [`squared_distance`] kernel, so the result is **bit-identical** to the
+/// untiled fill at every `d` (pinned by tests below); only the memory
+/// traffic changes. Inputs with `m < 2` or `d <` [`SCALAR_CUTOFF`]
+/// delegate to the untiled kernel (which itself dispatches to the scalar
+/// path there).
+///
+/// `acc` is the caller-provided per-pair lane-accumulator buffer — reused
+/// across rounds so the tiled fill stays allocation-free at steady state,
+/// like `out`.
+///
+/// # Panics
+///
+/// Panics if a member index is out of bounds or row lengths differ.
+pub fn pairwise_squared_distances_tiled<R: AsRef<[f64]>>(
+    rows: &[R],
+    members: &[usize],
+    out: &mut Vec<f64>,
+    acc: &mut Vec<[f64; LANES]>,
+) {
+    pairwise_tiled_with(rows, members, out, acc, TILE)
+}
+
+/// [`pairwise_squared_distances_tiled`] with an explicit tile width —
+/// private so the tile size stays an internal tuning knob, but directly
+/// exercised by the boundary tests below.
+fn pairwise_tiled_with<R: AsRef<[f64]>>(
+    rows: &[R],
+    members: &[usize],
+    out: &mut Vec<f64>,
+    acc: &mut Vec<[f64; LANES]>,
+    tile: usize,
+) {
+    debug_assert!(
+        tile >= LANES && tile.is_multiple_of(LANES),
+        "tile must block lanes"
+    );
+    let m = members.len();
+    let dim = if m == 0 {
+        0
+    } else {
+        rows[members[0]].as_ref().len()
+    };
+    if m < 2 || dim < SCALAR_CUTOFF {
+        return pairwise_squared_distances(rows, members, out);
+    }
+    // lint:begin(zero-copy)
+    out.clear();
+    out.resize(m * m, 0.0);
+    let pairs = m * (m - 1) / 2;
+    acc.clear();
+    acc.resize(pairs, [-0.0; LANES]);
+    let blocks = dim / LANES * LANES;
+    let mut start = 0;
+    while start < blocks {
+        let end = (start + tile).min(blocks);
+        let mut p = 0;
+        for a in 0..m {
+            let row_a = &rows[members[a]].as_ref()[start..end];
+            for b in (a + 1)..m {
+                let row_b = &rows[members[b]].as_ref()[start..end];
+                let lanes = &mut acc[p];
+                for (ab, bb) in row_a.chunks_exact(LANES).zip(row_b.chunks_exact(LANES)) {
+                    let d0 = ab[0] - bb[0];
+                    let d1 = ab[1] - bb[1];
+                    let d2 = ab[2] - bb[2];
+                    let d3 = ab[3] - bb[3];
+                    lanes[0] += d0 * d0;
+                    lanes[1] += d1 * d1;
+                    lanes[2] += d2 * d2;
+                    lanes[3] += d3 * d3;
+                }
+                p += 1;
+            }
+        }
+        start = end;
+    }
+    // Combine + sequential tail, per pair — identical to the epilogue of
+    // the untiled kernel.
+    let mut p = 0;
+    for a in 0..m {
+        let row_a = rows[members[a]].as_ref();
+        for b in (a + 1)..m {
+            let row_b = rows[members[b]].as_ref();
+            let mut total = combine(acc[p]);
+            for (x, y) in row_a[blocks..].iter().zip(&row_b[blocks..]) {
+                let d = x - y;
+                total += d * d;
+            }
+            out[a * m + b] = total;
+            out[b * m + a] = total;
+            p += 1;
+        }
+    }
+    // lint:end(zero-copy)
 }
 
 /// Lane-unrolled `out[i] += alpha * x[i]` (elementwise: bit-identical to
@@ -337,12 +466,13 @@ mod tests {
 
     #[test]
     fn short_inputs_are_bit_identical_to_reference() {
-        // Below one block the lane loop never runs: the blocked kernels
-        // degenerate to the sequential fold exactly.
-        for len in 0..LANES {
+        // Below one block the lane loop never runs (so even an undispatched
+        // blocked kernel degenerates to the sequential fold), and from
+        // there up to SCALAR_CUTOFF the dispatched kernels take the scalar
+        // path outright: either way, bit-identical to the reference.
+        for len in 0..SCALAR_CUTOFF {
             let xs: Vec<f64> = (0..len).map(|i| 0.1 + i as f64).collect();
             let ys: Vec<f64> = (0..len).map(|i| -1.5 * i as f64).collect();
-            assert_eq!(sum(&xs).to_bits(), reference::sum(&xs).to_bits());
             assert_eq!(
                 sum_squares(&xs).to_bits(),
                 reference::sum_squares(&xs).to_bits()
@@ -352,6 +482,62 @@ mod tests {
                 squared_distance(&xs, &ys).to_bits(),
                 reference::squared_distance(&xs, &ys).to_bits()
             );
+        }
+        // `sum` is identical only below one block — beyond that it keeps
+        // the blocked path (see the next test).
+        for len in 0..LANES {
+            let xs: Vec<f64> = (0..len).map(|i| 0.1 + i as f64).collect();
+            assert_eq!(sum(&xs).to_bits(), reference::sum(&xs).to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_keeps_the_blocked_path_below_the_cutoff() {
+        // `sum` is excluded from the small-length scalar dispatch: its
+        // blocked summation order at cohort lengths (n ≲ 16) is pinned by
+        // the golden history digests. Assert the exact blocked order for a
+        // length between LANES and SCALAR_CUTOFF.
+        let xs: Vec<f64> = (0..9).map(|i| 0.1 + 1e15 * i as f64).collect();
+        let mut acc = [-0.0f64; LANES];
+        for block in xs.chunks_exact(LANES) {
+            for (lane, &x) in acc.iter_mut().zip(block) {
+                *lane += x;
+            }
+        }
+        let mut expected = combine(acc);
+        for &x in xs.chunks_exact(LANES).remainder() {
+            expected += x;
+        }
+        assert_eq!(sum(&xs).to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn tiled_pairwise_is_bit_identical_to_untiled() {
+        // Dims straddling the lane, cutoff, and tile boundaries; every
+        // entry must match the untiled fill bit for bit.
+        let mut rng = crate::Prng::seed_from_u64(11);
+        for &dim in &[0usize, 1, 3, 15, 16, 17, 63, 64, 65, 511, 512, 513, 1030] {
+            let rows: Vec<Vec<f64>> = (0..7)
+                .map(|_| rng.normal_vector(dim.max(1), 1.0).into_vec()[..dim].to_vec())
+                .collect();
+            let members = [5usize, 0, 3, 6, 1];
+            let mut untiled = Vec::new();
+            pairwise_squared_distances(&rows, &members, &mut untiled);
+            let mut tiled = vec![7.0; 3]; // dirty, wrong size
+            let mut acc = Vec::new();
+            pairwise_squared_distances_tiled(&rows, &members, &mut tiled, &mut acc);
+            assert_eq!(tiled.len(), untiled.len(), "dim {dim}");
+            for (i, (a, b)) in tiled.iter().zip(&untiled).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "dim {dim}, entry {i}");
+            }
+            // The tile width must be bit-invisible too.
+            for &tile in &[LANES, 8, 64] {
+                let mut narrow = Vec::new();
+                pairwise_tiled_with(&rows, &members, &mut narrow, &mut acc, tile);
+                for (a, b) in narrow.iter().zip(&untiled) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dim {dim}, tile {tile}");
+                }
+            }
         }
     }
 
@@ -431,6 +617,29 @@ mod tests {
             let mut dst = vec![1.0; 3];
             copy(&xs, &mut dst);
             prop_assert_eq!(&dst, &xs);
+        }
+
+        #[test]
+        fn prop_tiled_pairwise_bit_identical(
+            seed in 0u64..300,
+            n in 2usize..8,
+            dim in 1usize..260,
+            tile_pow in 0u32..6,
+        ) {
+            let tile = LANES << tile_pow;
+            let mut rng = crate::Prng::seed_from_u64(seed);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| rng.normal_vector(dim, 1.0).into_vec())
+                .collect();
+            let members: Vec<usize> = (0..n).collect();
+            let mut untiled = Vec::new();
+            let mut tiled = Vec::new();
+            let mut acc = Vec::new();
+            pairwise_squared_distances(&rows, &members, &mut untiled);
+            pairwise_tiled_with(&rows, &members, &mut tiled, &mut acc, tile);
+            for (a, b) in tiled.iter().zip(&untiled) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
 
         #[test]

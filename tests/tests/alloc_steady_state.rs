@@ -61,13 +61,20 @@ const STEPS: u32 = 40;
 /// Runs one cell and returns the cumulative allocation count observed at
 /// the end of every step.
 fn per_step_allocation_counts(gar: Arc<dyn Gar>) -> Vec<u64> {
-    per_step_allocation_counts_on(gar, false)
+    per_step_allocation_counts_on(gar, false, 1)
 }
 
-/// [`per_step_allocation_counts`] with engine selection: `threaded`
-/// exercises the full wire transport (frame arena encode → channel →
-/// decode) under the counting allocator.
-fn per_step_allocation_counts_on(gar: Arc<dyn Gar>, threaded: bool) -> Vec<u64> {
+/// [`per_step_allocation_counts`] with engine selection and intra-round
+/// aggregation parallelism: `threaded` exercises the full wire transport
+/// (frame arena encode → channel → decode) under the counting allocator;
+/// `agg_threads > 1` shards the GAR's coordinate/candidate loops over the
+/// compute pool, whose task packets must also recycle allocation-free
+/// once warm (worker threads and channel buffers land in round 1).
+fn per_step_allocation_counts_on(
+    gar: Arc<dyn Gar>,
+    threaded: bool,
+    agg_threads: usize,
+) -> Vec<u64> {
     let n = 5;
     let mut rng = Prng::seed_from_u64(11);
     let ds = Arc::new(synthetic::phishing_like(&mut rng, 400));
@@ -77,6 +84,7 @@ fn per_step_allocation_counts_on(gar: Arc<dyn Gar>, threaded: bool) -> Vec<u64> 
         .batch_size(10)
         .steps(STEPS)
         .eval_every(0)
+        .agg_threads(agg_threads)
         .build()
         .unwrap();
     let sources: Vec<Box<dyn BatchSource>> = (0..n)
@@ -148,20 +156,44 @@ fn median_cell_is_allocation_free_at_steady_state() {
 
 #[test]
 fn threaded_average_cell_is_allocation_free_at_steady_state() {
-    let counts = per_step_allocation_counts_on(Arc::new(Average::new()), true);
+    let counts = per_step_allocation_counts_on(Arc::new(Average::new()), true, 1);
     assert_steady_state_allocation_free("threaded/average/gaussian", &counts);
 }
 
 #[test]
 fn threaded_krum_cell_is_allocation_free_at_steady_state() {
-    let counts = per_step_allocation_counts_on(Arc::new(Krum::new()), true);
+    let counts = per_step_allocation_counts_on(Arc::new(Krum::new()), true, 1);
     assert_steady_state_allocation_free("threaded/krum/gaussian", &counts);
 }
 
 #[test]
 fn threaded_median_cell_is_allocation_free_at_steady_state() {
-    let counts = per_step_allocation_counts_on(Arc::new(CoordinateMedian::new()), true);
+    let counts = per_step_allocation_counts_on(Arc::new(CoordinateMedian::new()), true, 1);
     assert_steady_state_allocation_free("threaded/median/gaussian", &counts);
+}
+
+// The intra-round parallel aggregation path (`agg_threads > 1`) reaches
+// the same zero-allocations-per-round steady state: the pool's task
+// packets (column transposes, per-shard outputs, sort scratch) round-trip
+// through the worker channels and are recycled, so after the round-1
+// warm-up the parallel shard bodies allocate nothing.
+
+#[test]
+fn parallel_median_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts_on(Arc::new(CoordinateMedian::new()), false, 4);
+    assert_steady_state_allocation_free("median/gaussian/agg_threads=4", &counts);
+}
+
+#[test]
+fn parallel_krum_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts_on(Arc::new(Krum::new()), false, 4);
+    assert_steady_state_allocation_free("krum/gaussian/agg_threads=4", &counts);
+}
+
+#[test]
+fn threaded_parallel_median_cell_is_allocation_free_at_steady_state() {
+    let counts = per_step_allocation_counts_on(Arc::new(CoordinateMedian::new()), true, 4);
+    assert_steady_state_allocation_free("threaded/median/gaussian/agg_threads=4", &counts);
 }
 
 // ---- the TCP deployment -------------------------------------------------

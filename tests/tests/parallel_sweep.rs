@@ -171,6 +171,45 @@ fn zero_copy_engine_is_bit_identical_across_gars_engines_and_pool_sizes() {
 }
 
 #[test]
+fn agg_threads_keeps_histories_bit_identical_on_both_engines() {
+    // The intra-round aggregation pool (`agg_threads`) is the orthogonal
+    // parallel axis: it shards the GAR's coordinate/candidate loops
+    // *inside* a round. Any thread count must reproduce the serial
+    // history bit for bit, on both engines — cells pick rules from the
+    // sharded coordinate family and the Krum family.
+    let cells: [(&str, &str, usize); 3] = [
+        ("median", "sign-flip", 3),
+        ("krum", "alie", 2),
+        ("phocas", "foe", 3),
+    ];
+    for (gar, attack, f) in cells {
+        for threaded in [false, true] {
+            let build = |threads: usize| {
+                Experiment::builder()
+                    .steps(5)
+                    .dataset_size(250)
+                    .gar(gar)
+                    .attack(attack)
+                    .byzantine(f)
+                    .epsilon(0.3)
+                    .threaded(threaded)
+                    .agg_threads(threads)
+                    .build()
+                    .unwrap()
+            };
+            let serial = build(1).run_seeds(&SEEDS).unwrap();
+            for threads in [2usize, 8] {
+                let parallel = build(threads).run_seeds(&SEEDS).unwrap();
+                assert_eq!(
+                    serial, parallel,
+                    "{gar}/{attack}: agg_threads {threads}, threaded {threaded}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn observers_stream_without_perturbing_parallel_results() {
     let exp = attacked_experiment(false);
     let serial = exp.run_seeds(&SEEDS).unwrap();

@@ -56,6 +56,66 @@ fn aggregate_into_matches_aggregate_for_every_gar_with_dirty_scratch() {
 }
 
 #[test]
+fn parallel_aggregation_is_bit_identical_to_serial_for_every_gar() {
+    // The intra-round parallel path must be bit-identical to serial at any
+    // pool size. One scratch per pool size, REUSED dirty across every rule
+    // and round, with the serial reference computed on a separate dirty
+    // scratch — the exact server usage pattern plus the parallel knob.
+    let mut serial = GarScratch::new();
+    let mut out_serial = Vector::from(vec![-3.0; 2]);
+    for &threads in &[2usize, 8] {
+        let mut parallel = GarScratch::new();
+        parallel.set_parallelism(threads);
+        let mut out_parallel = Vector::from(vec![42.0; 7]);
+        for round in 0..4u64 {
+            let grads = random_gradients(round, 11, 33);
+            for gar in all_gars() {
+                let f = tolerated_f(gar.as_ref());
+                gar.aggregate_into(&grads, f, &mut serial, &mut out_serial)
+                    .unwrap();
+                gar.aggregate_into(&grads, f, &mut parallel, &mut out_parallel)
+                    .unwrap();
+                assert!(
+                    bits_equal(&out_serial, &out_parallel),
+                    "{} diverged at {threads} threads on round {round}",
+                    gar.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn switching_pool_size_on_one_scratch_preserves_results() {
+    // The server owns ONE scratch; resizing its pool mid-life (1 → 8 → 2
+    // → 1) must never change an aggregation result. Also exercises thread
+    // reclamation on shrink.
+    let grads = random_gradients(11, 11, 65);
+    let mut scratch = GarScratch::new();
+    let mut out = Vector::default();
+    let mut reference: Vec<Vector> = Vec::new();
+    for gar in all_gars() {
+        let f = tolerated_f(gar.as_ref());
+        gar.aggregate_into(&grads, f, &mut scratch, &mut out)
+            .unwrap();
+        reference.push(out.clone());
+    }
+    for &threads in &[8usize, 2, 1] {
+        scratch.set_parallelism(threads);
+        for (gar, expected) in all_gars().iter().zip(&reference) {
+            let f = tolerated_f(gar.as_ref());
+            gar.aggregate_into(&grads, f, &mut scratch, &mut out)
+                .unwrap();
+            assert!(
+                bits_equal(expected, &out),
+                "{} diverged after resizing the pool to {threads}",
+                gar.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn aggregate_into_matches_on_adversarial_inputs() {
     // Duplicated vectors, exact ties, extreme outliers: the tie-breaking
     // paths must agree too.
