@@ -83,10 +83,13 @@ pub fn rule_summary(rule: &str) -> &'static str {
 }
 
 /// Path scope of the determinism rules: the pure round state machine,
-/// every GAR, the trainer round loop, the metrics/digest layer, and the
+/// the transport-generic drive loop, the seeded chaos simulator, every
+/// GAR, the trainer round loop, the metrics/digest layer, and the
 /// tensor kernels under all of them.
 const DETERMINISM_SCOPE: &[&str] = &[
     "crates/net/src/machine.rs",
+    "crates/net/src/sim.rs",
+    "crates/net/src/transport.rs",
     "crates/gars/src/",
     "crates/server/src/trainer.rs",
     "crates/server/src/metrics.rs",

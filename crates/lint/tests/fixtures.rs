@@ -159,6 +159,28 @@ fn determinism_rules_cover_the_parallel_aggregation_files() {
     }
 }
 
+/// The chaos transport layer is determinism-scoped too: the seeded
+/// simulator and the transport-generic drive loop must never read wall
+/// clocks, ambient RNG, or iteration-unordered maps — same seed, same
+/// byte-level event order is the whole contract. The sim hot loop also
+/// honours zero-copy regions.
+#[test]
+fn determinism_rules_cover_the_chaos_transport_files() {
+    for file in ["crates/net/src/sim.rs", "crates/net/src/transport.rs"] {
+        for rule in [
+            rules::RULE_WALL_CLOCK,
+            rules::RULE_AMBIENT_RNG,
+            rules::RULE_UNORDERED_MAP,
+        ] {
+            assert!(rules::rule_applies(rule, file), "{rule} must cover {file}");
+        }
+        assert!(
+            rules::rule_applies(rules::RULE_ZERO_COPY, file),
+            "zero-copy regions must be honoured in {file}"
+        );
+    }
+}
+
 /// The acceptance gate: the actual workspace lints clean. Every remaining
 /// unwrap/expect in library code carries a reasoned waiver and the wire
 /// surface is panic-free.

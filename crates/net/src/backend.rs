@@ -19,6 +19,7 @@
 //!   phase deadlines (default 10 000 each).
 
 use crate::coordinator::{CoordinatorConfig, CoordinatorError, TcpCoordinator};
+use crate::protocol::session_token;
 use crate::worker::{run_worker, WorkerConfig};
 use dpbyz_core::engine::register_backend;
 use dpbyz_core::pipeline::{Experiment, PipelineError};
@@ -26,6 +27,51 @@ use dpbyz_core::{ComponentSpec, EngineBackend, RegistryError};
 use dpbyz_server::{RunHistory, RunObserver, RunScratch};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Resolves and validates the deployment shape shared by every
+/// distributed backend (`"tcp"` and `"sim"`): how many honest workers
+/// connect, the join gate, and the per-round quorum. Misconfiguration
+/// surfaces as a [`PipelineError::Spec`] instead of a hung join phase.
+pub(crate) fn resolve_deployment(
+    label: &str,
+    exp: &Experiment,
+    min_workers: Option<usize>,
+    quorum: Option<usize>,
+) -> Result<(usize, usize, usize), PipelineError> {
+    let n_workers = exp.config.n_workers;
+    let n_honest = if exp.attack.is_some() {
+        exp.config.n_honest()
+    } else {
+        n_workers
+    };
+    let min_workers = min_workers.unwrap_or(n_honest);
+    if min_workers > n_workers {
+        return Err(PipelineError::Spec(format!(
+            "{label} backend: min_workers {min_workers} exceeds n_workers {n_workers} \
+             — the join gate could never open"
+        )));
+    }
+    if min_workers > n_honest {
+        return Err(PipelineError::Spec(format!(
+            "{label} backend: min_workers {min_workers} exceeds the {n_honest} honest \
+             workers; Byzantine colluders are simulated server-side and never \
+             join, so at most {n_honest} processes ever connect"
+        )));
+    }
+    let quorum = quorum
+        .unwrap_or_else(|| {
+            n_honest
+                .saturating_sub(exp.config.n_byzantine)
+                .max(min_workers)
+        })
+        .max(1);
+    if quorum > n_honest {
+        return Err(PipelineError::Spec(format!(
+            "{label} backend: quorum {quorum} exceeds the {n_honest} honest workers"
+        )));
+    }
+    Ok((n_honest, min_workers, quorum))
+}
 
 /// The TCP deployment backend. Build via the registry (`"tcp"` after
 /// [`install`]) or [`TcpBackend::from_spec`].
@@ -64,42 +110,8 @@ impl EngineBackend for TcpBackend {
         observer: Option<Box<dyn RunObserver>>,
         scratch: &mut RunScratch,
     ) -> Result<RunHistory, PipelineError> {
-        let n_workers = exp.config.n_workers;
-        let n_honest = if exp.attack.is_some() {
-            exp.config.n_honest()
-        } else {
-            n_workers
-        };
-
-        // Deployment-shape validation, surfaced as Spec errors instead of
-        // a hung join phase.
-        let min_workers = self.min_workers.unwrap_or(n_honest);
-        if min_workers > n_workers {
-            return Err(PipelineError::Spec(format!(
-                "tcp backend: min_workers {min_workers} exceeds n_workers {n_workers} \
-                 — the join gate could never open"
-            )));
-        }
-        if min_workers > n_honest {
-            return Err(PipelineError::Spec(format!(
-                "tcp backend: min_workers {min_workers} exceeds the {n_honest} honest \
-                 workers; Byzantine colluders are simulated server-side and never \
-                 join, so at most {n_honest} processes ever connect"
-            )));
-        }
-        let quorum = self
-            .quorum
-            .unwrap_or_else(|| {
-                n_honest
-                    .saturating_sub(exp.config.n_byzantine)
-                    .max(min_workers)
-            })
-            .max(1);
-        if quorum > n_honest {
-            return Err(PipelineError::Spec(format!(
-                "tcp backend: quorum {quorum} exceeds the {n_honest} honest workers"
-            )));
-        }
+        let (n_honest, min_workers, quorum) =
+            resolve_deployment("tcp", exp, self.min_workers, self.quorum)?;
 
         let mut trainer = exp.build_trainer()?;
         if let Some(observer) = observer {
@@ -115,6 +127,7 @@ impl EngineBackend for TcpBackend {
                 join_timeout: self.join_timeout,
                 warmup_timeout: self.warmup_timeout,
                 step_timeout: self.step_timeout,
+                ..CoordinatorConfig::default()
             },
         )
         .map_err(|e| PipelineError::Spec(format!("tcp backend: bind failed: {e}")))?;
@@ -123,10 +136,19 @@ impl EngineBackend for TcpBackend {
             .map_err(|e| PipelineError::Spec(format!("tcp backend: local_addr failed: {e}")))?;
 
         // One session thread per honest worker — same wire protocol the
-        // standalone `worker` binary speaks.
+        // standalone `worker` binary speaks. Each carries its session
+        // token so a lost socket resumes via REJOIN instead of failing
+        // the run.
         let handles: Vec<_> = workers
             .into_iter()
-            .map(|w| std::thread::spawn(move || run_worker(addr, w, WorkerConfig::default())))
+            .map(|w| {
+                let cfg = WorkerConfig {
+                    session_token: Some(session_token(seed, w.id())),
+                    max_rejoins: 3,
+                    ..WorkerConfig::default()
+                };
+                std::thread::spawn(move || run_worker(addr, w, cfg))
+            })
             .collect();
 
         let result = coordinator.run(core, n_honest, seed, scratch);

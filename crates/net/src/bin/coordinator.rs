@@ -112,6 +112,7 @@ fn main() {
         join_timeout: Duration::from_millis(parsed(&args, "--join-timeout-ms", 10_000)),
         warmup_timeout: Duration::from_millis(parsed(&args, "--join-timeout-ms", 10_000)),
         step_timeout: Duration::from_millis(parsed(&args, "--step-timeout-ms", 10_000)),
+        resume_window: parsed(&args, "--resume-window", 8),
     };
 
     let coordinator = match TcpCoordinator::bind(listen.as_str(), cfg) {

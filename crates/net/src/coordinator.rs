@@ -1,5 +1,5 @@
-//! The coordinator process: a single-threaded nonblocking socket loop
-//! driving the [`RoundStateMachine`] and the shared [`ServerCore`].
+//! The TCP [`Transport`]: a single-threaded nonblocking socket loop
+//! behind the generic [`drive`] control flow.
 //!
 //! Division of labour:
 //!
@@ -8,58 +8,44 @@
 //! * the **core** decides *what* — forgeries, fault semantics,
 //!   aggregation, the model update — exactly as the in-process engines
 //!   drive it, which is what makes the TCP run's history bit-identical;
-//! * this loop only moves bytes between the two.
+//! * this transport only moves bytes between the two.
+//!
+//! Churn handling: a dead socket is **not** permanent. The transport
+//! surfaces it as [`Event::Detached`] (the machine keeps the worker
+//! joined, zeroing its rounds like a straggler's), keeps accepting
+//! connections in every live phase, and lets the worker resume through
+//! the [`KIND_REJOIN`] handshake — token check, then a [`ResumeRing`]
+//! replay of every missed broadcast so the worker's state catches up
+//! exactly as if it had merely straggled. Inbound gradient frames pass a
+//! [`GradGuard`] before touching an output slot, so duplicated or
+//! reordered frames (chaos links, retransmissions after a rejoin) never
+//! clobber the current round's report.
 //!
 //! The loop is allocation-disciplined: per-connection [`FrameReader`]s,
-//! one broadcast scratch [`BytesMut`], the output slots from the shared
-//! [`RunScratch`], and the machine's recycled action/straggler buffers
-//! are all reused round after round. The counting-allocator integration
-//! test pins the steady state (tolerating only what the OS charges for
-//! socket buffering).
+//! one broadcast scratch [`BytesMut`], the ring's recycled frame
+//! buffers, the output slots from the shared [`RunScratch`], and the
+//! machine's recycled action/straggler buffers are all reused round
+//! after round. The counting-allocator integration test pins the steady
+//! state (tolerating only what the OS charges for socket buffering).
+//!
+//! [`RunScratch`]: dpbyz_server::RunScratch
 
-use crate::machine::{Action, Event, MachineConfig, Phase, RoundStateMachine};
+use crate::machine::{Event, MachineConfig, Phase};
 use crate::protocol::{
-    begin_frame, elapsed_ms, end_frame, write_all_frame, FrameReader, KIND_ABORT, KIND_DONE,
-    KIND_GRAD, KIND_JOIN, KIND_READY, KIND_STEP, KIND_WARMUP,
+    begin_frame, decode_grad, elapsed_ms, end_frame, peek_grad, session_token, write_all_frame,
+    Admission, FrameReader, GradGuard, KIND_ABORT, KIND_DONE, KIND_GRAD, KIND_JOIN, KIND_READY,
+    KIND_REJOIN, KIND_STEP, KIND_WARMUP,
 };
+use crate::transport::{current_step, drive, ResumeRing, Transport};
 use bytes::{BufMut, BytesMut};
-use dpbyz_gars::GarError;
-use dpbyz_server::message::{read_array, GradientMessage, MessageError, StepMessage};
-use dpbyz_server::{RunHistory, RunScratch, ServerCore};
-use std::fmt;
+use dpbyz_server::message::{read_array, StepMessage};
+use dpbyz_server::{RunHistory, RunScratch, ServerCore, WorkerOutput};
+use dpbyz_tensor::Vector;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-/// Why a coordinated run failed.
-#[derive(Debug)]
-pub enum CoordinatorError {
-    /// Listener/socket failure.
-    Io(io::Error),
-    /// The aggregation rule rejected the topology mid-run.
-    Gar(GarError),
-    /// The state machine aborted (below `min_workers`, below quorum);
-    /// reason attached.
-    Aborted(String),
-}
-
-impl fmt::Display for CoordinatorError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CoordinatorError::Io(e) => write!(f, "transport: {e}"),
-            CoordinatorError::Gar(e) => write!(f, "aggregation: {e}"),
-            CoordinatorError::Aborted(reason) => write!(f, "run aborted: {reason}"),
-        }
-    }
-}
-
-impl std::error::Error for CoordinatorError {}
-
-impl From<io::Error> for CoordinatorError {
-    fn from(e: io::Error) -> Self {
-        CoordinatorError::Io(e)
-    }
-}
+pub use crate::transport::CoordinatorError;
 
 /// Deployment knobs of one coordinated run.
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +63,11 @@ pub struct CoordinatorConfig {
     pub warmup_timeout: Duration,
     /// Per-step deadline, measured from the step broadcast.
     pub step_timeout: Duration,
+    /// Broadcast frames the [`ResumeRing`] retains for `Rejoin` replay: a
+    /// worker more than this many rounds behind cannot resume (it stays
+    /// detached, zeroed every round, and the quorum logic owns the
+    /// consequences).
+    pub resume_window: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -87,6 +78,7 @@ impl Default for CoordinatorConfig {
             join_timeout: Duration::from_secs(10),
             warmup_timeout: Duration::from_secs(10),
             step_timeout: Duration::from_secs(10),
+            resume_window: 8,
         }
     }
 }
@@ -152,7 +144,7 @@ impl TcpCoordinator {
     /// See [`CoordinatorError`].
     pub fn run(
         self,
-        mut core: ServerCore,
+        core: ServerCore,
         n_honest: usize,
         seed: u64,
         scratch: &mut RunScratch,
@@ -166,214 +158,265 @@ impl TcpCoordinator {
             warmup_deadline_ms: self.cfg.warmup_timeout.as_millis() as u64,
             step_deadline_ms: self.cfg.step_timeout.as_millis() as u64,
         };
-        let start = Instant::now();
-        let mut machine = RoundStateMachine::new(machine_cfg, 0);
+        let mut transport = TcpTransport {
+            listener: self.listener,
+            start: Instant::now(),
+            seed,
+            conns: (0..n_honest).map(|_| None).collect(),
+            pending: Vec::new(),
+            ever_joined: vec![false; n_honest],
+            guard: GradGuard::new(n_honest),
+            ring: ResumeRing::new(self.cfg.resume_window),
+            send: BytesMut::with_capacity(4096),
+            step_msg: BytesMut::with_capacity(4096),
+            dead_pending: Vec::new(),
+        };
+        drive(&mut transport, core, machine_cfg, seed, scratch)
+    }
+}
 
-        let mut conns: Vec<Option<Conn>> = (0..n_honest).map(|_| None).collect();
-        let mut pending: Vec<Conn> = Vec::new();
-        let mut outputs = scratch.take_outputs();
-        outputs.resize_with(n_honest, Default::default);
-        let mut actions: Vec<Action> = Vec::with_capacity(4);
-        let mut send = BytesMut::with_capacity(4096);
-        let mut step_msg = BytesMut::with_capacity(4096);
-        let dim = core.params().dim();
+/// The socket-side state behind [`TcpCoordinator::run`].
+struct TcpTransport {
+    listener: TcpListener,
+    start: Instant,
+    seed: u64,
+    conns: Vec<Option<Conn>>,
+    pending: Vec<Conn>,
+    /// Slots that joined at least once — the set `Rejoin` may resume.
+    ever_joined: Vec<bool>,
+    guard: GradGuard,
+    ring: ResumeRing,
+    send: BytesMut,
+    step_msg: BytesMut,
+    /// Connections lost during a broadcast (no events buffer in scope
+    /// there): reported as [`Event::Detached`] at the next poll.
+    dead_pending: Vec<u32>,
+}
 
-        let result = loop {
-            let now = elapsed_ms(start);
-            let mut progressed = false;
+impl Transport for TcpTransport {
+    fn now_ms(&mut self) -> u64 {
+        elapsed_ms(self.start)
+    }
 
-            // Accept new connections while the join gate is open.
-            if machine.phase() == Phase::WaitingForWorkers {
-                loop {
-                    match self.listener.accept() {
-                        Ok((stream, _)) => {
-                            if let Ok(conn) = Conn::new(stream) {
-                                pending.push(conn);
-                                progressed = true;
-                            }
+    fn poll(
+        &mut self,
+        phase: Phase,
+        outputs: &mut [WorkerOutput],
+        events: &mut Vec<Event>,
+    ) -> io::Result<bool> {
+        let mut progressed = false;
+
+        // Sockets lost mid-broadcast surface here, one poll later.
+        for id in self.dead_pending.drain(..) {
+            events.push(Event::Detached(id));
+            progressed = true;
+        }
+
+        // Accept connections in every live phase: fresh JOINs only pass
+        // the WaitingForWorkers gate below, but a REJOIN is welcome any
+        // time a run is in flight.
+        if !matches!(phase, Phase::Done | Phase::Aborted) {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Ok(conn) = Conn::new(stream) {
+                            self.pending.push(conn);
+                            progressed = true;
                         }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                        Err(e) => return Err(e.into()),
                     }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
                 }
             }
+        }
 
-            // Pending connections speak JOIN first or get dropped.
-            let mut i = 0;
-            while let Some(candidate) = pending.get_mut(i) {
-                match poll_join(candidate) {
-                    JoinPoll::Waiting => i += 1,
-                    JoinPoll::Dead => {
-                        pending.swap_remove(i);
-                    }
-                    JoinPoll::Joined(id) => {
-                        let conn = pending.swap_remove(i);
-                        match conns.get_mut(id as usize) {
-                            Some(entry) if entry.is_none() => {
-                                *entry = Some(conn);
-                                machine.on_event(Event::Joined(id), now, &mut actions);
-                                progressed = true;
+        // Pending connections speak JOIN or REJOIN first or get dropped.
+        let mut i = 0;
+        while let Some(candidate) = self.pending.get_mut(i) {
+            match poll_join(candidate) {
+                JoinPoll::Waiting => i += 1,
+                JoinPoll::Dead => {
+                    self.pending.swap_remove(i);
+                }
+                JoinPoll::Joined(id) => {
+                    let conn = self.pending.swap_remove(i);
+                    let fresh_gate_open = phase == Phase::WaitingForWorkers;
+                    match self.conns.get_mut(id as usize) {
+                        Some(entry) if entry.is_none() && fresh_gate_open => {
+                            *entry = Some(conn);
+                            if let Some(flag) = self.ever_joined.get_mut(id as usize) {
+                                *flag = true;
                             }
-                            // Out-of-range or duplicate id: connection
-                            // dropped.
-                            _ => {}
+                            events.push(Event::Joined(id));
+                            progressed = true;
                         }
+                        // Out-of-range, duplicate id, or the join gate
+                        // closed: connection dropped. A worker that lost
+                        // its socket mid-run resumes via REJOIN, never a
+                        // fresh JOIN.
+                        _ => {}
                     }
                 }
-            }
-
-            // Drain every joined connection.
-            for (id, (slot, out)) in conns.iter_mut().zip(outputs.iter_mut()).enumerate() {
-                let Some(conn) = slot.as_mut() else {
-                    continue;
-                };
-                let mut dead = false;
-                loop {
-                    match conn.reader.fill(&mut conn.stream) {
-                        Ok(0) => break,
-                        Ok(_) => progressed = true,
-                        Err(_) => {
-                            // EOF or socket error: the quorum/deadline
-                            // logic decides what the loss means.
-                            dead = true;
+                JoinPoll::Rejoin {
+                    id,
+                    token,
+                    next_slot,
+                } => {
+                    let mut conn = self.pending.swap_remove(i);
+                    let known = self.ever_joined.get(id as usize).copied().unwrap_or(false);
+                    if !known || token != session_token(self.seed, id) {
+                        continue; // unknown slot or bad token: dropped
+                    }
+                    let Some(frames) = self.ring.replay_from(next_slot) else {
+                        continue; // too far behind (or hostile): dropped
+                    };
+                    let mut alive = true;
+                    for frame in frames {
+                        if write_all_frame(&mut conn.stream, frame).is_err() {
+                            alive = false;
                             break;
                         }
                     }
+                    if alive {
+                        if let Some(entry) = self.conns.get_mut(id as usize) {
+                            // Displace any half-dead predecessor: the
+                            // newest connection is the session.
+                            *entry = Some(conn);
+                            events.push(Event::Reattached(id));
+                            progressed = true;
+                        }
+                    }
                 }
-                loop {
-                    match conn.reader.next_frame() {
-                        Ok(None) => break,
-                        Ok(Some((kind, payload))) => match kind {
-                            KIND_READY => {
-                                machine.on_event(Event::Ready(id as u32), now, &mut actions);
-                            }
-                            KIND_GRAD => match decode_grad(payload, id as u32, out) {
-                                Ok(step) => machine.on_event(
-                                    Event::Gradient {
-                                        id: id as u32,
-                                        step,
+            }
+        }
+
+        // Drain every attached connection.
+        let current = current_step(phase);
+        for (id, (slot, out)) in self.conns.iter_mut().zip(outputs.iter_mut()).enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            let mut dead = false;
+            loop {
+                match conn.reader.fill(&mut conn.stream) {
+                    Ok(0) => break,
+                    Ok(_) => progressed = true,
+                    Err(_) => {
+                        // EOF or socket error: the quorum/deadline
+                        // logic decides what the loss means.
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match conn.reader.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some((kind, payload))) => match kind {
+                        KIND_READY => {
+                            events.push(Event::Ready(id as u32));
+                        }
+                        KIND_GRAD => match peek_grad(payload) {
+                            Ok((wid, step)) if wid == id as u32 => {
+                                match self.guard.admit(wid, step, current) {
+                                    Admission::Fresh => match decode_grad(payload, wid, out) {
+                                        Ok(step) => {
+                                            events.push(Event::Gradient { id: wid, step });
+                                        }
+                                        // Malformed or misattributed
+                                        // report: the peer is garbage.
+                                        Err(_) => {
+                                            dead = true;
+                                            break;
+                                        }
                                     },
-                                    now,
-                                    &mut actions,
-                                ),
-                                // Malformed or misattributed report:
-                                // the peer is garbage, drop it.
-                                Err(_) => {
-                                    dead = true;
-                                    break;
+                                    // Retransmissions and late straggler
+                                    // reports are expected churn debris:
+                                    // classified, never decoded.
+                                    Admission::Duplicate | Admission::Stale => {}
+                                    // Nothing honest reports a step that
+                                    // was never broadcast.
+                                    Admission::Future => {
+                                        dead = true;
+                                        break;
+                                    }
                                 }
-                            },
-                            // A late JOIN re-send is harmless; anything
-                            // else is a protocol violation.
-                            KIND_JOIN => {}
+                            }
                             _ => {
                                 dead = true;
                                 break;
                             }
                         },
-                        Err(_) => {
+                        // A late JOIN/REJOIN re-send on an attached
+                        // connection is harmless; anything else is a
+                        // protocol violation.
+                        KIND_JOIN | KIND_REJOIN => {}
+                        _ => {
                             dead = true;
                             break;
                         }
+                    },
+                    Err(_) => {
+                        dead = true;
+                        break;
                     }
                 }
-                if dead {
-                    *slot = None;
-                }
             }
-
-            machine.tick(now, &mut actions);
-
-            // Process actions by index: `on_aggregated` appends while we
-            // walk (Action is Copy, so no borrow of the Vec is held).
-            let mut finished = false;
-            let mut a = 0;
-            while let Some(&action) = actions.get(a) {
-                match action {
-                    Action::StartWarmup => {
-                        begin_frame(&mut send, KIND_WARMUP);
-                        end_frame(&mut send);
-                        broadcast(&mut conns, &send);
-                    }
-                    Action::BroadcastStep(t) => {
-                        let batch = core.config().batch_at(t) as u32;
-                        StepMessage::encode_frame(t, batch, core.params(), &mut step_msg);
-                        begin_frame(&mut send, KIND_STEP);
-                        send.put_slice(&step_msg);
-                        end_frame(&mut send);
-                        broadcast(&mut conns, &send);
-                    }
-                    Action::Aggregate(t) => {
-                        // Absent submissions — stragglers this round, or
-                        // workers that never joined a short-handed run —
-                        // become zero vectors at the server, reusing the
-                        // fault-injection semantics of §2.1.
-                        for (id, out) in outputs.iter_mut().enumerate() {
-                            let absent = !machine.is_joined(id as u32)
-                                || machine.dropped().contains(&(id as u32));
-                            if absent {
-                                out.submitted.resize(dim, 0.0);
-                                out.submitted.fill(0.0);
-                                out.pre_noise.resize(dim, 0.0);
-                                out.pre_noise.fill(0.0);
-                                out.batch_loss = 0.0;
-                            }
-                        }
-                        if let Err(e) = core.process_round(t, &mut outputs) {
-                            break_run(&mut conns, &mut send, &e.to_string());
-                            scratch.restore_outputs(outputs);
-                            core.reclaim_scratch(scratch);
-                            return Err(CoordinatorError::Gar(e));
-                        }
-                        machine.on_aggregated(now, &mut actions);
-                    }
-                    Action::Finish => {
-                        begin_frame(&mut send, KIND_DONE);
-                        end_frame(&mut send);
-                        broadcast(&mut conns, &send);
-                        finished = true;
-                    }
-                    Action::Abort => {
-                        let reason = machine
-                            .abort_reason()
-                            .unwrap_or("state machine aborted")
-                            .to_string();
-                        break_run(&mut conns, &mut send, &reason);
-                        scratch.restore_outputs(outputs);
-                        core.reclaim_scratch(scratch);
-                        return Err(CoordinatorError::Aborted(reason));
-                    }
-                }
-                progressed = true;
-                a += 1;
+            if dead {
+                *slot = None;
+                events.push(Event::Detached(id as u32));
             }
-            actions.clear();
+        }
 
-            if finished {
-                break Ok(());
-            }
-            if !progressed {
-                // Single-core-friendly idle nap: long enough to let the
-                // worker threads run, short against the ms deadlines.
-                std::thread::sleep(Duration::from_micros(200));
-            }
-        };
+        Ok(progressed)
+    }
 
-        scratch.restore_outputs(outputs);
-        core.reclaim_scratch(scratch);
-        result.map(|()| core.finish(seed))
+    fn start_warmup(&mut self) {
+        begin_frame(&mut self.send, KIND_WARMUP);
+        end_frame(&mut self.send);
+        self.ring.push(0, &self.send);
+        broadcast(&mut self.conns, &self.send, &mut self.dead_pending);
+    }
+
+    fn broadcast_step(&mut self, step: u32, batch: u32, params: &Vector) {
+        StepMessage::encode_frame(step, batch, params, &mut self.step_msg);
+        begin_frame(&mut self.send, KIND_STEP);
+        self.send.put_slice(&self.step_msg);
+        end_frame(&mut self.send);
+        self.ring.push(step, &self.send);
+        broadcast(&mut self.conns, &self.send, &mut self.dead_pending);
+    }
+
+    fn finish(&mut self) {
+        begin_frame(&mut self.send, KIND_DONE);
+        end_frame(&mut self.send);
+        broadcast(&mut self.conns, &self.send, &mut self.dead_pending);
+    }
+
+    fn abort(&mut self, reason: &str) {
+        begin_frame(&mut self.send, KIND_ABORT);
+        self.send.put_slice(reason.as_bytes());
+        end_frame(&mut self.send);
+        broadcast(&mut self.conns, &self.send, &mut self.dead_pending);
+    }
+
+    fn idle(&mut self, _next_deadline_ms: Option<u64>) {
+        // Single-core-friendly idle nap: long enough to let the worker
+        // threads run, short against the ms deadlines.
+        std::thread::sleep(Duration::from_micros(200));
     }
 }
 
 enum JoinPoll {
     Waiting,
     Joined(u32),
+    Rejoin { id: u32, token: u64, next_slot: u32 },
     Dead,
 }
 
 /// Reads a pending connection until its first frame arrives; anything but
-/// a well-formed JOIN kills it.
+/// a well-formed JOIN or REJOIN kills it.
 fn poll_join(conn: &mut Conn) -> JoinPoll {
     loop {
         match conn.reader.fill(&mut conn.stream) {
@@ -388,206 +431,36 @@ fn poll_join(conn: &mut Conn) -> JoinPoll {
             Ok(bytes) => JoinPoll::Joined(u32::from_le_bytes(bytes)),
             Err(_) => JoinPoll::Dead,
         },
+        Ok(Some((KIND_REJOIN, payload))) if payload.len() == 16 => {
+            match (
+                read_array(payload, 0),
+                read_array(payload, 4),
+                read_array(payload, 12),
+            ) {
+                (Ok(id), Ok(token), Ok(next_slot)) => JoinPoll::Rejoin {
+                    id: u32::from_le_bytes(id),
+                    token: u64::from_le_bytes(token),
+                    next_slot: u32::from_le_bytes(next_slot),
+                },
+                _ => JoinPoll::Dead,
+            }
+        }
         _ => JoinPoll::Dead,
     }
 }
 
-/// Why a GRAD payload was rejected. Either way the connection is dropped;
-/// the typed split keeps hostile-frame handling testable field by field.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum GradDecodeError {
-    /// The prelude or an embedded vector frame was short, oversized, or
-    /// failed integrity.
-    Frame(MessageError),
-    /// Both embedded frames decoded but named another worker's id, or
-    /// disagreed on the step.
-    Misattributed,
-}
-
-impl From<MessageError> for GradDecodeError {
-    fn from(e: MessageError) -> Self {
-        GradDecodeError::Frame(e)
-    }
-}
-
-/// Decodes a GRAD payload into the worker's output slot, returning the
-/// reported step. Every field read is bounds-checked: a peer that
-/// truncates the loss/length prelude or either embedded vector frame gets
-/// a typed [`MessageError::ShortRead`], never a panic.
-///
-/// Late (stale) reports land here too: they clobber the slot, which is
-/// harmless — the machine ignores the stale event, and if the worker
-/// stays silent for the *current* step it is dropped and the slot zeroed
-/// before aggregation.
-fn decode_grad(
-    payload: &[u8],
-    expect_id: u32,
-    out: &mut dpbyz_server::WorkerOutput,
-) -> Result<u32, GradDecodeError> {
-    let batch_loss = f64::from_le_bytes(read_array(payload, 0)?);
-    let sub_len = u32::from_le_bytes(read_array(payload, 8)?) as usize;
-    let rest = payload.get(12..).unwrap_or_default();
-    let (sub, pre) = rest
-        .split_at_checked(sub_len)
-        .ok_or(MessageError::ShortRead {
-            needed: 12usize.saturating_add(sub_len),
-            got: payload.len(),
-        })?;
-    let (wid, step) = GradientMessage::decode_into(sub, &mut out.submitted)?;
-    let (wid2, step2) = GradientMessage::decode_into(pre, &mut out.pre_noise)?;
-    if wid != expect_id || wid2 != expect_id || step != step2 {
-        return Err(GradDecodeError::Misattributed);
-    }
-    out.batch_loss = batch_loss;
-    Ok(step)
-}
-
 /// Best-effort broadcast to every live connection; write failures drop
-/// the connection (the quorum logic owns the consequences).
-fn broadcast(conns: &mut [Option<Conn>], frame: &[u8]) {
-    for slot in conns.iter_mut() {
-        let dead = match slot {
+/// the connection and record the loss in `dead` so the next
+/// [`Transport::poll`] reports the [`Event::Detached`].
+fn broadcast(conns: &mut [Option<Conn>], frame: &[u8], dead: &mut Vec<u32>) {
+    for (id, slot) in conns.iter_mut().enumerate() {
+        let lost = match slot {
             Some(conn) => write_all_frame(&mut conn.stream, frame).is_err(),
             None => false,
         };
-        if dead {
+        if lost {
             *slot = None;
+            dead.push(id as u32);
         }
-    }
-}
-
-/// Broadcasts ABORT with a reason (best effort).
-fn break_run(conns: &mut [Option<Conn>], send: &mut BytesMut, reason: &str) {
-    begin_frame(send, KIND_ABORT);
-    send.put_slice(reason.as_bytes());
-    end_frame(send);
-    broadcast(conns, send);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dpbyz_server::WorkerOutput;
-    use dpbyz_tensor::Vector;
-
-    /// A well-formed GRAD payload exactly as `run_worker` builds one:
-    /// `[batch_loss: f64][sub_len: u32]` + submitted frame + pre-noise
-    /// frame.
-    fn grad_payload(id: u32, step: u32, pre_id: u32, pre_step: u32) -> Vec<u8> {
-        let sub = Vector::from(vec![1.0, -2.0]);
-        let pre = Vector::from(vec![0.5, 0.25]);
-        let mut sub_frame = BytesMut::default();
-        let mut pre_frame = BytesMut::default();
-        GradientMessage::encode_frame(id, step, &sub, &mut sub_frame);
-        GradientMessage::encode_frame(pre_id, pre_step, &pre, &mut pre_frame);
-        let mut payload = BytesMut::default();
-        payload.put_f64_le(0.125);
-        payload.put_u32_le(sub_frame.len() as u32);
-        payload.put_slice(&sub_frame);
-        payload.put_slice(&pre_frame);
-        payload.to_vec()
-    }
-
-    #[test]
-    fn well_formed_grad_payload_decodes() {
-        let payload = grad_payload(3, 7, 3, 7);
-        let mut out = WorkerOutput::default();
-        assert_eq!(decode_grad(&payload, 3, &mut out), Ok(7));
-        assert_eq!(out.batch_loss, 0.125);
-        assert_eq!(out.submitted, Vector::from(vec![1.0, -2.0]));
-        assert_eq!(out.pre_noise, Vector::from(vec![0.5, 0.25]));
-    }
-
-    #[test]
-    fn short_prelude_is_a_typed_error_for_every_cut() {
-        // Cut the payload inside the loss (bytes 0..8) and inside the
-        // sub-length word (bytes 8..12): each prefix must surface
-        // ShortRead, never a panic.
-        let payload = grad_payload(3, 7, 3, 7);
-        for cut in 0..12 {
-            let needed = if cut < 8 { 8 } else { 12 };
-            let mut out = WorkerOutput::default();
-            assert_eq!(
-                decode_grad(&payload[..cut], 3, &mut out),
-                Err(GradDecodeError::Frame(MessageError::ShortRead {
-                    needed,
-                    got: cut
-                })),
-                "cut at {cut}"
-            );
-        }
-    }
-
-    #[test]
-    fn truncated_inner_frames_are_typed_errors() {
-        let payload = grad_payload(3, 7, 3, 7);
-        let mut out = WorkerOutput::default();
-        // Truncating the trailing pre-noise frame: the embedded decoder
-        // reports the shortfall.
-        assert!(matches!(
-            decode_grad(&payload[..payload.len() - 3], 3, &mut out),
-            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
-        ));
-        // A sub_len word claiming more bytes than the payload carries.
-        let mut lying = payload.clone();
-        lying[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(
-            decode_grad(&lying, 3, &mut out),
-            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
-        ));
-        // A sub_len word splitting the submitted frame mid-layout.
-        let mut split = payload.clone();
-        split[8..12].copy_from_slice(&5u32.to_le_bytes());
-        assert!(matches!(
-            decode_grad(&split, 3, &mut out),
-            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
-        ));
-    }
-
-    #[test]
-    fn corrupted_inner_frame_fails_integrity() {
-        let mut payload = grad_payload(3, 7, 3, 7);
-        let at = payload.len() - 10; // inside the pre-noise frame
-        payload[at] ^= 0xFF;
-        let mut out = WorkerOutput::default();
-        assert_eq!(
-            decode_grad(&payload, 3, &mut out),
-            Err(GradDecodeError::Frame(MessageError::BadChecksum))
-        );
-    }
-
-    #[test]
-    fn misattributed_reports_are_rejected() {
-        let mut out = WorkerOutput::default();
-        // Frames carrying another worker's id.
-        let payload = grad_payload(4, 7, 4, 7);
-        assert_eq!(
-            decode_grad(&payload, 3, &mut out),
-            Err(GradDecodeError::Misattributed)
-        );
-        // Pre-noise frame naming a different worker than the submission.
-        let payload = grad_payload(3, 7, 4, 7);
-        assert_eq!(
-            decode_grad(&payload, 3, &mut out),
-            Err(GradDecodeError::Misattributed)
-        );
-        // Frames disagreeing on the step.
-        let payload = grad_payload(3, 7, 3, 8);
-        assert_eq!(
-            decode_grad(&payload, 3, &mut out),
-            Err(GradDecodeError::Misattributed)
-        );
-    }
-
-    #[test]
-    fn empty_payload_is_a_typed_error() {
-        let mut out = WorkerOutput::default();
-        assert_eq!(
-            decode_grad(&[], 0, &mut out),
-            Err(GradDecodeError::Frame(MessageError::ShortRead {
-                needed: 8,
-                got: 0
-            }))
-        );
     }
 }

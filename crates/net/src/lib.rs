@@ -48,6 +48,15 @@
 //!
 //! For separate OS processes, see the `coordinator` and `worker`
 //! binaries (`crates/net/src/bin/`) and `docs/DEPLOYMENT.md`.
+//!
+//! # Chaos testing
+//!
+//! The same round protocol also runs over [`sim::SimNet`], an in-memory
+//! [`transport::Transport`] whose per-link fault plan (drop, duplicate,
+//! reorder, delay, partition — plus explicit crash-and-rejoin schedules)
+//! derives purely from a `u64` seed: same seed, same byte-level event
+//! order, same digest. Register it as the `"sim"` backend via
+//! [`install`] and select it with `exp.backend = "sim".into()`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,11 +65,23 @@ pub mod backend;
 pub mod coordinator;
 pub mod machine;
 pub mod protocol;
+pub mod sim;
 pub mod spec;
+pub mod transport;
 pub mod worker;
 
-pub use backend::{install, TcpBackend};
-pub use coordinator::{CoordinatorConfig, CoordinatorError, TcpCoordinator};
+pub use backend::TcpBackend;
+pub use coordinator::{CoordinatorConfig, TcpCoordinator};
 pub use machine::{Action, Event, MachineConfig, Phase, RoundStateMachine};
+pub use sim::{FaultPlan, SimBackend, SimNet};
 pub use spec::{JobSpec, WorkloadSpec};
+pub use transport::{drive, CoordinatorError, ResumeRing, Transport};
 pub use worker::{run_worker, WorkerConfig, WorkerError};
+
+/// Registers every deployment backend this crate provides — `"tcp"`
+/// ([`TcpBackend`]) and `"sim"` ([`SimBackend`]). Idempotent, so every
+/// binary and test may call it without coordination.
+pub fn install() {
+    backend::install();
+    sim::install();
+}

@@ -31,6 +31,15 @@
 //! [`RoundStateMachine::dropped`] — the coordinator zeroes their
 //! submissions exactly as the in-process fault injector does, so a
 //! dropped worker costs the round its contribution, not the run.
+//!
+//! Churn rides on the same accounting: a lost connection surfaces as
+//! [`Event::Detached`] (the worker stays joined, its rounds zero like a
+//! straggler's, but it stops gating opportunistic advancement) and a
+//! completed `Rejoin` handshake as [`Event::Reattached`]. Because both
+//! paths reduce to the *same* per-round dropped set, a crash-and-rejoin
+//! run is bit-identical to one where the worker merely straggled those
+//! rounds — the reconnect regression suite pins this. Advancement never
+//! happens below `quorum`, deadline or not.
 
 /// Where the coordinator is in the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +81,16 @@ pub enum Event {
         /// The step the report is for.
         step: u32,
     },
+    /// The transport lost worker `id`'s connection (socket error, EOF,
+    /// garbage frame). The worker stays *joined* — its rounds are zeroed
+    /// like any straggler's — but it no longer gates opportunistic
+    /// advancement: a round with every *attached* worker reported moves
+    /// on immediately instead of burning the full deadline on a peer
+    /// that cannot answer.
+    Detached(u32),
+    /// Worker `id` completed a `Rejoin` handshake on a fresh connection;
+    /// it gates advancement again from the current round onward.
+    Reattached(u32),
 }
 
 /// What the transport must do next. Data-free by design (the machine
@@ -132,6 +151,12 @@ pub struct RoundStateMachine {
     n_ready: usize,
     reported: Vec<bool>,
     n_reported: usize,
+    /// Joined workers whose connection is currently gone. They still
+    /// count as joined (their rounds are zeroed, preserving the
+    /// straggler accounting) but are excluded from the
+    /// everyone-answered early-advance condition.
+    detached: Vec<bool>,
+    n_detached: usize,
     /// Stragglers of the most recent [`Action::Aggregate`] (recycled).
     dropped: Vec<u32>,
     abort_reason: Option<String>,
@@ -162,6 +187,8 @@ impl RoundStateMachine {
             n_ready: 0,
             reported: vec![false; cfg.n_workers],
             n_reported: 0,
+            detached: vec![false; cfg.n_workers],
+            n_detached: 0,
             dropped: Vec::with_capacity(cfg.n_workers),
             abort_reason: None,
             cfg,
@@ -189,6 +216,62 @@ impl RoundStateMachine {
         self.joined.get(id as usize).copied().unwrap_or(false)
     }
 
+    /// Whether worker `id` is currently detached (joined, connection
+    /// gone, no [`Event::Reattached`] yet).
+    pub fn is_detached(&self, id: u32) -> bool {
+        self.detached.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Workers that have joined.
+    pub fn n_joined(&self) -> usize {
+        self.n_joined
+    }
+
+    /// Workers that answered `WARMUP` with `READY`.
+    pub fn n_ready(&self) -> usize {
+        self.n_ready
+    }
+
+    /// Unique reporters of the in-flight step (resets at every
+    /// broadcast).
+    pub fn n_reported(&self) -> usize {
+        self.n_reported
+    }
+
+    /// Joined workers currently detached.
+    pub fn n_detached(&self) -> usize {
+        self.n_detached
+    }
+
+    /// When the current phase's deadline fires, in virtual ms — the
+    /// latest `now_ms` a driver may sleep to without delaying a
+    /// [`tick`](RoundStateMachine::tick) decision. `None` once the run
+    /// is `Done`/`Aborted` (no timer armed).
+    pub fn next_deadline_ms(&self) -> Option<u64> {
+        let deadline = match self.phase {
+            Phase::WaitingForWorkers => self.cfg.join_deadline_ms,
+            Phase::Warmup => self.cfg.warmup_deadline_ms,
+            Phase::Train { .. } | Phase::Aggregate { .. } => self.cfg.step_deadline_ms,
+            Phase::Done | Phase::Aborted => return None,
+        };
+        Some(self.phase_start_ms.saturating_add(deadline))
+    }
+
+    /// Attached joined workers that have not reported the in-flight
+    /// step: the set opportunistic advancement waits on.
+    fn train_pending(&self) -> usize {
+        (0..self.cfg.n_workers)
+            .filter(|&i| self.joined[i] && !self.detached[i] && !self.reported[i])
+            .count()
+    }
+
+    /// Attached joined workers that have not sent `READY`.
+    fn warmup_pending(&self) -> usize {
+        (0..self.cfg.n_workers)
+            .filter(|&i| self.joined[i] && !self.detached[i] && !self.ready[i])
+            .count()
+    }
+
     /// Feeds a decoded transport message. Appends any resulting
     /// [`Action`]s to `out` (which the driver drains; the machine never
     /// clears it).
@@ -196,8 +279,17 @@ impl RoundStateMachine {
         match (self.phase, event) {
             (Phase::WaitingForWorkers, Event::Joined(id)) => {
                 let slot = id as usize;
-                if slot >= self.cfg.n_workers || self.joined[slot] {
-                    return; // out-of-range or duplicate: idempotent
+                if slot >= self.cfg.n_workers {
+                    return; // out-of-range: idempotent
+                }
+                if self.joined[slot] {
+                    // A duplicate JOIN on a fresh connection proves the
+                    // link is alive again — clear any detach marker.
+                    if self.detached[slot] {
+                        self.detached[slot] = false;
+                        self.n_detached -= 1;
+                    }
+                    return;
                 }
                 self.joined[slot] = true;
                 self.n_joined += 1;
@@ -212,9 +304,7 @@ impl RoundStateMachine {
                 }
                 self.ready[slot] = true;
                 self.n_ready += 1;
-                if self.n_ready == self.n_joined {
-                    self.start_step(1, now_ms, out);
-                }
+                self.try_advance_warmup(now_ms, out);
             }
             (Phase::Train { step }, Event::Gradient { id, step: s }) => {
                 let slot = id as usize;
@@ -226,14 +316,56 @@ impl RoundStateMachine {
                 }
                 self.reported[slot] = true;
                 self.n_reported += 1;
-                if self.n_reported == self.n_joined {
-                    self.start_aggregate(step, now_ms, out);
+                self.try_advance_train(step, now_ms, out);
+            }
+            (Phase::Done | Phase::Aborted, _) => {}
+            (_, Event::Detached(id)) => {
+                let slot = id as usize;
+                if slot >= self.cfg.n_workers || !self.joined[slot] || self.detached[slot] {
+                    return;
                 }
+                self.detached[slot] = true;
+                self.n_detached += 1;
+                // Losing a peer can complete the attached set: the round
+                // it was blocking advances now instead of at the
+                // deadline (the zeroing outcome is identical either way).
+                match self.phase {
+                    Phase::Warmup => self.try_advance_warmup(now_ms, out),
+                    Phase::Train { step } => self.try_advance_train(step, now_ms, out),
+                    _ => {}
+                }
+            }
+            (_, Event::Reattached(id)) => {
+                let slot = id as usize;
+                if slot >= self.cfg.n_workers || !self.joined[slot] || !self.detached[slot] {
+                    return;
+                }
+                self.detached[slot] = false;
+                self.n_detached -= 1;
             }
             // Anything else (late gradients during Aggregate, READY after
             // warmup, JOIN after the gate closed, …) is dropped: the
             // machine advances on its own schedule.
             _ => {}
+        }
+    }
+
+    /// Opportunistic warmup exit: every attached joined worker is ready
+    /// and the floor holds. With nothing detached this is exactly the
+    /// old "all joined are ready" condition.
+    fn try_advance_warmup(&mut self, now_ms: u64, out: &mut Vec<Action>) {
+        if self.warmup_pending() == 0 && self.n_ready >= self.cfg.min_workers && self.n_ready > 0 {
+            self.start_step(1, now_ms, out);
+        }
+    }
+
+    /// Opportunistic round exit: every attached joined worker reported
+    /// and the quorum floor holds — advancement *never* happens below
+    /// `quorum`, before or at a deadline (the model-based suite pins
+    /// this invariant).
+    fn try_advance_train(&mut self, step: u32, now_ms: u64, out: &mut Vec<Action>) {
+        if self.train_pending() == 0 && self.n_reported >= self.cfg.quorum && self.n_reported > 0 {
+            self.start_aggregate(step, now_ms, out);
         }
     }
 
@@ -580,5 +712,123 @@ mod tests {
         let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
         assert!(actions(&fired).contains(&Action::Finish));
         assert_eq!(m.dropped(), &[2], "latest round dropped worker 2 only");
+    }
+
+    #[test]
+    fn detach_completes_the_round_without_waiting_for_the_deadline() {
+        // 3 of 4 report, then the fourth's socket dies: the round must
+        // advance at the detach (t = 25), not at the deadline (t ≥ 100),
+        // with the dead worker dropped exactly as a straggler would be.
+        let mut m = RoundStateMachine::new(cfg(4, 4, 3, 1), 0);
+        let script: Vec<(u64, Event)> = (0..4)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..4).map(|i| (10 + i as u64, Event::Ready(i))))
+            .chain((0..3).map(|i| (20 + i as u64, Event::Gradient { id: i, step: 1 })))
+            .chain([(25, Event::Detached(3))])
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        let agg = fired
+            .iter()
+            .find(|(_, a)| *a == Action::Aggregate(1))
+            .expect("round aggregated");
+        assert_eq!(agg.0, 25, "advanced at the detach, not the deadline");
+        assert_eq!(m.dropped(), &[3]);
+        assert_eq!(m.phase(), Phase::Done);
+    }
+
+    #[test]
+    fn reattached_worker_gates_advancement_again() {
+        // Worker 3 detaches during step 1 (round advances without it),
+        // reattaches during step 2, and reports: step 2 must wait for it
+        // and drop nobody.
+        let mut m = RoundStateMachine::new(cfg(4, 4, 3, 2), 0);
+        let script: Vec<(u64, Event)> = (0..4)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..4).map(|i| (10 + i as u64, Event::Ready(i))))
+            .chain([(15, Event::Detached(3))])
+            .chain((0..3).map(|i| (20 + i as u64, Event::Gradient { id: i, step: 1 })))
+            .chain([(30, Event::Reattached(3))])
+            .chain((0..3).map(|i| (35 + i as u64, Event::Gradient { id: i, step: 2 })))
+            .chain([(60, Event::Gradient { id: 3, step: 2 })])
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        let agg2 = fired
+            .iter()
+            .find(|(_, a)| *a == Action::Aggregate(2))
+            .expect("step 2 aggregated");
+        assert_eq!(
+            agg2.0, 60,
+            "step 2 waited for the reattached worker's report"
+        );
+        assert!(m.dropped().is_empty());
+        assert_eq!(m.phase(), Phase::Done);
+    }
+
+    #[test]
+    fn advancement_never_happens_below_quorum() {
+        // Only 2 of 4 join (min_workers 2 lets the run start) but quorum
+        // is 3: even with every joined worker reported, the round must
+        // NOT advance — it aborts at the step deadline instead.
+        let mut m = RoundStateMachine::new(cfg(4, 2, 3, 1), 0);
+        let script: Vec<(u64, Event)> = (0..2)
+            .map(|i| (1 + i as u64, Event::Joined(i)))
+            .chain((0..2).map(|i| (110 + i as u64, Event::Ready(i))))
+            .chain((0..2).map(|i| (215 + i as u64, Event::Gradient { id: i, step: 1 })))
+            .collect();
+        let fired = ScriptedTransport::new(script).drive(&mut m, 2000);
+        assert_eq!(*actions(&fired).last().unwrap(), Action::Abort);
+        let reason = m.abort_reason().unwrap();
+        assert!(reason.contains("quorum"), "{reason}");
+    }
+
+    #[test]
+    fn duplicate_join_on_a_fresh_connection_clears_the_detach_marker() {
+        let mut m = RoundStateMachine::new(cfg(2, 2, 2, 1), 0);
+        let mut out = Vec::new();
+        m.on_event(Event::Joined(0), 1, &mut out);
+        m.on_event(Event::Detached(0), 2, &mut out);
+        assert!(m.is_detached(0));
+        assert_eq!(m.n_detached(), 1);
+        m.on_event(Event::Joined(0), 3, &mut out); // rejoined pre-warmup
+        assert!(!m.is_detached(0));
+        assert_eq!(m.n_detached(), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn detach_and_reattach_are_idempotent_and_range_checked() {
+        let mut m = RoundStateMachine::new(cfg(2, 2, 2, 1), 0);
+        let mut out = Vec::new();
+        m.on_event(Event::Detached(0), 1, &mut out); // not joined yet
+        assert_eq!(m.n_detached(), 0);
+        m.on_event(Event::Reattached(0), 1, &mut out); // not detached
+        m.on_event(Event::Detached(9), 1, &mut out); // out of range
+        m.on_event(Event::Joined(0), 2, &mut out);
+        m.on_event(Event::Detached(0), 3, &mut out);
+        m.on_event(Event::Detached(0), 4, &mut out); // duplicate
+        assert_eq!(m.n_detached(), 1);
+        m.on_event(Event::Reattached(0), 5, &mut out);
+        m.on_event(Event::Reattached(0), 6, &mut out); // duplicate
+        assert_eq!(m.n_detached(), 0);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_phase_timers() {
+        let mut m = RoundStateMachine::new(cfg(2, 2, 2, 1), 5);
+        assert_eq!(m.next_deadline_ms(), Some(105)); // join deadline
+        let mut out = Vec::new();
+        m.on_event(Event::Joined(0), 6, &mut out);
+        m.on_event(Event::Joined(1), 7, &mut out);
+        assert_eq!(m.next_deadline_ms(), Some(107)); // warmup from t=7
+        m.on_event(Event::Ready(0), 8, &mut out);
+        m.on_event(Event::Ready(1), 9, &mut out);
+        assert_eq!(m.next_deadline_ms(), Some(109)); // step 1 from t=9
+        out.clear();
+        m.on_event(Event::Gradient { id: 0, step: 1 }, 10, &mut out);
+        m.on_event(Event::Gradient { id: 1, step: 1 }, 11, &mut out);
+        assert_eq!(out, vec![Action::Aggregate(1)]);
+        m.on_aggregated(12, &mut out);
+        assert_eq!(m.phase(), Phase::Done);
+        assert_eq!(m.next_deadline_ms(), None);
     }
 }

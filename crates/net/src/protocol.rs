@@ -11,7 +11,7 @@
 //! layouts of [`dpbyz_server::message::GradientMessage`] /
 //! [`dpbyz_server::message::StepMessage`] wherever a vector travels, so transport
 //! corruption is caught by the same typed
-//! [`MessageError`](dpbyz_server::message::MessageError)s the in-process engines
+//! [`MessageError`]s the in-process engines
 //! test against.
 //!
 //! Reading is built for the coordinator's nonblocking single-threaded
@@ -20,6 +20,8 @@
 //! that buffer — steady-state reception allocates nothing once the buffer
 //! has grown to the session's frame size.
 
+use dpbyz_server::message::{read_array, GradientMessage, MessageError};
+use dpbyz_server::WorkerOutput;
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
@@ -36,7 +38,7 @@ pub const KIND_READY: u8 = 3;
 pub const KIND_STEP: u8 = 4;
 /// Worker → coordinator: the round report. Payload:
 /// `[batch_loss: f64 LE][sub_len: u32 LE]` followed by the *submitted*
-/// [`GradientMessage`](dpbyz_server::message::GradientMessage) frame (`sub_len`
+/// [`GradientMessage`] frame (`sub_len`
 /// bytes, carrying `(worker_id, step)`) and the *pre-noise* gradient
 /// frame (the remainder — the simulator-only VN diagnostic channel; a
 /// real deployment would omit it, see `docs/DEPLOYMENT.md`).
@@ -46,6 +48,15 @@ pub const KIND_GRAD: u8 = 5;
 pub const KIND_DONE: u8 = 6;
 /// Coordinator → workers: "the run died". Payload: UTF-8 reason.
 pub const KIND_ABORT: u8 = 7;
+/// Worker → coordinator, on a *fresh* connection after the original one
+/// died: "worker `id` wants to resume its session". Payload:
+/// `[id: u32 LE][token: u64 LE][next_step: u32 LE]` where `token` must
+/// equal [`session_token`]`(seed, id)` and `next_step` is the first
+/// step the worker has not yet computed. A valid rejoin re-attaches the
+/// slot and replays the missed `STEP` broadcasts from the coordinator's
+/// resume ring so the worker's RNG/momentum state catches up exactly as
+/// if it had merely straggled.
+pub const KIND_REJOIN: u8 = 8;
 
 /// Largest acceptable frame `len`: the `GRAD` layout at
 /// [`MAX_WIRE_DIM`](dpbyz_server::message::MAX_WIRE_DIM) coordinates — two vector
@@ -209,6 +220,169 @@ impl FrameReader {
         }
         Ok(Some((kind, payload)))
     }
+}
+
+/// Derives the session token both sides of a deployment compute for
+/// worker `id` under run `seed` (SplitMix64 over the pair). The token is
+/// an anti-confusion handle for the [`KIND_REJOIN`] handshake — it stops
+/// a mislaunched or stale worker process from silently adopting another
+/// worker's slot after a reconnect — not a security credential (anyone
+/// holding the job spec can derive it, by design: workers learn their
+/// token from the same spec that names their id).
+pub fn session_token(seed: u64, id: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(id).wrapping_mul(0xD134_2543_DE82_EF95));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How [`GradGuard::admit`] classified a gradient frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// First frame for this worker at the current step: decode it.
+    Fresh,
+    /// The worker already delivered this step's frame (a duplicated
+    /// frame, or a retransmission): skip the decode, keep the slot.
+    Duplicate,
+    /// A frame for an earlier step (late straggler report, reordered
+    /// delivery): skip the decode — a stale frame must never clobber an
+    /// output slot that may already hold the current round's report.
+    Stale,
+    /// A frame claiming a step later than the one in flight: nothing
+    /// honest sends this (workers only compute broadcast steps), so skip
+    /// the decode and leave the slot alone.
+    Future,
+}
+
+/// Round-tagged dedup/reorder guard for gradient frames, one slot per
+/// worker. [`FrameReader`] reassembles whatever the link delivers —
+/// including byte-identical duplicates and reordered retransmissions of
+/// earlier rounds — so the receive path consults this guard *before*
+/// decoding into an output slot: only the first frame per
+/// `(worker, current step)` is [`Admission::Fresh`]. State is a recycled
+/// fixed-size vector; admitting allocates nothing.
+#[derive(Debug)]
+pub struct GradGuard {
+    /// Last step each worker had a frame accepted for.
+    accepted: Vec<Option<u32>>,
+}
+
+impl GradGuard {
+    /// A guard for `n_workers` slots, nothing accepted yet.
+    pub fn new(n_workers: usize) -> Self {
+        GradGuard {
+            accepted: vec![None; n_workers],
+        }
+    }
+
+    /// Classifies a frame from `worker` tagged `step` while `current` is
+    /// the step in flight, recording an acceptance when it is
+    /// [`Admission::Fresh`]. Out-of-range workers are [`Admission::Stale`]
+    /// (callers attribute frames to validated slots, so the range check
+    /// is belt and braces, not a protocol path).
+    pub fn admit(&mut self, worker: u32, step: u32, current: u32) -> Admission {
+        let Some(slot) = self.accepted.get_mut(worker as usize) else {
+            return Admission::Stale;
+        };
+        if step < current {
+            return Admission::Stale;
+        }
+        if step > current {
+            return Admission::Future;
+        }
+        if *slot == Some(current) {
+            return Admission::Duplicate;
+        }
+        *slot = Some(current);
+        Admission::Fresh
+    }
+}
+
+/// Why a GRAD payload was rejected. Either way the connection is
+/// dropped; the typed split keeps hostile-frame handling testable field
+/// by field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GradDecodeError {
+    /// The prelude or an embedded vector frame was short, oversized, or
+    /// failed integrity.
+    Frame(MessageError),
+    /// Both embedded frames decoded but named another worker's id, or
+    /// disagreed on the step.
+    Misattributed,
+}
+
+impl From<MessageError> for GradDecodeError {
+    fn from(e: MessageError) -> Self {
+        GradDecodeError::Frame(e)
+    }
+}
+
+impl std::fmt::Display for GradDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GradDecodeError::Frame(e) => write!(f, "gradient frame: {e}"),
+            GradDecodeError::Misattributed => {
+                write!(f, "gradient frame attributed to the wrong worker or step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GradDecodeError {}
+
+/// Reads the `(worker_id, step)` tag of a GRAD payload without decoding
+/// the vectors — what the receive path hands [`GradGuard::admit`] so a
+/// stale or duplicated frame is classified *before* anything touches the
+/// output slot.
+///
+/// # Errors
+///
+/// [`MessageError::ShortRead`] when the payload is too short to carry
+/// the embedded submitted-gradient header.
+pub fn peek_grad(payload: &[u8]) -> Result<(u32, u32), MessageError> {
+    // GRAD layout: [loss: f64][sub_len: u32][submitted frame …] and the
+    // embedded vector frame leads with [worker_id: u32][step: u32].
+    let wid = u32::from_le_bytes(read_array(payload, 12)?);
+    let step = u32::from_le_bytes(read_array(payload, 16)?);
+    Ok((wid, step))
+}
+
+/// Decodes a GRAD payload into the worker's output slot, returning the
+/// reported step. Every field read is bounds-checked: a peer that
+/// truncates the loss/length prelude or either embedded vector frame gets
+/// a typed [`MessageError::ShortRead`], never a panic.
+///
+/// Call [`peek_grad`] + [`GradGuard::admit`] first: only
+/// [`Admission::Fresh`] frames should reach the decode, so a duplicated
+/// or reordered frame can never clobber a slot holding the current
+/// round's report.
+///
+/// # Errors
+///
+/// See [`GradDecodeError`].
+pub fn decode_grad(
+    payload: &[u8],
+    expect_id: u32,
+    out: &mut WorkerOutput,
+) -> Result<u32, GradDecodeError> {
+    let batch_loss = f64::from_le_bytes(read_array(payload, 0)?);
+    let sub_len = u32::from_le_bytes(read_array(payload, 8)?) as usize;
+    let rest = payload.get(12..).unwrap_or_default();
+    let (sub, pre) = rest
+        .split_at_checked(sub_len)
+        .ok_or(MessageError::ShortRead {
+            needed: 12usize.saturating_add(sub_len),
+            got: payload.len(),
+        })?;
+    let (wid, step) = GradientMessage::decode_into(sub, &mut out.submitted)?;
+    let (wid2, step2) = GradientMessage::decode_into(pre, &mut out.pre_noise)?;
+    if wid != expect_id || wid2 != expect_id || step != step2 {
+        return Err(GradDecodeError::Misattributed);
+    }
+    out.batch_loss = batch_loss;
+    Ok(step)
 }
 
 /// Opens a frame in a recycled buffer: clears it, reserves the length
@@ -394,6 +568,199 @@ mod tests {
         }
         let err = FrameReader::new().fill(&mut Closed).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// A well-formed GRAD payload exactly as `run_worker` builds one:
+    /// `[batch_loss: f64][sub_len: u32]` + submitted frame + pre-noise
+    /// frame.
+    fn grad_payload(id: u32, step: u32, pre_id: u32, pre_step: u32) -> Vec<u8> {
+        use bytes::BufMut;
+        use dpbyz_tensor::Vector;
+        let sub = Vector::from(vec![1.0, -2.0]);
+        let pre = Vector::from(vec![0.5, 0.25]);
+        let mut sub_frame = bytes::BytesMut::default();
+        let mut pre_frame = bytes::BytesMut::default();
+        GradientMessage::encode_frame(id, step, &sub, &mut sub_frame);
+        GradientMessage::encode_frame(pre_id, pre_step, &pre, &mut pre_frame);
+        let mut payload = bytes::BytesMut::default();
+        payload.put_f64_le(0.125);
+        payload.put_u32_le(sub_frame.len() as u32);
+        payload.put_slice(&sub_frame);
+        payload.put_slice(&pre_frame);
+        payload.to_vec()
+    }
+
+    #[test]
+    fn well_formed_grad_payload_decodes() {
+        use dpbyz_tensor::Vector;
+        let payload = grad_payload(3, 7, 3, 7);
+        let mut out = WorkerOutput::default();
+        assert_eq!(decode_grad(&payload, 3, &mut out), Ok(7));
+        assert_eq!(out.batch_loss, 0.125);
+        assert_eq!(out.submitted, Vector::from(vec![1.0, -2.0]));
+        assert_eq!(out.pre_noise, Vector::from(vec![0.5, 0.25]));
+    }
+
+    #[test]
+    fn short_prelude_is_a_typed_error_for_every_cut() {
+        // Cut the payload inside the loss (bytes 0..8) and inside the
+        // sub-length word (bytes 8..12): each prefix must surface
+        // ShortRead, never a panic.
+        let payload = grad_payload(3, 7, 3, 7);
+        for cut in 0..12 {
+            let needed = if cut < 8 { 8 } else { 12 };
+            let mut out = WorkerOutput::default();
+            assert_eq!(
+                decode_grad(&payload[..cut], 3, &mut out),
+                Err(GradDecodeError::Frame(MessageError::ShortRead {
+                    needed,
+                    got: cut
+                })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_inner_frames_are_typed_errors() {
+        let payload = grad_payload(3, 7, 3, 7);
+        let mut out = WorkerOutput::default();
+        // Truncating the trailing pre-noise frame: the embedded decoder
+        // reports the shortfall.
+        assert!(matches!(
+            decode_grad(&payload[..payload.len() - 3], 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
+        ));
+        // A sub_len word claiming more bytes than the payload carries.
+        let mut lying = payload.clone();
+        lying[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_grad(&lying, 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
+        ));
+        // A sub_len word splitting the submitted frame mid-layout.
+        let mut split = payload.clone();
+        split[8..12].copy_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            decode_grad(&split, 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead { .. }))
+        ));
+    }
+
+    #[test]
+    fn corrupted_inner_frame_fails_integrity() {
+        let mut payload = grad_payload(3, 7, 3, 7);
+        let at = payload.len() - 10; // inside the pre-noise frame
+        payload[at] ^= 0xFF;
+        let mut out = WorkerOutput::default();
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Frame(MessageError::BadChecksum))
+        );
+    }
+
+    #[test]
+    fn misattributed_reports_are_rejected() {
+        let mut out = WorkerOutput::default();
+        // Frames carrying another worker's id.
+        let payload = grad_payload(4, 7, 4, 7);
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Misattributed)
+        );
+        // Pre-noise frame naming a different worker than the submission.
+        let payload = grad_payload(3, 7, 4, 7);
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Misattributed)
+        );
+        // Frames disagreeing on the step.
+        let payload = grad_payload(3, 7, 3, 8);
+        assert_eq!(
+            decode_grad(&payload, 3, &mut out),
+            Err(GradDecodeError::Misattributed)
+        );
+    }
+
+    #[test]
+    fn empty_payload_is_a_typed_error() {
+        let mut out = WorkerOutput::default();
+        assert_eq!(
+            decode_grad(&[], 0, &mut out),
+            Err(GradDecodeError::Frame(MessageError::ShortRead {
+                needed: 8,
+                got: 0
+            }))
+        );
+    }
+
+    #[test]
+    fn peek_reads_the_round_tag_without_decoding() {
+        let payload = grad_payload(3, 7, 3, 7);
+        assert_eq!(peek_grad(&payload), Ok((3, 7)));
+        // Every prefix too short to carry the tag is a typed ShortRead.
+        for cut in 0..20 {
+            assert!(
+                matches!(
+                    peek_grad(&payload[..cut]),
+                    Err(MessageError::ShortRead { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_frame_for_the_same_worker_and_round_is_not_fresh() {
+        // The regression this guard exists for: FrameReader reassembles
+        // a byte-identical duplicate of a gradient frame without
+        // complaint, so the receive path must classify the second one as
+        // a duplicate instead of decoding it over the slot.
+        let payload = grad_payload(2, 5, 2, 5);
+        let mut reader = FrameReader::new();
+        let mut wire = frame(KIND_GRAD, &payload);
+        wire.extend(frame(KIND_GRAD, &payload)); // duplicated on the link
+        let mut stream = ChunkedStream {
+            data: wire,
+            pos: 0,
+            chunk: 64,
+        };
+        while reader.fill(&mut stream).unwrap() > 0 {}
+        let mut guard = GradGuard::new(4);
+        let mut admissions = Vec::new();
+        while let Some((kind, frame_payload)) = reader.next_frame().unwrap() {
+            assert_eq!(kind, KIND_GRAD);
+            let (wid, step) = peek_grad(frame_payload).unwrap();
+            admissions.push(guard.admit(wid, step, 5));
+        }
+        assert_eq!(admissions, vec![Admission::Fresh, Admission::Duplicate]);
+    }
+
+    #[test]
+    fn guard_classifies_per_field() {
+        let mut guard = GradGuard::new(3);
+        // Fresh then duplicate for the same (worker, round).
+        assert_eq!(guard.admit(0, 4, 4), Admission::Fresh);
+        assert_eq!(guard.admit(0, 4, 4), Admission::Duplicate);
+        // Another worker at the same round is independent.
+        assert_eq!(guard.admit(1, 4, 4), Admission::Fresh);
+        // A reordered frame from an earlier round never clobbers.
+        assert_eq!(guard.admit(0, 3, 4), Admission::Stale);
+        // A frame claiming a round not yet broadcast is not decoded.
+        assert_eq!(guard.admit(0, 9, 4), Admission::Future);
+        // Round advances: the same worker is fresh exactly once again.
+        assert_eq!(guard.admit(0, 5, 5), Admission::Fresh);
+        assert_eq!(guard.admit(0, 5, 5), Admission::Duplicate);
+        // Out-of-range worker ids are inert.
+        assert_eq!(guard.admit(99, 5, 5), Admission::Stale);
+    }
+
+    #[test]
+    fn session_tokens_differ_per_worker_and_seed() {
+        let t = session_token(42, 0);
+        assert_eq!(t, session_token(42, 0), "deterministic");
+        assert_ne!(t, session_token(42, 1), "per worker");
+        assert_ne!(t, session_token(43, 0), "per seed");
     }
 
     #[test]

@@ -1,0 +1,968 @@
+//! `SimNet` — the seeded in-memory chaos transport, and the `"sim"`
+//! backend that runs training over it.
+//!
+//! The simulator plays the reference adversary of the self-stabilizing
+//! communication literature (Dolev–Dubois–Potop-Butucaru–Tixeuil):
+//! unreliable, non-FIFO links that drop, duplicate, reorder, delay, and
+//! partition frames — plus worker crash-and-rejoin schedules. Everything
+//! derives from a `u64` seed through the workspace [`Prng`]: the same
+//! seed produces the same byte-level event order and therefore the same
+//! [`RunHistory::digest`](dpbyz_server::RunHistory::digest), which is
+//! what lets CI *pin* chaos runs instead of hoping on real sockets.
+//!
+//! Fidelity over mocking: frames on simulated links are the real wire
+//! bytes ([`begin_frame`]/[`StepMessage::encode_frame`]/…), consumed by
+//! the real decoders, admitted through the same [`GradGuard`] and
+//! replayed from the same [`ResumeRing`] the TCP transport uses. The
+//! simulated workers host real [`HonestWorker`]s, so their RNG streams
+//! and momentum are bit-identical to their in-process and TCP twins.
+//!
+//! Losses are modeled as *delayed retransmissions* (TCP's own model —
+//! a "dropped" segment is retried, not gone), so a crash-free fault plan
+//! is **invisible to the result**: every report still lands inside the
+//! (virtual) deadlines and the digest matches the sequential engine's.
+//! Crashes are the visible faults: a crashed worker misses broadcasts
+//! until its rejoin schedule fires, at which point the `REJOIN`
+//! handshake replays the missed steps and its rounds-in-absence are
+//! zeroed — bit-identical to a run where it merely straggled those
+//! rounds.
+//!
+//! Time is virtual: the clock advances only through
+//! [`Transport::idle`], jumping to the next queued delivery or the next
+//! machine deadline. No wall clock, no sleeps, no sockets — a chaos run
+//! executes in microseconds.
+
+use crate::machine::{Event, MachineConfig, Phase};
+use crate::protocol::{
+    begin_frame, decode_grad, end_frame, peek_grad, session_token, Admission, GradGuard,
+    KIND_ABORT, KIND_DONE, KIND_GRAD, KIND_JOIN, KIND_READY, KIND_REJOIN, KIND_STEP, KIND_WARMUP,
+};
+use crate::transport::{current_step, drive, CoordinatorError, ResumeRing, Transport};
+use bytes::{BufMut, BytesMut};
+use dpbyz_core::engine::register_backend;
+use dpbyz_core::pipeline::{Experiment, PipelineError};
+use dpbyz_core::{ComponentSpec, EngineBackend, RegistryError};
+use dpbyz_server::message::{read_array, GradientMessage, StepMessage};
+use dpbyz_server::{HonestWorker, RunHistory, RunObserver, RunScratch, WorkerOutput};
+use dpbyz_tensor::{Prng, Vector};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+/// Extra one-way latency charged per simulated "drop": the frame is not
+/// lost, it is redelivered later — TCP's retransmission model, which is
+/// what keeps crash-free chaos invisible to the digest.
+pub const RETRANSMIT_PENALTY_MS: u64 = 3;
+
+/// Redelivery attempts a frame can lose before the link gives up
+/// dropping it (keeps worst-case delay bounded well under the default
+/// 10 s deadlines).
+const MAX_RETRANSMITS: u32 = 16;
+
+/// Fault model of one directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkPlan {
+    /// Base one-way latency, ms.
+    pub delay_ms: u64,
+    /// Uniform extra latency in `0..=jitter_ms` per copy — the reorder
+    /// source.
+    pub jitter_ms: u64,
+    /// Probability a delivery attempt is "dropped" (redelivered
+    /// [`RETRANSMIT_PENALTY_MS`] + base later).
+    pub drop: f64,
+    /// Probability a second copy of the frame is delivered.
+    pub dup: f64,
+    /// Partition windows `[start_ms, end_ms)`: a delivery landing inside
+    /// one is held until the window closes.
+    pub partitions: Vec<(u64, u64)>,
+}
+
+impl LinkPlan {
+    /// A perfect link: 1 ms latency, no faults.
+    pub fn clean() -> Self {
+        LinkPlan {
+            delay_ms: 1,
+            jitter_ms: 0,
+            drop: 0.0,
+            dup: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// A worker crash-and-rejoin schedule, phrased in protocol terms (not
+/// milliseconds) so tests stay robust to timing details: the worker dies
+/// right after submitting `after_step`'s report and comes back — sending
+/// `REJOIN` — when the coordinator broadcasts `rejoin_on_step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Which worker crashes.
+    pub worker: u32,
+    /// Last step it computes (and reports) before dying.
+    pub after_step: u32,
+    /// The broadcast that triggers its rejoin handshake.
+    pub rejoin_on_step: u32,
+}
+
+/// An explicit straggler schedule: worker `worker`'s reports for steps
+/// `from_step..=to_step` are held an extra `extra_ms` on the wire —
+/// the knob the reconnect-equivalence suite uses to express "those
+/// rounds arrived too late" without a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradDelay {
+    /// The straggling worker.
+    pub worker: u32,
+    /// First delayed step (inclusive).
+    pub from_step: u32,
+    /// Last delayed step (inclusive).
+    pub to_step: u32,
+    /// Extra latency, ms.
+    pub extra_ms: u64,
+}
+
+/// The complete fault schedule of one simulated run: per-link chaos
+/// (both directions, per worker) plus explicit crash and straggler
+/// schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed the per-link draw streams derive from.
+    pub seed: u64,
+    /// Coordinator → worker link plans, indexed by worker.
+    pub to_worker: Vec<LinkPlan>,
+    /// Worker → coordinator link plans, indexed by worker.
+    pub to_coord: Vec<LinkPlan>,
+    /// Crash-and-rejoin schedules.
+    pub crashes: Vec<CrashPlan>,
+    /// Explicit straggler delays.
+    pub grad_delays: Vec<GradDelay>,
+    /// Whether the coordinator notices a crash (an [`Event::Detached`],
+    /// as a TCP reset would surface). `false` models a silent half-open
+    /// loss: the coordinator keeps waiting for the full deadline —
+    /// byte-identical timing to a straggler run, which is what the
+    /// equivalence suite wants.
+    pub detect_crash: bool,
+}
+
+impl FaultPlan {
+    /// Fault-free plan for `n` workers: clean 1 ms links, no churn.
+    pub fn clean(n: usize) -> Self {
+        FaultPlan {
+            seed: 0,
+            to_worker: vec![LinkPlan::clean(); n],
+            to_coord: vec![LinkPlan::clean(); n],
+            crashes: Vec::new(),
+            grad_delays: Vec::new(),
+            detect_crash: false,
+        }
+    }
+
+    /// Derives a crash-free chaos plan for `n` workers purely from
+    /// `seed`: per-link delay, jitter, drop and duplication rates, and
+    /// an optional partition window — all bounded far below the default
+    /// deadlines, so the plan perturbs *timing and byte order* without
+    /// ever costing a round its report. Crashes are never derived (they
+    /// change the result by design); add them with
+    /// [`FaultPlan::with_crash`].
+    pub fn from_seed(seed: u64, n: usize) -> Self {
+        let mut rng = Prng::seed_from_u64(seed);
+        let link = |rng: &mut Prng| {
+            let delay_ms = 1 + rng.index(8) as u64;
+            let jitter_ms = rng.index(11) as u64;
+            let drop = rng.uniform_range(0.0, 0.35);
+            let dup = rng.uniform_range(0.0, 0.35);
+            let partitions = if rng.bernoulli(0.3) {
+                let start = 5 + rng.index(36) as u64;
+                let len = 5 + rng.index(26) as u64;
+                vec![(start, start + len)]
+            } else {
+                Vec::new()
+            };
+            LinkPlan {
+                delay_ms,
+                jitter_ms,
+                drop,
+                dup,
+                partitions,
+            }
+        };
+        let to_worker = (0..n).map(|_| link(&mut rng)).collect();
+        let to_coord = (0..n).map(|_| link(&mut rng)).collect();
+        FaultPlan {
+            seed,
+            to_worker,
+            to_coord,
+            crashes: Vec::new(),
+            grad_delays: Vec::new(),
+            detect_crash: false,
+        }
+    }
+
+    /// Adds a crash-and-rejoin schedule.
+    pub fn with_crash(mut self, worker: u32, after_step: u32, rejoin_on_step: u32) -> Self {
+        self.crashes.push(CrashPlan {
+            worker,
+            after_step,
+            rejoin_on_step,
+        });
+        self
+    }
+
+    /// Adds an explicit straggler delay.
+    pub fn with_grad_delay(
+        mut self,
+        worker: u32,
+        from_step: u32,
+        to_step: u32,
+        extra_ms: u64,
+    ) -> Self {
+        self.grad_delays.push(GradDelay {
+            worker,
+            from_step,
+            to_step,
+            extra_ms,
+        });
+        self
+    }
+
+    /// Sets whether crashes surface as [`Event::Detached`].
+    pub fn with_detection(mut self, detect: bool) -> Self {
+        self.detect_crash = detect;
+        self
+    }
+}
+
+/// A directed link: its plan plus its private draw stream. The draw
+/// order per send is fixed — jitter, drop loop, duplication, dup jitter
+/// — so a plan's byte-level schedule is a pure function of its seed.
+struct ChaosLink {
+    plan: LinkPlan,
+    rng: Prng,
+}
+
+impl ChaosLink {
+    /// Delivery times for one frame sent now (+`extra_ms`): the primary
+    /// copy and, with probability `dup`, a second one.
+    fn times(&mut self, now: u64, extra_ms: u64) -> (u64, Option<u64>) {
+        let mut delay =
+            self.plan.delay_ms + self.rng.index(self.plan.jitter_ms as usize + 1) as u64;
+        let mut tries = 0;
+        while tries < MAX_RETRANSMITS && self.rng.bernoulli(self.plan.drop) {
+            delay += self.plan.delay_ms + RETRANSMIT_PENALTY_MS;
+            tries += 1;
+        }
+        let dup = if self.rng.bernoulli(self.plan.dup) {
+            let extra = 1 + self.rng.index(self.plan.jitter_ms as usize + 1) as u64;
+            Some(self.hold(now + extra_ms + delay + extra))
+        } else {
+            None
+        };
+        (self.hold(now + extra_ms + delay), dup)
+    }
+
+    /// Applies partition windows: a delivery landing inside one is held
+    /// until the window closes (cascading through later windows).
+    fn hold(&self, mut at: u64) -> u64 {
+        for &(start, end) in &self.plan.partitions {
+            if at >= start && at < end {
+                at = end;
+            }
+        }
+        at
+    }
+}
+
+/// One queued wire event.
+#[derive(Debug)]
+enum Delivery {
+    /// A frame travelling worker → coordinator.
+    ToCoord { from: u32, frame: Vec<u8> },
+    /// A frame travelling coordinator → worker.
+    ToWorker { to: u32, frame: Vec<u8> },
+    /// The coordinator's side of a detected crash (the TCP reset
+    /// analogue). Only scheduled when the plan detects crashes.
+    Detach { worker: u32 },
+}
+
+/// A simulated worker: a real [`HonestWorker`] plus the session state
+/// its TCP twin keeps (`worker.rs`), with a pending-step buffer in place
+/// of TCP's ordering guarantee.
+struct SimWorker {
+    hw: HonestWorker,
+    /// `false` between a crash and its rejoin: deliveries are discarded
+    /// (they were on the dead wire) and nothing is sent.
+    alive: bool,
+    /// `0` = warmup not yet answered; `t ≥ 1` = first uncomputed step.
+    next_slot: u32,
+    /// Broadcast steps received ahead of the cursor (non-FIFO links
+    /// reorder; the worker computes strictly in step order).
+    pending: BTreeMap<u32, Vec<u8>>,
+    crash_after: Option<u32>,
+    rejoin_on: Option<u32>,
+    params: Vector,
+    out: WorkerOutput,
+    sub_frame: BytesMut,
+    pre_frame: BytesMut,
+    grad_frame: BytesMut,
+}
+
+/// The in-memory chaos [`Transport`]: a virtual clock, a deterministic
+/// delivery queue, the simulated workers, and the same coordinator-side
+/// receive guards (dedup, resume ring, session tokens) the TCP
+/// transport uses. See the module docs for the model.
+pub struct SimNet {
+    now: u64,
+    seq: u64,
+    queue: BTreeMap<(u64, u64), Delivery>,
+    links_to_worker: Vec<ChaosLink>,
+    links_to_coord: Vec<ChaosLink>,
+    workers: Vec<SimWorker>,
+    detect_crash: bool,
+    grad_delays: Vec<GradDelay>,
+    compute_ms: u64,
+    // Coordinator-side session state (mirrors `TcpTransport`).
+    run_seed: u64,
+    attached: Vec<bool>,
+    ever_joined: Vec<bool>,
+    guard: GradGuard,
+    ring: ResumeRing,
+    send: BytesMut,
+    step_msg: BytesMut,
+}
+
+impl SimNet {
+    /// Builds the simulator: one link pair and one simulated worker per
+    /// honest worker, fault schedules from `plan`, every worker's `JOIN`
+    /// queued at `t = 0`. `run_seed` is the training seed (session
+    /// tokens derive from it); the chaos draws derive from `plan.seed`
+    /// alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was built for a different worker count — a
+    /// driver bug, not a run-time condition.
+    pub fn new(
+        workers: Vec<HonestWorker>,
+        plan: &FaultPlan,
+        run_seed: u64,
+        compute_ms: u64,
+        resume_window: usize,
+    ) -> Self {
+        let n = workers.len();
+        assert_eq!(plan.to_worker.len(), n, "plan/worker count mismatch");
+        assert_eq!(plan.to_coord.len(), n, "plan/worker count mismatch");
+        let mut chaos_rng = Prng::seed_from_u64(plan.seed);
+        let mut links = |plans: &[LinkPlan], stream: u64| -> Vec<ChaosLink> {
+            plans
+                .iter()
+                .enumerate()
+                .map(|(i, p)| ChaosLink {
+                    plan: p.clone(),
+                    rng: chaos_rng.derive(stream.wrapping_mul(1000) + i as u64),
+                })
+                .collect()
+        };
+        let links_to_worker = links(&plan.to_worker, 1);
+        let links_to_coord = links(&plan.to_coord, 2);
+        let sim_workers: Vec<SimWorker> = workers
+            .into_iter()
+            .map(|hw| {
+                let id = hw.id();
+                let crash = plan.crashes.iter().find(|c| c.worker == id);
+                SimWorker {
+                    hw,
+                    alive: true,
+                    next_slot: 0,
+                    pending: BTreeMap::new(),
+                    crash_after: crash.map(|c| c.after_step),
+                    rejoin_on: crash.map(|c| c.rejoin_on_step),
+                    params: Vector::default(),
+                    out: WorkerOutput::default(),
+                    sub_frame: BytesMut::with_capacity(1024),
+                    pre_frame: BytesMut::with_capacity(1024),
+                    grad_frame: BytesMut::with_capacity(1024),
+                }
+            })
+            .collect();
+        let mut net = SimNet {
+            now: 0,
+            seq: 0,
+            queue: BTreeMap::new(),
+            links_to_worker,
+            links_to_coord,
+            workers: sim_workers,
+            detect_crash: plan.detect_crash,
+            grad_delays: plan.grad_delays.clone(),
+            compute_ms,
+            run_seed,
+            attached: vec![false; n],
+            ever_joined: vec![false; n],
+            guard: GradGuard::new(n),
+            ring: ResumeRing::new(resume_window),
+            send: BytesMut::with_capacity(4096),
+            step_msg: BytesMut::with_capacity(4096),
+        };
+        for id in 0..n as u32 {
+            let mut join = BytesMut::with_capacity(16);
+            begin_frame(&mut join, KIND_JOIN);
+            join.put_u32_le(id);
+            end_frame(&mut join);
+            let idx = id as usize;
+            Self::send_frame(
+                &mut net.queue,
+                &mut net.seq,
+                &mut net.links_to_coord[idx],
+                net.now,
+                0,
+                &join,
+                |frame| Delivery::ToCoord { from: id, frame },
+            );
+        }
+        net
+    }
+
+    /// Schedules a frame through a chaos link (primary copy plus any
+    /// duplicate), as an associated function so callers can split
+    /// borrows across `self`'s fields.
+    fn send_frame(
+        queue: &mut BTreeMap<(u64, u64), Delivery>,
+        seq: &mut u64,
+        link: &mut ChaosLink,
+        now: u64,
+        extra_ms: u64,
+        frame: &[u8],
+        build: impl Fn(Vec<u8>) -> Delivery,
+    ) {
+        let (at, dup_at) = link.times(now, extra_ms);
+        queue.insert((at, *seq), build(frame.to_vec()));
+        *seq += 1;
+        if let Some(at) = dup_at {
+            queue.insert((at, *seq), build(frame.to_vec()));
+            *seq += 1;
+        }
+    }
+
+    /// Broadcasts the frame staged in `self.send` to every attached
+    /// worker, each copy through that worker's own chaos link.
+    fn broadcast(&mut self) {
+        for idx in 0..self.links_to_worker.len() {
+            if !self.attached.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let to = idx as u32;
+            Self::send_frame(
+                &mut self.queue,
+                &mut self.seq,
+                &mut self.links_to_worker[idx],
+                self.now,
+                0,
+                &self.send,
+                |frame| Delivery::ToWorker { to, frame },
+            );
+        }
+    }
+
+    /// The worker-side receive path for one delivered frame — the sim
+    /// twin of `run_worker`'s loop, with the pending buffer restoring
+    /// step order over the non-FIFO links.
+    fn worker_receive(&mut self, idx: usize, frame: Vec<u8>) {
+        let Some(&kind) = frame.get(4) else { return };
+        let w = &mut self.workers[idx];
+        if !w.alive {
+            return; // the wire it was on is dead
+        }
+        match kind {
+            KIND_WARMUP => {
+                if w.next_slot == 0 {
+                    w.next_slot = 1;
+                }
+                // A duplicated WARMUP re-READYs; the machine dedups.
+                let id = w.hw.id();
+                let mut ready = BytesMut::with_capacity(16);
+                begin_frame(&mut ready, KIND_READY);
+                ready.put_u32_le(id);
+                end_frame(&mut ready);
+                Self::send_frame(
+                    &mut self.queue,
+                    &mut self.seq,
+                    &mut self.links_to_coord[idx],
+                    self.now,
+                    0,
+                    &ready,
+                    |frame| Delivery::ToCoord { from: id, frame },
+                );
+                self.drain_pending(idx);
+            }
+            KIND_STEP => {
+                let payload = frame.get(5..).unwrap_or_default();
+                let Ok(step) = read_array(payload, 0).map(u32::from_le_bytes) else {
+                    return;
+                };
+                if step >= w.next_slot.max(1) {
+                    w.pending.entry(step).or_insert(frame);
+                }
+                // Stale copies (step < next_slot) are settled history:
+                // eventual delivery means the original report already
+                // made it out, so no retransmission is needed.
+                self.drain_pending(idx);
+            }
+            KIND_DONE | KIND_ABORT => {
+                // Session over; nothing to send back.
+            }
+            _ => {}
+        }
+    }
+
+    /// Computes every buffered step the cursor has reached, in order,
+    /// scheduling one `GRAD` per step — and honouring the crash plan.
+    fn drain_pending(&mut self, idx: usize) {
+        loop {
+            let w = &mut self.workers[idx];
+            if w.next_slot == 0 || !w.alive {
+                return;
+            }
+            let Some(frame) = w.pending.remove(&w.next_slot) else {
+                return;
+            };
+            let payload = frame.get(5..).unwrap_or_default();
+            let Ok((step, batch)) = StepMessage::decode_into(payload, &mut w.params) else {
+                return; // locally built frames never fail; belt and braces
+            };
+            let id = w.hw.id();
+            w.hw.compute_into(&w.params, batch as usize, &mut w.out);
+            w.next_slot = step + 1;
+            GradientMessage::encode_frame(id, step, &w.out.submitted, &mut w.sub_frame);
+            GradientMessage::encode_frame(id, step, &w.out.pre_noise, &mut w.pre_frame);
+            begin_frame(&mut w.grad_frame, KIND_GRAD);
+            w.grad_frame.put_f64_le(w.out.batch_loss);
+            w.grad_frame.put_u32_le(w.sub_frame.len() as u32);
+            w.grad_frame.put_slice(&w.sub_frame);
+            w.grad_frame.put_slice(&w.pre_frame);
+            end_frame(&mut w.grad_frame);
+            let straggle: u64 = self
+                .grad_delays
+                .iter()
+                .filter(|d| d.worker == id && d.from_step <= step && step <= d.to_step)
+                .map(|d| d.extra_ms)
+                .sum();
+            let crash_now = w.crash_after == Some(step);
+            Self::send_frame(
+                &mut self.queue,
+                &mut self.seq,
+                &mut self.links_to_coord[idx],
+                self.now,
+                self.compute_ms + straggle,
+                &self.workers[idx].grad_frame,
+                |frame| Delivery::ToCoord { from: id, frame },
+            );
+            if crash_now {
+                self.workers[idx].alive = false;
+                if self.detect_crash {
+                    // The reset travels the wire like any frame, minus
+                    // chaos draws (a reset is not retransmitted).
+                    let at = self.now + self.links_to_coord[idx].plan.delay_ms;
+                    self.queue
+                        .insert((at, self.seq), Delivery::Detach { worker: id });
+                    self.seq += 1;
+                }
+                return;
+            }
+        }
+    }
+
+    /// The coordinator-side receive path for one delivered frame — the
+    /// sim twin of `TcpTransport::poll`'s drain loop, guards included.
+    fn coord_receive(
+        &mut self,
+        from: u32,
+        frame: &[u8],
+        phase: Phase,
+        outputs: &mut [WorkerOutput],
+        events: &mut Vec<Event>,
+    ) {
+        let idx = from as usize;
+        let Some(&kind) = frame.get(4) else { return };
+        let payload = frame.get(5..).unwrap_or_default();
+        match kind {
+            KIND_JOIN if phase == Phase::WaitingForWorkers => {
+                if let (Some(att), Some(known)) =
+                    (self.attached.get_mut(idx), self.ever_joined.get_mut(idx))
+                {
+                    *att = true;
+                    *known = true;
+                    events.push(Event::Joined(from));
+                }
+            }
+            KIND_REJOIN if payload.len() == 16 => {
+                let (Ok(id), Ok(token), Ok(next_slot)) = (
+                    read_array(payload, 0).map(u32::from_le_bytes),
+                    read_array(payload, 4).map(u64::from_le_bytes),
+                    read_array(payload, 12).map(u32::from_le_bytes),
+                ) else {
+                    return;
+                };
+                let known = self.ever_joined.get(idx).copied().unwrap_or(false);
+                if id != from || !known || token != session_token(self.run_seed, id) {
+                    return; // unknown slot or bad token: dropped
+                }
+                // Replay the missed broadcasts through the (faulty)
+                // link; the worker's pending buffer restores order.
+                let mut replayed: Vec<Vec<u8>> = Vec::new();
+                match self.ring.replay_from(next_slot) {
+                    Some(frames) => replayed.extend(frames.map(<[u8]>::to_vec)),
+                    None => return, // too far behind to resume
+                }
+                for frame in &replayed {
+                    Self::send_frame(
+                        &mut self.queue,
+                        &mut self.seq,
+                        &mut self.links_to_worker[idx],
+                        self.now,
+                        0,
+                        frame,
+                        |frame| Delivery::ToWorker { to: from, frame },
+                    );
+                }
+                if let Some(att) = self.attached.get_mut(idx) {
+                    *att = true;
+                }
+                events.push(Event::Reattached(from));
+            }
+            KIND_READY if self.attached.get(idx).copied().unwrap_or(false) => {
+                events.push(Event::Ready(from));
+            }
+            KIND_GRAD if self.attached.get(idx).copied().unwrap_or(false) => {
+                let Some(out) = outputs.get_mut(idx) else {
+                    return;
+                };
+                let current = current_step(phase);
+                // lint:begin(zero-copy)
+                // The chaos hot loop: every queued GRAD passes through
+                // here, so the frame is peeked, admitted, and decoded
+                // straight into the recycled output slot — no copies.
+                if let Ok((wid, step)) = peek_grad(payload) {
+                    if wid == from && self.guard.admit(wid, step, current) == Admission::Fresh {
+                        if let Ok(step) = decode_grad(payload, wid, out) {
+                            events.push(Event::Gradient { id: wid, step });
+                        }
+                    }
+                }
+                // lint:end(zero-copy)
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Transport for SimNet {
+    fn now_ms(&mut self) -> u64 {
+        self.now
+    }
+
+    fn poll(
+        &mut self,
+        phase: Phase,
+        outputs: &mut [WorkerOutput],
+        events: &mut Vec<Event>,
+    ) -> io::Result<bool> {
+        let mut progressed = false;
+        loop {
+            let due = self
+                .queue
+                .first_key_value()
+                .map(|(&(at, _), _)| at <= self.now)
+                .unwrap_or(false);
+            if !due {
+                break;
+            }
+            let Some((_, delivery)) = self.queue.pop_first() else {
+                break;
+            };
+            progressed = true;
+            match delivery {
+                Delivery::ToCoord { from, frame } => {
+                    self.coord_receive(from, &frame, phase, outputs, events);
+                }
+                Delivery::ToWorker { to, frame } => {
+                    self.worker_receive(to as usize, frame);
+                }
+                Delivery::Detach { worker } => {
+                    if let Some(att) = self.attached.get_mut(worker as usize) {
+                        *att = false;
+                    }
+                    events.push(Event::Detached(worker));
+                }
+            }
+        }
+        Ok(progressed)
+    }
+
+    fn start_warmup(&mut self) {
+        begin_frame(&mut self.send, KIND_WARMUP);
+        end_frame(&mut self.send);
+        self.ring.push(0, &self.send);
+        self.broadcast();
+    }
+
+    fn broadcast_step(&mut self, step: u32, batch: u32, params: &Vector) {
+        StepMessage::encode_frame(step, batch, params, &mut self.step_msg);
+        begin_frame(&mut self.send, KIND_STEP);
+        self.send.put_slice(&self.step_msg);
+        end_frame(&mut self.send);
+        self.ring.push(step, &self.send);
+        self.broadcast();
+        // Rejoin schedules fire on broadcasts: a dead worker whose
+        // trigger step just went out revives and starts its handshake.
+        for idx in 0..self.workers.len() {
+            let w = &mut self.workers[idx];
+            if !w.alive && w.rejoin_on == Some(step) {
+                w.alive = true;
+                w.rejoin_on = None;
+                let id = w.hw.id();
+                let next_slot = w.next_slot;
+                let mut rejoin = BytesMut::with_capacity(32);
+                begin_frame(&mut rejoin, KIND_REJOIN);
+                rejoin.put_u32_le(id);
+                rejoin.put_u64_le(session_token(self.run_seed, id));
+                rejoin.put_u32_le(next_slot);
+                end_frame(&mut rejoin);
+                Self::send_frame(
+                    &mut self.queue,
+                    &mut self.seq,
+                    &mut self.links_to_coord[idx],
+                    self.now,
+                    0,
+                    &rejoin,
+                    |frame| Delivery::ToCoord { from: id, frame },
+                );
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        begin_frame(&mut self.send, KIND_DONE);
+        end_frame(&mut self.send);
+        self.broadcast();
+    }
+
+    fn abort(&mut self, reason: &str) {
+        begin_frame(&mut self.send, KIND_ABORT);
+        self.send.put_slice(reason.as_bytes());
+        end_frame(&mut self.send);
+        self.broadcast();
+    }
+
+    fn idle(&mut self, next_deadline_ms: Option<u64>) {
+        let next_event = self.queue.keys().next().map(|&(at, _)| at);
+        let target = match (next_event, next_deadline_ms) {
+            (Some(event), Some(deadline)) => event.min(deadline),
+            (Some(event), None) => event,
+            (None, Some(deadline)) => deadline,
+            // Done/Aborted with a drained queue: `drive` exits before
+            // idling again, but never let the clock stall regardless.
+            (None, None) => self.now + 1,
+        };
+        self.now = if target > self.now {
+            target
+        } else {
+            self.now + 1
+        };
+    }
+}
+
+/// The `"sim"` deployment backend: the full round protocol over
+/// [`SimNet`]. Spec parameters (all optional):
+///
+/// * `chaos` — fault-plan seed ([`FaultPlan::from_seed`]); absent means
+///   clean links;
+/// * `min_workers` / `quorum` — as the `"tcp"` backend;
+/// * `join_timeout_ms` / `warmup_timeout_ms` / `step_timeout_ms` —
+///   phase deadlines in *virtual* ms (default 10 000 each);
+/// * `compute_ms` — virtual cost of one gradient computation (default
+///   2);
+/// * `resume_window` — broadcast frames retained for rejoin replay
+///   (default 32).
+pub struct SimBackend {
+    chaos: Option<u64>,
+    min_workers: Option<usize>,
+    quorum: Option<usize>,
+    join_timeout_ms: u64,
+    warmup_timeout_ms: u64,
+    step_timeout_ms: u64,
+    compute_ms: u64,
+    resume_window: usize,
+}
+
+impl SimBackend {
+    /// Reads deployment knobs from a backend spec (see the type docs for
+    /// the parameter list).
+    pub fn from_spec(spec: &ComponentSpec) -> Self {
+        SimBackend {
+            chaos: spec.u64("chaos"),
+            min_workers: spec.u64("min_workers").map(|v| v as usize),
+            quorum: spec.u64("quorum").map(|v| v as usize),
+            join_timeout_ms: spec.u64("join_timeout_ms").unwrap_or(10_000),
+            warmup_timeout_ms: spec.u64("warmup_timeout_ms").unwrap_or(10_000),
+            step_timeout_ms: spec.u64("step_timeout_ms").unwrap_or(10_000),
+            compute_ms: spec.u64("compute_ms").unwrap_or(2),
+            resume_window: spec.u64("resume_window").unwrap_or(32) as usize,
+        }
+    }
+
+    /// Runs one experiment over an explicit [`FaultPlan`] — the entry
+    /// point the chaos and reconnect suites use for plans that spec
+    /// parameters cannot express (crash and straggler schedules).
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineBackend::run`].
+    pub fn run_with_plan(
+        &self,
+        exp: &Experiment,
+        seed: u64,
+        plan: &FaultPlan,
+        observer: Option<Box<dyn RunObserver>>,
+        scratch: &mut RunScratch,
+    ) -> Result<RunHistory, PipelineError> {
+        let (n_honest, min_workers, quorum) =
+            crate::backend::resolve_deployment("sim", exp, self.min_workers, self.quorum)?;
+        if plan.to_worker.len() != n_honest {
+            return Err(PipelineError::Spec(format!(
+                "sim backend: fault plan covers {} workers, run has {n_honest}",
+                plan.to_worker.len()
+            )));
+        }
+        let mut trainer = exp.build_trainer()?;
+        if let Some(observer) = observer {
+            trainer = trainer.observer(observer);
+        }
+        let (core, workers) = trainer.into_distributed_parts(seed, scratch);
+        let machine_cfg = MachineConfig {
+            n_workers: n_honest,
+            min_workers,
+            quorum,
+            steps: core.config().steps,
+            join_deadline_ms: self.join_timeout_ms,
+            warmup_deadline_ms: self.warmup_timeout_ms,
+            step_deadline_ms: self.step_timeout_ms,
+        };
+        let mut net = SimNet::new(workers, plan, seed, self.compute_ms, self.resume_window);
+        drive(&mut net, core, machine_cfg, seed, scratch).map_err(|e| match e {
+            CoordinatorError::Gar(g) => PipelineError::Gar(g),
+            other => PipelineError::Spec(format!("sim backend: {other}")),
+        })
+    }
+}
+
+impl EngineBackend for SimBackend {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn run(
+        &self,
+        exp: &Experiment,
+        seed: u64,
+        observer: Option<Box<dyn RunObserver>>,
+        scratch: &mut RunScratch,
+    ) -> Result<RunHistory, PipelineError> {
+        let n_honest = if exp.attack.is_some() {
+            exp.config.n_honest()
+        } else {
+            exp.config.n_workers
+        };
+        let plan = match self.chaos {
+            Some(chaos_seed) => FaultPlan::from_seed(chaos_seed, n_honest),
+            None => FaultPlan::clean(n_honest),
+        };
+        self.run_with_plan(exp, seed, &plan, observer, scratch)
+    }
+}
+
+/// Registers the `"sim"` backend. Idempotent — safe to call from every
+/// binary and test that might race another `install`.
+pub fn install() {
+    match register_backend("sim", |spec| {
+        Ok(Arc::new(SimBackend::from_spec(spec)) as Arc<dyn EngineBackend>)
+    }) {
+        Ok(()) | Err(RegistryError::DuplicateId(_)) => {}
+        Err(e) => unreachable!("sim backend registration failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_are_pure_functions_of_the_seed() {
+        let a = FaultPlan::from_seed(7, 4);
+        let b = FaultPlan::from_seed(7, 4);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::from_seed(8, 4);
+        assert_ne!(a, c, "different seed, different plan");
+        assert!(a.crashes.is_empty(), "derived plans never crash workers");
+    }
+
+    #[test]
+    fn derived_chaos_stays_far_below_the_deadlines() {
+        for seed in 0..32 {
+            let plan = FaultPlan::from_seed(seed, 6);
+            for link in plan.to_worker.iter().chain(plan.to_coord.iter()) {
+                // Worst case: max jitter + every retransmission + the
+                // longest partition hold.
+                let worst = link.delay_ms
+                    + link.jitter_ms
+                    + u64::from(MAX_RETRANSMITS) * (link.delay_ms + RETRANSMIT_PENALTY_MS)
+                    + link
+                        .partitions
+                        .iter()
+                        .map(|&(s, e)| e - s)
+                        .max()
+                        .unwrap_or(0);
+                assert!(
+                    worst < 1_000,
+                    "seed {seed}: worst-case one-way delay {worst} ms \
+                     endangers the 10 s default deadline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_links_draw_deterministic_schedules() {
+        let plan = FaultPlan::from_seed(3, 2);
+        let mk = || {
+            let mut rng = Prng::seed_from_u64(plan.seed);
+            ChaosLink {
+                plan: plan.to_coord[0].clone(),
+                rng: rng.derive(2000),
+            }
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for send in 0..100u64 {
+            assert_eq!(
+                a.times(send * 3, 0),
+                b.times(send * 3, 0),
+                "send {send} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_windows_hold_deliveries_until_they_close() {
+        let link = ChaosLink {
+            plan: LinkPlan {
+                delay_ms: 1,
+                jitter_ms: 0,
+                drop: 0.0,
+                dup: 0.0,
+                partitions: vec![(10, 20), (20, 25)],
+            },
+            rng: Prng::seed_from_u64(0),
+        };
+        assert_eq!(link.hold(5), 5, "before the window");
+        assert_eq!(link.hold(10), 25, "held, cascading through both windows");
+        assert_eq!(link.hold(19), 25);
+        assert_eq!(link.hold(26), 26, "after the windows");
+    }
+}

@@ -1,0 +1,331 @@
+//! The transport abstraction the coordinator drives — real sockets or
+//! the in-memory chaos simulator, same loop.
+//!
+//! [`drive`] is the coordinator's entire control flow, extracted from
+//! the TCP plumbing: poll the transport for decoded [`Event`]s, feed
+//! them (and virtual time) to the [`RoundStateMachine`], and execute the
+//! [`Action`]s it emits against the shared [`ServerCore`] — exactly as
+//! the in-process engines drive it, which is what makes every backend's
+//! [`RunHistory`] bit-identical per seed. A [`Transport`] owns *how*
+//! bytes move (sockets, or [`SimNet`](crate::sim::SimNet)'s seeded fault
+//! plan); it decodes frames, attributes them to worker slots, and
+//! reports connection churn as [`Event::Detached`] /
+//! [`Event::Reattached`].
+//!
+//! [`ResumeRing`] is the replay half of the `Rejoin` handshake: the last
+//! `W` broadcast frames (warmup + steps), recycled buffer-for-buffer so
+//! steady-state rounds stay allocation-free. A reconnecting worker tells
+//! the coordinator the first slot it has not computed; the ring replays
+//! everything from there so the worker's RNG and momentum state catch up
+//! *exactly* as if it had merely straggled — the lever behind the
+//! reconnect-vs-straggler bit-identity the regression suite pins.
+
+use crate::machine::{Action, Event, MachineConfig, Phase, RoundStateMachine};
+use bytes::{BufMut, BytesMut};
+use dpbyz_gars::GarError;
+use dpbyz_server::{RunHistory, RunScratch, ServerCore, WorkerOutput};
+use dpbyz_tensor::Vector;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+
+/// Why a coordinated run failed.
+#[derive(Debug)]
+pub enum CoordinatorError {
+    /// Listener/socket failure.
+    Io(io::Error),
+    /// The aggregation rule rejected the topology mid-run.
+    Gar(GarError),
+    /// The state machine aborted (below `min_workers`, below quorum);
+    /// reason attached.
+    Aborted(String),
+}
+
+impl fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorError::Io(e) => write!(f, "transport: {e}"),
+            CoordinatorError::Gar(e) => write!(f, "aggregation: {e}"),
+            CoordinatorError::Aborted(reason) => write!(f, "run aborted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {}
+
+impl From<io::Error> for CoordinatorError {
+    fn from(e: io::Error) -> Self {
+        CoordinatorError::Io(e)
+    }
+}
+
+/// The step currently in flight, as the receive path needs it for
+/// dedup/reorder admission: the broadcast step during `Train`/`Aggregate`
+/// and `0` (nothing broadcast yet) otherwise.
+pub fn current_step(phase: Phase) -> u32 {
+    match phase {
+        Phase::Train { step } | Phase::Aggregate { step } => step,
+        _ => 0,
+    }
+}
+
+/// How the coordinator's [`drive`] loop talks to the wire (or the
+/// simulator). Implementations own connections, frame codecs, dedup
+/// guards, and the resume ring; the loop owns the state machine and the
+/// server core.
+pub trait Transport {
+    /// Current virtual time in ms — wall-clock since start for sockets,
+    /// the simulated clock for [`SimNet`](crate::sim::SimNet).
+    fn now_ms(&mut self) -> u64;
+
+    /// Moves pending bytes: accepts connections, reads frames, decodes
+    /// gradient reports **straight into `outputs`** (only
+    /// fresh-for-`phase` frames — the transport consults its
+    /// [`GradGuard`](crate::protocol::GradGuard) so duplicated or
+    /// reordered frames never clobber a slot), and appends the decoded
+    /// [`Event`]s. Returns whether anything moved.
+    ///
+    /// # Errors
+    ///
+    /// Fatal transport failures only (a lost *worker* is an
+    /// [`Event::Detached`], not an error).
+    fn poll(
+        &mut self,
+        phase: Phase,
+        outputs: &mut [WorkerOutput],
+        events: &mut Vec<Event>,
+    ) -> io::Result<bool>;
+
+    /// Broadcasts `WARMUP` to every attached worker.
+    fn start_warmup(&mut self);
+
+    /// Broadcasts the `STEP` frame for `step` to every attached worker.
+    fn broadcast_step(&mut self, step: u32, batch: u32, params: &Vector);
+
+    /// Broadcasts `DONE`.
+    fn finish(&mut self);
+
+    /// Broadcasts `ABORT` with a reason.
+    fn abort(&mut self, reason: &str);
+
+    /// Nothing moved this iteration: park until more bytes can exist.
+    /// `next_deadline_ms` is the latest wake-up that cannot delay a
+    /// deadline decision (the simulator jumps its clock there; sockets
+    /// nap a few hundred µs).
+    fn idle(&mut self, next_deadline_ms: Option<u64>);
+}
+
+/// Runs one training run over any [`Transport`]: walks the
+/// [`RoundStateMachine`] through
+/// `WaitingForWorkers → Warmup → (Train → Aggregate)* → Done` and seals
+/// the [`RunHistory`].
+///
+/// `core` comes from
+/// [`Trainer::into_distributed_parts`](dpbyz_server::Trainer::into_distributed_parts);
+/// buffers recycle through `scratch` exactly as the in-process engines
+/// do, on **every** exit path.
+///
+/// # Errors
+///
+/// See [`CoordinatorError`].
+pub fn drive<T: Transport>(
+    transport: &mut T,
+    mut core: ServerCore,
+    cfg: MachineConfig,
+    seed: u64,
+    scratch: &mut RunScratch,
+) -> Result<RunHistory, CoordinatorError> {
+    let mut machine = RoundStateMachine::new(cfg, transport.now_ms());
+    let mut outputs = scratch.take_outputs();
+    outputs.resize_with(cfg.n_workers, Default::default);
+    let mut actions: Vec<Action> = Vec::with_capacity(4);
+    let mut events: Vec<Event> = Vec::with_capacity(8);
+    let dim = core.params().dim();
+
+    let result = 'run: loop {
+        let now = transport.now_ms();
+        let polled = match transport.poll(machine.phase(), &mut outputs, &mut events) {
+            Ok(moved) => moved,
+            Err(e) => break 'run Err(CoordinatorError::Io(e)),
+        };
+        let mut progressed = polled || !events.is_empty();
+        for event in events.drain(..) {
+            machine.on_event(event, now, &mut actions);
+        }
+        machine.tick(now, &mut actions);
+
+        // Process actions by index: `on_aggregated` appends while we
+        // walk (Action is Copy, so no borrow of the Vec is held).
+        let mut finished = false;
+        let mut a = 0;
+        while let Some(&action) = actions.get(a) {
+            match action {
+                Action::StartWarmup => transport.start_warmup(),
+                Action::BroadcastStep(t) => {
+                    let batch = core.config().batch_at(t) as u32;
+                    transport.broadcast_step(t, batch, core.params());
+                }
+                Action::Aggregate(t) => {
+                    // Absent submissions — stragglers this round, or
+                    // workers that never joined a short-handed run —
+                    // become zero vectors at the server, reusing the
+                    // fault-injection semantics of §2.1.
+                    for (id, out) in outputs.iter_mut().enumerate() {
+                        let absent = !machine.is_joined(id as u32)
+                            || machine.dropped().contains(&(id as u32));
+                        if absent {
+                            out.submitted.resize(dim, 0.0);
+                            out.submitted.fill(0.0);
+                            out.pre_noise.resize(dim, 0.0);
+                            out.pre_noise.fill(0.0);
+                            out.batch_loss = 0.0;
+                        }
+                    }
+                    if let Err(e) = core.process_round(t, &mut outputs) {
+                        transport.abort(&e.to_string());
+                        break 'run Err(CoordinatorError::Gar(e));
+                    }
+                    machine.on_aggregated(now, &mut actions);
+                }
+                Action::Finish => {
+                    transport.finish();
+                    finished = true;
+                }
+                Action::Abort => {
+                    let reason = machine
+                        .abort_reason()
+                        .unwrap_or("state machine aborted")
+                        .to_string();
+                    transport.abort(&reason);
+                    break 'run Err(CoordinatorError::Aborted(reason));
+                }
+            }
+            progressed = true;
+            a += 1;
+        }
+        actions.clear();
+
+        if finished {
+            break 'run Ok(());
+        }
+        if !progressed {
+            transport.idle(machine.next_deadline_ms());
+        }
+    };
+
+    scratch.restore_outputs(outputs);
+    core.reclaim_scratch(scratch);
+    result.map(|()| core.finish(seed))
+}
+
+/// The last `W` broadcast wire frames, keyed by *slot*: `0` is the
+/// `WARMUP` frame, `t ≥ 1` the `STEP` frame for step `t`. Backs the
+/// `Rejoin` replay — a reconnecting worker names the first slot it has
+/// not computed and receives every stored frame from there, byte-for-byte
+/// what the original broadcast carried.
+///
+/// Buffers recycle once the ring is full (the evicted frame's storage
+/// takes the new frame), so a steady-state round allocates nothing — the
+/// TCP allocation-bound test covers this path too.
+#[derive(Debug)]
+pub struct ResumeRing {
+    cap: usize,
+    frames: VecDeque<(u32, BytesMut)>,
+}
+
+impl ResumeRing {
+    /// A ring holding at most `cap` frames (`cap ≥ 1` enforced by
+    /// clamping).
+    pub fn new(cap: usize) -> Self {
+        ResumeRing {
+            cap: cap.max(1),
+            frames: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Records the wire frame broadcast for `slot`, evicting (and
+    /// recycling) the oldest once full. Slots must be pushed in
+    /// ascending order — the broadcast schedule guarantees this.
+    pub fn push(&mut self, slot: u32, frame: &[u8]) {
+        let mut buf = if self.frames.len() == self.cap {
+            self.frames
+                .pop_front()
+                .map(|(_, buf)| buf)
+                .unwrap_or_default()
+        } else {
+            BytesMut::default()
+        };
+        buf.clear();
+        buf.put_slice(frame);
+        self.frames.push_back((slot, buf));
+    }
+
+    /// The stored frames for every slot `≥ from`, oldest first — what a
+    /// rejoining worker must be replayed. `None` when the ring cannot
+    /// serve the request: slot `from` was already evicted (the worker
+    /// fell too far behind to resume), or `from` claims a slot that was
+    /// never broadcast (a confused or hostile peer).
+    pub fn replay_from(&self, from: u32) -> Option<impl Iterator<Item = &[u8]>> {
+        if let (Some(&(first, _)), Some(&(last, _))) = (self.frames.front(), self.frames.back()) {
+            if from < first || from > last.saturating_add(1) {
+                return None;
+            }
+        } else if from > 0 {
+            return None; // nothing ever broadcast: only `from == 0` resumes
+        }
+        Some(
+            self.frames
+                .iter()
+                .filter(move |&&(slot, _)| slot >= from)
+                .map(|(_, buf)| -> &[u8] { buf }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replayed(ring: &ResumeRing, from: u32) -> Option<Vec<Vec<u8>>> {
+        ring.replay_from(from)
+            .map(|frames| frames.map(<[u8]>::to_vec).collect())
+    }
+
+    #[test]
+    fn replay_serves_suffixes_and_rejects_evicted_slots() {
+        let mut ring = ResumeRing::new(3);
+        assert_eq!(replayed(&ring, 0), Some(vec![]), "empty ring, from 0");
+        assert_eq!(replayed(&ring, 1), None, "slot 1 was never broadcast");
+        for slot in 0..5u32 {
+            ring.push(slot, &[slot as u8; 4]);
+        }
+        // Capacity 3: slots 0 and 1 evicted, 2..=4 held.
+        assert_eq!(replayed(&ring, 1), None, "evicted: too far behind");
+        assert_eq!(
+            replayed(&ring, 2),
+            Some(vec![vec![2; 4], vec![3; 4], vec![4; 4]])
+        );
+        assert_eq!(replayed(&ring, 4), Some(vec![vec![4; 4]]));
+        // "Caught up" is a valid resume: nothing to replay.
+        assert_eq!(replayed(&ring, 5), Some(vec![]));
+        // A slot beyond anything broadcast is a hostile claim.
+        assert_eq!(replayed(&ring, 6), None);
+    }
+
+    #[test]
+    fn full_ring_recycles_buffer_storage() {
+        let mut ring = ResumeRing::new(2);
+        ring.push(0, &[0; 16]);
+        ring.push(1, &[1; 16]);
+        let recycled: Vec<*const u8> = ring.frames.iter().map(|(_, b)| b.as_ptr()).collect();
+        // Same-size frames from here on reuse the evicted allocations.
+        for slot in 2..10u32 {
+            ring.push(slot, &[slot as u8; 16]);
+            let ptr = ring.frames.back().map(|(_, b)| b.as_ptr()).unwrap();
+            assert!(
+                recycled.contains(&ptr),
+                "slot {slot} allocated fresh storage"
+            );
+        }
+    }
+}

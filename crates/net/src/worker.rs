@@ -11,12 +11,23 @@
 //! [`Trainer::into_worker`](dpbyz_server::Trainer::into_worker), so its
 //! submissions are bit-identical to its in-process twin's.
 //!
-//! All buffers (parameter vector, output slot, frame scratch) are
-//! recycled across rounds: a steady-state round allocates nothing.
+//! A lost socket is survivable: when [`WorkerConfig::session_token`] is
+//! set, the worker holds on to its model state, reconnects, and sends
+//! `REJOIN` naming the first step it has not computed. The coordinator
+//! replays every missed broadcast from its resume ring, so the worker
+//! computes the missed steps in order — the same parameter bytes, the
+//! same RNG draws — and its state catches up exactly as if it had merely
+//! straggled. Replayed or duplicated broadcasts are handled by slot
+//! arithmetic: stale steps retransmit the cached report (the coordinator
+//! dedups), future steps are a protocol violation.
+//!
+//! All buffers (parameter vector, output slot, frame scratch, the cached
+//! report) are recycled across rounds *and* across reconnects: a
+//! steady-state round allocates nothing.
 
 use crate::protocol::{
     begin_frame, end_frame, read_exact_frame, write_all_frame, KIND_ABORT, KIND_DONE, KIND_GRAD,
-    KIND_JOIN, KIND_READY, KIND_STEP, KIND_WARMUP, MAX_FRAME_LEN,
+    KIND_JOIN, KIND_READY, KIND_REJOIN, KIND_STEP, KIND_WARMUP, MAX_FRAME_LEN,
 };
 use bytes::{BufMut, BytesMut};
 use dpbyz_server::message::{read_array, GradientMessage, MessageError, StepMessage};
@@ -76,6 +87,14 @@ pub struct WorkerConfig {
     /// Per-frame receive timeout. An orphaned worker (coordinator died
     /// without `ABORT`) exits with an error instead of lingering forever.
     pub read_timeout: Duration,
+    /// The `REJOIN` credential, equal to
+    /// [`session_token`](crate::protocol::session_token)`(seed, id)`.
+    /// `None` (the default) disables reconnection: a lost socket is a
+    /// fatal [`WorkerError::Io`], the pre-churn behaviour.
+    pub session_token: Option<u64>,
+    /// Socket losses survived before giving up. Irrelevant while
+    /// `session_token` is `None`.
+    pub max_rejoins: u32,
 }
 
 impl Default for WorkerConfig {
@@ -83,12 +102,33 @@ impl Default for WorkerConfig {
         WorkerConfig {
             connect_timeout: Duration::from_secs(10),
             read_timeout: Duration::from_secs(60),
+            session_token: None,
+            max_rejoins: 0,
         }
     }
 }
 
-/// Runs one worker session to completion. Returns `Ok(steps_served)` on a
-/// clean `DONE`.
+/// The state that outlives a socket: frame scratch, the decoded
+/// parameter vector, the output slot, and the session's slot cursor
+/// (`0` = warmup not yet answered, `t ≥ 1` = first uncomputed step).
+struct Session {
+    send: BytesMut,
+    sub_frame: BytesMut,
+    pre_frame: BytesMut,
+    /// The full wire frame of the newest report — retransmitted after a
+    /// reconnect (its first send may have died with the old socket) and
+    /// on duplicated broadcasts; the coordinator's guard dedups.
+    grad_cache: BytesMut,
+    recv: Vec<u8>,
+    params: Vector,
+    out: WorkerOutput,
+    next_slot: u32,
+    steps_served: u32,
+}
+
+/// Runs one worker session to completion, reconnecting through
+/// [`KIND_REJOIN`] after socket loss when the config allows it. Returns
+/// `Ok(steps_computed)` on a clean `DONE`.
 ///
 /// # Errors
 ///
@@ -98,54 +138,114 @@ pub fn run_worker(
     mut worker: HonestWorker,
     cfg: WorkerConfig,
 ) -> Result<u32, WorkerError> {
+    let id = worker.id();
+    let mut session = Session {
+        send: BytesMut::with_capacity(4096),
+        sub_frame: BytesMut::with_capacity(4096),
+        pre_frame: BytesMut::with_capacity(4096),
+        grad_cache: BytesMut::with_capacity(4096),
+        recv: Vec::new(),
+        params: Vector::default(),
+        out: WorkerOutput::default(),
+        next_slot: 0,
+        steps_served: 0,
+    };
+    let mut rejoins_left = cfg.max_rejoins;
+    let mut fresh = true;
+    loop {
+        match serve(addr, id, &mut worker, &cfg, &mut session, fresh) {
+            Ok(steps) => return Ok(steps),
+            Err(WorkerError::Io(_)) if cfg.session_token.is_some() && rejoins_left > 0 => {
+                // The socket died but the model state is intact: resume.
+                rejoins_left -= 1;
+                fresh = false;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve(
+    addr: SocketAddr,
+    id: u32,
+    worker: &mut HonestWorker,
+    cfg: &WorkerConfig,
+    st: &mut Session,
+    fresh: bool,
+) -> Result<u32, WorkerError> {
     let mut stream = connect_with_retry(addr, cfg.connect_timeout)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(cfg.read_timeout))?;
-    let id = worker.id();
 
-    // Recycled session buffers.
-    let mut send = BytesMut::with_capacity(4096);
-    let mut sub_frame = BytesMut::with_capacity(4096);
-    let mut pre_frame = BytesMut::with_capacity(4096);
-    let mut recv = Vec::new();
-    let mut params = Vector::default();
-    let mut out = WorkerOutput::default();
-    let mut steps_served = 0u32;
-
-    begin_frame(&mut send, KIND_JOIN);
-    send.put_u32_le(id);
-    end_frame(&mut send);
-    write_all_frame(&mut stream, &send)?;
+    if fresh {
+        begin_frame(&mut st.send, KIND_JOIN);
+        st.send.put_u32_le(id);
+        end_frame(&mut st.send);
+        write_all_frame(&mut stream, &st.send)?;
+    } else {
+        begin_frame(&mut st.send, KIND_REJOIN);
+        st.send.put_u32_le(id);
+        st.send.put_u64_le(cfg.session_token.unwrap_or_default());
+        st.send.put_u32_le(st.next_slot);
+        end_frame(&mut st.send);
+        write_all_frame(&mut stream, &st.send)?;
+        // The newest report may have died unread with the old socket.
+        if !st.grad_cache.is_empty() {
+            write_all_frame(&mut stream, &st.grad_cache)?;
+        }
+    }
 
     loop {
-        let (kind, len) = read_header(&mut stream, &mut recv)?;
-        read_exact_frame(&mut stream, &mut recv, len)?;
+        let (kind, len) = read_header(&mut stream, &mut st.recv)?;
+        read_exact_frame(&mut stream, &mut st.recv, len)?;
         match kind {
             KIND_WARMUP => {
-                begin_frame(&mut send, KIND_READY);
-                send.put_u32_le(id);
-                end_frame(&mut send);
-                write_all_frame(&mut stream, &send)?;
+                if st.next_slot == 0 {
+                    st.next_slot = 1;
+                }
+                // A replayed WARMUP re-READYs; the machine dedups.
+                begin_frame(&mut st.send, KIND_READY);
+                st.send.put_u32_le(id);
+                end_frame(&mut st.send);
+                write_all_frame(&mut stream, &st.send)?;
             }
             KIND_STEP => {
-                let (step, batch_size) = StepMessage::decode_into(&recv, &mut params)?;
-                worker.compute_into(&params, batch_size as usize, &mut out);
-                steps_served += 1;
+                let (step, batch_size) = StepMessage::decode_into(&st.recv, &mut st.params)?;
+                if step < st.next_slot {
+                    // Already computed: a duplicated or replayed
+                    // broadcast. Retransmit the report it asks for when
+                    // we still hold it; otherwise it is settled history.
+                    if step.saturating_add(1) == st.next_slot && !st.grad_cache.is_empty() {
+                        write_all_frame(&mut stream, &st.grad_cache)?;
+                    }
+                } else if step == st.next_slot && step >= 1 {
+                    worker.compute_into(&st.params, batch_size as usize, &mut st.out);
+                    st.next_slot = step + 1;
+                    st.steps_served += 1;
 
-                GradientMessage::encode_frame(id, step, &out.submitted, &mut sub_frame);
-                GradientMessage::encode_frame(id, step, &out.pre_noise, &mut pre_frame);
-                begin_frame(&mut send, KIND_GRAD);
-                send.put_f64_le(out.batch_loss);
-                send.put_u32_le(sub_frame.len() as u32);
-                send.put_slice(&sub_frame);
-                send.put_slice(&pre_frame);
-                end_frame(&mut send);
-                write_all_frame(&mut stream, &send)?;
+                    GradientMessage::encode_frame(id, step, &st.out.submitted, &mut st.sub_frame);
+                    GradientMessage::encode_frame(id, step, &st.out.pre_noise, &mut st.pre_frame);
+                    begin_frame(&mut st.grad_cache, KIND_GRAD);
+                    st.grad_cache.put_f64_le(st.out.batch_loss);
+                    st.grad_cache.put_u32_le(st.sub_frame.len() as u32);
+                    st.grad_cache.put_slice(&st.sub_frame);
+                    st.grad_cache.put_slice(&st.pre_frame);
+                    end_frame(&mut st.grad_cache);
+                    write_all_frame(&mut stream, &st.grad_cache)?;
+                } else {
+                    // A gap (or a STEP before WARMUP): TCP ordering and
+                    // the rejoin replay both forbid this from an honest
+                    // coordinator.
+                    return Err(WorkerError::Protocol(format!(
+                        "step {step} broadcast while {} was the next expected slot",
+                        st.next_slot
+                    )));
+                }
             }
-            KIND_DONE => return Ok(steps_served),
+            KIND_DONE => return Ok(st.steps_served),
             KIND_ABORT => {
                 return Err(WorkerError::Aborted(
-                    String::from_utf8_lossy(&recv).into_owned(),
+                    String::from_utf8_lossy(&st.recv).into_owned(),
                 ))
             }
             other => {

@@ -1,0 +1,89 @@
+//! Seeded chaos is digest-invisible: a crash-free fault plan — delays,
+//! jitter, duplication, "drops" (delayed retransmissions), partition
+//! windows, all derived from a `u64` seed — may scramble the byte-level
+//! event order however it likes, but every report still lands inside the
+//! virtual deadlines, so the `"sim"` backend must reproduce the
+//! sequential engine's history **bit for bit**. And the chaos itself is
+//! deterministic: the same chaos seed replays the same run.
+
+use dpbyz_core::pipeline::{Experiment, FigureConfig};
+use dpbyz_core::{AttackKind, ComponentSpec};
+
+/// Eight pinned fault plans — regenerating them must never be a silent
+/// test change.
+const CHAOS_SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xDEAD_BEEF, u64::MAX];
+
+fn experiment() -> Experiment {
+    Experiment::paper_figure(FigureConfig {
+        batch_size: 10,
+        epsilon: Some(0.2),
+        attack: Some(AttackKind::PAPER_ALIE),
+        steps: 6,
+        dataset_size: 300,
+        ..FigureConfig::default()
+    })
+    .unwrap()
+}
+
+/// The tentpole acceptance matrix: 8 fixed-seed fault plans × {sim,
+/// sequential}, digest-equal — and each sim run replayed byte-identical.
+#[test]
+fn chaos_runs_are_digest_equal_to_sequential_across_eight_seeds() {
+    dpbyz_net::install();
+    let run_seed = 17;
+
+    let mut exp = experiment();
+    exp.backend = ComponentSpec::new("sequential");
+    let reference = exp.run(run_seed).unwrap();
+
+    for chaos in CHAOS_SEEDS {
+        exp.backend = ComponentSpec::new("sim").with("chaos", chaos);
+        let first = exp.run(run_seed).unwrap();
+        let second = exp.run(run_seed).unwrap();
+        assert_eq!(
+            first, second,
+            "chaos seed {chaos:#x}: same seed must replay the same run"
+        );
+        assert_eq!(
+            first.digest(),
+            reference.digest(),
+            "chaos seed {chaos:#x}: crash-free chaos must be digest-invisible \
+             (sim {:#018x}, sequential {:#018x})",
+            first.digest(),
+            reference.digest()
+        );
+        assert_eq!(first, reference);
+    }
+}
+
+/// Fault-free sim (no `chaos` parameter) is the degenerate case: clean
+/// virtual links, still bit-identical to sequential — pinning the
+/// transport extraction itself, independent of any fault plan.
+#[test]
+fn clean_sim_backend_matches_sequential() {
+    dpbyz_net::install();
+    let mut exp = experiment();
+    exp.backend = ComponentSpec::new("sequential");
+    let reference = exp.run(3).unwrap();
+    exp.backend = ComponentSpec::new("sim");
+    let sim = exp.run(3).unwrap();
+    assert_eq!(reference, sim);
+}
+
+/// An all-honest topology (every worker a real sim session, no
+/// server-side forgeries) holds under chaos too.
+#[test]
+fn chaos_holds_without_an_attack() {
+    dpbyz_net::install();
+    let mut exp = Experiment::paper_figure(FigureConfig {
+        batch_size: 10,
+        steps: 5,
+        dataset_size: 300,
+        ..FigureConfig::default()
+    })
+    .unwrap();
+    let reference = exp.run(9).unwrap();
+    exp.backend = ComponentSpec::new("sim").with("chaos", 42u64);
+    let sim = exp.run(9).unwrap();
+    assert_eq!(reference, sim);
+}
