@@ -495,7 +495,9 @@ struct Job {
 }
 
 enum JobOutcome {
-    Done(RunHistory),
+    /// Boxed: a sealed history (with its churn ledger) dwarfs the other
+    /// variants, and every outcome rides a channel.
+    Done(Box<RunHistory>),
     Failed(PipelineError),
     /// The job was grid-later than an already-recorded error and was
     /// never run (its history would be discarded anyway).
@@ -575,7 +577,7 @@ fn execute(
                                 factory(&info)
                             });
                             match cell.experiment.run_inner(job.seed, observer, &mut scratch) {
-                                Ok(history) => JobOutcome::Done(history),
+                                Ok(history) => JobOutcome::Done(Box::new(history)),
                                 Err(error) => JobOutcome::Failed(error),
                             }
                         };
@@ -596,7 +598,7 @@ fn execute(
             let (cell, slot, seed, outcome) =
                 done_rx.recv().expect("a sweep worker thread panicked"); // lint:allow(panic-unwrap, reason = "a recv fails only when every worker vanished, which requires a worker panic; propagating is correct")
             match outcome {
-                JobOutcome::Done(history) => grid[cell][slot] = Some(history),
+                JobOutcome::Done(history) => grid[cell][slot] = Some(*history),
                 JobOutcome::Failed(error) => {
                     if first_error
                         .as_ref()

@@ -54,6 +54,7 @@ mod meamed;
 mod median;
 mod phocas;
 mod scratch;
+mod staleness;
 mod trimmed_mean;
 pub mod vn;
 
@@ -69,6 +70,7 @@ pub use meamed::Meamed;
 pub use median::CoordinateMedian;
 pub use phocas::Phocas;
 pub use scratch::GarScratch;
+pub use staleness::StalenessDamped;
 pub use trimmed_mean::TrimmedMean;
 
 use dpbyz_tensor::Vector;
@@ -146,7 +148,8 @@ pub(crate) fn check_input(gradients: &[Vector]) -> Result<usize, GarError> {
 
 /// Every GAR in this crate, boxed — convenient for sweeps over rules.
 /// Parameterized rules carry neutral defaults (centered clipping at τ = 1,
-/// bucketing over the coordinate median with s = 2).
+/// bucketing over the coordinate median with s = 2, staleness damping over
+/// the coordinate median with λ = 0.5).
 pub fn all_gars() -> Vec<Box<dyn Gar>> {
     vec![
         Box::new(Average::new()),
@@ -162,6 +165,10 @@ pub fn all_gars() -> Vec<Box<dyn Gar>> {
         Box::new(Bucketing::new(
             std::sync::Arc::new(CoordinateMedian::new()),
             2,
+        )),
+        Box::new(StalenessDamped::new(
+            std::sync::Arc::new(CoordinateMedian::new()),
+            0.5,
         )),
     ]
 }
@@ -186,8 +193,8 @@ mod tests {
     }
 
     #[test]
-    fn all_gars_lists_eleven() {
-        assert_eq!(all_gars().len(), 11);
+    fn all_gars_lists_twelve() {
+        assert_eq!(all_gars().len(), 12);
     }
 
     #[test]

@@ -83,11 +83,14 @@ pub fn rule_summary(rule: &str) -> &'static str {
 }
 
 /// Path scope of the determinism rules: the pure round state machine,
-/// the transport-generic drive loop, the seeded chaos simulator, every
+/// the transport-generic drive loop, the seeded chaos simulator, the
+/// wire codec (its windowed `GradGuard` decides staleness admission —
+/// any wall-clock or ambient-RNG leak there would break replay), every
 /// GAR, the trainer round loop, the metrics/digest layer, and the
 /// tensor kernels under all of them.
 const DETERMINISM_SCOPE: &[&str] = &[
     "crates/net/src/machine.rs",
+    "crates/net/src/protocol.rs",
     "crates/net/src/sim.rs",
     "crates/net/src/transport.rs",
     "crates/gars/src/",

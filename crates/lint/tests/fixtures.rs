@@ -181,6 +181,41 @@ fn determinism_rules_cover_the_chaos_transport_files() {
     }
 }
 
+/// The bounded-staleness surface: the wire codec now carries admission
+/// state (`GradGuard`'s window) that the replay contract depends on, so
+/// `protocol.rs` sits in *both* scopes — determinism (no wall clock,
+/// no ambient RNG, no unordered maps deciding admission) and hostile
+/// input (it still parses peer-controlled bytes). The staleness-damped
+/// meta-GAR is covered by the `crates/gars/src/` prefix, never by
+/// enumeration.
+#[test]
+fn determinism_rules_cover_the_staleness_admission_files() {
+    for rule in [
+        rules::RULE_WALL_CLOCK,
+        rules::RULE_AMBIENT_RNG,
+        rules::RULE_UNORDERED_MAP,
+    ] {
+        assert!(
+            rules::rule_applies(rule, "crates/net/src/protocol.rs"),
+            "{rule} must cover the wire codec's admission guard"
+        );
+        assert!(
+            rules::rule_applies(rule, "crates/gars/src/staleness.rs"),
+            "{rule} must cover the staleness-damped meta-GAR"
+        );
+    }
+    for rule in [rules::RULE_EXPLICIT_PANIC, rules::RULE_INDEXING] {
+        assert!(
+            rules::rule_applies(rule, "crates/net/src/protocol.rs"),
+            "{rule}: the codec keeps parsing hostile bytes"
+        );
+    }
+    assert!(
+        rules::rule_applies(rules::RULE_ZERO_COPY, "crates/gars/src/staleness.rs"),
+        "zero-copy regions must be honoured in the damped aggregation path"
+    );
+}
+
 /// The acceptance gate: the actual workspace lints clean. Every remaining
 /// unwrap/expect in library code carries a reasoned waiver and the wire
 /// surface is panic-free.

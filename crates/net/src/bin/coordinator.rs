@@ -13,6 +13,7 @@
 //!             [--steps 20] [--batch 10] [--seed 1]
 //!             [--dataset-size 400] [--eval-every 0]
 //!             [--min-workers M] [--quorum Q]
+//!             [--staleness-window 0] [--staleness-damping 0.5]
 //!             [--join-timeout-ms 10000] [--step-timeout-ms 10000]
 //!             [--spawn] [--verify]
 //! ```
@@ -77,13 +78,18 @@ fn main() {
             std::process::exit(2);
         }));
     }
-    let exp = match builder.build() {
+    let mut exp = match builder.build() {
         Ok(exp) => exp,
         Err(e) => {
             eprintln!("coordinator: invalid experiment: {e}");
             std::process::exit(2);
         }
     };
+    // Bounded staleness: k > 0 admits a report up to k rounds old, damped
+    // by λ^age server-side before the GAR sees it. k = 0 (the default)
+    // keeps the strict digest-pinned semantics.
+    exp.config.staleness_window = parsed(&args, "--staleness-window", 0);
+    exp.config.staleness_damping = parsed(&args, "--staleness-damping", 0.5);
     let n_honest = if exp.attack.is_some() {
         exp.config.n_honest()
     } else {

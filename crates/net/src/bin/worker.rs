@@ -7,7 +7,14 @@
 //!
 //! ```text
 //! worker --connect HOST:PORT --index N (--spec-json JSON | --spec-file PATH)
+//!        [--fresh-join]
 //! ```
+//!
+//! `--fresh-join` attaches a never-started worker to a run already in
+//! flight: the first frame sent is `JOIN_FRESH` and the coordinator
+//! replies with its resume-ring tail (the in-flight `STEP` carries the
+//! model snapshot), so the worker starts computing at the current round
+//! instead of aborting because the join phase closed.
 
 use dpbyz_net::{run_worker, JobSpec, WorkerConfig};
 use std::net::SocketAddr;
@@ -16,6 +23,10 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn main() {
@@ -69,7 +80,11 @@ fn main() {
         }
     };
 
-    match run_worker(addr, worker, WorkerConfig::default()) {
+    let cfg = WorkerConfig {
+        fresh_join: arg_present(&args, "--fresh-join"),
+        ..WorkerConfig::default()
+    };
+    match run_worker(addr, worker, cfg) {
         Ok(steps) => {
             println!("worker {index}: served {steps} steps");
         }

@@ -16,10 +16,19 @@
 //! connections in every live phase, and lets the worker resume through
 //! the [`KIND_REJOIN`] handshake — token check, then a [`ResumeRing`]
 //! replay of every missed broadcast so the worker's state catches up
-//! exactly as if it had merely straggled. Inbound gradient frames pass a
+//! exactly as if it had merely straggled. A worker that was *never* in
+//! the fleet may attach mid-run via [`KIND_JOIN_FRESH`]: the ring's
+//! current `STEP` frame carries the parameters, so the replayed tail is
+//! the model-state snapshot, and the machine books the slot as joined and
+//! ready from the in-flight round on. Inbound gradient frames pass a
 //! [`GradGuard`] before touching an output slot, so duplicated or
 //! reordered frames (chaos links, retransmissions after a rejoin) never
-//! clobber the current round's report.
+//! clobber the current round's report; under a configured
+//! `staleness_window` the guard also admits bounded-late frames, whose
+//! ages the machine hands the server for `λ^j` damping. A frame tagged
+//! one step *ahead* of the round (reordered delivery around a broadcast)
+//! is buffered — one slot per worker, latest wins — and admitted when
+//! its step arrives instead of killing the connection.
 //!
 //! The loop is allocation-disciplined: per-connection [`FrameReader`]s,
 //! one broadcast scratch [`BytesMut`], the ring's recycled frame
@@ -33,8 +42,8 @@
 use crate::machine::{Event, MachineConfig, Phase};
 use crate::protocol::{
     begin_frame, decode_grad, elapsed_ms, end_frame, peek_grad, session_token, write_all_frame,
-    Admission, FrameReader, GradGuard, KIND_ABORT, KIND_DONE, KIND_GRAD, KIND_JOIN, KIND_READY,
-    KIND_REJOIN, KIND_STEP, KIND_WARMUP,
+    Admission, FrameReader, GradGuard, KIND_ABORT, KIND_DONE, KIND_GRAD, KIND_JOIN,
+    KIND_JOIN_FRESH, KIND_READY, KIND_REJOIN, KIND_STEP, KIND_WARMUP,
 };
 use crate::transport::{current_step, drive, ResumeRing, Transport};
 use bytes::{BufMut, BytesMut};
@@ -149,6 +158,7 @@ impl TcpCoordinator {
         seed: u64,
         scratch: &mut RunScratch,
     ) -> Result<RunHistory, CoordinatorError> {
+        let staleness_window = core.config().staleness_window;
         let machine_cfg = MachineConfig {
             n_workers: n_honest,
             min_workers: self.cfg.min_workers,
@@ -157,6 +167,7 @@ impl TcpCoordinator {
             join_deadline_ms: self.cfg.join_timeout.as_millis() as u64,
             warmup_deadline_ms: self.cfg.warmup_timeout.as_millis() as u64,
             step_deadline_ms: self.cfg.step_timeout.as_millis() as u64,
+            staleness_window,
         };
         let mut transport = TcpTransport {
             listener: self.listener,
@@ -165,11 +176,12 @@ impl TcpCoordinator {
             conns: (0..n_honest).map(|_| None).collect(),
             pending: Vec::new(),
             ever_joined: vec![false; n_honest],
-            guard: GradGuard::new(n_honest),
+            guard: GradGuard::with_window(n_honest, staleness_window),
             ring: ResumeRing::new(self.cfg.resume_window),
             send: BytesMut::with_capacity(4096),
             step_msg: BytesMut::with_capacity(4096),
             dead_pending: Vec::new(),
+            future_pending: (0..n_honest).map(|_| None).collect(),
         };
         drive(&mut transport, core, machine_cfg, seed, scratch)
     }
@@ -191,6 +203,11 @@ struct TcpTransport {
     /// Connections lost during a broadcast (no events buffer in scope
     /// there): reported as [`Event::Detached`] at the next poll.
     dead_pending: Vec<u32>,
+    /// One buffered future-tagged GRAD frame per worker (latest wins),
+    /// admitted once its step is broadcast — a frame reordered around a
+    /// step broadcast must be retransmitted-in-effect, not dropped with
+    /// the connection. Buffers recycle across uses.
+    future_pending: Vec<Option<BytesMut>>,
 }
 
 impl Transport for TcpTransport {
@@ -205,11 +222,46 @@ impl Transport for TcpTransport {
         events: &mut Vec<Event>,
     ) -> io::Result<bool> {
         let mut progressed = false;
+        let current = current_step(phase);
 
         // Sockets lost mid-broadcast surface here, one poll later.
         for id in self.dead_pending.drain(..) {
             events.push(Event::Detached(id));
             progressed = true;
+        }
+
+        // Buffered future-tagged frames: admit any whose step has since
+        // been broadcast (the round advanced past them).
+        for (id, (pending, out)) in self
+            .future_pending
+            .iter_mut()
+            .zip(outputs.iter_mut())
+            .enumerate()
+        {
+            let Some(buf) = pending.take() else {
+                continue;
+            };
+            match peek_grad(&buf) {
+                Ok((wid, step)) if wid == id as u32 => {
+                    if step > current {
+                        *pending = Some(buf); // still ahead: keep waiting
+                        continue;
+                    }
+                    match self.guard.admit(wid, step, current) {
+                        Admission::Fresh => {
+                            if let Ok(step) = decode_grad(&buf, wid, out) {
+                                events.push(Event::Gradient { id: wid, step });
+                                progressed = true;
+                            }
+                        }
+                        Admission::Stale => events.push(Event::StaleGradient(wid)),
+                        Admission::Duplicate | Admission::Future => {}
+                    }
+                }
+                // Malformed or misattributed buffer: discarded. The
+                // connection already survived the round it arrived in.
+                _ => {}
+            }
         }
 
         // Accept connections in every live phase: fresh JOINs only pass
@@ -258,6 +310,62 @@ impl Transport for TcpTransport {
                         _ => {}
                     }
                 }
+                JoinPoll::JoinedFresh(id) => {
+                    let mut conn = self.pending.swap_remove(i);
+                    let slot_free = self
+                        .conns
+                        .get(id as usize)
+                        .is_some_and(|entry| entry.is_none());
+                    if phase == Phase::WaitingForWorkers {
+                        // During the join phase a fresh join is a plain
+                        // join.
+                        if slot_free {
+                            if let Some(entry) = self.conns.get_mut(id as usize) {
+                                *entry = Some(conn);
+                            }
+                            if let Some(flag) = self.ever_joined.get_mut(id as usize) {
+                                *flag = true;
+                            }
+                            events.push(Event::Joined(id));
+                            progressed = true;
+                        }
+                        continue;
+                    }
+                    // Mid-run only a never-joined slot may attach fresh
+                    // (a crashed worker resumes via REJOIN, with its
+                    // token, never by re-running the fresh handshake).
+                    let never_joined = !self.ever_joined.get(id as usize).copied().unwrap_or(true);
+                    if !slot_free || !never_joined {
+                        continue;
+                    }
+                    // The ring tail from the in-flight step is the model
+                    // snapshot: STEP frames carry the parameters. During
+                    // warmup, replay from the WARMUP frame (slot 0).
+                    let start = match phase {
+                        Phase::Warmup => 0,
+                        _ => current,
+                    };
+                    let Some(frames) = self.ring.replay_from(start) else {
+                        continue; // ring no longer holds the step: dropped
+                    };
+                    let mut alive = true;
+                    for frame in frames {
+                        if write_all_frame(&mut conn.stream, frame).is_err() {
+                            alive = false;
+                            break;
+                        }
+                    }
+                    if alive {
+                        if let Some(entry) = self.conns.get_mut(id as usize) {
+                            *entry = Some(conn);
+                        }
+                        if let Some(flag) = self.ever_joined.get_mut(id as usize) {
+                            *flag = true;
+                        }
+                        events.push(Event::JoinedFresh(id));
+                        progressed = true;
+                    }
+                }
                 JoinPoll::Rejoin {
                     id,
                     token,
@@ -292,7 +400,6 @@ impl Transport for TcpTransport {
         }
 
         // Drain every attached connection.
-        let current = current_step(phase);
         for (id, (slot, out)) in self.conns.iter_mut().zip(outputs.iter_mut()).enumerate() {
             let Some(conn) = slot.as_mut() else {
                 continue;
@@ -331,15 +438,27 @@ impl Transport for TcpTransport {
                                             break;
                                         }
                                     },
-                                    // Retransmissions and late straggler
-                                    // reports are expected churn debris:
-                                    // classified, never decoded.
-                                    Admission::Duplicate | Admission::Stale => {}
-                                    // Nothing honest reports a step that
-                                    // was never broadcast.
+                                    // Retransmissions are expected churn
+                                    // debris: classified, never decoded.
+                                    Admission::Duplicate => {}
+                                    // Beyond-window straggler reports are
+                                    // dropped but counted, so the churn
+                                    // ledger records *why* rounds zeroed.
+                                    Admission::Stale => {
+                                        events.push(Event::StaleGradient(wid));
+                                    }
+                                    // A frame one broadcast ahead of the
+                                    // round (reordered delivery): buffer
+                                    // it — latest wins — and admit it when
+                                    // its step arrives.
                                     Admission::Future => {
-                                        dead = true;
-                                        break;
+                                        if let Some(pending) =
+                                            self.future_pending.get_mut(wid as usize)
+                                        {
+                                            let buf = pending.get_or_insert_with(BytesMut::default);
+                                            buf.clear();
+                                            buf.put_slice(payload);
+                                        }
                                     }
                                 }
                             }
@@ -348,10 +467,10 @@ impl Transport for TcpTransport {
                                 break;
                             }
                         },
-                        // A late JOIN/REJOIN re-send on an attached
-                        // connection is harmless; anything else is a
-                        // protocol violation.
-                        KIND_JOIN | KIND_REJOIN => {}
+                        // A late JOIN/REJOIN/JOIN_FRESH re-send on an
+                        // attached connection is harmless; anything else
+                        // is a protocol violation.
+                        KIND_JOIN | KIND_REJOIN | KIND_JOIN_FRESH => {}
                         _ => {
                             dead = true;
                             break;
@@ -411,12 +530,13 @@ impl Transport for TcpTransport {
 enum JoinPoll {
     Waiting,
     Joined(u32),
+    JoinedFresh(u32),
     Rejoin { id: u32, token: u64, next_slot: u32 },
     Dead,
 }
 
 /// Reads a pending connection until its first frame arrives; anything but
-/// a well-formed JOIN or REJOIN kills it.
+/// a well-formed JOIN, JOIN_FRESH, or REJOIN kills it.
 fn poll_join(conn: &mut Conn) -> JoinPoll {
     loop {
         match conn.reader.fill(&mut conn.stream) {
@@ -431,6 +551,12 @@ fn poll_join(conn: &mut Conn) -> JoinPoll {
             Ok(bytes) => JoinPoll::Joined(u32::from_le_bytes(bytes)),
             Err(_) => JoinPoll::Dead,
         },
+        Ok(Some((KIND_JOIN_FRESH, payload))) if payload.len() == 4 => {
+            match read_array(payload, 0) {
+                Ok(bytes) => JoinPoll::JoinedFresh(u32::from_le_bytes(bytes)),
+                Err(_) => JoinPoll::Dead,
+            }
+        }
         Ok(Some((KIND_REJOIN, payload))) if payload.len() == 16 => {
             match (
                 read_array(payload, 0),

@@ -73,7 +73,7 @@ pub mod worker;
 pub use backend::TcpBackend;
 pub use coordinator::{CoordinatorConfig, TcpCoordinator};
 pub use machine::{Action, Event, MachineConfig, Phase, RoundStateMachine};
-pub use sim::{FaultPlan, SimBackend, SimNet};
+pub use sim::{FaultPlan, LateJoinPlan, SimBackend, SimNet};
 pub use spec::{JobSpec, WorkloadSpec};
 pub use transport::{drive, CoordinatorError, ResumeRing, Transport};
 pub use worker::{run_worker, WorkerConfig, WorkerError};

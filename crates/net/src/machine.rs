@@ -40,6 +40,26 @@
 //! run is bit-identical to one where the worker merely straggled those
 //! rounds — the reconnect regression suite pins this. Advancement never
 //! happens below `quorum`, deadline or not.
+//!
+//! Two asynchrony extensions ride on top, both off by default:
+//!
+//! * **Bounded staleness** ([`MachineConfig::staleness_window`] `= k`):
+//!   during `Train { step }` a report tagged for step `step − j` with
+//!   `j ≤ k` is admitted instead of ignored, and its age is recorded in
+//!   [`RoundStateMachine::ages`] so the server can damp it by `λ^j`.
+//!   `k = 0` reduces exactly to the strict semantics above and is
+//!   digest-pinned against them.
+//! * **Fresh mid-run joins** ([`Event::JoinedFresh`]): a worker that was
+//!   never in the initial fleet attaches mid-run, counting as joined
+//!   *and* ready (warmup is skipped — the transport replays the resume
+//!   ring so it can compute the current round). From that round on it
+//!   gates advancement and is dropped/zeroed like any other joined
+//!   worker when it misses a deadline — the `f`-accounting already
+//!   treats every joined non-reporter the same way.
+//!
+//! The machine also keeps the per-worker churn ledger (drop, beyond-window
+//! stale, and late-admit counters plus detach/reattach/fresh-join totals)
+//! that the driver seals into `RunHistory::churn`.
 
 /// Where the coordinator is in the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,9 +92,10 @@ pub enum Event {
     Joined(u32),
     /// Worker `id` finished warmup (sent `READY`).
     Ready(u32),
-    /// Worker `id` delivered a gradient frame for `step`. Stale steps are
-    /// ignored (a straggler's late report must not corrupt the current
-    /// round).
+    /// Worker `id` delivered a gradient frame for `step`. Reports older
+    /// than [`MachineConfig::staleness_window`] rounds are ignored (a
+    /// straggler's ancient report must not corrupt the current round);
+    /// in-window late reports are admitted with their age recorded.
     Gradient {
         /// Reporting worker.
         id: u32,
@@ -91,6 +112,16 @@ pub enum Event {
     /// Worker `id` completed a `Rejoin` handshake on a fresh connection;
     /// it gates advancement again from the current round onward.
     Reattached(u32),
+    /// Worker `id` completed a `JOIN_FRESH` handshake mid-run: it was
+    /// never in the initial fleet, joins *and* readies in one step
+    /// (warmup already happened without it; the transport streams the
+    /// resume-ring tail so it holds the current model state), and gates
+    /// advancement from the current round onward.
+    JoinedFresh(u32),
+    /// The transport rejected worker `id`'s gradient as beyond the
+    /// staleness window (counter only — the machine's round state is
+    /// untouched; the report was already inadmissible).
+    StaleGradient(u32),
 }
 
 /// What the transport must do next. Data-free by design (the machine
@@ -135,6 +166,10 @@ pub struct MachineConfig {
     pub warmup_deadline_ms: u64,
     /// Per-step deadline, ms after the step broadcast.
     pub step_deadline_ms: u64,
+    /// Bounded-staleness window `k`: during `Train { step }` a gradient
+    /// tagged for step `step − j` is admitted when `j ≤ k`. 0 (the
+    /// strict default) admits the in-flight step only.
+    pub staleness_window: u32,
 }
 
 /// The coordinator's explicit round state machine. See the module docs
@@ -159,6 +194,19 @@ pub struct RoundStateMachine {
     n_detached: usize,
     /// Stragglers of the most recent [`Action::Aggregate`] (recycled).
     dropped: Vec<u32>,
+    /// Per-worker staleness age (rounds late) of the in-flight round's
+    /// admitted reports; reset to 0 at every broadcast. All-zero under
+    /// `staleness_window = 0`.
+    ages: Vec<u32>,
+    /// Per-worker count of rounds aggregated without this worker.
+    dropped_rounds: Vec<u32>,
+    /// Per-worker count of beyond-window stale rejections.
+    stale_rejected: Vec<u32>,
+    /// Per-worker count of late (age ≥ 1) admissions.
+    late_admits: Vec<u32>,
+    n_detached_total: u32,
+    n_reattached_total: u32,
+    n_joined_fresh_total: u32,
     abort_reason: Option<String>,
 }
 
@@ -190,6 +238,13 @@ impl RoundStateMachine {
             detached: vec![false; cfg.n_workers],
             n_detached: 0,
             dropped: Vec::with_capacity(cfg.n_workers),
+            ages: vec![0; cfg.n_workers],
+            dropped_rounds: vec![0; cfg.n_workers],
+            stale_rejected: vec![0; cfg.n_workers],
+            late_admits: vec![0; cfg.n_workers],
+            n_detached_total: 0,
+            n_reattached_total: 0,
+            n_joined_fresh_total: 0,
             abort_reason: None,
             cfg,
         }
@@ -241,6 +296,46 @@ impl RoundStateMachine {
     /// Joined workers currently detached.
     pub fn n_detached(&self) -> usize {
         self.n_detached
+    }
+
+    /// Per-worker staleness age (rounds late) of the in-flight round's
+    /// admitted reports — what the driver feeds the server's `λ^j`
+    /// damping at [`Action::Aggregate`]. All-zero when
+    /// [`MachineConfig::staleness_window`] is 0.
+    pub fn ages(&self) -> &[u32] {
+        &self.ages
+    }
+
+    /// Per-worker count of rounds aggregated without this worker
+    /// (zero-substituted per §2.1).
+    pub fn dropped_rounds(&self) -> &[u32] {
+        &self.dropped_rounds
+    }
+
+    /// Per-worker count of gradients rejected as beyond the staleness
+    /// window (fed in by transports via [`Event::StaleGradient`]).
+    pub fn stale_rejected(&self) -> &[u32] {
+        &self.stale_rejected
+    }
+
+    /// Per-worker count of gradients admitted late (age ≥ 1).
+    pub fn late_admits(&self) -> &[u32] {
+        &self.late_admits
+    }
+
+    /// Total connection losses over the run.
+    pub fn n_detached_total(&self) -> u32 {
+        self.n_detached_total
+    }
+
+    /// Total completed `Rejoin` handshakes over the run.
+    pub fn n_reattached_total(&self) -> u32 {
+        self.n_reattached_total
+    }
+
+    /// Total completed mid-run `JOIN_FRESH` handshakes over the run.
+    pub fn n_joined_fresh_total(&self) -> u32 {
+        self.n_joined_fresh_total
     }
 
     /// When the current phase's deadline fires, in virtual ms — the
@@ -308,17 +403,52 @@ impl RoundStateMachine {
             }
             (Phase::Train { step }, Event::Gradient { id, step: s }) => {
                 let slot = id as usize;
-                if s != step || slot >= self.cfg.n_workers || !self.joined[slot] {
-                    return; // stale or bogus report: ignore
+                if slot >= self.cfg.n_workers || !self.joined[slot] {
+                    return; // bogus report: ignore
+                }
+                // Bounded staleness: a report for step `step − j` is
+                // admissible when `j ≤ k`. Future steps and beyond-window
+                // reports are ignored (transports count the latter via
+                // `StaleGradient`); `k = 0` is exactly `s != step`.
+                if s > step || step - s > self.cfg.staleness_window {
+                    return;
                 }
                 if self.reported[slot] {
                     return;
                 }
                 self.reported[slot] = true;
                 self.n_reported += 1;
+                self.ages[slot] = step - s;
+                if s < step {
+                    self.late_admits[slot] += 1;
+                }
                 self.try_advance_train(step, now_ms, out);
             }
             (Phase::Done | Phase::Aborted, _) => {}
+            (_, Event::StaleGradient(id)) => {
+                let slot = id as usize;
+                if slot < self.cfg.n_workers {
+                    self.stale_rejected[slot] += 1;
+                }
+            }
+            (
+                Phase::Warmup | Phase::Train { .. } | Phase::Aggregate { .. },
+                Event::JoinedFresh(id),
+            ) => {
+                let slot = id as usize;
+                if slot >= self.cfg.n_workers || self.joined[slot] {
+                    return; // out of range, or not actually fresh
+                }
+                self.joined[slot] = true;
+                self.n_joined += 1;
+                // Warmup already happened without this worker: it arrives
+                // ready (the transport replayed the ring tail, so it holds
+                // the current parameters) and gates advancement from the
+                // current round on.
+                self.ready[slot] = true;
+                self.n_ready += 1;
+                self.n_joined_fresh_total += 1;
+            }
             (_, Event::Detached(id)) => {
                 let slot = id as usize;
                 if slot >= self.cfg.n_workers || !self.joined[slot] || self.detached[slot] {
@@ -326,6 +456,7 @@ impl RoundStateMachine {
                 }
                 self.detached[slot] = true;
                 self.n_detached += 1;
+                self.n_detached_total += 1;
                 // Losing a peer can complete the attached set: the round
                 // it was blocking advances now instead of at the
                 // deadline (the zeroing outcome is identical either way).
@@ -342,6 +473,7 @@ impl RoundStateMachine {
                 }
                 self.detached[slot] = false;
                 self.n_detached -= 1;
+                self.n_reattached_total += 1;
             }
             // Anything else (late gradients during Aggregate, READY after
             // warmup, JOIN after the gate closed, …) is dropped: the
@@ -449,6 +581,7 @@ impl RoundStateMachine {
         self.phase_start_ms = now_ms;
         self.reported.iter_mut().for_each(|r| *r = false);
         self.n_reported = 0;
+        self.ages.iter_mut().for_each(|a| *a = 0);
         out.push(Action::BroadcastStep(step));
     }
 
@@ -459,6 +592,7 @@ impl RoundStateMachine {
         for id in 0..self.cfg.n_workers {
             if self.joined[id] && !self.reported[id] {
                 self.dropped.push(id as u32);
+                self.dropped_rounds[id] += 1;
             }
         }
         out.push(Action::Aggregate(step));
@@ -484,6 +618,7 @@ mod tests {
             join_deadline_ms: 100,
             warmup_deadline_ms: 100,
             step_deadline_ms: 100,
+            staleness_window: 0,
         }
     }
 
@@ -810,6 +945,143 @@ mod tests {
         m.on_event(Event::Reattached(0), 5, &mut out);
         m.on_event(Event::Reattached(0), 6, &mut out); // duplicate
         assert_eq!(m.n_detached(), 0);
+    }
+
+    #[test]
+    fn staleness_window_admits_in_window_reports_with_age() {
+        // k = 1: a step-1 report arriving during step 2 is admitted at
+        // age 1 instead of ignored; a step-1 report during step 3 is not.
+        let mut c = cfg(3, 3, 2, 3);
+        c.staleness_window = 1;
+        let mut m = RoundStateMachine::new(c, 0);
+        let mut out = Vec::new();
+        for i in 0..3 {
+            m.on_event(Event::Joined(i), 1, &mut out);
+        }
+        for i in 0..3 {
+            m.on_event(Event::Ready(i), 2, &mut out);
+        }
+        out.clear();
+        // Step 1: workers 0 and 1 report; worker 2 straggles past the
+        // deadline, so the round advances on quorum 2 dropping it.
+        m.on_event(Event::Gradient { id: 0, step: 1 }, 10, &mut out);
+        m.on_event(Event::Gradient { id: 1, step: 1 }, 11, &mut out);
+        m.tick(102, &mut out);
+        assert!(out.contains(&Action::Aggregate(1)));
+        assert_eq!(m.dropped(), &[2]);
+        assert_eq!(m.ages(), &[0, 0, 0]);
+        out.clear();
+        m.on_aggregated(103, &mut out);
+        assert_eq!(out, vec![Action::BroadcastStep(2)]);
+        out.clear();
+        // Step 2: worker 2's step-1 gradient finally lands — admitted at
+        // age 1 and it satisfies worker 2's step-2 report slot.
+        m.on_event(Event::Gradient { id: 2, step: 1 }, 110, &mut out);
+        assert_eq!(m.n_reported(), 1);
+        assert_eq!(m.ages(), &[0, 0, 1]);
+        m.on_event(Event::Gradient { id: 0, step: 2 }, 111, &mut out);
+        m.on_event(Event::Gradient { id: 1, step: 2 }, 112, &mut out);
+        assert!(out.contains(&Action::Aggregate(2)));
+        assert!(m.dropped().is_empty());
+        out.clear();
+        m.on_aggregated(113, &mut out);
+        out.clear();
+        // Step 3: a step-1 report is now 2 rounds old — beyond k = 1.
+        m.on_event(Event::Gradient { id: 2, step: 1 }, 120, &mut out);
+        assert_eq!(m.n_reported(), 0);
+        // Ages reset at the broadcast.
+        assert_eq!(m.ages(), &[0, 0, 0]);
+        assert_eq!(m.late_admits(), &[0, 0, 1]);
+        assert_eq!(m.dropped_rounds(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn zero_window_keeps_strict_semantics() {
+        // k = 0 (the default cfg): an age-1 report is ignored exactly as
+        // before the window existed.
+        let mut m = RoundStateMachine::new(cfg(2, 2, 1, 2), 0);
+        let mut out = Vec::new();
+        for i in 0..2 {
+            m.on_event(Event::Joined(i), 1, &mut out);
+        }
+        for i in 0..2 {
+            m.on_event(Event::Ready(i), 2, &mut out);
+        }
+        out.clear();
+        m.on_event(Event::Gradient { id: 0, step: 1 }, 10, &mut out);
+        m.tick(102, &mut out);
+        assert!(out.contains(&Action::Aggregate(1)));
+        out.clear();
+        m.on_aggregated(103, &mut out);
+        out.clear();
+        m.on_event(Event::Gradient { id: 1, step: 1 }, 110, &mut out);
+        assert_eq!(m.n_reported(), 0, "k = 0 must reject an age-1 report");
+    }
+
+    #[test]
+    fn joined_fresh_attaches_mid_run_and_gates_advancement() {
+        // 2 of 3 slots start; worker 2 joins fresh during step 1 and must
+        // be waited on (it reports before the round closes).
+        let mut m = RoundStateMachine::new(cfg(3, 2, 2, 1), 0);
+        let mut out = Vec::new();
+        for i in 0..2 {
+            m.on_event(Event::Joined(i), 1, &mut out);
+        }
+        m.tick(100, &mut out); // join deadline: start short-handed
+        assert_eq!(out, vec![Action::StartWarmup]);
+        out.clear();
+        for i in 0..2 {
+            m.on_event(Event::Ready(i), 101, &mut out);
+        }
+        assert_eq!(out, vec![Action::BroadcastStep(1)]);
+        out.clear();
+        m.on_event(Event::JoinedFresh(2), 105, &mut out);
+        assert!(m.is_joined(2));
+        assert_eq!(m.n_joined(), 3);
+        assert_eq!(m.n_ready(), 3, "fresh joiner skips warmup");
+        assert_eq!(m.n_joined_fresh_total(), 1);
+        // Both original workers report: the round must still wait for the
+        // fresh joiner (it is attached and unreported).
+        m.on_event(Event::Gradient { id: 0, step: 1 }, 110, &mut out);
+        m.on_event(Event::Gradient { id: 1, step: 1 }, 111, &mut out);
+        assert!(out.is_empty(), "must wait for the fresh joiner");
+        m.on_event(Event::Gradient { id: 2, step: 1 }, 112, &mut out);
+        assert!(out.contains(&Action::Aggregate(1)));
+        assert!(m.dropped().is_empty());
+    }
+
+    #[test]
+    fn joined_fresh_is_idempotent_and_ignored_when_not_fresh() {
+        let mut m = RoundStateMachine::new(cfg(2, 1, 1, 1), 0);
+        let mut out = Vec::new();
+        m.on_event(Event::Joined(0), 1, &mut out);
+        m.tick(100, &mut out);
+        out.clear();
+        m.on_event(Event::JoinedFresh(0), 101, &mut out); // already joined
+        m.on_event(Event::JoinedFresh(9), 102, &mut out); // out of range
+        assert_eq!(m.n_joined(), 1);
+        assert_eq!(m.n_joined_fresh_total(), 0);
+        m.on_event(Event::JoinedFresh(1), 103, &mut out);
+        m.on_event(Event::JoinedFresh(1), 104, &mut out); // duplicate
+        assert_eq!(m.n_joined(), 2);
+        assert_eq!(m.n_joined_fresh_total(), 1);
+    }
+
+    #[test]
+    fn churn_totals_and_stale_counter_accumulate() {
+        let mut m = RoundStateMachine::new(cfg(2, 2, 1, 1), 0);
+        let mut out = Vec::new();
+        m.on_event(Event::Joined(0), 1, &mut out);
+        m.on_event(Event::Joined(1), 2, &mut out);
+        m.on_event(Event::Detached(1), 3, &mut out);
+        m.on_event(Event::Reattached(1), 4, &mut out);
+        m.on_event(Event::Detached(1), 5, &mut out);
+        assert_eq!(m.n_detached_total(), 2);
+        assert_eq!(m.n_reattached_total(), 1);
+        m.on_event(Event::StaleGradient(0), 6, &mut out);
+        m.on_event(Event::StaleGradient(0), 7, &mut out);
+        m.on_event(Event::StaleGradient(9), 8, &mut out); // out of range
+        assert_eq!(m.stale_rejected(), &[2, 0]);
     }
 
     #[test]

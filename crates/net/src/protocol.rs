@@ -57,6 +57,16 @@ pub const KIND_ABORT: u8 = 7;
 /// resume ring so the worker's RNG/momentum state catches up exactly as
 /// if it had merely straggled.
 pub const KIND_REJOIN: u8 = 8;
+/// Worker → coordinator, on a fresh connection from a worker that was
+/// *never* in the fleet: "worker `id` wants to attach mid-run". Payload:
+/// `[id: u32 LE]`. Valid only while the slot has never joined; the
+/// coordinator attaches it, replays the resume-ring tail (the `STEP`
+/// frames carry the parameters, so the tail *is* the model-state
+/// snapshot), and the worker starts computing from the in-flight round —
+/// it deliberately skips warmup, entering the same joined-and-ready
+/// accounting a reattached straggler has. During the join phase this is
+/// equivalent to a plain [`KIND_JOIN`].
+pub const KIND_JOIN_FRESH: u8 = 9;
 
 /// Largest acceptable frame `len`: the `GRAD` layout at
 /// [`MAX_WIRE_DIM`](dpbyz_server::message::MAX_WIRE_DIM) coordinates — two vector
@@ -243,12 +253,16 @@ pub fn session_token(seed: u64, id: u32) -> u64 {
 pub enum Admission {
     /// First frame for this worker at the current step: decode it.
     Fresh,
-    /// The worker already delivered this step's frame (a duplicated
-    /// frame, or a retransmission): skip the decode, keep the slot.
+    /// The worker already delivered a frame this round, or this step was
+    /// already accepted in an earlier round (a duplicated frame, or a
+    /// retransmission): skip the decode, keep the slot.
     Duplicate,
-    /// A frame for an earlier step (late straggler report, reordered
-    /// delivery): skip the decode — a stale frame must never clobber an
-    /// output slot that may already hold the current round's report.
+    /// A frame more than [`GradGuard`]'s staleness window behind the
+    /// in-flight step (late straggler report, reordered delivery): skip
+    /// the decode — a beyond-window frame must never clobber an output
+    /// slot that may already hold the current round's report. With the
+    /// default window of 0 every non-current earlier step classifies
+    /// here.
     Stale,
     /// A frame claiming a step later than the one in flight: nothing
     /// honest sends this (workers only compute broadcast steps), so skip
@@ -260,20 +274,37 @@ pub enum Admission {
 /// worker. [`FrameReader`] reassembles whatever the link delivers —
 /// including byte-identical duplicates and reordered retransmissions of
 /// earlier rounds — so the receive path consults this guard *before*
-/// decoding into an output slot: only the first frame per
-/// `(worker, current step)` is [`Admission::Fresh`]. State is a recycled
-/// fixed-size vector; admitting allocates nothing.
+/// decoding into an output slot: only the first admissible frame per
+/// `(worker, current round)` is [`Admission::Fresh`]. Under a
+/// bounded-staleness window `k` ([`GradGuard::with_window`]) a frame for
+/// step `current − j` with `j ≤ k` is still admissible, at most once per
+/// round and never for a step at or below one already accepted. State is
+/// a pair of recycled fixed-size vectors; admitting allocates nothing.
 #[derive(Debug)]
 pub struct GradGuard {
-    /// Last step each worker had a frame accepted for.
-    accepted: Vec<Option<u32>>,
+    /// Staleness window `k`: steps `current − k ..= current` admit.
+    window: u32,
+    /// Highest step each worker had a frame accepted for.
+    accepted_step: Vec<Option<u32>>,
+    /// The round (`current` at admission) each worker last had a frame
+    /// accepted in — enforces one acceptance per worker per round.
+    accepted_round: Vec<Option<u32>>,
 }
 
 impl GradGuard {
-    /// A guard for `n_workers` slots, nothing accepted yet.
+    /// A strict guard for `n_workers` slots (window 0: only the in-flight
+    /// step admits), nothing accepted yet.
     pub fn new(n_workers: usize) -> Self {
+        Self::with_window(n_workers, 0)
+    }
+
+    /// A guard admitting steps up to `window` rounds behind the in-flight
+    /// one.
+    pub fn with_window(n_workers: usize, window: u32) -> Self {
         GradGuard {
-            accepted: vec![None; n_workers],
+            window,
+            accepted_step: vec![None; n_workers],
+            accepted_round: vec![None; n_workers],
         }
     }
 
@@ -283,19 +314,27 @@ impl GradGuard {
     /// (callers attribute frames to validated slots, so the range check
     /// is belt and braces, not a protocol path).
     pub fn admit(&mut self, worker: u32, step: u32, current: u32) -> Admission {
-        let Some(slot) = self.accepted.get_mut(worker as usize) else {
+        let slot = worker as usize;
+        let (Some(acc_step), Some(acc_round)) = (
+            self.accepted_step.get_mut(slot),
+            self.accepted_round.get_mut(slot),
+        ) else {
             return Admission::Stale;
         };
-        if step < current {
-            return Admission::Stale;
-        }
         if step > current {
             return Admission::Future;
         }
-        if *slot == Some(current) {
+        if current - step > self.window {
+            return Admission::Stale;
+        }
+        // One acceptance per round, and never a step the worker already
+        // had accepted (a retransmission of last round's frame arriving
+        // in-window this round is a duplicate, not a late report).
+        if *acc_round == Some(current) || acc_step.is_some_and(|s| s >= step) {
             return Admission::Duplicate;
         }
-        *slot = Some(current);
+        *acc_step = Some(step);
+        *acc_round = Some(current);
         Admission::Fresh
     }
 }
@@ -753,6 +792,39 @@ mod tests {
         assert_eq!(guard.admit(0, 5, 5), Admission::Duplicate);
         // Out-of-range worker ids are inert.
         assert_eq!(guard.admit(99, 5, 5), Admission::Stale);
+    }
+
+    #[test]
+    fn windowed_guard_admits_bounded_staleness_once_per_round() {
+        let mut guard = GradGuard::with_window(2, 1);
+        // In-window late frame admits: step 4 while 5 is in flight.
+        assert_eq!(guard.admit(0, 4, 5), Admission::Fresh);
+        // …but only once per round, for any admissible step.
+        assert_eq!(guard.admit(0, 5, 5), Admission::Duplicate);
+        // Next round: the worker reports punctually again.
+        assert_eq!(guard.admit(0, 6, 6), Admission::Fresh);
+        // A retransmission of the already-accepted stale frame is a
+        // duplicate even though step 5 is still within round 6's window.
+        assert_eq!(guard.admit(0, 5, 6), Admission::Duplicate);
+        // Beyond the window is stale regardless of acceptance history.
+        assert_eq!(guard.admit(1, 3, 5), Admission::Stale);
+        // The future rule is unchanged.
+        assert_eq!(guard.admit(1, 7, 5), Admission::Future);
+        // A straggler that never reported rounds 5/6 delivers step 6
+        // during round 7: fresh at age 1.
+        assert_eq!(guard.admit(1, 6, 7), Admission::Fresh);
+    }
+
+    #[test]
+    fn zero_window_guard_matches_strict_semantics() {
+        // `new` is `with_window(_, 0)`: every earlier step is stale, so
+        // the classification table of `guard_classifies_per_field` holds.
+        let mut strict = GradGuard::new(1);
+        assert_eq!(strict.admit(0, 4, 5), Admission::Stale);
+        assert_eq!(strict.admit(0, 5, 5), Admission::Fresh);
+        assert_eq!(strict.admit(0, 5, 5), Admission::Duplicate);
+        assert_eq!(strict.admit(0, 5, 6), Admission::Stale);
+        assert_eq!(strict.admit(0, 6, 6), Admission::Fresh);
     }
 
     #[test]

@@ -35,7 +35,8 @@
 use crate::machine::{Event, MachineConfig, Phase};
 use crate::protocol::{
     begin_frame, decode_grad, end_frame, peek_grad, session_token, Admission, GradGuard,
-    KIND_ABORT, KIND_DONE, KIND_GRAD, KIND_JOIN, KIND_READY, KIND_REJOIN, KIND_STEP, KIND_WARMUP,
+    KIND_ABORT, KIND_DONE, KIND_GRAD, KIND_JOIN, KIND_JOIN_FRESH, KIND_READY, KIND_REJOIN,
+    KIND_STEP, KIND_WARMUP,
 };
 use crate::transport::{current_step, drive, CoordinatorError, ResumeRing, Transport};
 use bytes::{BufMut, BytesMut};
@@ -104,6 +105,21 @@ pub struct CrashPlan {
     pub rejoin_on_step: u32,
 }
 
+/// A fresh mid-run join schedule: the worker never sends `JOIN` during
+/// the join phase; instead it sends `JOIN_FRESH` when the coordinator
+/// broadcasts `on_step` (`0` = when warmup starts). The coordinator
+/// replays its resume-ring tail — the current model snapshot — and the
+/// worker starts computing at the in-flight step, skipping warmup.
+/// Runs using late joins need `min_workers`/`quorum` at most
+/// `n - late_joiners`, since the join phase closes without them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LateJoinPlan {
+    /// Which worker joins late.
+    pub worker: u32,
+    /// The broadcast that triggers its `JOIN_FRESH` (`0` = warmup).
+    pub on_step: u32,
+}
+
 /// An explicit straggler schedule: worker `worker`'s reports for steps
 /// `from_step..=to_step` are held an extra `extra_ms` on the wire —
 /// the knob the reconnect-equivalence suite uses to express "those
@@ -133,6 +149,8 @@ pub struct FaultPlan {
     pub to_coord: Vec<LinkPlan>,
     /// Crash-and-rejoin schedules.
     pub crashes: Vec<CrashPlan>,
+    /// Fresh mid-run join schedules.
+    pub late_joins: Vec<LateJoinPlan>,
     /// Explicit straggler delays.
     pub grad_delays: Vec<GradDelay>,
     /// Whether the coordinator notices a crash (an [`Event::Detached`],
@@ -151,6 +169,7 @@ impl FaultPlan {
             to_worker: vec![LinkPlan::clean(); n],
             to_coord: vec![LinkPlan::clean(); n],
             crashes: Vec::new(),
+            late_joins: Vec::new(),
             grad_delays: Vec::new(),
             detect_crash: false,
         }
@@ -192,6 +211,7 @@ impl FaultPlan {
             to_worker,
             to_coord,
             crashes: Vec::new(),
+            late_joins: Vec::new(),
             grad_delays: Vec::new(),
             detect_crash: false,
         }
@@ -204,6 +224,12 @@ impl FaultPlan {
             after_step,
             rejoin_on_step,
         });
+        self
+    }
+
+    /// Adds a fresh mid-run join schedule (see [`LateJoinPlan`]).
+    pub fn with_late_join(mut self, worker: u32, on_step: u32) -> Self {
+        self.late_joins.push(LateJoinPlan { worker, on_step });
         self
     }
 
@@ -298,6 +324,12 @@ struct SimWorker {
     pending: BTreeMap<u32, Vec<u8>>,
     crash_after: Option<u32>,
     rejoin_on: Option<u32>,
+    /// `Some(step)` until this worker's `JOIN_FRESH` fires (on the
+    /// broadcast of `step`, or warmup for `0`).
+    join_fresh_on: Option<u32>,
+    /// A fresh mid-run joiner anchors its slot cursor on the first
+    /// replayed `STEP` instead of requiring `WARMUP` first.
+    fresh_join: bool,
     params: Vector,
     out: WorkerOutput,
     sub_frame: BytesMut,
@@ -324,6 +356,10 @@ pub struct SimNet {
     attached: Vec<bool>,
     ever_joined: Vec<bool>,
     guard: GradGuard,
+    /// One buffered ahead-of-round `GRAD` per worker, admitted once the
+    /// round advances to its step — the sim twin of the TCP
+    /// coordinator's future-frame buffer.
+    future_pending: Vec<Option<Vec<u8>>>,
     ring: ResumeRing,
     send: BytesMut,
     step_msg: BytesMut,
@@ -346,6 +382,7 @@ impl SimNet {
         run_seed: u64,
         compute_ms: u64,
         resume_window: usize,
+        staleness_window: u32,
     ) -> Self {
         let n = workers.len();
         assert_eq!(plan.to_worker.len(), n, "plan/worker count mismatch");
@@ -368,6 +405,7 @@ impl SimNet {
             .map(|hw| {
                 let id = hw.id();
                 let crash = plan.crashes.iter().find(|c| c.worker == id);
+                let late = plan.late_joins.iter().find(|j| j.worker == id);
                 SimWorker {
                     hw,
                     alive: true,
@@ -375,6 +413,8 @@ impl SimNet {
                     pending: BTreeMap::new(),
                     crash_after: crash.map(|c| c.after_step),
                     rejoin_on: crash.map(|c| c.rejoin_on_step),
+                    join_fresh_on: late.map(|j| j.on_step),
+                    fresh_join: late.is_some(),
                     params: Vector::default(),
                     out: WorkerOutput::default(),
                     sub_frame: BytesMut::with_capacity(1024),
@@ -396,12 +436,18 @@ impl SimNet {
             run_seed,
             attached: vec![false; n],
             ever_joined: vec![false; n],
-            guard: GradGuard::new(n),
+            guard: GradGuard::with_window(n, staleness_window),
+            future_pending: (0..n).map(|_| None).collect(),
             ring: ResumeRing::new(resume_window),
             send: BytesMut::with_capacity(4096),
             step_msg: BytesMut::with_capacity(4096),
         };
         for id in 0..n as u32 {
+            // Late joiners sit out the join phase entirely; their
+            // JOIN_FRESH fires on the scheduled broadcast instead.
+            if net.workers[id as usize].fresh_join {
+                continue;
+            }
             let mut join = BytesMut::with_capacity(16);
             begin_frame(&mut join, KIND_JOIN);
             join.put_u32_le(id);
@@ -497,6 +543,12 @@ impl SimNet {
                 let Ok(step) = read_array(payload, 0).map(u32::from_le_bytes) else {
                     return;
                 };
+                if w.fresh_join && w.next_slot == 0 {
+                    // A fresh mid-run joiner skips warmup: the first
+                    // replayed STEP carries the model snapshot and
+                    // anchors the slot cursor.
+                    w.next_slot = step.max(1);
+                }
                 if step >= w.next_slot.max(1) {
                     w.pending.entry(step).or_insert(frame);
                 }
@@ -569,6 +621,32 @@ impl SimNet {
         }
     }
 
+    /// Fires scheduled `JOIN_FRESH` handshakes whose trigger broadcast
+    /// (`0` = warmup) just went out.
+    fn fire_late_joins(&mut self, trigger: u32) {
+        for idx in 0..self.workers.len() {
+            let w = &mut self.workers[idx];
+            if w.join_fresh_on != Some(trigger) {
+                continue;
+            }
+            w.join_fresh_on = None;
+            let id = w.hw.id();
+            let mut join = BytesMut::with_capacity(16);
+            begin_frame(&mut join, KIND_JOIN_FRESH);
+            join.put_u32_le(id);
+            end_frame(&mut join);
+            Self::send_frame(
+                &mut self.queue,
+                &mut self.seq,
+                &mut self.links_to_coord[idx],
+                self.now,
+                0,
+                &join,
+                |frame| Delivery::ToCoord { from: id, frame },
+            );
+        }
+    }
+
     /// The coordinator-side receive path for one delivered frame — the
     /// sim twin of `TcpTransport::poll`'s drain loop, guards included.
     fn coord_receive(
@@ -591,6 +669,56 @@ impl SimNet {
                     *known = true;
                     events.push(Event::Joined(from));
                 }
+            }
+            KIND_JOIN_FRESH if payload.len() == 4 => {
+                let Ok(id) = read_array(payload, 0).map(u32::from_le_bytes) else {
+                    return;
+                };
+                if id != from || self.attached.get(idx).copied().unwrap_or(true) {
+                    return; // misattributed, out of range, or already attached
+                }
+                if phase == Phase::WaitingForWorkers {
+                    // The join phase is still open: a fresh join is an
+                    // ordinary join that arrived by the other verb.
+                    if let Some(known) = self.ever_joined.get_mut(idx) {
+                        self.attached[idx] = true;
+                        *known = true;
+                        events.push(Event::Joined(from));
+                    }
+                    return;
+                }
+                if self.ever_joined.get(idx).copied().unwrap_or(true) {
+                    return; // fresh joins are for never-joined slots only
+                }
+                // Replay from the in-flight step (or the whole ring
+                // during warmup): the first replayed STEP carries the
+                // current model snapshot, which is all the state a
+                // fresh worker needs.
+                let start = match phase {
+                    Phase::Warmup => 0,
+                    _ => current_step(phase),
+                };
+                let mut replayed: Vec<Vec<u8>> = Vec::new();
+                match self.ring.replay_from(start) {
+                    Some(frames) => replayed.extend(frames.map(<[u8]>::to_vec)),
+                    None => return, // snapshot already evicted
+                }
+                for frame in &replayed {
+                    Self::send_frame(
+                        &mut self.queue,
+                        &mut self.seq,
+                        &mut self.links_to_worker[idx],
+                        self.now,
+                        0,
+                        frame,
+                        |frame| Delivery::ToWorker { to: from, frame },
+                    );
+                }
+                self.attached[idx] = true;
+                if let Some(known) = self.ever_joined.get_mut(idx) {
+                    *known = true;
+                }
+                events.push(Event::JoinedFresh(from));
             }
             KIND_REJOIN if payload.len() == 16 => {
                 let (Ok(id), Ok(token), Ok(next_slot)) = (
@@ -638,11 +766,26 @@ impl SimNet {
                 // lint:begin(zero-copy)
                 // The chaos hot loop: every queued GRAD passes through
                 // here, so the frame is peeked, admitted, and decoded
-                // straight into the recycled output slot — no copies.
+                // straight into the recycled output slot — no copies on
+                // the fresh path (only ahead-of-round frames buffer).
                 if let Ok((wid, step)) = peek_grad(payload) {
-                    if wid == from && self.guard.admit(wid, step, current) == Admission::Fresh {
-                        if let Ok(step) = decode_grad(payload, wid, out) {
-                            events.push(Event::Gradient { id: wid, step });
+                    if wid == from {
+                        match self.guard.admit(wid, step, current) {
+                            Admission::Fresh => {
+                                if let Ok(step) = decode_grad(payload, wid, out) {
+                                    events.push(Event::Gradient { id: wid, step });
+                                }
+                            }
+                            Admission::Stale => events.push(Event::StaleGradient(wid)),
+                            Admission::Future => {
+                                // One pending frame per worker: a
+                                // worker computes strictly in order, so
+                                // a newer future frame supersedes.
+                                if let Some(pending) = self.future_pending.get_mut(idx) {
+                                    *pending = Some(payload.to_vec()); // lint:allow(zero-copy-alloc, reason = "cold path: at most one buffered ahead-of-round frame per worker, off the per-round fresh path")
+                                }
+                            }
+                            Admission::Duplicate => {}
                         }
                     }
                 }
@@ -665,6 +808,40 @@ impl Transport for SimNet {
         events: &mut Vec<Event>,
     ) -> io::Result<bool> {
         let mut progressed = false;
+        // Flush buffered ahead-of-round frames first: once the round
+        // advances to a pending frame's step it is admitted exactly as
+        // if it had just arrived (the TCP coordinator does the same).
+        let current = current_step(phase);
+        for idx in 0..self.future_pending.len() {
+            let Some(payload) = self.future_pending[idx].take() else {
+                continue;
+            };
+            let Ok((wid, step)) = peek_grad(&payload) else {
+                continue;
+            };
+            if wid != idx as u32 {
+                continue; // misattributed: discard
+            }
+            if step > current {
+                self.future_pending[idx] = Some(payload);
+                continue;
+            }
+            match self.guard.admit(wid, step, current) {
+                Admission::Fresh => {
+                    if let Some(out) = outputs.get_mut(idx) {
+                        if let Ok(step) = decode_grad(&payload, wid, out) {
+                            events.push(Event::Gradient { id: wid, step });
+                            progressed = true;
+                        }
+                    }
+                }
+                Admission::Stale => {
+                    events.push(Event::StaleGradient(wid));
+                    progressed = true;
+                }
+                Admission::Duplicate | Admission::Future => {}
+            }
+        }
         loop {
             let due = self
                 .queue
@@ -701,6 +878,7 @@ impl Transport for SimNet {
         end_frame(&mut self.send);
         self.ring.push(0, &self.send);
         self.broadcast();
+        self.fire_late_joins(0);
     }
 
     fn broadcast_step(&mut self, step: u32, batch: u32, params: &Vector) {
@@ -710,6 +888,7 @@ impl Transport for SimNet {
         end_frame(&mut self.send);
         self.ring.push(step, &self.send);
         self.broadcast();
+        self.fire_late_joins(step);
         // Rejoin schedules fire on broadcasts: a dead worker whose
         // trigger step just went out revives and starts its handshake.
         for idx in 0..self.workers.len() {
@@ -836,6 +1015,7 @@ impl SimBackend {
             trainer = trainer.observer(observer);
         }
         let (core, workers) = trainer.into_distributed_parts(seed, scratch);
+        let staleness_window = core.config().staleness_window;
         let machine_cfg = MachineConfig {
             n_workers: n_honest,
             min_workers,
@@ -844,8 +1024,16 @@ impl SimBackend {
             join_deadline_ms: self.join_timeout_ms,
             warmup_deadline_ms: self.warmup_timeout_ms,
             step_deadline_ms: self.step_timeout_ms,
+            staleness_window,
         };
-        let mut net = SimNet::new(workers, plan, seed, self.compute_ms, self.resume_window);
+        let mut net = SimNet::new(
+            workers,
+            plan,
+            seed,
+            self.compute_ms,
+            self.resume_window,
+            staleness_window,
+        );
         drive(&mut net, core, machine_cfg, seed, scratch).map_err(|e| match e {
             CoordinatorError::Gar(g) => PipelineError::Gar(g),
             other => PipelineError::Spec(format!("sim backend: {other}")),

@@ -23,7 +23,7 @@
 use crate::machine::{Action, Event, MachineConfig, Phase, RoundStateMachine};
 use bytes::{BufMut, BytesMut};
 use dpbyz_gars::GarError;
-use dpbyz_server::{RunHistory, RunScratch, ServerCore, WorkerOutput};
+use dpbyz_server::{ChurnStats, RunHistory, RunScratch, ServerCore, WorkerOutput};
 use dpbyz_tensor::Vector;
 use std::collections::VecDeque;
 use std::fmt;
@@ -181,6 +181,15 @@ pub fn drive<T: Transport>(
                             out.batch_loss = 0.0;
                         }
                     }
+                    // Frames admitted from an earlier step carry their
+                    // age into the server so λ^age damping happens
+                    // before the GAR sees them. Ages reset every round,
+                    // so a strict run (window 0) never reaches this.
+                    for (id, &age) in machine.ages().iter().enumerate() {
+                        if age > 0 {
+                            core.set_submission_age(id, age);
+                        }
+                    }
                     if let Err(e) = core.process_round(t, &mut outputs) {
                         transport.abort(&e.to_string());
                         break 'run Err(CoordinatorError::Gar(e));
@@ -215,7 +224,22 @@ pub fn drive<T: Transport>(
 
     scratch.restore_outputs(outputs);
     core.reclaim_scratch(scratch);
-    result.map(|()| core.finish(seed))
+    result.map(|()| {
+        // Churn accounting rides along in the history but is excluded
+        // from its equality/digest: pins compare trajectories, not
+        // delivery schedules. `abort_reason` stays `None` here — an
+        // aborted run returns `Err` and seals no history at all.
+        core.record_churn(ChurnStats {
+            abort_reason: None,
+            detached: machine.n_detached_total(),
+            reattached: machine.n_reattached_total(),
+            joined_fresh: machine.n_joined_fresh_total(),
+            dropped_rounds: machine.dropped_rounds().to_vec(),
+            stale_rejected: machine.stale_rejected().to_vec(),
+            late_admits: machine.late_admits().to_vec(),
+        });
+        core.finish(seed)
+    })
 }
 
 /// The last `W` broadcast wire frames, keyed by *slot*: `0` is the

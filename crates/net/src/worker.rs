@@ -27,12 +27,12 @@
 
 use crate::protocol::{
     begin_frame, end_frame, read_exact_frame, write_all_frame, KIND_ABORT, KIND_DONE, KIND_GRAD,
-    KIND_JOIN, KIND_READY, KIND_REJOIN, KIND_STEP, KIND_WARMUP, MAX_FRAME_LEN,
+    KIND_JOIN, KIND_JOIN_FRESH, KIND_READY, KIND_REJOIN, KIND_STEP, KIND_WARMUP, MAX_FRAME_LEN,
 };
 use bytes::{BufMut, BytesMut};
 use dpbyz_server::message::{read_array, GradientMessage, MessageError, StepMessage};
 use dpbyz_server::{HonestWorker, WorkerOutput};
-use dpbyz_tensor::Vector;
+use dpbyz_tensor::{Prng, Vector};
 use std::fmt;
 use std::io;
 use std::io::Read;
@@ -95,6 +95,13 @@ pub struct WorkerConfig {
     /// Socket losses survived before giving up. Irrelevant while
     /// `session_token` is `None`.
     pub max_rejoins: u32,
+    /// Attach mid-run as a never-joined worker: the first frame sent is
+    /// `JOIN_FRESH` instead of `JOIN`, and the coordinator replies with
+    /// its resume-ring tail (the current model snapshot) so the worker
+    /// starts computing at the in-flight step. Requires a run configured
+    /// with `staleness_window` churn tolerance, or a join phase that is
+    /// still open.
+    pub fresh_join: bool,
 }
 
 impl Default for WorkerConfig {
@@ -104,6 +111,7 @@ impl Default for WorkerConfig {
             read_timeout: Duration::from_secs(60),
             session_token: None,
             max_rejoins: 0,
+            fresh_join: false,
         }
     }
 }
@@ -173,12 +181,20 @@ fn serve(
     st: &mut Session,
     fresh: bool,
 ) -> Result<u32, WorkerError> {
-    let mut stream = connect_with_retry(addr, cfg.connect_timeout)?;
+    // Retry jitter must be deterministic per worker: seed from the
+    // session credential (or the id when reconnection is disabled).
+    let retry_seed = cfg.session_token.unwrap_or(0) ^ (u64::from(id) << 32) ^ u64::from(id);
+    let mut stream = connect_with_retry(addr, cfg.connect_timeout, retry_seed)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(cfg.read_timeout))?;
 
     if fresh {
-        begin_frame(&mut st.send, KIND_JOIN);
+        let kind = if cfg.fresh_join {
+            KIND_JOIN_FRESH
+        } else {
+            KIND_JOIN
+        };
+        begin_frame(&mut st.send, kind);
         st.send.put_u32_le(id);
         end_frame(&mut st.send);
         write_all_frame(&mut stream, &st.send)?;
@@ -211,6 +227,13 @@ fn serve(
             }
             KIND_STEP => {
                 let (step, batch_size) = StepMessage::decode_into(&st.recv, &mut st.params)?;
+                if cfg.fresh_join && st.next_slot == 0 {
+                    // A fresh mid-run join skips warmup: the first
+                    // replayed STEP carries the current model snapshot
+                    // and anchors the slot cursor. Ordinary workers keep
+                    // the strict STEP-before-WARMUP protocol error.
+                    st.next_slot = step.max(1);
+                }
                 if step < st.next_slot {
                     // Already computed: a duplicated or replayed
                     // broadcast. Retransmit the report it asks for when
@@ -275,13 +298,27 @@ fn read_header(stream: &mut impl Read, scratch: &mut Vec<u8>) -> Result<(u8, usi
     Ok((kind, len - 1))
 }
 
-fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+/// Connects with capped exponential backoff: 10 ms doubling to a 500 ms
+/// cap, each wait jittered to 50–100 % of its nominal value by a
+/// [`Prng`] seeded from the session credential — a relaunched fleet
+/// neither hammers the listener in lockstep nor draws from ambient
+/// randomness (the determinism lint forbids the latter in this crate).
+fn connect_with_retry(addr: SocketAddr, timeout: Duration, seed: u64) -> io::Result<TcpStream> {
+    const BASE_MS: u64 = 10;
+    const CAP_MS: u64 = 500;
     let deadline = Instant::now() + timeout;
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut attempt = 0u32;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
             Err(e) if Instant::now() >= deadline => return Err(e),
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => {
+                let nominal = BASE_MS.saturating_mul(1 << attempt.min(16)).min(CAP_MS);
+                let jittered = rng.uniform_range(0.5 * nominal as f64, nominal as f64);
+                std::thread::sleep(Duration::from_millis(jittered.max(1.0) as u64));
+                attempt = attempt.saturating_add(1);
+            }
         }
     }
 }

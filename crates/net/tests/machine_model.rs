@@ -26,6 +26,7 @@ fn cfg(n: usize, min: usize, quorum: usize, steps: u32) -> MachineConfig {
         join_deadline_ms: 100,
         warmup_deadline_ms: 100,
         step_deadline_ms: 100,
+        staleness_window: 0,
     }
 }
 
@@ -404,5 +405,117 @@ proptest! {
         prop_assert_eq!(machine.phase(), Phase::Done, "reason: {:?}", machine.abort_reason());
         let expected: Vec<u32> = (quorum as u32..n as u32).collect();
         prop_assert_eq!(machine.dropped(), &expected[..], "every detached worker zeroed");
+    }
+
+    /// Bounded-staleness admission: whatever aged soup arrives, every
+    /// frame the machine accepts for a round is at most
+    /// `staleness_window` rounds old (its recorded age proves it), and
+    /// frames older than the window only ever grow the stale counter.
+    #[test]
+    fn admitted_frames_never_exceed_the_staleness_window(
+        n in 2usize..6,
+        k in 0u32..4,
+        raw_ops in proptest::collection::vec(0u64..u64::MAX, 40..160),
+    ) {
+        let mut c = cfg(n, 1, 1, 4);
+        c.staleness_window = k;
+        let mut machine = RoundStateMachine::new(c, 0);
+        let mut actions = Vec::new();
+        let mut now = 1u64;
+        for id in 0..n as u32 {
+            machine.on_event(Event::Joined(id), now, &mut actions);
+        }
+        actions.clear();
+        for raw in raw_ops {
+            now += raw % 7;
+            let id = ((raw >> 3) % n as u64) as u32;
+            let current = current_step(machine.phase());
+            let age = ((raw >> 6) % 5) as u32;
+            let event = match (raw >> 9) % 4 {
+                0 => Event::Ready(id),
+                _ => Event::Gradient { id, step: current.saturating_sub(age) },
+            };
+            machine.on_event(event, now, &mut actions);
+            machine.tick(now, &mut actions);
+            // Ages are live until the round aggregates: check before
+            // processing the actions that would reset them.
+            for &a in machine.ages() {
+                prop_assert!(a <= k, "admitted a frame {a} rounds old, window {k}");
+            }
+            let mut i = 0;
+            while let Some(&action) = actions.get(i) {
+                if matches!(action, Action::Aggregate(_)) {
+                    machine.on_aggregated(now, &mut actions);
+                }
+                i += 1;
+            }
+            actions.clear();
+            if matches!(machine.phase(), Phase::Done | Phase::Aborted) {
+                break;
+            }
+        }
+        for (w, &late) in machine.late_admits().iter().enumerate() {
+            if k == 0 {
+                prop_assert_eq!(late, 0, "worker {} admitted late with window 0", w);
+            }
+        }
+    }
+
+    /// `staleness_window = 0` keeps today's strict semantics exactly:
+    /// a machine receiving an aged soup and a twin receiving the same
+    /// soup with every non-current gradient removed march through
+    /// identical phases and emit identical action streams.
+    #[test]
+    fn zero_window_is_bit_identical_to_the_strict_machine(
+        n in 2usize..6,
+        raw_ops in proptest::collection::vec(0u64..u64::MAX, 40..160),
+    ) {
+        let c = cfg(n, 1, 1, 3);
+        let mut aged = RoundStateMachine::new(c, 0);
+        let mut strict = RoundStateMachine::new(c, 0);
+        let mut actions_a = Vec::new();
+        let mut actions_s = Vec::new();
+        let mut now = 1u64;
+        for id in 0..n as u32 {
+            aged.on_event(Event::Joined(id), now, &mut actions_a);
+            strict.on_event(Event::Joined(id), now, &mut actions_s);
+        }
+        prop_assert_eq!(&actions_a, &actions_s);
+        actions_a.clear();
+        actions_s.clear();
+        for raw in raw_ops {
+            now += raw % 7;
+            let id = ((raw >> 3) % n as u64) as u32;
+            let current = current_step(aged.phase());
+            let age = ((raw >> 6) % 4) as u32;
+            let event = match (raw >> 9) % 4 {
+                0 => Event::Ready(id),
+                _ => Event::Gradient { id, step: current.saturating_sub(age) },
+            };
+            aged.on_event(event, now, &mut actions_a);
+            // The strict twin only ever sees punctual traffic.
+            let punctual = !matches!(event, Event::Gradient { step: s, .. } if s != current);
+            if punctual {
+                strict.on_event(event, now, &mut actions_s);
+            }
+            aged.tick(now, &mut actions_a);
+            strict.tick(now, &mut actions_s);
+            prop_assert_eq!(&actions_a, &actions_s, "action streams diverged");
+            prop_assert_eq!(aged.phase(), strict.phase(), "phases diverged");
+            let mut i = 0;
+            while let Some(&action) = actions_a.get(i) {
+                if matches!(action, Action::Aggregate(_)) {
+                    aged.on_aggregated(now, &mut actions_a);
+                    strict.on_aggregated(now, &mut actions_s);
+                }
+                i += 1;
+            }
+            prop_assert_eq!(&actions_a, &actions_s);
+            actions_a.clear();
+            actions_s.clear();
+            if matches!(aged.phase(), Phase::Done | Phase::Aborted) {
+                break;
+            }
+        }
     }
 }

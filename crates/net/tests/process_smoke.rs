@@ -40,7 +40,7 @@ fn spawned_worker_processes_reproduce_the_in_process_digest() {
 fn worker_binary_rejects_a_byzantine_index() {
     // n = 11, f = 5 in this spec ⇒ honest slots 0..6; index 7 must be
     // refused before any socket traffic.
-    let spec = r#"{"workload":{"PhishingLike":{"data_seed":1,"size":100}},"config":{"n_workers":11,"n_byzantine":5,"batch_size":10,"steps":2,"lr":{"Constant":2.0},"momentum":0.99,"momentum_mode":"Worker","clip":0.01,"eval_every":0,"attack_visibility":"Submitted","drop_rate":0.0,"gradient_ema":null,"batch_growth":null,"agg_threads":1},"gar":{"id":"mda","params":{}},"attack":{"id":"alie","params":{}},"budget":null,"mechanism":{"id":"gaussian","params":{}},"dp_reference_g_max":null,"seed":1}"#;
+    let spec = r#"{"workload":{"PhishingLike":{"data_seed":1,"size":100}},"config":{"n_workers":11,"n_byzantine":5,"batch_size":10,"steps":2,"lr":{"Constant":2.0},"momentum":0.99,"momentum_mode":"Worker","clip":0.01,"eval_every":0,"attack_visibility":"Submitted","drop_rate":0.0,"gradient_ema":null,"batch_growth":null,"agg_threads":1,"staleness_window":0,"staleness_damping":0.5},"gar":{"id":"mda","params":{}},"attack":{"id":"alie","params":{}},"budget":null,"mechanism":{"id":"gaussian","params":{}},"dp_reference_g_max":null,"seed":1}"#;
     let out = Command::new(env!("CARGO_BIN_EXE_worker"))
         .args([
             "--connect",

@@ -79,6 +79,8 @@ pub enum ConfigError {
     },
     /// Aggregation thread count must be positive.
     ZeroAggThreads,
+    /// Staleness damping factor must be in `(0, 1]`.
+    BadStalenessDamping(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -99,6 +101,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::ZeroAggThreads => {
                 write!(f, "aggregation thread count must be positive (1 = serial)")
+            }
+            ConfigError::BadStalenessDamping(l) => {
+                write!(f, "staleness damping must be in (0, 1], got {l}")
             }
         }
     }
@@ -153,6 +158,16 @@ pub struct TrainingConfig {
     /// count, so this is a pure throughput knob — it never changes a
     /// training trajectory.
     pub agg_threads: usize,
+    /// Bounded-staleness window `k`: a gradient tagged for step `t − j`
+    /// is still admitted in round `t` when `j ≤ k`, instead of being
+    /// classified `Stale` and zeroed. 0 (the default) keeps the paper's
+    /// strict synchronous semantics and is digest-pinned against them.
+    pub staleness_window: u32,
+    /// Deterministic age damping `λ ∈ (0, 1]`: an admitted gradient that
+    /// is `j` rounds late is scaled by `λ^j` before the GAR sees it.
+    /// Irrelevant (never applied) while `staleness_window = 0`; `λ = 1`
+    /// admits late gradients at full weight.
+    pub staleness_damping: f64,
 }
 
 impl TrainingConfig {
@@ -208,6 +223,8 @@ impl Default for TrainingConfigBuilder {
                 gradient_ema: None,
                 batch_growth: None,
                 agg_threads: 1,
+                staleness_window: 0,
+                staleness_damping: 0.5,
             },
         }
     }
@@ -293,6 +310,20 @@ impl TrainingConfigBuilder {
         self
     }
 
+    /// Sets the bounded-staleness window `k` (0 = strict synchronous
+    /// rounds, the paper's semantics).
+    pub fn staleness_window(mut self, k: u32) -> Self {
+        self.config.staleness_window = k;
+        self
+    }
+
+    /// Sets the age damping factor `λ ∈ (0, 1]` applied as `λ^j` to a
+    /// gradient admitted `j` rounds late.
+    pub fn staleness_damping(mut self, lambda: f64) -> Self {
+        self.config.staleness_damping = lambda;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -334,6 +365,9 @@ impl TrainingConfigBuilder {
         if c.agg_threads == 0 {
             return Err(ConfigError::ZeroAggThreads);
         }
+        if !(c.staleness_damping > 0.0 && c.staleness_damping <= 1.0) {
+            return Err(ConfigError::BadStalenessDamping(c.staleness_damping));
+        }
         Ok(c)
     }
 }
@@ -354,6 +388,8 @@ mod tests {
         assert_eq!(c.clip, 1e-2);
         assert_eq!(c.eval_every, 50);
         assert_eq!(c.agg_threads, 1);
+        assert_eq!(c.staleness_window, 0);
+        assert_eq!(c.staleness_damping, 0.5);
         assert_eq!(c.n_honest(), 6);
     }
 
@@ -450,6 +486,28 @@ mod tests {
             TrainingConfig::builder().agg_threads(0).build(),
             Err(ConfigError::ZeroAggThreads)
         ));
+    }
+
+    #[test]
+    fn staleness_validation() {
+        let c = TrainingConfig::builder()
+            .staleness_window(3)
+            .staleness_damping(0.9)
+            .build()
+            .unwrap();
+        assert_eq!(c.staleness_window, 3);
+        assert_eq!(c.staleness_damping, 0.9);
+        // λ = 1 (no damping) is allowed; 0, amplifying, and NaN are not.
+        assert!(TrainingConfig::builder()
+            .staleness_damping(1.0)
+            .build()
+            .is_ok());
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(matches!(
+                TrainingConfig::builder().staleness_damping(bad).build(),
+                Err(ConfigError::BadStalenessDamping(_))
+            ));
+        }
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod worker;
 pub use config::{
     AttackVisibility, BatchGrowth, ConfigError, MomentumMode, TrainingConfig, TrainingConfigBuilder,
 };
-pub use metrics::{RunHistory, SeedSummary};
+pub use metrics::{ChurnStats, RunHistory, SeedSummary};
 pub use observer::{FnObserver, RunObserver, StepMetrics};
 pub use schedule::LrSchedule;
 pub use threaded::ThreadedTrainer;

@@ -4,6 +4,40 @@ use dpbyz_tensor::stats::Welford;
 use dpbyz_tensor::Vector;
 use serde::{Deserialize, Serialize};
 
+/// How a distributed run degraded under churn — assembled by the round
+/// machine and attached to the history so chaos tests can assert on *why*
+/// a run's trajectory differs, not just that it does.
+///
+/// Deliberately **excluded** from [`RunHistory`]'s bitwise equality and
+/// [`RunHistory::digest`]: churn accounting is transport metadata, and the
+/// reproducibility pins compare trajectories, not delivery schedules. Two
+/// engines may reach the same model through different drop patterns (e.g.
+/// the sequential reference never detaches anyone).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnStats {
+    /// Why the run aborted, if the machine gave up before finishing.
+    /// `None` on every successfully finished run (an aborted drive
+    /// returns an error, so a populated reason is only observable through
+    /// transports that surface partial histories).
+    pub abort_reason: Option<String>,
+    /// Workers that disconnected mid-run (connection deaths).
+    pub detached: u32,
+    /// Successful `REJOIN` resumptions of previously-joined workers.
+    pub reattached: u32,
+    /// Successful `JOIN_FRESH` mid-run attachments of never-joined
+    /// workers.
+    pub joined_fresh: u32,
+    /// Per-worker count of rounds aggregated without that worker's
+    /// gradient (zero-substituted per §2.1).
+    pub dropped_rounds: Vec<u32>,
+    /// Per-worker count of gradients rejected as beyond the staleness
+    /// window.
+    pub stale_rejected: Vec<u32>,
+    /// Per-worker count of gradients admitted late (age ≥ 1) under a
+    /// `staleness_window > 0`.
+    pub late_admits: Vec<u32>,
+}
+
 /// Everything recorded during one training run.
 ///
 /// `train_loss[t]` is the paper's per-step metric: the average loss of the
@@ -32,12 +66,17 @@ pub struct RunHistory {
     pub grad_norm: Vec<f64>,
     /// Final model parameters.
     pub final_params: Vector,
+    /// Churn accounting (drops, staleness, mid-run joins). Not part of
+    /// the bitwise equality or [`RunHistory::digest`] — see
+    /// [`ChurnStats`].
+    pub churn: ChurnStats,
 }
 
 /// Bitwise equality: two histories are equal iff every recorded float has
 /// the same bit pattern. Unlike IEEE `==`, this makes `NaN` entries (a VN
 /// statistic being unavailable) compare equal — the reproducibility
-/// contract is "the same bits", not "IEEE-equal values".
+/// contract is "the same bits", not "IEEE-equal values". The `churn`
+/// field is transport metadata and intentionally not compared.
 impl PartialEq for RunHistory {
     fn eq(&self, other: &Self) -> bool {
         fn bits(xs: &[f64], ys: &[f64]) -> bool {
@@ -285,6 +324,7 @@ mod tests {
             vn_clean: vec![0.5, 0.5, 0.5],
             grad_norm: vec![1.0; losses.len()],
             final_params: Vector::zeros(2),
+            churn: ChurnStats::default(),
         }
     }
 
@@ -310,9 +350,22 @@ mod tests {
             vn_clean: vec![],
             grad_norm: vec![],
             final_params: Vector::zeros(1),
+            churn: ChurnStats::default(),
         };
         assert!(h.tail_loss(5).is_nan());
         assert!(h.tail_loss(0).is_nan());
+    }
+
+    #[test]
+    fn churn_is_excluded_from_equality_and_digest() {
+        let a = history(&[1.0], &[]);
+        let mut b = a.clone();
+        b.churn.detached = 3;
+        b.churn.joined_fresh = 1;
+        b.churn.abort_reason = Some("quorum lost".into());
+        b.churn.late_admits = vec![0, 2];
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

@@ -125,6 +125,7 @@ mod tests {
             vn_clean: vec![0.0],
             grad_norm: vec![0.0],
             final_params: params.clone(),
+            churn: crate::metrics::ChurnStats::default(),
         });
         let _ = Counting {
             steps: 0,

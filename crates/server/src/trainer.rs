@@ -1,7 +1,7 @@
 //! The sequential training engine and the shared server-side round logic.
 
 use crate::config::{AttackVisibility, MomentumMode, TrainingConfig};
-use crate::metrics::RunHistory;
+use crate::metrics::{ChurnStats, RunHistory};
 use crate::observer::{RunObserver, StepMetrics};
 use crate::worker::{HonestWorker, WorkerOutput};
 use dpbyz_attacks::{Attack, AttackContext};
@@ -73,6 +73,12 @@ pub struct ServerCore {
     attack_rng: Prng,
     fault_rng: Prng,
     buffers: RoundBuffers,
+    /// Per-honest-worker staleness ages for the *next* round, set by
+    /// bounded-staleness engines via [`ServerCore::set_submission_age`].
+    /// Empty on strict synchronous runs (the hot path does nothing).
+    ages: Vec<u32>,
+    /// Churn accounting attached by a distributed engine before `finish`.
+    churn: ChurnStats,
     train_loss: Vec<f64>,
     test_accuracy: Vec<(u32, f64)>,
     vn_submitted: Vec<f64>,
@@ -170,6 +176,8 @@ impl ServerCore {
             attack_rng,
             fault_rng,
             buffers,
+            ages: Vec::new(),
+            churn: ChurnStats::default(),
             train_loss: Vec::with_capacity(steps),
             test_accuracy: Vec::with_capacity(evals),
             vn_submitted: Vec::with_capacity(steps),
@@ -196,6 +204,27 @@ impl ServerCore {
     /// the step count and batch schedule from here.
     pub fn config(&self) -> &TrainingConfig {
         &self.config
+    }
+
+    /// Marks honest worker `worker`'s submission for the *next*
+    /// [`ServerCore::process_round`] call as `age` rounds late: the core
+    /// scales it by `staleness_damping^age` before the VN diagnostics,
+    /// the attacker's view, or the GAR observe it. Ages reset after
+    /// every round, so engines that never admit late gradients (or run
+    /// with `staleness_window = 0`) pay nothing and stay digest-pinned.
+    pub fn set_submission_age(&mut self, worker: usize, age: u32) {
+        if self.ages.len() <= worker {
+            self.ages.resize(worker + 1, 0);
+        }
+        self.ages[worker] = age;
+    }
+
+    /// Attaches churn accounting assembled by a distributed engine; it is
+    /// sealed into [`RunHistory::churn`] by [`ServerCore::finish`]. The
+    /// in-process engines never call this — their histories carry the
+    /// default (all-zero) stats.
+    pub fn record_churn(&mut self, churn: ChurnStats) {
+        self.churn = churn;
     }
 
     /// Takes the round buffers back out (for reclamation into a
@@ -244,6 +273,21 @@ impl ServerCore {
         for (i, output) in outputs.iter_mut().enumerate() {
             std::mem::swap(&mut self.buffers.pre_noise[i], &mut output.pre_noise);
             std::mem::swap(&mut self.buffers.submissions[i], &mut output.submitted);
+        }
+
+        // Bounded-staleness damping: a gradient admitted `j` rounds late
+        // (flagged via `set_submission_age`) is scaled by `λ^j` before the
+        // VN diagnostics, the attacker's view, or the GAR see it. `ages`
+        // stays empty on strict synchronous runs, so at `k = 0` this block
+        // performs zero float operations and trajectories stay bit-stable.
+        if !self.ages.is_empty() {
+            let lambda = self.config.staleness_damping;
+            for (i, &age) in self.ages.iter().take(n_honest).enumerate() {
+                if age > 0 && lambda < 1.0 {
+                    self.buffers.submissions[i].scale(lambda.powi(age.min(i32::MAX as u32) as i32));
+                }
+            }
+            self.ages.clear();
         }
 
         // VN ratios (Eq. 2 / Eq. 8). Both use the *pre-noise* mean norm as
@@ -377,6 +421,7 @@ impl ServerCore {
             vn_clean,
             grad_norm,
             params,
+            churn,
             ..
         } = self;
         let history = RunHistory {
@@ -387,6 +432,7 @@ impl ServerCore {
             vn_clean,
             grad_norm,
             final_params: params,
+            churn,
         };
         if let Some(observer) = observer.as_mut() {
             observer.on_finish(&history);
@@ -916,6 +962,61 @@ mod tests {
         // Determinism is preserved under growth.
         let again = make_trainer_with(config, 9).run(1).unwrap();
         assert_eq!(grown, again);
+    }
+
+    #[test]
+    fn submission_ages_damp_the_marked_round_only() {
+        let config = TrainingConfig::builder()
+            .workers(3, 0)
+            .batch_size(10)
+            .steps(4)
+            .eval_every(0)
+            .staleness_window(2)
+            .staleness_damping(0.5)
+            .build()
+            .unwrap();
+        // Hand-driven engine so we can flag a late submission mid-run.
+        let run = |late_age: u32| {
+            let mut scratch = RunScratch::new();
+            let (mut core, mut workers) =
+                make_trainer_with(config.clone(), 4).into_distributed_parts(1, &mut scratch);
+            let mut outputs: Vec<WorkerOutput> = Vec::new();
+            outputs.resize_with(workers.len(), WorkerOutput::default);
+            let mut params = Vector::zeros(0);
+            for t in 1..=core.config().steps {
+                params.copy_from(core.params());
+                let batch = core.config().batch_at(t);
+                for (w, out) in workers.iter_mut().zip(outputs.iter_mut()) {
+                    w.compute_into(&params, batch, out);
+                }
+                if t == 2 {
+                    core.set_submission_age(0, late_age);
+                }
+                core.process_round(t, &mut outputs).unwrap();
+            }
+            core.finish(1)
+        };
+        // Age 0 is a no-op: bit-identical to never flagging anything.
+        assert_eq!(run(0), run(0));
+        let fresh = run(0);
+        let damped = run(1);
+        assert_ne!(fresh, damped, "λ^1 damping must perturb the trajectory");
+        // Ages reset after the round they apply to: the first round (before
+        // the flag) is untouched, so the loss streams agree at t = 1 and
+        // diverge only after the damped aggregation lands in the params.
+        assert_eq!(
+            fresh.train_loss[0].to_bits(),
+            damped.train_loss[0].to_bits()
+        );
+        assert_eq!(
+            fresh.train_loss[1].to_bits(),
+            damped.train_loss[1].to_bits(),
+            "loss at t = 2 is measured pre-update and must not move"
+        );
+        assert_ne!(
+            fresh.train_loss[2].to_bits(),
+            damped.train_loss[2].to_bits()
+        );
     }
 
     #[test]
